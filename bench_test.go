@@ -1,0 +1,398 @@
+// Benchmarks regenerating every table and figure of the evaluation (see
+// DESIGN.md §5 and EXPERIMENTS.md). Each benchmark runs the corresponding
+// harness experiment and reports its headline quantities as custom metrics;
+// the full tables are printed by `go run ./cmd/experiments`.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dqnn"
+	"repro/internal/grad"
+	"repro/internal/harness"
+	"repro/internal/observable"
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// BenchmarkTable1StateInventory regenerates Table 1: per-component
+// checkpoint state sizes. Reported metrics: total classical state bytes for
+// the largest shape, and the statevector bytes it displaces.
+func BenchmarkTable1StateInventory(b *testing.B) {
+	shapes := [][2]int{{4, 2}, {8, 2}, {12, 4}, {16, 4}}
+	var rows []harness.InventoryRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunT1Inventory(shapes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.TotalB), "state-bytes")
+	b.ReportMetric(float64(last.FullSnapshotB), "snapshot-bytes")
+	b.ReportMetric(float64(last.StatevectorB), "statevector-bytes")
+}
+
+// BenchmarkTable2Strategies regenerates Table 2: strategy comparison.
+// Metrics: bytes per snapshot for full vs delta, and recovery latency.
+func BenchmarkTable2Strategies(b *testing.B) {
+	var rows []harness.StrategyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunT2Strategies(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "full-sync":
+			b.ReportMetric(float64(r.MeanSnapshotB), "full-snap-bytes")
+		case "delta-sync":
+			b.ReportMetric(float64(r.MeanSnapshotB), "delta-snap-bytes")
+			b.ReportMetric(float64(r.RecoveryTime.Microseconds()), "recovery-µs")
+		}
+		if !r.BitwiseResume {
+			b.Fatalf("strategy %s lost bitwise resume", r.Name)
+		}
+	}
+}
+
+// BenchmarkFig1WastedWork regenerates Figure 1: expected completion time
+// without checkpointing vs MTBF. Metric: the blow-up factor E[T]/W at
+// MTBF = W/5.
+func BenchmarkFig1WastedWork(b *testing.B) {
+	job := 10 * time.Hour
+	mtbfs := []time.Duration{100 * time.Hour, 20 * time.Hour, 5 * time.Hour, 2 * time.Hour}
+	var rows []harness.F1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunF1WastedWork(job, mtbfs, 5*time.Second, time.Minute, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.AnalyticNoCkpt)/float64(job), "noCkpt-blowup-x")
+	b.ReportMetric(float64(last.AnalyticCkpt)/float64(job), "ckpt-blowup-x")
+}
+
+// BenchmarkFig2Size regenerates Figure 2: checkpoint size vs parameter
+// count. Metrics: payload bytes per parameter, and the full:delta ratio at
+// the largest shape.
+func BenchmarkFig2Size(b *testing.B) {
+	shapes := [][2]int{{3, 1}, {6, 2}, {8, 3}, {10, 4}}
+	var rows []harness.F2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunF2Size(shapes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.PayloadB)/float64(last.Params), "payload-bytes-per-param")
+	b.ReportMetric(float64(last.FullFileB)/float64(last.DeltaFileB), "full-to-delta-x")
+}
+
+// BenchmarkFig3Overhead regenerates Figure 3: checkpoint overhead vs
+// interval, sync vs async. Metric: per-step sync overhead at interval 1 in
+// percent of QPU step time.
+func BenchmarkFig3Overhead(b *testing.B) {
+	var rows []harness.F3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunF3Overhead(8, []int{1, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.IntervalSteps == 1 && !r.Async {
+			b.ReportMetric(r.OverheadLocal*100, "sync-overhead-%")
+		}
+		if r.IntervalSteps == 1 && r.Async {
+			b.ReportMetric(r.OverheadLocal*100, "async-overhead-%")
+		}
+	}
+}
+
+// BenchmarkFig4Goodput regenerates Figure 4: goodput under failures.
+// Metrics: goodput of each strategy at the harsh MTBF point.
+func BenchmarkFig4Goodput(b *testing.B) {
+	var rows []harness.F4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunF4Goodput(6, []time.Duration{2 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Strategy {
+		case "none":
+			b.ReportMetric(r.Goodput, "goodput-none")
+		case "full-per-step":
+			b.ReportMetric(r.Goodput, "goodput-full")
+		case "delta-substep":
+			b.ReportMetric(r.Goodput, "goodput-substep")
+		}
+	}
+}
+
+// BenchmarkFig5Compression regenerates Figure 5: delta compression across
+// the trajectory. Metric: mean full:delta ratio.
+func BenchmarkFig5Compression(b *testing.B) {
+	var rows []harness.F5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunF5Compression(24, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum, subSum float64
+	n := 0
+	for _, r := range rows {
+		if r.DeltaFileB > 0 && r.SubDeltaFileB > 0 {
+			sum += r.Ratio
+			subSum += r.SubRatio
+			n++
+		}
+	}
+	b.ReportMetric(sum/float64(n), "mean-full-to-delta-x")
+	b.ReportMetric(subSum/float64(n), "mean-full-to-substep-x")
+}
+
+// BenchmarkFig6Divergence regenerates Figure 6: trajectory divergence under
+// partial-state resume. Metrics: max parameter divergence for params-only
+// resume (must be > 0) and for full-state resume (must be 0).
+func BenchmarkFig6Divergence(b *testing.B) {
+	var rows []harness.F6Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunF6Divergence(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Mode {
+		case "full-state":
+			b.ReportMetric(r.MaxThetaDiff, "full-max-dtheta")
+			if !r.Bitwise {
+				b.Fatal("full-state resume not bitwise")
+			}
+		case "params-only":
+			b.ReportMetric(r.MaxThetaDiff, "paramsonly-max-dtheta")
+		}
+	}
+}
+
+// BenchmarkCheckpointSave measures the raw foreground cost of one full
+// checkpoint save (encode + compress + atomic write) for a mid-size state.
+func BenchmarkCheckpointSave(b *testing.B) {
+	dir := b.TempDir()
+	mgr, err := core.NewManager(core.Options{Dir: dir, Strategy: core.StrategyFull})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	st := benchState(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step = uint64(i)
+		if _, err := mgr.Save(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointSaveDelta measures one delta save.
+func BenchmarkCheckpointSaveDelta(b *testing.B) {
+	dir := b.TempDir()
+	mgr, err := core.NewManager(core.Options{Dir: dir, Strategy: core.StrategyDelta, AnchorEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	st := benchState(2048)
+	if _, err := mgr.Save(st); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step = uint64(i)
+		st.Params[i%len(st.Params)] += 1e-9
+		if _, err := mgr.Save(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures LoadLatest over a directory with a delta
+// chain.
+func BenchmarkRecovery(b *testing.B) {
+	dir := b.TempDir()
+	mgr, err := core.NewManager(core.Options{Dir: dir, Strategy: core.StrategyDelta, AnchorEvery: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := benchState(2048)
+	for i := 0; i < 20; i++ {
+		st.Step = uint64(i)
+		st.Params[i%len(st.Params)] += 1e-9
+		if _, err := mgr.Save(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mgr.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.LoadLatest(dir, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodePayload measures the canonical serialization alone.
+func BenchmarkEncodePayload(b *testing.B) {
+	st := benchState(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EncodePayload(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchState builds a TrainingState with p parameters and Adam-sized
+// optimizer state.
+func benchState(p int) *core.TrainingState {
+	st := core.NewTrainingState()
+	st.Params = make([]float64, p)
+	for i := range st.Params {
+		st.Params[i] = float64(i) * 0.137
+	}
+	st.Optimizer = make([]byte, 16*p+64)
+	st.RNG = make([]byte, 200)
+	st.LossHistory = make([]float64, 100)
+	st.Meta = core.Meta{FormatVersion: core.FormatVersion, CircuitFP: "bench", ProblemFP: "bench", OptimizerName: "adam"}
+	return st
+}
+
+// BenchmarkAblationAnchorSweep regenerates ablation A1: the anchor-period
+// tradeoff between write volume and recovery latency.
+func BenchmarkAblationAnchorSweep(b *testing.B) {
+	var rows []harness.A1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunA1AnchorSweep(12, []int{1, 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].TotalBytes), "bytes-anchor1")
+	b.ReportMetric(float64(rows[1].TotalBytes), "bytes-anchor12")
+	b.ReportMetric(float64(rows[1].MeanRecovery.Microseconds()), "recovery-chain-µs")
+}
+
+// BenchmarkAblationGrouping regenerates ablation A2: measurement grouping's
+// shot-bill reduction.
+func BenchmarkAblationGrouping(b *testing.B) {
+	var rows []harness.A2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunA2Grouping(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].ShotsPerStep), "shots-termwise")
+	b.ReportMetric(float64(rows[1].ShotsPerStep), "shots-grouped")
+}
+
+// --- Substrate microbenchmarks (simulator and gradient primitives) ---
+
+// BenchmarkApply1Gate16q measures single-qubit gate application on a
+// 16-qubit statevector (the simulator's hot loop).
+func BenchmarkApply1Gate16q(b *testing.B) {
+	s := quantum.New(16)
+	m := quantum.RY(0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply1(&m, i%16)
+	}
+}
+
+// BenchmarkApply2Gate16q measures two-qubit gate application.
+func BenchmarkApply2Gate16q(b *testing.B) {
+	s := quantum.New(16)
+	m := quantum.RZZ(0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply2(&m, i%15, (i%15)+1)
+	}
+}
+
+// BenchmarkSample1kShots12q measures measurement sampling.
+func BenchmarkSample1kShots12q(b *testing.B) {
+	s := quantum.New(12)
+	h := quantum.GateH
+	for q := 0; q < 12; q++ {
+		s.Apply1(&h, q)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleShots(r, 1000)
+	}
+}
+
+// BenchmarkParameterShiftStep measures one full exact-gradient optimizer
+// step of the n=4 L=2 VQE workload (the unit of Figure 3's denominators).
+func BenchmarkParameterShiftStep(b *testing.B) {
+	c := circuit.HardwareEfficient(4, 2)
+	h := observable.TFIM(4, 1.0, 0.7)
+	theta := c.InitParams(rng.New(2))
+	eval := grad.EvaluatorFunc(func(th []float64, sh circuit.Shift) (float64, error) {
+		s := quantum.New(4)
+		c.Run(s, th, sh)
+		return h.Expectation(s), nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := grad.NewAccumulator(len(grad.Plan(c)))
+		if err := grad.ParameterShift(c, theta, eval, acc, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := acc.Gradient(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDQNNFeedForward measures one dissipative feed-forward through a
+// 1-2-1 network (density-matrix path).
+func BenchmarkDQNNFeedForward(b *testing.B) {
+	net, err := dqnn.New([]int{1, 2, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	theta := net.InitParams(rng.New(3))
+	in := quantum.RandomState(1, rng.New(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.FeedForwardPure(in, theta, -1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §5). Each experiment prints an aligned text table;
+// EXPERIMENTS.md records the expected shapes.
+//
+// Usage:
+//
+//	experiments                 # run everything at default scale
+//	experiments -run F4         # run one experiment (T1, T2, F1..F6)
+//	experiments -quick          # reduced scale for smoke runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "experiment to run: all, T1, T2, F1..F6, A1, A2")
+	quick := flag.Bool("quick", false, "reduced scale (CI-friendly)")
+	flag.Parse()
+
+	which := strings.ToUpper(*runFlag)
+	run := func(id string) bool { return which == "ALL" || which == id }
+	start := time.Now()
+	ranAny := false
+
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+		os.Exit(1)
+	}
+
+	if run("T1") {
+		ranAny = true
+		// The n=16 row already makes the exponential-statevector point;
+		// training a 2^20-amplitude simulator for the table would take tens
+		// of minutes for no additional information.
+		shapes := [][2]int{{4, 2}, {8, 2}, {8, 4}, {12, 4}, {16, 4}}
+		if *quick {
+			shapes = [][2]int{{4, 2}, {8, 2}, {12, 4}}
+		}
+		rows, err := harness.RunT1Inventory(shapes)
+		if err != nil {
+			fail("T1", err)
+		}
+		fmt.Println(harness.T1Table(rows))
+	}
+
+	if run("T2") {
+		ranAny = true
+		steps := 50
+		if *quick {
+			steps = 12
+		}
+		rows, err := harness.RunT2Strategies(steps)
+		if err != nil {
+			fail("T2", err)
+		}
+		fmt.Println(harness.T2Table(rows))
+	}
+
+	if run("F1") {
+		ranAny = true
+		job := 12 * time.Hour
+		mtbfs := []time.Duration{
+			200 * time.Hour, 100 * time.Hour, 48 * time.Hour, 24 * time.Hour,
+			12 * time.Hour, 6 * time.Hour, 3 * time.Hour,
+		}
+		trials := 2000
+		if *quick {
+			trials = 200
+			mtbfs = mtbfs[2:]
+		}
+		rows, err := harness.RunF1WastedWork(job, mtbfs, 5*time.Second, time.Minute, trials)
+		if err != nil {
+			fail("F1", err)
+		}
+		fmt.Println(harness.F1Table(rows))
+	}
+
+	if run("F2") {
+		ranAny = true
+		shapes := [][2]int{{3, 1}, {4, 2}, {6, 2}, {8, 3}, {10, 4}, {12, 6}, {14, 8}}
+		if *quick {
+			shapes = [][2]int{{3, 1}, {6, 2}, {8, 3}}
+		}
+		rows, err := harness.RunF2Size(shapes)
+		if err != nil {
+			fail("F2", err)
+		}
+		fmt.Println(harness.F2Table(rows))
+	}
+
+	if run("F3") {
+		ranAny = true
+		steps, intervals := 20, []int{1, 2, 5, 10}
+		if *quick {
+			steps, intervals = 6, []int{1, 3}
+		}
+		rows, err := harness.RunF3Overhead(steps, intervals)
+		if err != nil {
+			fail("F3", err)
+		}
+		fmt.Println(harness.F3Table(rows))
+	}
+
+	if run("F4") {
+		ranAny = true
+		steps := 10
+		mtbfs := []time.Duration{4 * time.Hour, time.Hour, 15 * time.Minute, 4 * time.Minute, 2 * time.Minute}
+		if *quick {
+			steps = 6
+			mtbfs = []time.Duration{2 * time.Hour, 2 * time.Minute}
+		}
+		rows, err := harness.RunF4Goodput(steps, mtbfs)
+		if err != nil {
+			fail("F4", err)
+		}
+		fmt.Println(harness.F4Table(rows))
+	}
+
+	if run("F5") {
+		ranAny = true
+		steps, every := 60, 2
+		if *quick {
+			steps, every = 20, 2
+		}
+		rows, err := harness.RunF5Compression(steps, every)
+		if err != nil {
+			fail("F5", err)
+		}
+		fmt.Println(harness.F5Table(rows))
+	}
+
+	if run("F6") {
+		ranAny = true
+		steps := 30
+		if *quick {
+			steps = 16
+		}
+		rows, err := harness.RunF6Divergence(steps)
+		if err != nil {
+			fail("F6", err)
+		}
+		fmt.Println(harness.F6Table(rows))
+	}
+
+	if run("A1") {
+		ranAny = true
+		steps, anchors := 30, []int{1, 4, 8, 16, 30}
+		if *quick {
+			steps, anchors = 12, []int{1, 4, 12}
+		}
+		rows, err := harness.RunA1AnchorSweep(steps, anchors)
+		if err != nil {
+			fail("A1", err)
+		}
+		fmt.Println(harness.A1Table(rows))
+	}
+
+	if run("A2") {
+		ranAny = true
+		steps := 12
+		if *quick {
+			steps = 5
+		}
+		rows, err := harness.RunA2Grouping(steps)
+		if err != nil {
+			fail("A2", err)
+		}
+		fmt.Println(harness.A2Table(rows))
+	}
+
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, T1, T2, F1..F6, A1, A2)\n", *runFlag)
+		os.Exit(2)
+	}
+	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,221 @@
+// Command qckpt inspects checkpoint directories and files produced by the
+// checkpoint engine (internal/core).
+//
+// Usage:
+//
+//	qckpt ls <dir>              list snapshots (newest first)
+//	qckpt verify <dir>          verify every snapshot including delta chains
+//	qckpt show <file>           print one snapshot's header and state summary
+//	qckpt latest <dir>          print the state the recovery path would restore
+//	qckpt compact <dir>         rewrite the newest state as one full snapshot
+//	                            and delete the rest
+//	qckpt diff <fileA> <fileB>  compare two full snapshots' states
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, arg := os.Args[1], os.Args[2]
+	var err error
+	switch cmd {
+	case "ls":
+		err = cmdLs(arg)
+	case "verify":
+		err = cmdVerify(arg)
+	case "show":
+		err = cmdShow(arg)
+	case "latest":
+		err = cmdLatest(arg)
+	case "compact":
+		err = cmdCompact(arg)
+	case "diff":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		err = cmdDiff(arg, os.Args[3])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qckpt %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qckpt {ls|verify|latest|compact} <dir> | qckpt show <file> | qckpt diff <a> <b>")
+	os.Exit(2)
+}
+
+func cmdLs(dir string) error {
+	headers, skipped, err := core.ListSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-8s %-6s %-16s %-16s\n", "SEQ", "STEP", "KIND", "PAYLOAD-HASH", "BASE-HASH")
+	for _, h := range headers {
+		base := "-"
+		if h.Kind == core.KindDelta {
+			base = fmt.Sprintf("%x", h.BaseHash[:8])
+		}
+		fmt.Printf("%-8d %-8d %-6s %-16x %-16s\n", h.Seq, h.Step, h.Kind, h.PayloadHash[:8], base)
+	}
+	for _, s := range skipped {
+		fmt.Printf("unparseable: %s\n", s)
+	}
+	return nil
+}
+
+func cmdVerify(dir string) error {
+	ok, problems, err := core.VerifyDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d snapshot(s) verified\n", ok)
+	for _, p := range problems {
+		fmt.Printf("BROKEN: %s\n", p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d broken snapshot(s)", len(problems))
+	}
+	return nil
+}
+
+func cmdShow(path string) error {
+	h, err := core.VerifyFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kind:    %s\nseq:     %d\nstep:    %d\n", h.Kind, h.Seq, h.Step)
+	fmt.Printf("payload: %x\n", h.PayloadHash[:16])
+	if h.Kind == core.KindDelta {
+		fmt.Printf("base:    %x\n", h.BaseHash[:16])
+		fmt.Println("(delta snapshot: run `qckpt latest <dir>` to resolve its chain)")
+		return nil
+	}
+	_, body, err := core.ReadSnapshotFile(path)
+	if err != nil {
+		return err
+	}
+	st, err := core.DecodePayload(body)
+	if err != nil {
+		return err
+	}
+	printState(st)
+	return nil
+}
+
+func cmdLatest(dir string) error {
+	st, report, err := core.LoadLatest(dir, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored: %s (seq %d, chain length %d)\n", report.Path, report.Seq, report.ChainLen)
+	for _, s := range report.Skipped {
+		fmt.Printf("skipped:  %s\n", s)
+	}
+	printState(st)
+	return nil
+}
+
+func cmdCompact(dir string) error {
+	path, removed, err := core.Compact(dir, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted to %s (%d old files removed)\n", path, removed)
+	return nil
+}
+
+// loadStateFromFile resolves a snapshot file to its TrainingState. Delta
+// snapshots are resolved through their directory's chain.
+func loadStateFromFile(path string) (*core.TrainingState, error) {
+	h, body, err := core.ReadSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind == core.KindFull {
+		return core.DecodePayload(body)
+	}
+	return nil, fmt.Errorf("%s is a delta snapshot; diff full snapshots or run compact first", path)
+}
+
+func cmdDiff(pathA, pathB string) error {
+	a, err := loadStateFromFile(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := loadStateFromFile(pathB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("step:  %d -> %d\n", a.Step, b.Step)
+	fmt.Printf("epoch: %d -> %d\n", a.Epoch, b.Epoch)
+	if len(a.Params) != len(b.Params) {
+		fmt.Printf("params: LENGTH CHANGED %d -> %d\n", len(a.Params), len(b.Params))
+	} else {
+		changed, maxAbs := 0, 0.0
+		for i := range a.Params {
+			if a.Params[i] != b.Params[i] {
+				changed++
+				if d := math.Abs(a.Params[i] - b.Params[i]); d > maxAbs {
+					maxAbs = d
+				}
+			}
+		}
+		fmt.Printf("params: %d/%d changed, max |Δ| = %.6g\n", changed, len(a.Params), maxAbs)
+	}
+	fmt.Printf("optimizer blob: %d -> %d bytes (%s)\n", len(a.Optimizer), len(b.Optimizer), sameOrDiff(a.Optimizer, b.Optimizer))
+	fmt.Printf("rng blob:       %s\n", sameOrDiff(a.RNG, b.RNG))
+	fmt.Printf("grad accum:     %d -> %d bytes\n", len(a.GradAccum), len(b.GradAccum))
+	fmt.Printf("loss history:   %d -> %d entries\n", len(a.LossHistory), len(b.LossHistory))
+	fmt.Printf("qpu clock:      %v -> %v\n",
+		time.Duration(a.Counters.QPUClockNS), time.Duration(b.Counters.QPUClockNS))
+	fmt.Printf("total shots:    %d -> %d\n", a.Counters.TotalShots, b.Counters.TotalShots)
+	if a.Meta != b.Meta {
+		fmt.Println("metadata:       DIFFERS (snapshots from different runs?)")
+	} else {
+		fmt.Println("metadata:       identical")
+	}
+	return nil
+}
+
+func sameOrDiff(a, b []byte) string {
+	if string(a) == string(b) {
+		return "identical"
+	}
+	return "differs"
+}
+
+func printState(st *core.TrainingState) {
+	br := st.Breakdown()
+	fmt.Printf("step:         %d (epoch %d)\n", st.Step, st.Epoch)
+	fmt.Printf("params:       %d (%d B)\n", len(st.Params), br.Params)
+	fmt.Printf("optimizer:    %s (%d B)\n", st.Meta.OptimizerName, br.Optimizer)
+	fmt.Printf("rng:          %d B\n", br.RNG)
+	if len(st.GradAccum) > 0 {
+		fmt.Printf("grad-accum:   %d B (mid-step snapshot)\n", br.GradAccum)
+	}
+	fmt.Printf("loss history: %d entries", len(st.LossHistory))
+	if len(st.LossHistory) > 0 {
+		fmt.Printf(", last %.6g", st.LossHistory[len(st.LossHistory)-1])
+	}
+	fmt.Println()
+	fmt.Printf("best loss:    %.6g\n", st.BestLoss)
+	fmt.Printf("qpu clock:    %v\n", time.Duration(st.Counters.QPUClockNS))
+	fmt.Printf("total shots:  %d (wasted %d, jobs %d, preemptions %d)\n",
+		st.Counters.TotalShots, st.Counters.WastedShots, st.Counters.Jobs, st.Counters.Preemptions)
+	fmt.Printf("circuit fp:   %.16s…\n", st.Meta.CircuitFP)
+	fmt.Printf("problem fp:   %.40s…\n", st.Meta.ProblemFP)
+	fmt.Printf("hyperparams:  %s\n", st.Meta.Extra)
+}

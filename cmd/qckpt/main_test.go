@@ -1,0 +1,100 @@
+package main
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// populate writes a few snapshots and returns the paths.
+func populate(t *testing.T, dir string, strategy core.Strategy) []string {
+	t.Helper()
+	m, err := core.NewManager(core.Options{Dir: dir, Strategy: strategy, AnchorEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var paths []string
+	st := core.NewTrainingState()
+	st.Params = []float64{1, 2, 3}
+	st.Meta = core.Meta{FormatVersion: core.FormatVersion, CircuitFP: "c", ProblemFP: "p", OptimizerName: "adam"}
+	st.BestLoss = math.Inf(1)
+	for i := 0; i < 4; i++ {
+		st = st.Clone()
+		st.Step = uint64(i)
+		st.Params[0] += 0.25
+		st.LossHistory = append(st.LossHistory, 1/float64(i+1))
+		res, err := m.Save(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, res.Path)
+	}
+	return paths
+}
+
+func TestCmdLsVerifyLatest(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir, core.StrategyDelta)
+	if err := cmdLs(dir); err != nil {
+		t.Errorf("ls: %v", err)
+	}
+	if err := cmdVerify(dir); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if err := cmdLatest(dir); err != nil {
+		t.Errorf("latest: %v", err)
+	}
+}
+
+func TestCmdShowFullAndDelta(t *testing.T) {
+	dir := t.TempDir()
+	paths := populate(t, dir, core.StrategyDelta)
+	// paths[0] is the full anchor, paths[1] a delta.
+	if err := cmdShow(paths[0]); err != nil {
+		t.Errorf("show full: %v", err)
+	}
+	if err := cmdShow(paths[1]); err != nil {
+		t.Errorf("show delta: %v", err)
+	}
+}
+
+func TestCmdCompactAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	paths := populate(t, dir, core.StrategyFull)
+	if err := cmdDiff(paths[0], paths[3]); err != nil {
+		t.Errorf("diff: %v", err)
+	}
+	if err := cmdCompact(dir); err != nil {
+		t.Errorf("compact: %v", err)
+	}
+	// After compaction exactly one snapshot remains and still verifies.
+	if err := cmdVerify(dir); err != nil {
+		t.Errorf("verify after compact: %v", err)
+	}
+}
+
+func TestCmdDiffRejectsDelta(t *testing.T) {
+	dir := t.TempDir()
+	paths := populate(t, dir, core.StrategyDelta)
+	if err := cmdDiff(paths[1], paths[2]); err == nil {
+		t.Errorf("diff of delta snapshots accepted")
+	}
+}
+
+func TestCmdErrorsOnMissing(t *testing.T) {
+	if err := cmdLs(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Errorf("ls of missing dir succeeded")
+	}
+	if err := cmdShow(filepath.Join(t.TempDir(), "nope.qckpt")); err == nil {
+		t.Errorf("show of missing file succeeded")
+	}
+	if err := cmdLatest(t.TempDir()); err == nil {
+		t.Errorf("latest on empty dir succeeded")
+	}
+	if err := cmdCompact(t.TempDir()); err == nil {
+		t.Errorf("compact on empty dir succeeded")
+	}
+}

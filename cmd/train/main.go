@@ -1,0 +1,194 @@
+// Command train runs (and resumes) hybrid quantum-classical training jobs
+// from the command line, with checkpointing and optional failure injection.
+//
+// Examples:
+//
+//	train -task vqe -qubits 4 -layers 2 -steps 50 -ckpt /tmp/run1
+//	train -task vqe -qubits 4 -layers 2 -steps 100 -ckpt /tmp/run1 -resume
+//	train -task unitary -qubits 2 -layers 3 -pairs 12 -batch 4 -steps 60
+//	train -task maxcut -qubits 6 -p 2 -steps 40 -mtbf 5m -ckpt /tmp/run2
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/failure"
+	"repro/internal/observable"
+	"repro/internal/qpu"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		taskName = flag.String("task", "vqe", "training task: vqe, maxcut, unitary, classify")
+		qubits   = flag.Int("qubits", 4, "qubit count")
+		layers   = flag.Int("layers", 2, "ansatz layers (vqe/unitary/classify)")
+		qaoaP    = flag.Int("p", 2, "QAOA depth (maxcut)")
+		steps    = flag.Int("steps", 50, "optimizer steps to reach")
+		shots    = flag.Int("shots", 128, "shots per evaluation batch")
+		lr       = flag.Float64("lr", 0.1, "learning rate")
+		optName  = flag.String("optimizer", "adam", "optimizer: sgd, momentum, adagrad, rmsprop, adam")
+		seed     = flag.Uint64("seed", 1, "master RNG seed")
+		pairs    = flag.Int("pairs", 12, "dataset size (unitary/classify)")
+		batch    = flag.Int("batch", 4, "minibatch size (unitary/classify)")
+		ckptDir  = flag.String("ckpt", "", "checkpoint directory (empty disables checkpointing)")
+		resume   = flag.Bool("resume", false, "resume from the newest checkpoint in -ckpt")
+		interval = flag.Int("interval", 1, "checkpoint every N steps (0 disables the step trigger)")
+		units    = flag.Int("units", 0, "checkpoint every N gradient work units (sub-step; 0 disables)")
+		grouped  = flag.Bool("grouped", false, "use measurement grouping (vqe/maxcut)")
+		mtbf     = flag.Duration("mtbf", 0, "inject Poisson session failures with this MTBF (0 disables)")
+		realQPU  = flag.Bool("qpu-latency", false, "model realistic QPU latencies (default: latency-free)")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*taskName, *qubits, *layers, *qaoaP, *shots, *lr, *optName, *seed, *pairs, *batch, *grouped, *realQPU)
+	if err != nil {
+		fatal(err)
+	}
+	if *mtbf > 0 {
+		horizon := time.Duration(*steps) * time.Hour
+		sched, err := failure.NewPoisson(*mtbf, horizon, rng.New(*seed+1))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Failures = sched
+	}
+
+	var mgr *core.Manager
+	if *ckptDir != "" {
+		mgr, err = core.NewManager(core.Options{
+			Dir: *ckptDir, Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer mgr.Close()
+		cfg.Manager = mgr
+		cfg.Policy = core.Policy{EverySteps: *interval, EveryUnits: *units}
+	}
+
+	var tr *train.Trainer
+	if *resume {
+		if *ckptDir == "" {
+			fatal(errors.New("-resume requires -ckpt"))
+		}
+		var report core.LoadReport
+		tr, report, err = train.ResumeLatest(cfg, *ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed %s at step %d (chain length %d)\n", report.Path, tr.Step(), report.ChainLen)
+	} else {
+		tr, err = train.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("task=%s circuit=%s optimizer=%s shots=%d seed=%d\n",
+		cfg.Task.Name(), cfg.Circuit, cfg.OptimizerName, cfg.Shots, cfg.Seed)
+	start := time.Now()
+	for int(tr.Step()) < *steps {
+		if err := tr.RunStep(); err != nil {
+			if errors.Is(err, qpu.ErrPreempted) {
+				fmt.Printf("step %d: session preempted at QPU t=%v; retrying\n",
+					tr.Step(), tr.Backend().Clock().Round(time.Second))
+				continue
+			}
+			fatal(err)
+		}
+		if tr.Step()%5 == 0 || int(tr.Step()) == *steps {
+			fmt.Printf("step %4d  loss %10.6f  qpu %v  shots %d\n",
+				tr.Step(), tr.LossHistory()[tr.Step()-1],
+				tr.Backend().Clock().Round(time.Second), tr.Backend().TotalShots())
+		}
+	}
+	fmt.Printf("done: best loss %.6f, wall %v, %d checkpoints written\n",
+		tr.BestLoss(), time.Since(start).Round(time.Millisecond), tr.Checkpoints())
+}
+
+func buildConfig(taskName string, qubits, layers, qaoaP, shots int, lr float64, optName string, seed uint64, pairs, batch int, grouped, realQPU bool) (train.Config, error) {
+	cfg := train.Config{
+		OptimizerName: optName,
+		LearningRate:  lr,
+		Shots:         shots,
+		Seed:          seed,
+	}
+	if realQPU {
+		cfg.QPU = qpu.DefaultConfig()
+	}
+	switch taskName {
+	case "vqe":
+		h := observable.TFIM(qubits, 1.0, 0.7)
+		var task train.Task
+		var err error
+		if grouped {
+			task, err = train.NewGroupedVQETask(h)
+		} else {
+			task, err = train.NewVQETask(h)
+		}
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Task = task
+		cfg.Circuit = circuit.HardwareEfficient(qubits, layers)
+	case "maxcut":
+		h := observable.MaxCut(qubits, observable.RingEdges(qubits))
+		var task train.Task
+		var err error
+		if grouped {
+			task, err = train.NewGroupedVQETask(h)
+		} else {
+			task, err = train.NewVQETask(h)
+		}
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Task = task
+		qc, err := circuit.QAOA(h, qaoaP)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Circuit = qc
+	case "unitary":
+		d, err := dataset.NewUnitaryLearning(qubits, pairs, rng.New(seed+100))
+		if err != nil {
+			return cfg, err
+		}
+		task, err := train.NewStateLearningTask(d)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Task = task
+		cfg.Circuit = circuit.HardwareEfficient(qubits, layers)
+		cfg.BatchSize = batch
+	case "classify":
+		d, err := dataset.NewBlobs(qubits, pairs, 2.0, rng.New(seed+200))
+		if err != nil {
+			return cfg, err
+		}
+		task, err := train.NewClassificationTask(d, 0)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Task = task
+		cfg.Circuit = circuit.HardwareEfficient(qubits, layers)
+		cfg.BatchSize = batch
+	default:
+		return cfg, fmt.Errorf("unknown task %q", taskName)
+	}
+	return cfg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "train: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/observable"
+	"repro/internal/rng"
+)
+
+// HardwareEfficient builds the standard hardware-efficient ansatz: `layers`
+// repetitions of (RY, RZ on every qubit followed by a linear CNOT ladder),
+// closed by a final RY rotation layer. Every rotation has its own parameter:
+//
+//	P = 2·n·layers + n.
+//
+// This is the workhorse ansatz of the checkpoint-size and training
+// experiments because its parameter count is tunable independently of qubit
+// count.
+func HardwareEfficient(n, layers int) *Circuit {
+	if n < 1 || layers < 0 {
+		panic(fmt.Sprintf("circuit: invalid hardware-efficient shape n=%d layers=%d", n, layers))
+	}
+	c := &Circuit{
+		Qubits: n,
+		Name:   fmt.Sprintf("hwe-n%d-l%d", n, layers),
+	}
+	p := 0
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.Ops = append(c.Ops, Op{Kind: KindRY, Q0: q, ParamIdx: p})
+			p++
+			c.Ops = append(c.Ops, Op{Kind: KindRZ, Q0: q, ParamIdx: p})
+			p++
+		}
+		for q := 0; q+1 < n; q++ {
+			c.Ops = append(c.Ops, Op{Kind: KindCNOT, Q0: q, Q1: q + 1, ParamIdx: NoParam})
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Ops = append(c.Ops, Op{Kind: KindRY, Q0: q, ParamIdx: p})
+		p++
+	}
+	c.NumParams = p
+	return c
+}
+
+// Brick builds a brickwork entangler ansatz: alternating layers of RZZ
+// entanglers on even/odd bonds interleaved with per-qubit RX rotations.
+// Every gate has its own parameter.
+func Brick(n, layers int) *Circuit {
+	if n < 2 || layers < 1 {
+		panic(fmt.Sprintf("circuit: invalid brick shape n=%d layers=%d", n, layers))
+	}
+	c := &Circuit{
+		Qubits: n,
+		Name:   fmt.Sprintf("brick-n%d-l%d", n, layers),
+	}
+	p := 0
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.Ops = append(c.Ops, Op{Kind: KindRX, Q0: q, ParamIdx: p})
+			p++
+		}
+		start := l % 2
+		for q := start; q+1 < n; q += 2 {
+			c.Ops = append(c.Ops, Op{Kind: KindRZZ, Q0: q, Q1: q + 1, ParamIdx: p})
+			p++
+		}
+	}
+	c.NumParams = p
+	return c
+}
+
+// QAOA builds the quantum approximate optimisation ansatz of depth p for a
+// cost Hamiltonian whose non-identity terms must all be ZZ or Z strings:
+// an initial Hadamard wall, then p rounds of (cost layer: one RZZ/RZ per
+// term, all sharing the round's γ parameter) and (mixer layer: RX on every
+// qubit sharing the round's β parameter).
+//
+//	P = 2·p   (parameters are shared across gate occurrences)
+//
+// Parameter sharing is deliberate: it exercises the gradient engine's
+// per-occurrence shift handling and yields many work units per parameter.
+func QAOA(h observable.Hamiltonian, p int) (*Circuit, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("circuit: QAOA depth %d", p)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Circuit{
+		Qubits:    h.Qubits,
+		NumParams: 2 * p,
+		Name:      fmt.Sprintf("qaoa-n%d-p%d", h.Qubits, p),
+	}
+	for q := 0; q < h.Qubits; q++ {
+		c.Ops = append(c.Ops, Op{Kind: KindH, Q0: q, ParamIdx: NoParam})
+	}
+	for round := 0; round < p; round++ {
+		gamma := 2 * round // parameter index for this round's cost angle
+		beta := 2*round + 1
+		for _, t := range h.Terms {
+			switch t.P.Weight() {
+			case 0:
+				continue // constant term contributes only a global phase
+			case 1:
+				for q, op := range t.P.Ops {
+					if op != observable.Z {
+						return nil, fmt.Errorf("circuit: QAOA needs a diagonal cost Hamiltonian, found %s", t.P)
+					}
+					c.Ops = append(c.Ops, Op{Kind: KindRZ, Q0: q, ParamIdx: gamma})
+				}
+			case 2:
+				qs := make([]int, 0, 2)
+				for q, op := range t.P.Ops {
+					if op != observable.Z {
+						return nil, fmt.Errorf("circuit: QAOA needs a diagonal cost Hamiltonian, found %s", t.P)
+					}
+					qs = append(qs, q)
+				}
+				// Map iteration order is random; sort so the circuit (and
+				// its fingerprint) is identical across processes.
+				sort.Ints(qs)
+				c.Ops = append(c.Ops, Op{Kind: KindRZZ, Q0: qs[0], Q1: qs[1], ParamIdx: gamma})
+			default:
+				return nil, fmt.Errorf("circuit: QAOA supports weight ≤ 2 terms, found %s", t.P)
+			}
+		}
+		for q := 0; q < h.Qubits; q++ {
+			c.Ops = append(c.Ops, Op{Kind: KindRX, Q0: q, ParamIdx: beta})
+		}
+	}
+	return c, nil
+}
+
+// AngleEncoder builds a data-encoding prefix circuit that loads a classical
+// feature vector into rotation angles: RY(x_i) on qubit i mod n, cycling if
+// there are more features than qubits, with CNOT entanglement between
+// cycles. The returned circuit has no free parameters (all angles fixed),
+// so it composes with a trainable ansatz via Concat.
+func AngleEncoder(n int, features []float64) *Circuit {
+	c := &Circuit{Qubits: n, Name: fmt.Sprintf("enc-n%d-f%d", n, len(features))}
+	for i, x := range features {
+		q := i % n
+		if i > 0 && q == 0 {
+			for k := 0; k+1 < n; k++ {
+				c.Ops = append(c.Ops, Op{Kind: KindCNOT, Q0: k, Q1: k + 1, ParamIdx: NoParam})
+			}
+		}
+		c.Ops = append(c.Ops, Op{Kind: KindRY, Q0: q, ParamIdx: NoParam, FixedAngle: x})
+	}
+	return c
+}
+
+// Concat returns a new circuit applying a then b on the same register. The
+// parameter spaces are concatenated: b's parameter indices are offset by
+// a.NumParams.
+func Concat(a, b *Circuit) *Circuit {
+	if a.Qubits != b.Qubits {
+		panic(fmt.Sprintf("circuit: concat qubit mismatch %d vs %d", a.Qubits, b.Qubits))
+	}
+	out := &Circuit{
+		Qubits:    a.Qubits,
+		NumParams: a.NumParams + b.NumParams,
+		Name:      a.Name + "+" + b.Name,
+	}
+	out.Ops = append(out.Ops, a.Ops...)
+	for _, op := range b.Ops {
+		if op.ParamIdx != NoParam {
+			op.ParamIdx += a.NumParams
+		}
+		out.Ops = append(out.Ops, op)
+	}
+	return out
+}
+
+// InitParams draws an initial parameter vector for the circuit: uniform in
+// [−π, π), the convention the training experiments use.
+func (c *Circuit) InitParams(r *rng.Stream) []float64 {
+	theta := make([]float64, c.NumParams)
+	for i := range theta {
+		theta[i] = (r.Float64()*2 - 1) * math.Pi
+	}
+	return theta
+}

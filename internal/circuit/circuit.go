@@ -1,0 +1,296 @@
+// Package circuit defines the parameterized quantum circuit intermediate
+// representation shared by the simulator backend, the gradient engine and
+// the checkpoint fingerprinting, plus the standard ansatz constructions the
+// benchmark workloads use (hardware-efficient, brick entangler, QAOA).
+//
+// A Circuit is a flat list of gate operations over a parameter vector θ.
+// Every parameterized gate is a rotation exp(−iθG/2) whose generator G has
+// eigenvalues ±1, so the exact parameter-shift rule with shift ±π/2 applies
+// per gate occurrence. Parameters may be shared between occurrences (QAOA);
+// the gradient engine handles sharing by shifting occurrences individually
+// and summing, which is why Run accepts a per-occurrence shift override.
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/quantum"
+)
+
+// Kind enumerates supported gate kinds.
+type Kind byte
+
+// Gate kinds. Rotation kinds (RX…RYY) consume one angle; fixed kinds
+// consume none.
+const (
+	KindH Kind = iota
+	KindX
+	KindY
+	KindZ
+	KindS
+	KindSdg
+	KindT
+	KindSX
+	KindCNOT
+	KindCZ
+	KindSWAP
+	KindRX
+	KindRY
+	KindRZ
+	KindRXX
+	KindRYY
+	KindRZZ
+	kindCount
+)
+
+var kindNames = [...]string{
+	"H", "X", "Y", "Z", "S", "Sdg", "T", "SX",
+	"CNOT", "CZ", "SWAP", "RX", "RY", "RZ", "RXX", "RYY", "RZZ",
+}
+
+// String returns the gate mnemonic.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", byte(k))
+}
+
+// IsRotation reports whether the kind consumes an angle.
+func (k Kind) IsRotation() bool { return k >= KindRX }
+
+// IsTwoQubit reports whether the kind acts on two qubits.
+func (k Kind) IsTwoQubit() bool {
+	switch k {
+	case KindCNOT, KindCZ, KindSWAP, KindRXX, KindRYY, KindRZZ:
+		return true
+	}
+	return false
+}
+
+// NoParam marks an op whose angle is fixed rather than taken from θ.
+const NoParam = -1
+
+// Op is one gate application. For rotation kinds, the angle is
+// θ[ParamIdx] (+ any per-occurrence shift) when ParamIdx >= 0, else
+// FixedAngle. Q1 is ignored for single-qubit kinds.
+type Op struct {
+	Kind       Kind
+	Q0, Q1     int
+	ParamIdx   int
+	FixedAngle float64
+}
+
+// Circuit is a parameterized circuit over a fixed qubit count and parameter
+// vector length.
+type Circuit struct {
+	Qubits    int
+	NumParams int
+	Ops       []Op
+	Name      string // human label used in fingerprints and logs
+}
+
+// Validate checks structural invariants: qubit indices in range, parameter
+// indices in range, rotations where angles are expected.
+func (c *Circuit) Validate() error {
+	if c.Qubits < 1 {
+		return fmt.Errorf("circuit: qubit count %d", c.Qubits)
+	}
+	if c.NumParams < 0 {
+		return fmt.Errorf("circuit: negative parameter count")
+	}
+	used := make([]bool, c.NumParams)
+	for i, op := range c.Ops {
+		if op.Q0 < 0 || op.Q0 >= c.Qubits {
+			return fmt.Errorf("circuit: op %d qubit %d out of range", i, op.Q0)
+		}
+		if op.Kind.IsTwoQubit() {
+			if op.Q1 < 0 || op.Q1 >= c.Qubits {
+				return fmt.Errorf("circuit: op %d qubit %d out of range", i, op.Q1)
+			}
+			if op.Q1 == op.Q0 {
+				return fmt.Errorf("circuit: op %d uses the same qubit twice", i)
+			}
+		}
+		if op.ParamIdx != NoParam {
+			if !op.Kind.IsRotation() {
+				return fmt.Errorf("circuit: op %d (%s) has a parameter but is not a rotation", i, op.Kind)
+			}
+			if op.ParamIdx < 0 || op.ParamIdx >= c.NumParams {
+				return fmt.Errorf("circuit: op %d parameter index %d out of range [0,%d)", i, op.ParamIdx, c.NumParams)
+			}
+			used[op.ParamIdx] = true
+		}
+	}
+	for p, u := range used {
+		if !u {
+			return fmt.Errorf("circuit: parameter %d is never used", p)
+		}
+	}
+	return nil
+}
+
+// Shift overrides the angle of a single gate occurrence during Run: the op
+// at index OpIndex gets angle+Delta. Used by the per-occurrence
+// parameter-shift rule.
+type Shift struct {
+	OpIndex int
+	Delta   float64
+}
+
+// NoShift is the zero Shift meaning "no override"; distinguished by
+// OpIndex < 0.
+var NoShift = Shift{OpIndex: -1}
+
+// Run applies the circuit to the given state in place with parameters θ and
+// an optional single-occurrence shift.
+func (c *Circuit) Run(s *quantum.State, theta []float64, shift Shift) {
+	if s.Qubits() != c.Qubits {
+		panic(fmt.Sprintf("circuit: state has %d qubits, circuit needs %d", s.Qubits(), c.Qubits))
+	}
+	if len(theta) != c.NumParams {
+		panic(fmt.Sprintf("circuit: got %d parameters, want %d", len(theta), c.NumParams))
+	}
+	for i, op := range c.Ops {
+		angle := op.FixedAngle
+		if op.ParamIdx != NoParam {
+			angle = theta[op.ParamIdx]
+		}
+		if shift.OpIndex == i {
+			angle += shift.Delta
+		}
+		applyOp(s, op, angle)
+	}
+}
+
+// Prepare runs the circuit on a fresh |0…0⟩ state and returns it.
+func (c *Circuit) Prepare(theta []float64) *quantum.State {
+	s := quantum.New(c.Qubits)
+	c.Run(s, theta, NoShift)
+	return s
+}
+
+// PrepareFrom runs the circuit on a clone of the given input state.
+func (c *Circuit) PrepareFrom(input *quantum.State, theta []float64, shift Shift) *quantum.State {
+	s := input.Clone()
+	c.Run(s, theta, shift)
+	return s
+}
+
+func applyOp(s *quantum.State, op Op, angle float64) {
+	switch op.Kind {
+	case KindH:
+		s.Apply1(&quantum.GateH, op.Q0)
+	case KindX:
+		s.ApplyPauliX(op.Q0)
+	case KindY:
+		s.ApplyPauliY(op.Q0)
+	case KindZ:
+		s.ApplyPauliZ(op.Q0)
+	case KindS:
+		s.Apply1(&quantum.GateS, op.Q0)
+	case KindSdg:
+		s.Apply1(&quantum.GateSdg, op.Q0)
+	case KindT:
+		s.Apply1(&quantum.GateT, op.Q0)
+	case KindSX:
+		s.Apply1(&quantum.GateSX, op.Q0)
+	case KindCNOT:
+		s.CNOT(op.Q0, op.Q1)
+	case KindCZ:
+		s.CZ(op.Q0, op.Q1)
+	case KindSWAP:
+		s.SWAP(op.Q0, op.Q1)
+	case KindRX:
+		m := quantum.RX(angle)
+		s.Apply1(&m, op.Q0)
+	case KindRY:
+		m := quantum.RY(angle)
+		s.Apply1(&m, op.Q0)
+	case KindRZ:
+		m := quantum.RZ(angle)
+		s.Apply1(&m, op.Q0)
+	case KindRXX:
+		m := quantum.RXX(angle)
+		s.Apply2(&m, op.Q0, op.Q1)
+	case KindRYY:
+		m := quantum.RYY(angle)
+		s.Apply2(&m, op.Q0, op.Q1)
+	case KindRZZ:
+		m := quantum.RZZ(angle)
+		s.Apply2(&m, op.Q0, op.Q1)
+	default:
+		panic(fmt.Sprintf("circuit: unknown gate kind %d", op.Kind))
+	}
+}
+
+// ParamOccurrences returns, for each parameter index, the op indices that
+// reference it. The gradient engine derives its work-unit list from this.
+func (c *Circuit) ParamOccurrences() [][]int {
+	occ := make([][]int, c.NumParams)
+	for i, op := range c.Ops {
+		if op.ParamIdx != NoParam {
+			occ[op.ParamIdx] = append(occ[op.ParamIdx], i)
+		}
+	}
+	return occ
+}
+
+// NumGates returns the total op count.
+func (c *Circuit) NumGates() int { return len(c.Ops) }
+
+// NumTwoQubitGates counts entangling gates, the dominant noise/latency cost
+// on hardware.
+func (c *Circuit) NumTwoQubitGates() int {
+	n := 0
+	for _, op := range c.Ops {
+		if op.Kind.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns a simple as-late-as-possible depth estimate (each op
+// occupies one time slot on its qubits).
+func (c *Circuit) Depth() int {
+	level := make([]int, c.Qubits)
+	depth := 0
+	for _, op := range c.Ops {
+		l := level[op.Q0]
+		if op.Kind.IsTwoQubit() && level[op.Q1] > l {
+			l = level[op.Q1]
+		}
+		l++
+		level[op.Q0] = l
+		if op.Kind.IsTwoQubit() {
+			level[op.Q1] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// Fingerprint returns a SHA-256 hex digest of the circuit structure (kinds,
+// qubits, parameter wiring, fixed angles, qubit and parameter counts).
+// Checkpoints embed it so a resume against a different ansatz is rejected.
+func (c *Circuit) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name=%s;q=%d;p=%d;", c.Name, c.Qubits, c.NumParams)
+	for _, op := range c.Ops {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%.12g;", op.Kind, op.Q0, op.Q1, op.ParamIdx, op.FixedAngle)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// String renders a short description.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("%s{qubits=%d params=%d gates=%d depth=%d}",
+		c.Name, c.Qubits, c.NumParams, c.NumGates(), c.Depth())
+}

@@ -1,0 +1,377 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/observable"
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+func TestValidateAcceptsGoodCircuit(t *testing.T) {
+	c := HardwareEfficient(3, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadCircuits(t *testing.T) {
+	cases := []*Circuit{
+		{Qubits: 0},
+		{Qubits: 2, Ops: []Op{{Kind: KindH, Q0: 5, ParamIdx: NoParam}}},
+		{Qubits: 2, Ops: []Op{{Kind: KindCNOT, Q0: 0, Q1: 0, ParamIdx: NoParam}}},
+		{Qubits: 2, Ops: []Op{{Kind: KindCNOT, Q0: 0, Q1: 7, ParamIdx: NoParam}}},
+		{Qubits: 2, Ops: []Op{{Kind: KindH, Q0: 0, ParamIdx: 0}}, NumParams: 1},  // param on non-rotation
+		{Qubits: 2, Ops: []Op{{Kind: KindRX, Q0: 0, ParamIdx: 3}}, NumParams: 1}, // out of range
+		{Qubits: 2, Ops: []Op{{Kind: KindRX, Q0: 0, ParamIdx: 0}}, NumParams: 2}, // unused param
+		{Qubits: 2, NumParams: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid circuit accepted", i)
+		}
+	}
+}
+
+func TestHardwareEfficientShape(t *testing.T) {
+	n, layers := 4, 3
+	c := HardwareEfficient(n, layers)
+	wantParams := 2*n*layers + n
+	if c.NumParams != wantParams {
+		t.Errorf("params = %d, want %d", c.NumParams, wantParams)
+	}
+	wantGates := layers*(2*n+n-1) + n
+	if c.NumGates() != wantGates {
+		t.Errorf("gates = %d, want %d", c.NumGates(), wantGates)
+	}
+	if c.NumTwoQubitGates() != layers*(n-1) {
+		t.Errorf("2q gates = %d, want %d", c.NumTwoQubitGates(), layers*(n-1))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrickShape(t *testing.T) {
+	c := Brick(4, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Layer 0: 4 RX + 2 RZZ (bonds 0-1, 2-3); layer 1: 4 RX + 1 RZZ (bond 1-2).
+	if c.NumParams != 4+2+4+1 {
+		t.Errorf("brick params = %d, want 11", c.NumParams)
+	}
+}
+
+func TestInvalidShapesPanic(t *testing.T) {
+	for i, fn := range []func(){
+		func() { HardwareEfficient(0, 1) },
+		func() { HardwareEfficient(2, -1) },
+		func() { Brick(1, 1) },
+		func() { Brick(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRunPreservesNorm(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := HardwareEfficient(3, 2)
+		theta := c.InitParams(r)
+		s := c.Prepare(theta)
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunZeroParamsHWE(t *testing.T) {
+	// With θ=0 all rotations are identity, CNOTs act on |0…0⟩ trivially:
+	// output is |0…0⟩.
+	c := HardwareEfficient(3, 2)
+	theta := make([]float64, c.NumParams)
+	s := c.Prepare(theta)
+	if math.Abs(s.Probability(0)-1) > 1e-9 {
+		t.Errorf("zero-parameter HWE output P(0) = %v", s.Probability(0))
+	}
+}
+
+func TestRunRejectsWrongSizes(t *testing.T) {
+	c := HardwareEfficient(2, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("wrong state size accepted")
+			}
+		}()
+		c.Run(quantum.New(3), make([]float64, c.NumParams), NoShift)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("wrong param count accepted")
+			}
+		}()
+		c.Run(quantum.New(2), make([]float64, 1), NoShift)
+	}()
+}
+
+func TestShiftChangesOnlyThatOccurrence(t *testing.T) {
+	c := HardwareEfficient(2, 1)
+	r := rng.New(1)
+	theta := c.InitParams(r)
+	// Find the op index of parameter 0's occurrence.
+	occ := c.ParamOccurrences()
+	opIdx := occ[0][0]
+
+	// Shifting occurrence by delta must equal shifting the parameter when
+	// the parameter has a single occurrence.
+	shifted := c.Prepare(theta)
+	_ = shifted
+	a := quantum.New(2)
+	c.Run(a, theta, Shift{OpIndex: opIdx, Delta: 0.3})
+	theta2 := append([]float64(nil), theta...)
+	theta2[0] += 0.3
+	b := c.Prepare(theta2)
+	if f := a.Fidelity(b); math.Abs(f-1) > 1e-9 {
+		t.Errorf("occurrence shift != parameter shift: fidelity %v", f)
+	}
+}
+
+func TestParamOccurrences(t *testing.T) {
+	c := HardwareEfficient(2, 1)
+	occ := c.ParamOccurrences()
+	if len(occ) != c.NumParams {
+		t.Fatalf("occurrence list length %d", len(occ))
+	}
+	for p, list := range occ {
+		if len(list) != 1 {
+			t.Errorf("HWE param %d has %d occurrences, want 1", p, len(list))
+		}
+	}
+}
+
+func TestQAOAStructureAndSharing(t *testing.T) {
+	h := observable.MaxCut(4, observable.RingEdges(4))
+	c, err := QAOA(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumParams != 4 {
+		t.Errorf("QAOA p=2 params = %d, want 4", c.NumParams)
+	}
+	occ := c.ParamOccurrences()
+	// γ parameters appear once per ZZ edge (4), β once per qubit (4).
+	if len(occ[0]) != 4 || len(occ[1]) != 4 {
+		t.Errorf("occurrence counts: γ=%d β=%d, want 4 and 4", len(occ[0]), len(occ[1]))
+	}
+}
+
+func TestQAOAUniformSuperpositionAtZero(t *testing.T) {
+	h := observable.MaxCut(3, observable.RingEdges(3))
+	c, err := QAOA(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Prepare(make([]float64, c.NumParams))
+	want := 1.0 / 8
+	for i := 0; i < 8; i++ {
+		if math.Abs(s.Probability(i)-want) > 1e-9 {
+			t.Errorf("P(%d) = %v, want %v", i, s.Probability(i), want)
+		}
+	}
+}
+
+func TestQAOARejectsNonDiagonal(t *testing.T) {
+	h := observable.TFIM(3, 1, 0.5) // has X terms
+	if _, err := QAOA(h, 1); err == nil {
+		t.Errorf("QAOA accepted non-diagonal Hamiltonian")
+	}
+	if _, err := QAOA(observable.MaxCut(3, observable.RingEdges(3)), 0); err == nil {
+		t.Errorf("QAOA accepted depth 0")
+	}
+}
+
+func TestQAOAImprovesOverRandom(t *testing.T) {
+	// Even a single QAOA round at decent angles beats the uniform
+	// superposition for ring MaxCut.
+	h := observable.MaxCut(4, observable.RingEdges(4))
+	c, err := QAOA(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := h.Expectation(c.Prepare(make([]float64, 2)))
+	// Near-optimal angles for this instance found by a dense sweep:
+	// γ≈5.5, β≈0.8 reaches ≈ −3 (uniform superposition gives −2).
+	best := h.Expectation(c.Prepare([]float64{5.5, 0.8}))
+	if best >= uniform-0.5 {
+		t.Errorf("QAOA at good angles found no improvement: %v vs uniform %v", best, uniform)
+	}
+}
+
+func TestAngleEncoder(t *testing.T) {
+	enc := AngleEncoder(2, []float64{math.Pi, 0})
+	if enc.NumParams != 0 {
+		t.Errorf("encoder has %d params", enc.NumParams)
+	}
+	s := enc.Prepare(nil)
+	// RY(π)|0⟩ = |1⟩ on qubit 0 (up to sign), qubit 1 untouched.
+	if math.Abs(s.Probability(0b01)-1) > 1e-9 {
+		t.Errorf("encoder output: %v", s)
+	}
+}
+
+func TestAngleEncoderCycles(t *testing.T) {
+	enc := AngleEncoder(2, []float64{0.1, 0.2, 0.3}) // 3 features on 2 qubits
+	if err := enc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hasCNOT := false
+	for _, op := range enc.Ops {
+		if op.Kind == KindCNOT {
+			hasCNOT = true
+		}
+	}
+	if !hasCNOT {
+		t.Errorf("cycling encoder has no entanglement")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	enc := AngleEncoder(2, []float64{0.5, 0.6})
+	ans := HardwareEfficient(2, 1)
+	c := Concat(enc, ans)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumParams != ans.NumParams {
+		t.Errorf("concat params = %d, want %d", c.NumParams, ans.NumParams)
+	}
+	if c.NumGates() != enc.NumGates()+ans.NumGates() {
+		t.Errorf("concat gates = %d", c.NumGates())
+	}
+	// Running concat equals running enc then ans.
+	r := rng.New(2)
+	theta := ans.InitParams(r)
+	a := c.Prepare(theta)
+	b := quantum.New(2)
+	enc.Run(b, nil, NoShift)
+	ans.Run(b, theta, NoShift)
+	if f := a.Fidelity(b); math.Abs(f-1) > 1e-9 {
+		t.Errorf("concat != sequential: fidelity %v", f)
+	}
+}
+
+func TestConcatQubitMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	Concat(HardwareEfficient(2, 1), HardwareEfficient(3, 1))
+}
+
+func TestDepth(t *testing.T) {
+	c := &Circuit{Qubits: 2, Ops: []Op{
+		{Kind: KindH, Q0: 0, ParamIdx: NoParam},
+		{Kind: KindH, Q0: 1, ParamIdx: NoParam},
+		{Kind: KindCNOT, Q0: 0, Q1: 1, ParamIdx: NoParam},
+	}}
+	if d := c.Depth(); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := HardwareEfficient(3, 2)
+	b := HardwareEfficient(3, 2)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical circuits differ in fingerprint")
+	}
+	c := HardwareEfficient(3, 3)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Errorf("different circuits share a fingerprint")
+	}
+	d := HardwareEfficient(4, 2)
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Errorf("different widths share a fingerprint")
+	}
+}
+
+func TestInitParamsRange(t *testing.T) {
+	c := HardwareEfficient(3, 2)
+	theta := c.InitParams(rng.New(5))
+	if len(theta) != c.NumParams {
+		t.Fatalf("wrong param count")
+	}
+	for i, v := range theta {
+		if v < -math.Pi || v >= math.Pi {
+			t.Errorf("theta[%d] = %v out of [-π, π)", i, v)
+		}
+	}
+}
+
+func TestAllKindsRunnable(t *testing.T) {
+	// One op of every kind on a 2-qubit state; norm must stay 1.
+	for k := Kind(0); k < kindCount; k++ {
+		op := Op{Kind: k, Q0: 0, Q1: 1, ParamIdx: NoParam, FixedAngle: 0.3}
+		c := &Circuit{Qubits: 2, Ops: []Op{op}}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("kind %s: %v", k, err)
+		}
+		s := c.Prepare(nil)
+		if math.Abs(s.Norm()-1) > 1e-9 {
+			t.Errorf("kind %s broke normalization", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindRZZ.String() != "RZZ" || KindH.String() != "H" {
+		t.Errorf("kind names wrong: %s %s", KindRZZ, KindH)
+	}
+	if Kind(200).String() == "" {
+		t.Errorf("unknown kind renders empty")
+	}
+}
+
+func TestCircuitString(t *testing.T) {
+	c := HardwareEfficient(2, 1)
+	if s := c.String(); s == "" {
+		t.Errorf("empty String()")
+	}
+}
+
+func TestQAOAFingerprintCrossProcessStable(t *testing.T) {
+	// QAOA construction must not depend on map iteration order: the same
+	// Hamiltonian yields the identical circuit every time (fingerprints are
+	// embedded in checkpoints and validated at resume).
+	h := observable.MaxCut(6, observable.RingEdges(6))
+	first, err := QAOA(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c, err := QAOA(h, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Fingerprint() != first.Fingerprint() {
+			t.Fatalf("QAOA fingerprint unstable on attempt %d", i)
+		}
+	}
+}

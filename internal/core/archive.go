@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Archive copies every snapshot file in dir into a content-addressed chunk
+// store and writes a manifest mapping file names to chunk addresses.
+// Identical content across archives (shared anchors, repeated snapshots of
+// converged runs) is stored once — the dedup that makes keeping many runs'
+// checkpoint histories cheap.
+//
+// The manifest is written atomically; snapshots carry their own integrity
+// (whole-file SHA-256), and the chunk store re-verifies content addresses
+// on read, so the archive chain is verifiable end to end.
+func Archive(dir string, cs *storage.ChunkStore, manifestPath string) (archived int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("core: archive read dir: %w", err)
+	}
+	type entry struct{ name, addr string }
+	var list []entry
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, _, ok := parseSnapshotName(e.Name()); !ok {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return archived, fmt.Errorf("core: archive read %s: %w", e.Name(), err)
+		}
+		// Refuse to archive corrupt snapshots: the archive is a recovery
+		// artifact and must not launder damage.
+		if _, _, err := DecodeSnapshotFile(data); err != nil {
+			return archived, fmt.Errorf("core: refusing to archive %s: %w", e.Name(), err)
+		}
+		addr, err := cs.Put(data)
+		if err != nil {
+			return archived, err
+		}
+		list = append(list, entry{name: e.Name(), addr: addr})
+		archived++
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	var b strings.Builder
+	b.WriteString("QCKPT-MANIFEST1\n")
+	for _, e := range list {
+		fmt.Fprintf(&b, "%s %s\n", e.addr, e.name)
+	}
+	if err := storage.AtomicWriteFile(manifestPath, []byte(b.String()), 0o644); err != nil {
+		return archived, err
+	}
+	return archived, nil
+}
+
+// Unarchive materializes an archived checkpoint directory from a manifest
+// and chunk store into destDir (created if missing). Restored files are
+// written atomically and re-verified.
+func Unarchive(manifestPath string, cs *storage.ChunkStore, destDir string) (restored int, err error) {
+	f, err := os.Open(manifestPath)
+	if err != nil {
+		return 0, fmt.Errorf("core: open manifest: %w", err)
+	}
+	defer f.Close()
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return 0, fmt.Errorf("core: create dest dir: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != "QCKPT-MANIFEST1" {
+		return 0, fmt.Errorf("core: bad manifest header")
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 2)
+		if len(parts) != 2 {
+			return restored, fmt.Errorf("core: malformed manifest line %q", line)
+		}
+		addr, name := parts[0], parts[1]
+		if _, _, ok := parseSnapshotName(name); !ok {
+			return restored, fmt.Errorf("core: manifest names foreign file %q", name)
+		}
+		data, err := cs.Get(addr)
+		if err != nil {
+			return restored, fmt.Errorf("core: chunk for %s: %w", name, err)
+		}
+		if _, _, err := DecodeSnapshotFile(data); err != nil {
+			return restored, fmt.Errorf("core: archived %s corrupt: %w", name, err)
+		}
+		if err := storage.AtomicWriteFile(filepath.Join(destDir, name), data, 0o644); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	if err := sc.Err(); err != nil {
+		return restored, err
+	}
+	return restored, nil
+}

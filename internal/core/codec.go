@@ -1,0 +1,271 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// The canonical payload encoding is a deterministic sequence of tagged,
+// CRC-protected sections. Determinism matters twice: byte-identical states
+// encode to byte-identical payloads (so delta encoding against the previous
+// payload produces runs of zero bytes that compress away), and payload
+// hashes identify delta-chain bases unambiguously.
+//
+// Section wire format:
+//
+//	tag     uint8
+//	length  uint32 (payload bytes)
+//	payload [length]byte
+//	crc32c  uint32 (over tag, length, payload)
+
+// Section tags, in canonical order. Every tag appears exactly once.
+const (
+	secCounters  = 0x01
+	secParams    = 0x02
+	secOptimizer = 0x03
+	secRNG       = 0x04
+	secGradAccum = 0x05
+	secCursor    = 0x06
+	secLossHist  = 0x07
+	secBest      = 0x08
+	secMeta      = 0x09
+	numSections  = 9
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func appendSection(buf []byte, tag byte, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, tag)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+func appendF64s(buf []byte, vs []float64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// EncodePayload serializes the state into the canonical payload form
+// (uncompressed; compression and framing happen at the snapshot layer).
+func EncodePayload(s *TrainingState) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, s.Breakdown().Total+numSections*9+64)
+
+	// Counters section also carries step/epoch.
+	sec := make([]byte, 0, 8*7)
+	sec = binary.LittleEndian.AppendUint64(sec, s.Step)
+	sec = binary.LittleEndian.AppendUint64(sec, s.Epoch)
+	sec = binary.LittleEndian.AppendUint64(sec, uint64(s.Counters.QPUClockNS))
+	sec = binary.LittleEndian.AppendUint64(sec, s.Counters.TotalShots)
+	sec = binary.LittleEndian.AppendUint64(sec, s.Counters.WastedShots)
+	sec = binary.LittleEndian.AppendUint64(sec, s.Counters.Jobs)
+	sec = binary.LittleEndian.AppendUint64(sec, s.Counters.Preemptions)
+	buf = appendSection(buf, secCounters, sec)
+
+	buf = appendSection(buf, secParams, appendF64s(nil, s.Params))
+	buf = appendSection(buf, secOptimizer, s.Optimizer)
+	buf = appendSection(buf, secRNG, s.RNG)
+
+	sec = make([]byte, 0, 4+4*len(s.DataPerm))
+	sec = binary.LittleEndian.AppendUint32(sec, s.DataPos)
+	for _, v := range s.DataPerm {
+		sec = binary.LittleEndian.AppendUint32(sec, v)
+	}
+	buf = appendSection(buf, secCursor, sec)
+
+	sec = make([]byte, 0, 8+8*len(s.BestParams))
+	sec = binary.LittleEndian.AppendUint64(sec, math.Float64bits(s.BestLoss))
+	sec = appendF64s(sec, s.BestParams)
+	buf = appendSection(buf, secBest, sec)
+
+	sec = make([]byte, 0, 64)
+	sec = binary.LittleEndian.AppendUint32(sec, s.Meta.FormatVersion)
+	sec = appendString(sec, s.Meta.CircuitFP)
+	sec = appendString(sec, s.Meta.ProblemFP)
+	sec = appendString(sec, s.Meta.OptimizerName)
+	sec = appendString(sec, s.Meta.Extra)
+	sec = binary.LittleEndian.AppendUint64(sec, uint64(s.Meta.CreatedUnixNano))
+	buf = appendSection(buf, secMeta, sec)
+
+	// Variable-size sections go last in the canonical order: when the loss
+	// history or the gradient accumulator grows between snapshots, only the
+	// bytes after the growth point lose XOR alignment with the delta base.
+	// Placing them at the tail keeps the fixed-size sections (params,
+	// optimizer moments, RNG) aligned, which is most of the payload.
+	buf = appendSection(buf, secGradAccum, s.GradAccum)
+	buf = appendSection(buf, secLossHist, appendF64s(nil, s.LossHistory))
+
+	return buf, nil
+}
+
+// sectionReader walks the payload verifying per-section CRCs.
+type sectionReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sectionReader) next() (tag byte, payload []byte, err error) {
+	if r.off >= len(r.data) {
+		return 0, nil, errEOF
+	}
+	if len(r.data)-r.off < 9 {
+		return 0, nil, fmt.Errorf("core: truncated section header at offset %d", r.off)
+	}
+	start := r.off
+	tag = r.data[r.off]
+	length := int(binary.LittleEndian.Uint32(r.data[r.off+1:]))
+	bodyEnd := r.off + 5 + length
+	if bodyEnd+4 > len(r.data) {
+		return 0, nil, fmt.Errorf("core: truncated section %#x at offset %d", tag, r.off)
+	}
+	payload = r.data[r.off+5 : bodyEnd]
+	wantCRC := binary.LittleEndian.Uint32(r.data[bodyEnd:])
+	if crc := crc32.Checksum(r.data[start:bodyEnd], castagnoli); crc != wantCRC {
+		return 0, nil, fmt.Errorf("core: section %#x CRC mismatch (corruption)", tag)
+	}
+	r.off = bodyEnd + 4
+	return tag, payload, nil
+}
+
+var errEOF = fmt.Errorf("core: end of payload")
+
+func readF64s(payload []byte) ([]float64, error) {
+	if len(payload)%8 != 0 {
+		return nil, fmt.Errorf("core: float section length %d not a multiple of 8", len(payload))
+	}
+	out := make([]float64, len(payload)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return out, nil
+}
+
+func readString(payload []byte) (string, []byte, error) {
+	if len(payload) < 4 {
+		return "", nil, fmt.Errorf("core: truncated string")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) < 4+n {
+		return "", nil, fmt.Errorf("core: truncated string body")
+	}
+	return string(payload[4 : 4+n]), payload[4+n:], nil
+}
+
+// DecodePayload parses a canonical payload back into a TrainingState. It
+// verifies every section CRC, rejects duplicate or missing sections, and
+// validates the result.
+func DecodePayload(data []byte) (*TrainingState, error) {
+	s := NewTrainingState()
+	seen := make(map[byte]bool, numSections)
+	r := &sectionReader{data: data}
+	for {
+		tag, payload, err := r.next()
+		if err == errEOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if seen[tag] {
+			return nil, fmt.Errorf("core: duplicate section %#x", tag)
+		}
+		seen[tag] = true
+		switch tag {
+		case secCounters:
+			if len(payload) != 8*7 {
+				return nil, fmt.Errorf("core: counters section length %d", len(payload))
+			}
+			s.Step = binary.LittleEndian.Uint64(payload[0:])
+			s.Epoch = binary.LittleEndian.Uint64(payload[8:])
+			s.Counters.QPUClockNS = int64(binary.LittleEndian.Uint64(payload[16:]))
+			s.Counters.TotalShots = binary.LittleEndian.Uint64(payload[24:])
+			s.Counters.WastedShots = binary.LittleEndian.Uint64(payload[32:])
+			s.Counters.Jobs = binary.LittleEndian.Uint64(payload[40:])
+			s.Counters.Preemptions = binary.LittleEndian.Uint64(payload[48:])
+		case secParams:
+			vs, err := readF64s(payload)
+			if err != nil {
+				return nil, err
+			}
+			s.Params = vs
+		case secOptimizer:
+			s.Optimizer = append([]byte{}, payload...)
+		case secRNG:
+			s.RNG = append([]byte{}, payload...)
+		case secGradAccum:
+			s.GradAccum = append([]byte{}, payload...)
+		case secCursor:
+			if len(payload) < 4 || (len(payload)-4)%4 != 0 {
+				return nil, fmt.Errorf("core: cursor section length %d", len(payload))
+			}
+			s.DataPos = binary.LittleEndian.Uint32(payload)
+			perm := make([]uint32, (len(payload)-4)/4)
+			for i := range perm {
+				perm[i] = binary.LittleEndian.Uint32(payload[4+i*4:])
+			}
+			s.DataPerm = perm
+		case secLossHist:
+			vs, err := readF64s(payload)
+			if err != nil {
+				return nil, err
+			}
+			s.LossHistory = vs
+		case secBest:
+			if len(payload) < 8 || (len(payload)-8)%8 != 0 {
+				return nil, fmt.Errorf("core: best section length %d", len(payload))
+			}
+			s.BestLoss = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+			vs, err := readF64s(payload[8:])
+			if err != nil {
+				return nil, err
+			}
+			s.BestParams = vs
+		case secMeta:
+			if len(payload) < 4 {
+				return nil, fmt.Errorf("core: meta section too short")
+			}
+			s.Meta.FormatVersion = binary.LittleEndian.Uint32(payload)
+			rest := payload[4:]
+			var err error
+			if s.Meta.CircuitFP, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+			if s.Meta.ProblemFP, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+			if s.Meta.OptimizerName, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+			if s.Meta.Extra, rest, err = readString(rest); err != nil {
+				return nil, err
+			}
+			if len(rest) != 8 {
+				return nil, fmt.Errorf("core: meta trailer length %d", len(rest))
+			}
+			s.Meta.CreatedUnixNano = int64(binary.LittleEndian.Uint64(rest))
+		default:
+			return nil, fmt.Errorf("core: unknown section %#x", tag)
+		}
+	}
+	if len(seen) != numSections {
+		return nil, fmt.Errorf("core: payload has %d sections, want %d", len(seen), numSections)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("core: decoded state invalid: %w", err)
+	}
+	return s, nil
+}

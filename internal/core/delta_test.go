@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDeltaRoundTripSameLength(t *testing.T) {
+	base := []byte{1, 2, 3, 4, 5}
+	cur := []byte{1, 2, 9, 4, 5}
+	d := EncodeDelta(base, cur)
+	got, err := ApplyDelta(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Errorf("round trip: %v != %v", got, cur)
+	}
+}
+
+func TestDeltaRoundTripGrowShrink(t *testing.T) {
+	base := []byte{1, 2, 3}
+	grown := []byte{1, 2, 3, 4, 5, 6}
+	shrunk := []byte{9}
+	for _, cur := range [][]byte{grown, shrunk, {}, base} {
+		d := EncodeDelta(base, cur)
+		got, err := ApplyDelta(base, d)
+		if err != nil {
+			t.Fatalf("cur=%v: %v", cur, err)
+		}
+		if !bytes.Equal(got, cur) {
+			t.Errorf("cur=%v: got %v", cur, got)
+		}
+	}
+}
+
+func TestDeltaIdentityIsZeros(t *testing.T) {
+	base := []byte{7, 7, 7, 7}
+	d := EncodeDelta(base, base)
+	body := d[16:]
+	for i, b := range body {
+		if b != 0 {
+			t.Errorf("identical payloads produced nonzero delta byte at %d", i)
+		}
+	}
+}
+
+func TestDeltaRejectsWrongBase(t *testing.T) {
+	base := []byte{1, 2, 3, 4}
+	cur := []byte{1, 2, 3, 5}
+	d := EncodeDelta(base, cur)
+	if _, err := ApplyDelta([]byte{1, 2, 3}, d); err == nil {
+		t.Errorf("wrong-length base accepted")
+	}
+	if _, err := ApplyDelta(base, d[:10]); err == nil {
+		t.Errorf("truncated delta accepted")
+	}
+	if _, err := ApplyDelta(base, append(d, 0)); err == nil {
+		t.Errorf("oversized delta accepted")
+	}
+}
+
+func TestDeltaRoundTripProperty(t *testing.T) {
+	f := func(seedA, seedB uint64, lenA, lenB uint16) bool {
+		ra, rb := rng.New(seedA), rng.New(seedB)
+		base := make([]byte, int(lenA)%512)
+		cur := make([]byte, int(lenB)%512)
+		for i := range base {
+			base[i] = byte(ra.Uint64())
+		}
+		for i := range cur {
+			cur[i] = byte(rb.Uint64())
+		}
+		d := EncodeDelta(base, cur)
+		got, err := ApplyDelta(base, d)
+		return err == nil && bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaOfSimilarStatesMostlyZero(t *testing.T) {
+	// The motivating property: two adjacent training states differ only in
+	// a few floats, so the XOR delta is mostly zero bytes (F5's mechanism).
+	a := sampleState()
+	a.Params = make([]float64, 512)
+	for i := range a.Params {
+		a.Params[i] = float64(i) * 0.31
+	}
+	a.BestParams = append([]float64{}, a.Params...)
+	b := a.Clone()
+	b.Step++
+	b.Params[1] += 1e-9
+	b.LossHistory = append(b.LossHistory, 0.24)
+
+	pa, _ := EncodePayload(a)
+	pb, _ := EncodePayload(b)
+	d := EncodeDelta(pa, pb)
+	zeros := 0
+	for _, v := range d[16:] {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(len(d)-16)
+	if frac < 0.7 {
+		t.Errorf("delta of adjacent states only %.0f%% zero", frac*100)
+	}
+}

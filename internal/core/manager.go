@@ -1,0 +1,361 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Strategy selects how snapshots are persisted.
+type Strategy int
+
+// Strategies.
+const (
+	// StrategyFull writes a self-contained snapshot every time.
+	StrategyFull Strategy = iota
+	// StrategyDelta writes XOR-deltas chained off the previous snapshot,
+	// with a full anchor every AnchorEvery snapshots.
+	StrategyDelta
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFull:
+		return "full"
+	case StrategyDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the checkpoint directory (created if missing).
+	Dir string
+	// Strategy selects full or delta-chained snapshots.
+	Strategy Strategy
+	// AnchorEvery bounds delta chains: a full anchor is written every
+	// AnchorEvery snapshots (default 16; ignored for StrategyFull).
+	AnchorEvery int
+	// Async moves compression and file I/O to a background worker; Save
+	// returns after the in-memory state capture. Errors surface on the next
+	// Save or on Barrier/Close.
+	Async bool
+	// Retain keeps the newest Retain anchor chains and garbage-collects
+	// older files; 0 keeps everything.
+	Retain int
+}
+
+func (o Options) withDefaults() Options {
+	if o.AnchorEvery <= 0 {
+		o.AnchorEvery = 16
+	}
+	return o
+}
+
+// SaveResult reports what one Save produced.
+type SaveResult struct {
+	Kind         SnapshotKind
+	Seq          uint64
+	Step         uint64
+	Path         string
+	FileBytes    int           // bytes written to disk (0 until async completes)
+	PayloadBytes int           // canonical payload size before delta/compression
+	Encode       time.Duration // state capture + payload encode (always synchronous)
+	Write        time.Duration // compression + I/O (0 for async saves)
+}
+
+// Stats aggregates manager activity for the benchmarks.
+type Stats struct {
+	Snapshots    int
+	FullCount    int
+	DeltaCount   int
+	BytesWritten int64
+	WriteTime    time.Duration
+	EncodeTime   time.Duration
+}
+
+// Manager orchestrates checkpoint persistence: strategy selection, delta
+// chaining, asynchronous writes, retention and recovery. A Manager is
+// driven by a single trainer goroutine; the async worker runs internally.
+type Manager struct {
+	opt Options
+
+	mu          sync.Mutex
+	seq         uint64
+	lastPayload []byte // base for the next delta
+	sinceAnchor int
+	stats       Stats
+	asyncErr    error
+
+	jobs    chan writeJob
+	worker  sync.WaitGroup
+	pending sync.WaitGroup // one count per queued async write
+	closed  bool
+}
+
+type writeJob struct {
+	path string
+	h    Header
+	body []byte
+}
+
+// NewManager creates the checkpoint directory and returns a Manager.
+func NewManager(opt Options) (*Manager, error) {
+	opt = opt.withDefaults()
+	if opt.Dir == "" {
+		return nil, errors.New("core: checkpoint directory required")
+	}
+	if opt.Retain < 0 {
+		return nil, fmt.Errorf("core: negative retention %d", opt.Retain)
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create checkpoint dir: %w", err)
+	}
+	m := &Manager{opt: opt}
+	// Continue the sequence after any snapshots already in the directory,
+	// so a restarted incarnation never overwrites its predecessor's files
+	// (which would break delta chains that reference them). The first save
+	// of a restarted delta-mode manager is always a full anchor because
+	// lastPayload is empty.
+	if entries, err := os.ReadDir(opt.Dir); err == nil {
+		for _, e := range entries {
+			if seq, _, ok := parseSnapshotName(e.Name()); ok && seq >= m.seq {
+				m.seq = seq + 1
+			}
+		}
+	}
+	if opt.Async {
+		m.jobs = make(chan writeJob, 4)
+		m.worker.Add(1)
+		go m.runWorker()
+	}
+	return m, nil
+}
+
+func (m *Manager) runWorker() {
+	defer m.worker.Done()
+	for job := range m.jobs {
+		start := time.Now()
+		n, err := WriteSnapshotFile(job.path, job.h, job.body)
+		dur := time.Since(start)
+		m.mu.Lock()
+		if err != nil && m.asyncErr == nil {
+			m.asyncErr = err
+		}
+		m.stats.BytesWritten += int64(n)
+		m.stats.WriteTime += dur
+		m.mu.Unlock()
+		if err == nil {
+			m.gc()
+		}
+		m.pending.Done()
+	}
+}
+
+// snapshotName builds the file name for a sequence number and kind.
+func snapshotName(seq uint64, kind SnapshotKind) string {
+	return fmt.Sprintf("ckpt-%012d-%s.qckpt", seq, kind)
+}
+
+// parseSnapshotName extracts (seq, kind) from a file name; ok=false for
+// foreign files.
+func parseSnapshotName(name string) (seq uint64, kind SnapshotKind, ok bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".qckpt") {
+		return 0, 0, false
+	}
+	core := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".qckpt")
+	parts := strings.SplitN(core, "-", 2)
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &seq); err != nil {
+		return 0, 0, false
+	}
+	switch parts[1] {
+	case "full":
+		kind = KindFull
+	case "delta":
+		kind = KindDelta
+	default:
+		return 0, 0, false
+	}
+	return seq, kind, true
+}
+
+// Save captures the state and persists it according to the strategy. In
+// async mode the returned SaveResult has FileBytes and Write set to zero;
+// aggregate numbers appear in Stats after Barrier.
+func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return SaveResult{}, errors.New("core: manager closed")
+	}
+	if m.asyncErr != nil {
+		err := m.asyncErr
+		m.asyncErr = nil
+		m.mu.Unlock()
+		return SaveResult{}, fmt.Errorf("core: async checkpoint failed earlier: %w", err)
+	}
+	m.mu.Unlock()
+
+	encStart := time.Now()
+	payload, err := EncodePayload(state)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	encDur := time.Since(encStart)
+
+	m.mu.Lock()
+	kind := KindFull
+	var baseHash [32]byte
+	var body []byte
+	if m.opt.Strategy == StrategyDelta && m.lastPayload != nil && m.sinceAnchor < m.opt.AnchorEvery-1 {
+		kind = KindDelta
+		baseHash = PayloadHash(m.lastPayload)
+		body = EncodeDelta(m.lastPayload, payload)
+		m.sinceAnchor++
+	} else {
+		body = payload
+		m.sinceAnchor = 0
+	}
+	seq := m.seq
+	m.seq++
+	m.lastPayload = payload
+	m.stats.Snapshots++
+	if kind == KindFull {
+		m.stats.FullCount++
+	} else {
+		m.stats.DeltaCount++
+	}
+	m.stats.EncodeTime += encDur
+	async := m.opt.Async
+	m.mu.Unlock()
+
+	h := Header{
+		Kind:        kind,
+		Seq:         seq,
+		Step:        state.Step,
+		BaseHash:    baseHash,
+		PayloadHash: PayloadHash(payload),
+	}
+	path := filepath.Join(m.opt.Dir, snapshotName(seq, kind))
+	res := SaveResult{
+		Kind: kind, Seq: seq, Step: state.Step, Path: path,
+		PayloadBytes: len(payload), Encode: encDur,
+	}
+
+	if async {
+		m.pending.Add(1)
+		m.jobs <- writeJob{path: path, h: h, body: body}
+		return res, nil
+	}
+
+	wStart := time.Now()
+	n, err := WriteSnapshotFile(path, h, body)
+	res.Write = time.Since(wStart)
+	res.FileBytes = n
+	if err != nil {
+		return res, err
+	}
+	m.mu.Lock()
+	m.stats.BytesWritten += int64(n)
+	m.stats.WriteTime += res.Write
+	m.mu.Unlock()
+	m.gc()
+	return res, nil
+}
+
+// Barrier waits for all queued async writes and returns the first error.
+// It is a no-op in synchronous mode.
+func (m *Manager) Barrier() error {
+	m.pending.Wait()
+	m.mu.Lock()
+	err := m.asyncErr
+	m.asyncErr = nil
+	m.mu.Unlock()
+	return err
+}
+
+// Close flushes async writes and shuts the manager down.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	jobs := m.jobs
+	m.mu.Unlock()
+	if jobs != nil {
+		close(jobs)
+		m.worker.Wait()
+	}
+	m.mu.Lock()
+	err := m.asyncErr
+	m.asyncErr = nil
+	m.mu.Unlock()
+	return err
+}
+
+// Stats returns a copy of the aggregate statistics.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// gc applies the retention policy: keep every file belonging to the newest
+// Retain anchor chains, delete the rest. Deletion touches only files
+// strictly older than the kept anchor, so it is safe against concurrent
+// writes of newer files.
+func (m *Manager) gc() {
+	if m.opt.Retain <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(m.opt.Dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		seq  uint64
+		kind SnapshotKind
+		name string
+	}
+	var files []fileInfo
+	for _, e := range entries {
+		if seq, kind, ok := parseSnapshotName(e.Name()); ok {
+			files = append(files, fileInfo{seq, kind, e.Name()})
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq > files[j].seq })
+	// Find the Retain-th newest anchor.
+	anchors := 0
+	var cutoff uint64
+	found := false
+	for _, f := range files {
+		if f.kind == KindFull {
+			anchors++
+			if anchors == m.opt.Retain {
+				cutoff = f.seq
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		return // fewer than Retain anchors exist; keep everything
+	}
+	for _, f := range files {
+		if f.seq < cutoff {
+			os.Remove(filepath.Join(m.opt.Dir, f.name))
+		}
+	}
+}

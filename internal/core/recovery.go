@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrNoCheckpoint is returned by LoadLatest when the directory contains no
+// usable snapshot.
+var ErrNoCheckpoint = errors.New("core: no usable checkpoint found")
+
+// LoadReport describes a recovery: which snapshot was restored, how long
+// its delta chain was, and what was skipped on the way.
+type LoadReport struct {
+	Path     string
+	Seq      uint64
+	Step     uint64
+	ChainLen int      // snapshots read to reconstruct (1 for a full)
+	Skipped  []string // corrupt or unresolvable candidates, newest first
+}
+
+// indexEntry caches one snapshot file's header for chain resolution.
+type indexEntry struct {
+	path string
+	h    Header
+}
+
+// buildIndex parses the header of every snapshot file in dir. Files whose
+// header cannot be parsed are reported in skipped but do not abort the scan.
+func buildIndex(dir string) (bySeq []indexEntry, byPayloadHash map[[32]byte]indexEntry, skipped []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: read checkpoint dir: %w", err)
+	}
+	byPayloadHash = make(map[[32]byte]indexEntry)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, _, ok := parseSnapshotName(e.Name()); !ok {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		h, herr := ReadHeader(path)
+		if herr != nil {
+			skipped = append(skipped, e.Name())
+			continue
+		}
+		ent := indexEntry{path: path, h: h}
+		bySeq = append(bySeq, ent)
+		byPayloadHash[h.PayloadHash] = ent
+	}
+	sort.Slice(bySeq, func(i, j int) bool { return bySeq[i].h.Seq > bySeq[j].h.Seq })
+	return bySeq, byPayloadHash, skipped, nil
+}
+
+// maxChainLen bounds delta-chain resolution against cyclic or degenerate
+// metadata.
+const maxChainLen = 1 << 16
+
+// resolvePayload reconstructs the canonical payload of the snapshot at ent,
+// following the delta chain back to its full anchor.
+func resolvePayload(ent indexEntry, byPayloadHash map[[32]byte]indexEntry) (payload []byte, chainLen int, err error) {
+	// Walk back collecting the chain: ent, base(ent), base(base(ent)), …
+	chain := []indexEntry{ent}
+	cur := ent
+	for cur.h.Kind == KindDelta {
+		if len(chain) > maxChainLen {
+			return nil, 0, fmt.Errorf("%w: delta chain too long", ErrCorrupt)
+		}
+		base, ok := byPayloadHash[cur.h.BaseHash]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: delta base %x… missing", ErrCorrupt, cur.h.BaseHash[:6])
+		}
+		chain = append(chain, base)
+		cur = base
+	}
+	// Apply forward from the anchor.
+	_, payload, err = ReadSnapshotFile(chain[len(chain)-1].path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if PayloadHash(payload) != chain[len(chain)-1].h.PayloadHash {
+		return nil, 0, fmt.Errorf("%w: anchor payload hash mismatch", ErrCorrupt)
+	}
+	for i := len(chain) - 2; i >= 0; i-- {
+		_, delta, err := ReadSnapshotFile(chain[i].path)
+		if err != nil {
+			return nil, 0, err
+		}
+		payload, err = ApplyDelta(payload, delta)
+		if err != nil {
+			return nil, 0, err
+		}
+		if PayloadHash(payload) != chain[i].h.PayloadHash {
+			return nil, 0, fmt.Errorf("%w: reconstructed payload hash mismatch at seq %d", ErrCorrupt, chain[i].h.Seq)
+		}
+	}
+	return payload, len(chain), nil
+}
+
+// LoadLatest restores the newest valid snapshot in dir, falling back to
+// older snapshots when the newest is corrupt or its chain is broken. If
+// live is non-nil, snapshots whose Meta is incompatible with *live are
+// skipped (with an error recorded) rather than restored into the wrong run.
+func LoadLatest(dir string, live *Meta) (*TrainingState, LoadReport, error) {
+	bySeq, byHash, skipped, err := buildIndex(dir)
+	if err != nil {
+		return nil, LoadReport{}, err
+	}
+	report := LoadReport{Skipped: skipped}
+	for _, ent := range bySeq {
+		payload, chainLen, err := resolvePayload(ent, byHash)
+		if err != nil {
+			report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", filepath.Base(ent.path), err))
+			continue
+		}
+		state, err := DecodePayload(payload)
+		if err != nil {
+			report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", filepath.Base(ent.path), err))
+			continue
+		}
+		if live != nil {
+			if err := state.Meta.CompatibleWith(*live); err != nil {
+				report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", filepath.Base(ent.path), err))
+				continue
+			}
+		}
+		report.Path = ent.path
+		report.Seq = ent.h.Seq
+		report.Step = ent.h.Step
+		report.ChainLen = chainLen
+		return state, report, nil
+	}
+	return nil, report, ErrNoCheckpoint
+}
+
+// VerifyFile fully verifies a single snapshot file: whole-file hash,
+// decompression, and — for full snapshots — payload hash and decodability.
+// Delta files are verified up to their body (chain application requires the
+// base; use VerifyDir for that).
+func VerifyFile(path string) (Header, error) {
+	h, body, err := ReadSnapshotFile(path)
+	if err != nil {
+		return h, err
+	}
+	if h.Kind == KindFull {
+		if PayloadHash(body) != h.PayloadHash {
+			return h, fmt.Errorf("%w: payload hash mismatch", ErrCorrupt)
+		}
+		if _, err := DecodePayload(body); err != nil {
+			return h, err
+		}
+	}
+	return h, nil
+}
+
+// VerifyDir verifies every snapshot in dir including delta-chain
+// resolution; it returns one error message per broken snapshot.
+func VerifyDir(dir string) (ok int, problems []string, err error) {
+	bySeq, byHash, skipped, err := buildIndex(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	problems = append(problems, skipped...)
+	for _, ent := range bySeq {
+		payload, _, rerr := resolvePayload(ent, byHash)
+		if rerr != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", filepath.Base(ent.path), rerr))
+			continue
+		}
+		if _, derr := DecodePayload(payload); derr != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", filepath.Base(ent.path), derr))
+			continue
+		}
+		ok++
+	}
+	return ok, problems, nil
+}
+
+// ListSnapshots returns headers of all parseable snapshots in dir, newest
+// first.
+func ListSnapshots(dir string) ([]Header, []string, error) {
+	bySeq, _, skipped, err := buildIndex(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := make([]Header, len(bySeq))
+	for i, e := range bySeq {
+		hs[i] = e.h
+	}
+	return hs, skipped, nil
+}

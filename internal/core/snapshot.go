@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/storage"
+)
+
+// Snapshot file format:
+//
+//	magic        [6]byte  "QCKPT1"
+//	kind         uint8    (1 = full, 2 = delta)
+//	seq          uint64   monotone sequence number within a run
+//	step         uint64   optimizer step at capture time (informational)
+//	baseHash     [32]byte SHA-256 of the base payload (zero for full)
+//	payloadHash  [32]byte SHA-256 of the resulting canonical payload
+//	bodyLen      uint64   compressed body length
+//	body         flate(payload)       for full
+//	             flate(delta bytes)   for delta
+//	fileHash     [32]byte SHA-256 of everything above
+//
+// Every read verifies fileHash first (detects torn or corrupted files),
+// then — after decompression and, for deltas, chain application — verifies
+// payloadHash (detects wrong-base application and logic errors).
+
+var magic = [6]byte{'Q', 'C', 'K', 'P', 'T', '1'}
+
+// SnapshotKind distinguishes full snapshots from delta links.
+type SnapshotKind uint8
+
+// Snapshot kinds.
+const (
+	KindFull  SnapshotKind = 1
+	KindDelta SnapshotKind = 2
+)
+
+// String returns "full" or "delta".
+func (k SnapshotKind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Header is the parsed snapshot file header.
+type Header struct {
+	Kind        SnapshotKind
+	Seq         uint64
+	Step        uint64
+	BaseHash    [32]byte
+	PayloadHash [32]byte
+	BodyLen     uint64
+}
+
+const headerSize = 6 + 1 + 8 + 8 + 32 + 32 + 8
+
+// ErrCorrupt is wrapped by all integrity failures, so recovery can
+// distinguish "corrupt, try an older snapshot" from I/O errors.
+var ErrCorrupt = errors.New("core: snapshot corrupt")
+
+// CompressionLevel selects the flate effort for snapshot bodies.
+// flate.BestSpeed keeps checkpoint latency low; the delta zero-runs
+// compress well at any level.
+const CompressionLevel = flate.BestSpeed
+
+func compress(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, CompressionLevel)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decompress(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+	}
+	return out, nil
+}
+
+// EncodeSnapshotFile builds the on-disk byte image of a snapshot. For
+// KindFull, body is the canonical payload; for KindDelta, body is the delta
+// bytes and payloadHash must be the hash of the payload the delta
+// reconstructs.
+func EncodeSnapshotFile(h Header, body []byte) ([]byte, error) {
+	comp, err := compress(body)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, headerSize+len(comp)+32)
+	buf = append(buf, magic[:]...)
+	buf = append(buf, byte(h.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, h.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Step)
+	buf = append(buf, h.BaseHash[:]...)
+	buf = append(buf, h.PayloadHash[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(comp)))
+	buf = append(buf, comp...)
+	sum := sha256.Sum256(buf)
+	buf = append(buf, sum[:]...)
+	return buf, nil
+}
+
+// DecodeSnapshotFile verifies the whole-file hash and returns the header
+// and decompressed body.
+func DecodeSnapshotFile(data []byte) (Header, []byte, error) {
+	var h Header
+	if len(data) < headerSize+32 {
+		return h, nil, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	payloadEnd := len(data) - 32
+	var want [32]byte
+	copy(want[:], data[payloadEnd:])
+	if sum := sha256.Sum256(data[:payloadEnd]); sum != want {
+		return h, nil, fmt.Errorf("%w: file hash mismatch", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:6], magic[:]) {
+		return h, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	h.Kind = SnapshotKind(data[6])
+	if h.Kind != KindFull && h.Kind != KindDelta {
+		return h, nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, data[6])
+	}
+	h.Seq = binary.LittleEndian.Uint64(data[7:])
+	h.Step = binary.LittleEndian.Uint64(data[15:])
+	copy(h.BaseHash[:], data[23:55])
+	copy(h.PayloadHash[:], data[55:87])
+	h.BodyLen = binary.LittleEndian.Uint64(data[87:])
+	body := data[headerSize:payloadEnd]
+	if uint64(len(body)) != h.BodyLen {
+		return h, nil, fmt.Errorf("%w: body length %d, header says %d", ErrCorrupt, len(body), h.BodyLen)
+	}
+	raw, err := decompress(body)
+	if err != nil {
+		return h, nil, err
+	}
+	return h, raw, nil
+}
+
+// ReadHeader parses just the fixed-size header of a snapshot file (without
+// whole-file verification) — used to build the recovery index cheaply.
+func ReadHeader(path string) (Header, error) {
+	var h Header
+	f, err := os.Open(path)
+	if err != nil {
+		return h, err
+	}
+	defer f.Close()
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return h, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(buf[:6], magic[:]) {
+		return h, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	h.Kind = SnapshotKind(buf[6])
+	h.Seq = binary.LittleEndian.Uint64(buf[7:])
+	h.Step = binary.LittleEndian.Uint64(buf[15:])
+	copy(h.BaseHash[:], buf[23:55])
+	copy(h.PayloadHash[:], buf[55:87])
+	h.BodyLen = binary.LittleEndian.Uint64(buf[87:])
+	return h, nil
+}
+
+// WriteSnapshotFile encodes and atomically persists a snapshot.
+func WriteSnapshotFile(path string, h Header, body []byte) (int, error) {
+	data, err := EncodeSnapshotFile(h, body)
+	if err != nil {
+		return 0, err
+	}
+	if err := storage.AtomicWriteFile(path, data, 0o644); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// ReadSnapshotFile loads and fully verifies a snapshot file.
+func ReadSnapshotFile(path string) (Header, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return DecodeSnapshotFile(data)
+}
+
+// PayloadHash returns the SHA-256 of a canonical payload.
+func PayloadHash(payload []byte) [32]byte { return sha256.Sum256(payload) }

@@ -1,0 +1,197 @@
+// Package dataset generates the synthetic training workloads the
+// checkpointing experiments drive: the canonical "learn an unknown unitary
+// from state pairs" task of the quantum-neural-network literature, and
+// classical-data classification sets loaded through angle encoding.
+//
+// All generation is driven by an explicit rng.Stream, so datasets are
+// reproducible and fingerprintable — the fingerprint goes into checkpoint
+// metadata so a resume against different data is rejected.
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// StatePairs is a supervised quantum dataset {(|φin⟩, |φout⟩)} where
+// |φout⟩ = U|φin⟩ for a hidden unitary U — the device-characterisation task
+// a QNN is trained on.
+type StatePairs struct {
+	Qubits  int
+	Inputs  []*quantum.State
+	Targets []*quantum.State
+	fp      string
+}
+
+// NewUnitaryLearning draws a hidden Haar-ish random unitary on n qubits and
+// `size` Haar-ish random input states, producing the matching targets. The
+// stream fully determines the dataset.
+func NewUnitaryLearning(n, size int, r *rng.Stream) (*StatePairs, error) {
+	if n < 1 || n > 10 {
+		return nil, fmt.Errorf("dataset: unitary learning supports 1..10 qubits, got %d", n)
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("dataset: need at least one pair, got %d", size)
+	}
+	u := quantum.RandomUnitary(n, r)
+	d := &StatePairs{Qubits: n}
+	h := sha256.New()
+	for i := 0; i < size; i++ {
+		in := quantum.RandomState(n, r)
+		out := in.Clone()
+		out.ApplyUnitary(u)
+		d.Inputs = append(d.Inputs, in)
+		d.Targets = append(d.Targets, out)
+		for _, a := range in.Amplitudes() {
+			var b [16]byte
+			binary.LittleEndian.PutUint64(b[:8], math.Float64bits(real(a)))
+			binary.LittleEndian.PutUint64(b[8:], math.Float64bits(imag(a)))
+			h.Write(b[:])
+		}
+	}
+	d.fp = fmt.Sprintf("unitary-n%d-s%d-%s", n, size, hex.EncodeToString(h.Sum(nil))[:16])
+	return d, nil
+}
+
+// NewNoisyUnitaryLearning generates unitary-learning pairs whose targets are
+// perturbed toward random states with weight delta ∈ [0, 1): the robustness
+// workload (|φSV⟩ mixes with a random state and is renormalized).
+func NewNoisyUnitaryLearning(n, size int, delta float64, r *rng.Stream) (*StatePairs, error) {
+	if delta < 0 || delta >= 1 {
+		return nil, fmt.Errorf("dataset: noise weight %v out of [0,1)", delta)
+	}
+	d, err := NewUnitaryLearning(n, size, r)
+	if err != nil {
+		return nil, err
+	}
+	for i, tgt := range d.Targets {
+		noise := quantum.RandomState(n, r)
+		amps := tgt.Amplitudes()
+		nAmps := noise.Amplitudes()
+		mixed := make([]complex128, len(amps))
+		for k := range amps {
+			mixed[k] = complex(1-delta, 0)*amps[k] + complex(delta, 0)*nAmps[k]
+		}
+		var norm float64
+		for _, a := range mixed {
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+		norm = math.Sqrt(norm)
+		for k := range mixed {
+			mixed[k] /= complex(norm, 0)
+		}
+		st, err := quantum.FromVec(mixed)
+		if err != nil {
+			return nil, err
+		}
+		d.Targets[i] = st
+	}
+	d.fp = fmt.Sprintf("%s-noise%.3f", d.fp, delta)
+	return d, nil
+}
+
+// Len returns the number of pairs.
+func (d *StatePairs) Len() int { return len(d.Inputs) }
+
+// Fingerprint identifies the dataset instance for checkpoint metadata.
+func (d *StatePairs) Fingerprint() string { return d.fp }
+
+// Split partitions the dataset into a training prefix of `train` pairs and
+// a validation remainder, sharing the underlying states.
+func (d *StatePairs) Split(train int) (*StatePairs, *StatePairs, error) {
+	if train < 1 || train >= d.Len() {
+		return nil, nil, fmt.Errorf("dataset: split %d of %d", train, d.Len())
+	}
+	a := &StatePairs{Qubits: d.Qubits, Inputs: d.Inputs[:train], Targets: d.Targets[:train],
+		fp: d.fp + fmt.Sprintf("-train%d", train)}
+	b := &StatePairs{Qubits: d.Qubits, Inputs: d.Inputs[train:], Targets: d.Targets[train:],
+		fp: d.fp + fmt.Sprintf("-val%d", d.Len()-train)}
+	return a, b, nil
+}
+
+// Classification is a classical dataset with ±1 labels, consumed through
+// angle encoding into the quantum classifier workload.
+type Classification struct {
+	Features [][]float64
+	Labels   []float64 // +1 or −1
+	fp       string
+}
+
+// NewParity generates `size` uniformly random nBits-bit strings labelled by
+// parity (+1 even, −1 odd); features are bit·π angles — the hardest linear
+// readout problem and a standard QML benchmark.
+func NewParity(nBits, size int, r *rng.Stream) (*Classification, error) {
+	if nBits < 1 || nBits > 20 {
+		return nil, fmt.Errorf("dataset: parity bits %d out of 1..20", nBits)
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("dataset: size %d", size)
+	}
+	d := &Classification{}
+	h := sha256.New()
+	for i := 0; i < size; i++ {
+		bits := make([]float64, nBits)
+		ones := 0
+		for b := 0; b < nBits; b++ {
+			if r.Float64() < 0.5 {
+				bits[b] = math.Pi
+				ones++
+			}
+		}
+		label := 1.0
+		if ones%2 == 1 {
+			label = -1.0
+		}
+		d.Features = append(d.Features, bits)
+		d.Labels = append(d.Labels, label)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(ones)|uint64(i)<<32)
+		h.Write(buf[:])
+	}
+	d.fp = fmt.Sprintf("parity-b%d-s%d-%s", nBits, size, hex.EncodeToString(h.Sum(nil))[:16])
+	return d, nil
+}
+
+// NewBlobs generates a two-class Gaussian-blob dataset in dim dimensions:
+// class +1 centered at +c, class −1 at −c, with unit variance, feature
+// values squashed into rotation angles via tanh·π/2 + π/2.
+func NewBlobs(dim, size int, sep float64, r *rng.Stream) (*Classification, error) {
+	if dim < 1 || size < 2 {
+		return nil, fmt.Errorf("dataset: blobs dim=%d size=%d", dim, size)
+	}
+	if sep <= 0 {
+		return nil, fmt.Errorf("dataset: separation %v", sep)
+	}
+	d := &Classification{}
+	h := sha256.New()
+	for i := 0; i < size; i++ {
+		label := 1.0
+		if i%2 == 1 {
+			label = -1.0
+		}
+		f := make([]float64, dim)
+		for k := range f {
+			raw := label*sep + r.NormFloat64()
+			f[k] = math.Tanh(raw)*math.Pi/2 + math.Pi/2
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f[k]))
+			h.Write(buf[:])
+		}
+		d.Features = append(d.Features, f)
+		d.Labels = append(d.Labels, label)
+	}
+	d.fp = fmt.Sprintf("blobs-d%d-s%d-%s", dim, size, hex.EncodeToString(h.Sum(nil))[:16])
+	return d, nil
+}
+
+// Len returns the number of samples.
+func (d *Classification) Len() int { return len(d.Features) }
+
+// Fingerprint identifies the dataset instance.
+func (d *Classification) Fingerprint() string { return d.fp }

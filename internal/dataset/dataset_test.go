@@ -1,0 +1,229 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestUnitaryLearningShapes(t *testing.T) {
+	d, err := NewUnitaryLearning(2, 10, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 || d.Qubits != 2 {
+		t.Fatalf("shape: len=%d qubits=%d", d.Len(), d.Qubits)
+	}
+	for i := range d.Inputs {
+		if math.Abs(d.Inputs[i].Norm()-1) > 1e-9 || math.Abs(d.Targets[i].Norm()-1) > 1e-9 {
+			t.Errorf("pair %d not normalized", i)
+		}
+	}
+}
+
+func TestUnitaryLearningConsistentUnitary(t *testing.T) {
+	// The same hidden U maps every input to its target: inner products are
+	// preserved, ⟨in_i|in_j⟩ = ⟨out_i|out_j⟩.
+	d, _ := NewUnitaryLearning(2, 6, rng.New(2))
+	for i := 0; i < d.Len(); i++ {
+		for j := i + 1; j < d.Len(); j++ {
+			inIP := d.Inputs[i].InnerProduct(d.Inputs[j])
+			outIP := d.Targets[i].InnerProduct(d.Targets[j])
+			if d := inIP - outIP; math.Hypot(real(d), imag(d)) > 1e-9 {
+				t.Errorf("inner product not preserved for (%d,%d): %v vs %v", i, j, inIP, outIP)
+			}
+		}
+	}
+}
+
+func TestUnitaryLearningDeterministic(t *testing.T) {
+	a, _ := NewUnitaryLearning(2, 4, rng.New(7))
+	b, _ := NewUnitaryLearning(2, 4, rng.New(7))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("same seed gives different fingerprints")
+	}
+	if f := a.Inputs[0].Fidelity(b.Inputs[0]); math.Abs(f-1) > 1e-12 {
+		t.Errorf("same seed gives different data")
+	}
+	c, _ := NewUnitaryLearning(2, 4, rng.New(8))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Errorf("different seeds share fingerprint")
+	}
+}
+
+func TestUnitaryLearningValidation(t *testing.T) {
+	if _, err := NewUnitaryLearning(0, 4, rng.New(1)); err == nil {
+		t.Errorf("0 qubits accepted")
+	}
+	if _, err := NewUnitaryLearning(11, 4, rng.New(1)); err == nil {
+		t.Errorf("11 qubits accepted")
+	}
+	if _, err := NewUnitaryLearning(2, 0, rng.New(1)); err == nil {
+		t.Errorf("0 pairs accepted")
+	}
+}
+
+func TestNoisyUnitaryLearning(t *testing.T) {
+	clean, _ := NewUnitaryLearning(2, 5, rng.New(9))
+	noisy, err := NewNoisyUnitaryLearning(2, 5, 0.3, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same inputs (same stream prefix), perturbed targets.
+	if f := clean.Inputs[0].Fidelity(noisy.Inputs[0]); math.Abs(f-1) > 1e-12 {
+		t.Errorf("inputs differ")
+	}
+	var avg float64
+	for i := range clean.Targets {
+		if math.Abs(noisy.Targets[i].Norm()-1) > 1e-9 {
+			t.Errorf("noisy target %d not normalized", i)
+		}
+		avg += clean.Targets[i].Fidelity(noisy.Targets[i])
+	}
+	avg /= float64(clean.Len())
+	if avg > 0.999 {
+		t.Errorf("delta=0.3 left targets unchanged (avg fidelity %v)", avg)
+	}
+	if avg < 0.3 {
+		t.Errorf("delta=0.3 destroyed targets (avg fidelity %v)", avg)
+	}
+	if _, err := NewNoisyUnitaryLearning(2, 5, 1.0, rng.New(1)); err == nil {
+		t.Errorf("delta=1 accepted")
+	}
+}
+
+func TestNoisyDeltaZeroKeepsTargets(t *testing.T) {
+	clean, _ := NewUnitaryLearning(2, 3, rng.New(10))
+	noisy, _ := NewNoisyUnitaryLearning(2, 3, 0, rng.New(10))
+	for i := range clean.Targets {
+		if f := clean.Targets[i].Fidelity(noisy.Targets[i]); math.Abs(f-1) > 1e-9 {
+			t.Errorf("delta=0 changed target %d (fidelity %v)", i, f)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d, _ := NewUnitaryLearning(2, 10, rng.New(11))
+	tr, val, err := d.Split(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 7 || val.Len() != 3 {
+		t.Errorf("split sizes %d/%d", tr.Len(), val.Len())
+	}
+	if tr.Fingerprint() == val.Fingerprint() {
+		t.Errorf("split halves share fingerprint")
+	}
+	if _, _, err := d.Split(0); err == nil {
+		t.Errorf("split 0 accepted")
+	}
+	if _, _, err := d.Split(10); err == nil {
+		t.Errorf("split == len accepted")
+	}
+}
+
+func TestParity(t *testing.T) {
+	d, err := NewParity(4, 50, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 50 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i, f := range d.Features {
+		ones := 0
+		for _, v := range f {
+			switch v {
+			case 0:
+			case math.Pi:
+				ones++
+			default:
+				t.Fatalf("sample %d has non-binary angle %v", i, v)
+			}
+		}
+		want := 1.0
+		if ones%2 == 1 {
+			want = -1.0
+		}
+		if d.Labels[i] != want {
+			t.Errorf("sample %d label %v, want %v", i, d.Labels[i], want)
+		}
+	}
+}
+
+func TestParityHasBothClasses(t *testing.T) {
+	d, _ := NewParity(3, 100, rng.New(13))
+	pos, neg := 0, 0
+	for _, l := range d.Labels {
+		if l > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos < 20 || neg < 20 {
+		t.Errorf("class balance off: %d/%d", pos, neg)
+	}
+}
+
+func TestParityValidation(t *testing.T) {
+	if _, err := NewParity(0, 10, rng.New(1)); err == nil {
+		t.Errorf("0 bits accepted")
+	}
+	if _, err := NewParity(21, 10, rng.New(1)); err == nil {
+		t.Errorf("21 bits accepted")
+	}
+	if _, err := NewParity(3, 0, rng.New(1)); err == nil {
+		t.Errorf("0 size accepted")
+	}
+}
+
+func TestBlobs(t *testing.T) {
+	d, err := NewBlobs(3, 40, 2.0, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 40 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i, f := range d.Features {
+		if len(f) != 3 {
+			t.Fatalf("sample %d has %d features", i, len(f))
+		}
+		for _, v := range f {
+			if v < 0 || v > math.Pi {
+				t.Errorf("feature %v out of [0, π]", v)
+			}
+		}
+	}
+	// With sep=2 the classes should be mostly separated on each feature.
+	var posMean, negMean float64
+	var posN, negN int
+	for i, f := range d.Features {
+		if d.Labels[i] > 0 {
+			posMean += f[0]
+			posN++
+		} else {
+			negMean += f[0]
+			negN++
+		}
+	}
+	posMean /= float64(posN)
+	negMean /= float64(negN)
+	if posMean <= negMean {
+		t.Errorf("blob means not separated: +%v vs -%v", posMean, negMean)
+	}
+}
+
+func TestBlobsValidation(t *testing.T) {
+	if _, err := NewBlobs(0, 10, 1, rng.New(1)); err == nil {
+		t.Errorf("dim 0 accepted")
+	}
+	if _, err := NewBlobs(2, 1, 1, rng.New(1)); err == nil {
+		t.Errorf("size 1 accepted")
+	}
+	if _, err := NewBlobs(2, 10, 0, rng.New(1)); err == nil {
+		t.Errorf("sep 0 accepted")
+	}
+}

@@ -1,0 +1,281 @@
+// Package dqnn implements dissipative quantum neural networks — the
+// layered QNN architecture of Beer et al. (Nature Communications 11, 2020)
+// in its NISQ decomposition: each layer-to-layer transition tensors fresh
+// output qubits onto the previous layer's state, applies parameterized
+// single-qubit u-gates and two-qubit canonical entanglers, and traces the
+// previous layer out. Feed-forward therefore maps density matrices to
+// density matrices through completely positive maps, and memory scales with
+// the width, not the depth, of the network.
+//
+// This is the flagship "quantum neural network" workload the checkpointing
+// paper's title refers to; the package plugs into the same optimizer,
+// gradient-accumulator and checkpoint machinery as the circuit-based
+// workloads (see examples/dqnn_train).
+//
+// Parameterization per transition (m_in inputs, m_out outputs), following
+// the thesis §4.6 NISQ construction with angles kept as raw parameters:
+//
+//	u3 (3 rotations RZ·RY·RZ) on every qubit of the joint register,
+//	CAN(θx, θy, θz) = RXX(θx)·RYY(θy)·RZZ(θz) between every (input, output)
+//	pair, applied input-major;
+//
+// plus a closing u3 layer on the final outputs. Every parameter is the
+// angle of exactly one rotation with ±1-eigenvalue generator, so the exact
+// ±π/2 parameter-shift rule applies per parameter.
+package dqnn
+
+import (
+	"fmt"
+
+	"repro/internal/grad"
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// rotKind enumerates the primitive parameterized rotations.
+type rotKind byte
+
+const (
+	rotRZ rotKind = iota
+	rotRY
+	rotRXX
+	rotRYY
+	rotRZZ
+)
+
+// rotation is one parameterized gate application within a transition.
+type rotation struct {
+	kind     rotKind
+	q0, q1   int // register-local qubit indices
+	paramIdx int
+}
+
+// transition is the gate program of one layer-to-layer map.
+type transition struct {
+	mIn, mOut int
+	rots      []rotation
+}
+
+// Network is a dissipative QNN with fixed layer widths.
+type Network struct {
+	widths      []int
+	transitions []transition
+	finalU3     []rotation // closing u3 layer on the output qubits
+	numParams   int
+}
+
+// New builds a network with the given layer widths (input layer first,
+// output layer last). Each intermediate register (m_l + m_{l+1} qubits)
+// must fit the density simulator.
+func New(widths []int) (*Network, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("dqnn: need at least input and output layers, got %d", len(widths))
+	}
+	for i, w := range widths {
+		if w < 1 {
+			return nil, fmt.Errorf("dqnn: layer %d width %d", i, w)
+		}
+	}
+	n := &Network{widths: append([]int{}, widths...)}
+	p := 0
+	nextParam := func() int { p++; return p - 1 }
+	for l := 0; l+1 < len(widths); l++ {
+		mIn, mOut := widths[l], widths[l+1]
+		if mIn+mOut > quantum.MaxDensityQubits {
+			return nil, fmt.Errorf("dqnn: transition %d needs %d qubits (max %d)", l, mIn+mOut, quantum.MaxDensityQubits)
+		}
+		tr := transition{mIn: mIn, mOut: mOut}
+		// u3 on every register qubit.
+		for q := 0; q < mIn+mOut; q++ {
+			tr.rots = append(tr.rots,
+				rotation{kind: rotRZ, q0: q, paramIdx: nextParam()},
+				rotation{kind: rotRY, q0: q, paramIdx: nextParam()},
+				rotation{kind: rotRZ, q0: q, paramIdx: nextParam()},
+			)
+		}
+		// Canonical entangler between every (input, output) pair.
+		for j := 0; j < mOut; j++ {
+			for i := 0; i < mIn; i++ {
+				out := mIn + j
+				tr.rots = append(tr.rots,
+					rotation{kind: rotRXX, q0: i, q1: out, paramIdx: nextParam()},
+					rotation{kind: rotRYY, q0: i, q1: out, paramIdx: nextParam()},
+					rotation{kind: rotRZZ, q0: i, q1: out, paramIdx: nextParam()},
+				)
+			}
+		}
+		n.transitions = append(n.transitions, tr)
+	}
+	for q := 0; q < widths[len(widths)-1]; q++ {
+		n.finalU3 = append(n.finalU3,
+			rotation{kind: rotRZ, q0: q, paramIdx: nextParam()},
+			rotation{kind: rotRY, q0: q, paramIdx: nextParam()},
+			rotation{kind: rotRZ, q0: q, paramIdx: nextParam()},
+		)
+	}
+	n.numParams = p
+	return n, nil
+}
+
+// Widths returns the layer widths.
+func (n *Network) Widths() []int { return append([]int{}, n.widths...) }
+
+// NumParams returns the parameter count
+// (3·Σ(m_l + m_{l+1}) + 3·Σ m_l·m_{l+1} + 3·m_out).
+func (n *Network) NumParams() int { return n.numParams }
+
+// InputQubits returns the input layer width.
+func (n *Network) InputQubits() int { return n.widths[0] }
+
+// OutputQubits returns the output layer width.
+func (n *Network) OutputQubits() int { return n.widths[len(n.widths)-1] }
+
+// Fingerprint identifies the architecture for checkpoint metadata.
+func (n *Network) Fingerprint() string {
+	return fmt.Sprintf("dqnn-%v-p%d", n.widths, n.numParams)
+}
+
+// applyRot applies one rotation with the angle drawn from theta, honoring a
+// per-occurrence shift keyed by parameter index (1:1 with occurrences in
+// this architecture).
+func applyRot(d *quantum.Density, r rotation, theta []float64, shiftParam int, shiftDelta float64) {
+	angle := theta[r.paramIdx]
+	if r.paramIdx == shiftParam {
+		angle += shiftDelta
+	}
+	switch r.kind {
+	case rotRZ:
+		m := quantum.RZ(angle)
+		d.Apply1(&m, r.q0)
+	case rotRY:
+		m := quantum.RY(angle)
+		d.Apply1(&m, r.q0)
+	case rotRXX:
+		m := quantum.RXX(angle)
+		d.Apply2(&m, r.q0, r.q1)
+	case rotRYY:
+		m := quantum.RYY(angle)
+		d.Apply2(&m, r.q0, r.q1)
+	case rotRZZ:
+		m := quantum.RZZ(angle)
+		d.Apply2(&m, r.q0, r.q1)
+	}
+}
+
+// FeedForward maps an input-layer density matrix to the output-layer
+// density matrix: ρ_out = E_L(…E_1(ρ_in)…). shiftParam = -1 disables the
+// occurrence shift.
+func (n *Network) FeedForward(rhoIn *quantum.Density, theta []float64, shiftParam int, shiftDelta float64) (*quantum.Density, error) {
+	if rhoIn.Qubits() != n.InputQubits() {
+		return nil, fmt.Errorf("dqnn: input has %d qubits, network expects %d", rhoIn.Qubits(), n.InputQubits())
+	}
+	if len(theta) != n.numParams {
+		return nil, fmt.Errorf("dqnn: got %d parameters, want %d", len(theta), n.numParams)
+	}
+	rho := rhoIn.Clone()
+	for _, tr := range n.transitions {
+		rho = rho.TensorZeros(tr.mOut)
+		for _, r := range tr.rots {
+			applyRot(rho, r, theta, shiftParam, shiftDelta)
+		}
+		drop := make([]int, tr.mIn)
+		for i := range drop {
+			drop[i] = i
+		}
+		rho = rho.PartialTrace(drop)
+	}
+	for _, r := range n.finalU3 {
+		applyRot(rho, r, theta, shiftParam, shiftDelta)
+	}
+	return rho, nil
+}
+
+// FeedForwardPure is FeedForward on a pure input state.
+func (n *Network) FeedForwardPure(in *quantum.State, theta []float64, shiftParam int, shiftDelta float64) (*quantum.Density, error) {
+	return n.FeedForward(quantum.DensityFromState(in), theta, shiftParam, shiftDelta)
+}
+
+// InitParams draws a uniform [−π, π) parameter vector.
+func (n *Network) InitParams(r *rng.Stream) []float64 {
+	theta := make([]float64, n.numParams)
+	for i := range theta {
+		theta[i] = (r.Float64()*2 - 1) * 3.14159265358979
+	}
+	return theta
+}
+
+// Pair is one supervised training example.
+type Pair struct {
+	In     *quantum.State
+	Target *quantum.State
+}
+
+// Loss returns 1 − (1/S)·Σ ⟨target|ρ_out|target⟩ over the pairs, the
+// training loss of the DQNN literature, with an optional occurrence shift
+// for the parameter-shift rule.
+func (n *Network) Loss(pairs []Pair, theta []float64, shiftParam int, shiftDelta float64) (float64, error) {
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("dqnn: no training pairs")
+	}
+	var sum float64
+	for i, p := range pairs {
+		if p.Target.Qubits() != n.OutputQubits() {
+			return 0, fmt.Errorf("dqnn: pair %d target has %d qubits, want %d", i, p.Target.Qubits(), n.OutputQubits())
+		}
+		out, err := n.FeedForwardPure(p.In, theta, shiftParam, shiftDelta)
+		if err != nil {
+			return 0, err
+		}
+		sum += 1 - out.FidelityWithPure(p.Target)
+	}
+	return sum / float64(len(pairs)), nil
+}
+
+// PlanUnits returns the gradient work-unit count: two evaluations per
+// parameter (each parameter is a single rotation occurrence).
+func (n *Network) PlanUnits() int { return 2 * n.numParams }
+
+// Gradient runs (or resumes) the parameter-shift gradient of the loss over
+// the pairs, recording per-unit results in acc (unit 2p = +π/2 shift of
+// parameter p, unit 2p+1 = −π/2). The hook is called after each completed
+// unit; acc retains progress across failures exactly like the circuit
+// gradient engine.
+func (n *Network) Gradient(pairs []Pair, theta []float64, acc *grad.Accumulator, hook grad.UnitHook) ([]float64, error) {
+	if acc.Len() != n.PlanUnits() {
+		return nil, fmt.Errorf("dqnn: accumulator sized %d, plan is %d", acc.Len(), n.PlanUnits())
+	}
+	const halfPi = 3.14159265358979 / 2
+	for u := 0; u < acc.Len(); u++ {
+		if acc.Done(u) {
+			continue
+		}
+		p := u / 2
+		delta := halfPi
+		if u%2 == 1 {
+			delta = -halfPi
+		}
+		v, err := n.Loss(pairs, theta, p, delta)
+		if err != nil {
+			return nil, err
+		}
+		acc.Record(u, v)
+		if hook != nil {
+			if err := hook(u, acc.Len()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g := make([]float64, n.numParams)
+	for p := 0; p < n.numParams; p++ {
+		plus, err := acc.Value(2 * p)
+		if err != nil {
+			return nil, err
+		}
+		minus, err := acc.Value(2*p + 1)
+		if err != nil {
+			return nil, err
+		}
+		g[p] = 0.5 * (plus - minus)
+	}
+	return g, nil
+}

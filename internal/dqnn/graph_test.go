@@ -1,0 +1,224 @@
+package dqnn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/grad"
+	"repro/internal/optimizer"
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// evolutionSetup builds a line-graph dataset: snapshots of RY-rotation
+// evolution, labels from a hidden random unitary.
+func evolutionSetup(t *testing.T, vertices, supervised int, seed uint64) (*GraphData, func(*quantum.State) *quantum.State) {
+	t.Helper()
+	r := rng.New(seed)
+	hiddenU := quantum.RandomUnitary(1, r)
+	hidden := func(s *quantum.State) *quantum.State {
+		out := s.Clone()
+		out.ApplyUnitary(hiddenU)
+		return out
+	}
+	step := quantum.RY(0.25)
+	evolve := func(s *quantum.State) *quantum.State {
+		out := s.Clone()
+		out.Apply1(&step, 0)
+		return out
+	}
+	start := quantum.RandomState(1, r)
+	g, err := LineGraphFromEvolution(evolve, hidden, start, vertices, supervised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, hidden
+}
+
+func TestLineGraphShape(t *testing.T) {
+	g, _ := evolutionSetup(t, 6, 2, 1)
+	if len(g.Inputs) != 6 || len(g.Targets) != 2 || g.Supervised != 2 {
+		t.Fatalf("shape: %d inputs, %d targets", len(g.Inputs), len(g.Targets))
+	}
+	if len(g.Edges) != 5 {
+		t.Fatalf("edges = %d, want 5", len(g.Edges))
+	}
+	n, _ := New([]int{1, 1})
+	if err := g.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineGraphValidation(t *testing.T) {
+	if _, err := LineGraphFromEvolution(nil, nil, quantum.New(1), 1, 1); err == nil {
+		t.Errorf("vertices=1 accepted")
+	}
+	g, _ := evolutionSetup(t, 4, 2, 2)
+	n, _ := New([]int{1, 1})
+	bad := *g
+	bad.Edges = append(bad.Edges, [2]int{0, 0})
+	if err := bad.Validate(n); err == nil {
+		t.Errorf("self-edge accepted")
+	}
+	bad2 := *g
+	bad2.Supervised = 99
+	if err := bad2.Validate(n); err == nil {
+		t.Errorf("supervised > vertices accepted")
+	}
+	wide, _ := New([]int{2, 1})
+	if err := g.Validate(wide); err == nil {
+		t.Errorf("input width mismatch accepted")
+	}
+}
+
+func TestGraphLossLambdaZeroMatchesSupervised(t *testing.T) {
+	g, _ := evolutionSetup(t, 5, 3, 3)
+	n, _ := New([]int{1, 1})
+	theta := n.InitParams(rng.New(4))
+	pairs := make([]Pair, g.Supervised)
+	for i := range pairs {
+		pairs[i] = Pair{In: g.Inputs[i], Target: g.Targets[i]}
+	}
+	graphLoss, err := n.GraphLoss(g, theta, 0, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainLoss, err := n.Loss(pairs, theta, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(graphLoss-plainLoss) > 1e-12 {
+		t.Errorf("λ=0 graph loss %v != supervised loss %v", graphLoss, plainLoss)
+	}
+}
+
+func TestGraphLossRegularizerNonNegative(t *testing.T) {
+	g, _ := evolutionSetup(t, 5, 2, 5)
+	n, _ := New([]int{1, 1})
+	theta := n.InitParams(rng.New(6))
+	l0, _ := n.GraphLoss(g, theta, 0, -1, 0)
+	l1, err := n.GraphLoss(g, theta, 1.0, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 < l0-1e-12 {
+		t.Errorf("adding a non-negative regularizer lowered the loss: %v -> %v", l0, l1)
+	}
+	if _, err := n.GraphLoss(g, theta, -1, -1, 0); err == nil {
+		t.Errorf("negative lambda accepted")
+	}
+}
+
+func TestGraphGradientMatchesFiniteDifference(t *testing.T) {
+	g, _ := evolutionSetup(t, 4, 2, 7)
+	n, _ := New([]int{1, 1})
+	theta := n.InitParams(rng.New(8))
+	const lambda = 0.4
+
+	acc := grad.NewAccumulator(n.PlanUnitsGraph())
+	gr, err := n.GraphGradient(g, theta, lambda, acc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-5
+	for p := 0; p < n.NumParams(); p++ {
+		tp := append([]float64{}, theta...)
+		tp[p] += eps
+		lp, _ := n.GraphLoss(g, tp, lambda, -1, 0)
+		tp[p] -= 2 * eps
+		lm, _ := n.GraphLoss(g, tp, lambda, -1, 0)
+		fd := (lp - lm) / (2 * eps)
+		if math.Abs(gr[p]-fd) > 1e-4 {
+			t.Errorf("param %d: shift %v vs fd %v", p, gr[p], fd)
+		}
+	}
+}
+
+func TestGraphGradientResumable(t *testing.T) {
+	g, _ := evolutionSetup(t, 4, 2, 9)
+	n, _ := New([]int{1, 1})
+	theta := n.InitParams(rng.New(10))
+
+	stop := errors.New("stop")
+	acc := grad.NewAccumulator(n.PlanUnitsGraph())
+	_, err := n.GraphGradient(g, theta, 0.3, acc, func(u, total int) error {
+		if acc.CompletedUnits() == 4 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("expected stop, got %v", err)
+	}
+	blob, _ := acc.MarshalBinary()
+	restored := &grad.Accumulator{}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := n.GraphGradient(g, theta, 0.3, restored, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := grad.NewAccumulator(n.PlanUnitsGraph())
+	g2, err := n.GraphGradient(g, theta, 0.3, full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range g1 {
+		if g1[p] != g2[p] {
+			t.Fatalf("resumed graph gradient differs at %d", p)
+		}
+	}
+}
+
+// TestGraphRegularizationImprovesGeneralization is the headline claim of
+// the graph-QNN work: with few labels, adding the graph term improves
+// output fidelity on the unlabeled vertices.
+func TestGraphRegularizationImprovesGeneralization(t *testing.T) {
+	const (
+		vertices   = 8
+		supervised = 2
+		steps      = 40
+	)
+	trainOnce := func(lambda float64, seed uint64) float64 {
+		g, hidden := evolutionSetup(t, vertices, supervised, seed)
+		n, _ := New([]int{1, 1})
+		theta := n.InitParams(rng.New(seed + 1000))
+		opt := optimizer.NewAdam(n.NumParams(), 0.1)
+		for s := 0; s < steps; s++ {
+			acc := grad.NewAccumulator(n.PlanUnitsGraph())
+			gr, err := n.GraphGradient(g, theta, lambda, acc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Step(theta, gr)
+		}
+		vf, err := n.ValidationFidelity(g, theta, hidden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vf
+	}
+	var supOnly, withGraph float64
+	const trials = 3
+	for s := uint64(0); s < trials; s++ {
+		supOnly += trainOnce(0, 20+s)
+		withGraph += trainOnce(0.2, 20+s)
+	}
+	supOnly /= trials
+	withGraph /= trials
+	if withGraph < supOnly-0.02 {
+		t.Errorf("graph regularization hurt generalization: %.4f vs %.4f", withGraph, supOnly)
+	}
+	t.Logf("validation fidelity: supervised-only %.4f, with graph term %.4f", supOnly, withGraph)
+}
+
+func TestValidationFidelityRequiresUnsupervised(t *testing.T) {
+	g, hidden := evolutionSetup(t, 3, 3, 11)
+	n, _ := New([]int{1, 1})
+	theta := n.InitParams(rng.New(12))
+	if _, err := n.ValidationFidelity(g, theta, hidden); err == nil {
+		t.Errorf("fully supervised graph accepted for validation")
+	}
+}

@@ -1,0 +1,186 @@
+// Package failure models the failure processes that interrupt hybrid
+// quantum-classical training jobs — cloud session expiry, queue preemption,
+// calibration windows, client crashes — and provides the classic analytic
+// expected-runtime model (Young/Daly) the motivation experiment (F1)
+// evaluates alongside simulation.
+//
+// Schedules are materialized as sorted lists of absolute virtual times so
+// experiments are exactly reproducible and trivially replayable.
+package failure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Schedule is a precomputed, sorted sequence of failure instants on the
+// virtual clock. The zero value is an empty schedule (never fails).
+type Schedule struct {
+	times  []time.Duration
+	cursor int
+}
+
+// NewTrace builds a schedule from explicit failure instants (any order;
+// duplicates kept). Negative instants are rejected.
+func NewTrace(times []time.Duration) (*Schedule, error) {
+	ts := append([]time.Duration(nil), times...)
+	for _, t := range ts {
+		if t < 0 {
+			return nil, fmt.Errorf("failure: negative failure time %v", t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return &Schedule{times: ts}, nil
+}
+
+// NewPoisson draws failure instants from a Poisson process with the given
+// mean time between failures, covering [0, horizon]. The stream is consumed
+// deterministically, so the same seed yields the same schedule.
+func NewPoisson(mtbf, horizon time.Duration, r *rng.Stream) (*Schedule, error) {
+	if mtbf <= 0 {
+		return nil, fmt.Errorf("failure: MTBF %v must be positive", mtbf)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("failure: negative horizon %v", horizon)
+	}
+	var ts []time.Duration
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(r.ExpFloat64() * float64(mtbf))
+		t += gap
+		if t > horizon {
+			break
+		}
+		ts = append(ts, t)
+	}
+	return &Schedule{times: ts}, nil
+}
+
+// NewPeriodic builds a schedule failing every `period` starting at the first
+// multiple of period > 0 up to horizon — a model of fixed session limits and
+// calibration windows.
+func NewPeriodic(period, horizon time.Duration) (*Schedule, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("failure: period %v must be positive", period)
+	}
+	var ts []time.Duration
+	for t := period; t <= horizon; t += period {
+		ts = append(ts, t)
+	}
+	return &Schedule{times: ts}, nil
+}
+
+// Count returns the total number of scheduled failures.
+func (s *Schedule) Count() int { return len(s.times) }
+
+// Remaining returns how many failures have not yet fired.
+func (s *Schedule) Remaining() int { return len(s.times) - s.cursor }
+
+// Peek returns the next failure instant and true, or (0, false) if none
+// remain.
+func (s *Schedule) Peek() (time.Duration, bool) {
+	if s.cursor >= len(s.times) {
+		return 0, false
+	}
+	return s.times[s.cursor], true
+}
+
+// FiresWithin reports whether a failure occurs in the half-open virtual-time
+// interval (from, to]; if so it consumes that failure and returns its
+// instant.
+func (s *Schedule) FiresWithin(from, to time.Duration) (time.Duration, bool) {
+	// Skip failures that are already in the past (can happen when failures
+	// land inside a recovery period the caller chose not to bill).
+	for s.cursor < len(s.times) && s.times[s.cursor] <= from {
+		s.cursor++
+	}
+	if s.cursor < len(s.times) && s.times[s.cursor] <= to {
+		t := s.times[s.cursor]
+		s.cursor++
+		return t, true
+	}
+	return 0, false
+}
+
+// Reset rewinds the schedule for reuse.
+func (s *Schedule) Reset() { s.cursor = 0 }
+
+// Times returns a copy of all instants.
+func (s *Schedule) Times() []time.Duration {
+	return append([]time.Duration(nil), s.times...)
+}
+
+// --- Analytic model (Young/Daly) for experiment F1 ---
+
+// ExpectedRunNoCheckpoint returns the expected wall-clock time to finish a
+// job of length W under Poisson failures with the given MTBF and a fixed
+// per-failure restart cost R, when every failure restarts the job from
+// scratch:
+//
+//	E[T] = (MTBF + R)·(e^{W/MTBF} − 1)
+//
+// This diverges exponentially once W exceeds a few MTBFs — the motivation
+// figure's headline curve.
+func ExpectedRunNoCheckpoint(w, mtbf, restart time.Duration) time.Duration {
+	if w <= 0 {
+		return 0
+	}
+	m := float64(mtbf)
+	e := (m + float64(restart)) * (math.Exp(float64(w)/m) - 1)
+	return clampDuration(e)
+}
+
+// ExpectedRunWithCheckpoint returns the expected time to finish a job of
+// length W that checkpoints every interval τ at cost C, with restart cost R
+// and at most one interval of lost work per failure, under Poisson failures
+// (first-order Daly model):
+//
+//	segments     = ceil(W/τ)
+//	per-segment  = (MTBF + R)·(e^{(τ+C)/MTBF} − 1)
+//	E[T]         = segments · per-segment
+func ExpectedRunWithCheckpoint(w, interval, ckptCost, mtbf, restart time.Duration) time.Duration {
+	if w <= 0 {
+		return 0
+	}
+	if interval <= 0 {
+		panic("failure: checkpoint interval must be positive")
+	}
+	segments := math.Ceil(float64(w) / float64(interval))
+	m := float64(mtbf)
+	per := (m + float64(restart)) * (math.Exp((float64(interval)+float64(ckptCost))/m) - 1)
+	return clampDuration(segments * per)
+}
+
+// OptimalInterval returns the Young approximation of the optimal checkpoint
+// interval sqrt(2·C·MTBF) for checkpoint cost C.
+func OptimalInterval(ckptCost, mtbf time.Duration) time.Duration {
+	if ckptCost <= 0 || mtbf <= 0 {
+		panic("failure: OptimalInterval needs positive inputs")
+	}
+	return clampDuration(math.Sqrt(2 * float64(ckptCost) * float64(mtbf)))
+}
+
+// WastedFraction returns the expected fraction of total time wasted
+// (re-execution + checkpoint overhead) for the checkpointed model:
+// 1 − W / E[T].
+func WastedFraction(w, interval, ckptCost, mtbf, restart time.Duration) float64 {
+	et := ExpectedRunWithCheckpoint(w, interval, ckptCost, mtbf, restart)
+	if et <= 0 {
+		return 0
+	}
+	return 1 - float64(w)/float64(et)
+}
+
+func clampDuration(v float64) time.Duration {
+	if v > float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	if v < 0 {
+		return 0
+	}
+	return time.Duration(v)
+}

@@ -1,0 +1,255 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestNewTraceSortsAndValidates(t *testing.T) {
+	s, err := NewTrace([]time.Duration{3 * time.Second, 1 * time.Second, 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := s.Times()
+	if ts[0] != time.Second || ts[1] != 2*time.Second || ts[2] != 3*time.Second {
+		t.Errorf("not sorted: %v", ts)
+	}
+	if _, err := NewTrace([]time.Duration{-1}); err == nil {
+		t.Errorf("negative time accepted")
+	}
+}
+
+func TestFiresWithin(t *testing.T) {
+	s, _ := NewTrace([]time.Duration{10 * time.Second, 20 * time.Second})
+	if _, fired := s.FiresWithin(0, 5*time.Second); fired {
+		t.Errorf("fired too early")
+	}
+	at, fired := s.FiresWithin(5*time.Second, 15*time.Second)
+	if !fired || at != 10*time.Second {
+		t.Errorf("expected failure at 10s, got %v fired=%v", at, fired)
+	}
+	// Consumed: does not fire again.
+	if _, fired := s.FiresWithin(5*time.Second, 15*time.Second); fired {
+		t.Errorf("consumed failure fired twice")
+	}
+	if s.Remaining() != 1 {
+		t.Errorf("remaining = %d", s.Remaining())
+	}
+}
+
+func TestFiresWithinSkipsPast(t *testing.T) {
+	s, _ := NewTrace([]time.Duration{10 * time.Second, 20 * time.Second})
+	// Interval starting beyond the first failure skips it.
+	at, fired := s.FiresWithin(15*time.Second, 25*time.Second)
+	if !fired || at != 20*time.Second {
+		t.Errorf("got %v fired=%v, want 20s", at, fired)
+	}
+}
+
+func TestHalfOpenBoundary(t *testing.T) {
+	s, _ := NewTrace([]time.Duration{10 * time.Second})
+	if _, fired := s.FiresWithin(10*time.Second, 20*time.Second); fired {
+		t.Errorf("failure at exactly `from` should not fire (half-open)")
+	}
+	s.Reset()
+	if _, fired := s.FiresWithin(0, 10*time.Second); !fired {
+		t.Errorf("failure at exactly `to` should fire")
+	}
+}
+
+func TestPeekAndReset(t *testing.T) {
+	s, _ := NewTrace([]time.Duration{5 * time.Second})
+	if at, ok := s.Peek(); !ok || at != 5*time.Second {
+		t.Errorf("peek = %v %v", at, ok)
+	}
+	s.FiresWithin(0, 10*time.Second)
+	if _, ok := s.Peek(); ok {
+		t.Errorf("peek after consume should be empty")
+	}
+	s.Reset()
+	if _, ok := s.Peek(); !ok {
+		t.Errorf("reset did not rewind")
+	}
+}
+
+func TestPoissonStatistics(t *testing.T) {
+	mtbf := time.Minute
+	horizon := 1000 * time.Minute
+	s, err := NewPoisson(mtbf, horizon, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect about 1000 failures; allow 4σ ≈ 4·sqrt(1000) ≈ 127.
+	if n := s.Count(); math.Abs(float64(n)-1000) > 140 {
+		t.Errorf("Poisson count = %d, want ≈1000", n)
+	}
+	// Times are sorted and within horizon.
+	prev := time.Duration(-1)
+	for _, ts := range s.Times() {
+		if ts < prev || ts > horizon {
+			t.Fatalf("bad instant %v", ts)
+		}
+		prev = ts
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, _ := NewPoisson(time.Minute, 100*time.Minute, rng.New(5))
+	b, _ := NewPoisson(time.Minute, 100*time.Minute, rng.New(5))
+	ta, tb := a.Times(), b.Times()
+	if len(ta) != len(tb) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("instants differ at %d", i)
+		}
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0, time.Minute, rng.New(1)); err == nil {
+		t.Errorf("zero MTBF accepted")
+	}
+	if _, err := NewPoisson(time.Minute, -time.Minute, rng.New(1)); err == nil {
+		t.Errorf("negative horizon accepted")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	s, err := NewPeriodic(10*time.Second, 35*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	got := s.Times()
+	if len(got) != len(want) {
+		t.Fatalf("count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("instant %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := NewPeriodic(0, time.Minute); err == nil {
+		t.Errorf("zero period accepted")
+	}
+}
+
+func TestExpectedRunNoCheckpointShape(t *testing.T) {
+	w := 10 * time.Hour
+	r := time.Minute
+	// With MTBF >> W, expected time ≈ W.
+	relaxed := ExpectedRunNoCheckpoint(w, 1000*time.Hour, r)
+	if ratio := float64(relaxed) / float64(w); ratio < 0.99 || ratio > 1.05 {
+		t.Errorf("MTBF>>W: E[T]/W = %v, want ≈1", ratio)
+	}
+	// Expected time is monotone increasing as MTBF decreases.
+	prev := relaxed
+	for _, mtbf := range []time.Duration{100 * time.Hour, 20 * time.Hour, 5 * time.Hour, time.Hour} {
+		et := ExpectedRunNoCheckpoint(w, mtbf, r)
+		if et < prev {
+			t.Errorf("E[T] not monotone: MTBF %v gives %v < %v", mtbf, et, prev)
+		}
+		prev = et
+	}
+	// W = 10×MTBF: catastrophic blow-up, > 100× the job length.
+	blown := ExpectedRunNoCheckpoint(w, time.Hour, r)
+	if blown < 100*w {
+		t.Errorf("no-checkpoint blow-up too small: %v", blown)
+	}
+}
+
+func TestExpectedRunWithCheckpointBeatsNone(t *testing.T) {
+	w := 10 * time.Hour
+	mtbf := time.Hour
+	restart := time.Minute
+	ckptCost := time.Second
+	interval := 10 * time.Minute
+	with := ExpectedRunWithCheckpoint(w, interval, ckptCost, mtbf, restart)
+	without := ExpectedRunNoCheckpoint(w, mtbf, restart)
+	if with >= without {
+		t.Errorf("checkpointing did not help: with=%v without=%v", with, without)
+	}
+	// And stays within a small multiple of W.
+	if with > 2*w {
+		t.Errorf("checkpointed run too slow: %v for W=%v", with, w)
+	}
+}
+
+func TestExpectedRunZeroWork(t *testing.T) {
+	if ExpectedRunNoCheckpoint(0, time.Hour, time.Minute) != 0 {
+		t.Errorf("zero work should cost zero")
+	}
+	if ExpectedRunWithCheckpoint(0, time.Minute, time.Second, time.Hour, time.Minute) != 0 {
+		t.Errorf("zero work should cost zero")
+	}
+}
+
+func TestOptimalIntervalYoung(t *testing.T) {
+	// sqrt(2·C·MTBF) with C=1s, MTBF=1h: sqrt(2·1·3600) s ≈ 84.85s.
+	got := OptimalInterval(time.Second, time.Hour)
+	want := time.Duration(math.Sqrt(2*3600) * float64(time.Second))
+	if math.Abs(float64(got-want)) > float64(time.Second) {
+		t.Errorf("optimal interval = %v, want ≈%v", got, want)
+	}
+}
+
+func TestOptimalIntervalMinimizesModel(t *testing.T) {
+	w := 10 * time.Hour
+	mtbf := time.Hour
+	ckpt := 5 * time.Second
+	restart := 30 * time.Second
+	opt := OptimalInterval(ckpt, mtbf)
+	atOpt := ExpectedRunWithCheckpoint(w, opt, ckpt, mtbf, restart)
+	// Much shorter and much longer intervals must both be worse.
+	if ExpectedRunWithCheckpoint(w, opt/8, ckpt, mtbf, restart) <= atOpt {
+		t.Errorf("interval/8 not worse")
+	}
+	if ExpectedRunWithCheckpoint(w, opt*8, ckpt, mtbf, restart) <= atOpt {
+		t.Errorf("interval*8 not worse")
+	}
+}
+
+func TestWastedFraction(t *testing.T) {
+	w := 10 * time.Hour
+	f := WastedFraction(w, 10*time.Minute, time.Second, time.Hour, time.Minute)
+	if f <= 0 || f >= 1 {
+		t.Errorf("wasted fraction = %v, want in (0,1)", f)
+	}
+	// Near-zero failure rate → near-zero waste.
+	f0 := WastedFraction(w, 10*time.Minute, time.Millisecond, 10000*time.Hour, time.Minute)
+	if f0 > 0.01 {
+		t.Errorf("waste with huge MTBF = %v", f0)
+	}
+}
+
+func TestInvalidAnalyticInputsPanic(t *testing.T) {
+	for i, fn := range []func(){
+		func() { ExpectedRunWithCheckpoint(time.Hour, 0, time.Second, time.Hour, time.Second) },
+		func() { OptimalInterval(0, time.Hour) },
+		func() { OptimalInterval(time.Second, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEmptyScheduleNeverFires(t *testing.T) {
+	var s Schedule
+	if _, fired := s.FiresWithin(0, time.Hour*1000); fired {
+		t.Errorf("empty schedule fired")
+	}
+	if s.Count() != 0 || s.Remaining() != 0 {
+		t.Errorf("empty schedule counts wrong")
+	}
+}

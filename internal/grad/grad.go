@@ -1,0 +1,366 @@
+// Package grad is the gradient engine for parameterized quantum circuits —
+// the "autodiff" substrate of hybrid training. It implements the exact
+// parameter-shift rule, central finite differences, and SPSA.
+//
+// The storage-relevant design decision is that a parameter-shift gradient is
+// decomposed into an explicit list of work Units (one circuit evaluation
+// each: a gate occurrence shifted by ±π/2), executed through an Evaluator
+// interface that may fail mid-gradient (QPU preemption, session expiry). The
+// partial results live in an Accumulator that is cheap to serialize — this
+// is the sub-step checkpoint state the core checkpoint engine captures, and
+// the reason recovery can lose less than one optimizer step even when a
+// step costs minutes of QPU time.
+//
+// Every parameterized gate in this codebase is a rotation exp(−iθG/2) with
+// G² = I, so the two-point shift rule with shift ±π/2 is exact:
+//
+//	∂E/∂θ_p = Σ_{occurrences o of p} ½·[E(o shifted +π/2) − E(o shifted −π/2)]
+package grad
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+)
+
+// Evaluator computes the scalar training loss for parameters θ with an
+// optional per-occurrence shift applied. Implementations wrap the QPU
+// backend; evaluation may fail transiently (preemption) or permanently.
+type Evaluator interface {
+	Evaluate(theta []float64, shift circuit.Shift) (float64, error)
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(theta []float64, shift circuit.Shift) (float64, error)
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(theta []float64, shift circuit.Shift) (float64, error) {
+	return f(theta, shift)
+}
+
+// Unit is one circuit evaluation inside a parameter-shift gradient: the gate
+// occurrence at OpIndex with the given shift sign.
+type Unit struct {
+	OpIndex int
+	Sign    int8 // +1 or −1
+}
+
+// Shift returns the circuit.Shift this unit applies (±π/2).
+func (u Unit) Shift() circuit.Shift {
+	return circuit.Shift{OpIndex: u.OpIndex, Delta: float64(u.Sign) * math.Pi / 2}
+}
+
+// Plan returns the full ordered work-unit list for a parameter-shift
+// gradient of the circuit: two units (+, −) per parameterized gate
+// occurrence, ordered by op index. len = 2 × (number of parameterized
+// occurrences).
+func Plan(c *circuit.Circuit) []Unit {
+	var units []Unit
+	for i, op := range c.Ops {
+		if op.ParamIdx != circuit.NoParam {
+			units = append(units,
+				Unit{OpIndex: i, Sign: +1},
+				Unit{OpIndex: i, Sign: -1},
+			)
+		}
+	}
+	return units
+}
+
+// Accumulator records which work units of a gradient have completed and
+// their values. It is the mid-step checkpoint state: serializing it after
+// every completed unit bounds lost work to a single circuit evaluation.
+type Accumulator struct {
+	done   []bool
+	values []float64
+}
+
+// NewAccumulator returns an empty accumulator sized for the given plan.
+func NewAccumulator(numUnits int) *Accumulator {
+	if numUnits < 0 {
+		panic("grad: negative unit count")
+	}
+	return &Accumulator{
+		done:   make([]bool, numUnits),
+		values: make([]float64, numUnits),
+	}
+}
+
+// Len returns the total unit count.
+func (a *Accumulator) Len() int { return len(a.done) }
+
+// CompletedUnits returns how many units have results.
+func (a *Accumulator) CompletedUnits() int {
+	n := 0
+	for _, d := range a.done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Complete reports whether every unit has a result.
+func (a *Accumulator) Complete() bool { return a.CompletedUnits() == len(a.done) }
+
+// Record stores the result of unit i.
+func (a *Accumulator) Record(i int, value float64) {
+	if i < 0 || i >= len(a.done) {
+		panic(fmt.Sprintf("grad: unit index %d out of range [0,%d)", i, len(a.done)))
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		panic(fmt.Sprintf("grad: non-finite unit value %v", value))
+	}
+	a.done[i] = true
+	a.values[i] = value
+}
+
+// Done reports whether unit i has a recorded result.
+func (a *Accumulator) Done(i int) bool {
+	if i < 0 || i >= len(a.done) {
+		panic(fmt.Sprintf("grad: unit index %d out of range [0,%d)", i, len(a.done)))
+	}
+	return a.done[i]
+}
+
+// Value returns the recorded result of unit i, or an error if the unit has
+// not completed.
+func (a *Accumulator) Value(i int) (float64, error) {
+	if i < 0 || i >= len(a.done) {
+		return 0, fmt.Errorf("grad: unit index %d out of range [0,%d)", i, len(a.done))
+	}
+	if !a.done[i] {
+		return 0, fmt.Errorf("grad: unit %d has no result", i)
+	}
+	return a.values[i], nil
+}
+
+// Next returns the index of the first incomplete unit, or -1 if complete.
+func (a *Accumulator) Next() int {
+	for i, d := range a.done {
+		if !d {
+			return i
+		}
+	}
+	return -1
+}
+
+// Reset clears all recorded results (start of a new optimizer step).
+func (a *Accumulator) Reset() {
+	for i := range a.done {
+		a.done[i] = false
+		a.values[i] = 0
+	}
+}
+
+// Gradient combines completed unit results into ∂E/∂θ for the circuit the
+// plan was built from. It returns an error if any unit is missing.
+func (a *Accumulator) Gradient(c *circuit.Circuit) ([]float64, error) {
+	if !a.Complete() {
+		return nil, fmt.Errorf("grad: gradient requested with %d/%d units complete",
+			a.CompletedUnits(), a.Len())
+	}
+	plan := Plan(c)
+	if len(plan) != a.Len() {
+		return nil, fmt.Errorf("grad: accumulator has %d units, plan has %d", a.Len(), len(plan))
+	}
+	g := make([]float64, c.NumParams)
+	for i, u := range plan {
+		p := c.Ops[u.OpIndex].ParamIdx
+		g[p] += 0.5 * float64(u.Sign) * a.values[i]
+	}
+	return g, nil
+}
+
+// MarshalBinary serializes the accumulator: unit count, completion bitmap,
+// values of completed units only (incomplete entries are omitted to keep
+// early-step deltas tiny).
+func (a *Accumulator) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 8+(len(a.done)+7)/8+8*a.CompletedUnits())
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(a.done)))
+	var cur byte
+	for i, d := range a.done {
+		if d {
+			cur |= 1 << uint(i%8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, cur)
+			cur = 0
+		}
+	}
+	if len(a.done)%8 != 0 {
+		buf = append(buf, cur)
+	}
+	for i, d := range a.done {
+		if d {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.values[i]))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores the accumulator.
+func (a *Accumulator) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return errors.New("grad: accumulator blob too short")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if n < 0 || n > 1<<30 {
+		return fmt.Errorf("grad: implausible unit count %d", n)
+	}
+	data = data[8:]
+	bitmapLen := (n + 7) / 8
+	if len(data) < bitmapLen {
+		return errors.New("grad: accumulator bitmap truncated")
+	}
+	done := make([]bool, n)
+	completed := 0
+	for i := 0; i < n; i++ {
+		if data[i/8]&(1<<uint(i%8)) != 0 {
+			done[i] = true
+			completed++
+		}
+	}
+	data = data[bitmapLen:]
+	if len(data) != 8*completed {
+		return fmt.Errorf("grad: accumulator values length %d, want %d", len(data), 8*completed)
+	}
+	values := make([]float64, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		if done[i] {
+			values[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	a.done = done
+	a.values = values
+	return nil
+}
+
+// Clone deep-copies the accumulator.
+func (a *Accumulator) Clone() *Accumulator {
+	return &Accumulator{
+		done:   append([]bool(nil), a.done...),
+		values: append([]float64(nil), a.values...),
+	}
+}
+
+// Equal reports whether two accumulators hold identical state.
+func (a *Accumulator) Equal(b *Accumulator) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.done {
+		if a.done[i] != b.done[i] {
+			return false
+		}
+		if a.done[i] && a.values[i] != b.values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnitHook is called after each completed work unit; the trainer installs a
+// checkpoint policy here. Returning an error aborts the gradient run (the
+// accumulator keeps the completed units).
+type UnitHook func(unitIndex, totalUnits int) error
+
+// ParameterShift runs (or resumes) a parameter-shift gradient: it executes
+// every incomplete unit in acc through eval and records the result. On
+// evaluator failure it returns the error immediately; acc retains all
+// completed units, so a retry resumes where it stopped. A nil hook is
+// allowed.
+func ParameterShift(c *circuit.Circuit, theta []float64, eval Evaluator, acc *Accumulator, hook UnitHook) error {
+	plan := Plan(c)
+	if acc.Len() != len(plan) {
+		return fmt.Errorf("grad: accumulator sized for %d units, plan has %d", acc.Len(), len(plan))
+	}
+	if len(theta) != c.NumParams {
+		return fmt.Errorf("grad: got %d parameters, circuit wants %d", len(theta), c.NumParams)
+	}
+	for i, u := range plan {
+		if acc.done[i] {
+			continue
+		}
+		v, err := eval.Evaluate(theta, u.Shift())
+		if err != nil {
+			return fmt.Errorf("grad: unit %d/%d: %w", i, len(plan), err)
+		}
+		acc.Record(i, v)
+		if hook != nil {
+			if err := hook(i, len(plan)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FiniteDiff computes the gradient by central differences with step eps.
+// It costs 2P evaluations and is inexact (O(eps²) bias plus shot noise
+// amplified by 1/eps); it exists as the baseline the parameter-shift rule is
+// validated against.
+func FiniteDiff(c *circuit.Circuit, theta []float64, eval Evaluator, eps float64) ([]float64, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("grad: finite-difference step %v", eps)
+	}
+	g := make([]float64, c.NumParams)
+	work := append([]float64(nil), theta...)
+	for p := 0; p < c.NumParams; p++ {
+		work[p] = theta[p] + eps
+		plus, err := eval.Evaluate(work, circuit.NoShift)
+		if err != nil {
+			return nil, err
+		}
+		work[p] = theta[p] - eps
+		minus, err := eval.Evaluate(work, circuit.NoShift)
+		if err != nil {
+			return nil, err
+		}
+		work[p] = theta[p]
+		g[p] = (plus - minus) / (2 * eps)
+	}
+	return g, nil
+}
+
+// SPSA computes a simultaneous-perturbation stochastic gradient estimate:
+// two evaluations total, regardless of P. Cheap but noisy — the baseline
+// that trades gradient quality for shot budget.
+func SPSA(c *circuit.Circuit, theta []float64, eval Evaluator, eps float64, r *rng.Stream) ([]float64, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("grad: SPSA step %v", eps)
+	}
+	delta := make([]float64, c.NumParams)
+	for i := range delta {
+		if r.Float64() < 0.5 {
+			delta[i] = 1
+		} else {
+			delta[i] = -1
+		}
+	}
+	plus := make([]float64, c.NumParams)
+	minus := make([]float64, c.NumParams)
+	for i := range theta {
+		plus[i] = theta[i] + eps*delta[i]
+		minus[i] = theta[i] - eps*delta[i]
+	}
+	ep, err := eval.Evaluate(plus, circuit.NoShift)
+	if err != nil {
+		return nil, err
+	}
+	em, err := eval.Evaluate(minus, circuit.NoShift)
+	if err != nil {
+		return nil, err
+	}
+	g := make([]float64, c.NumParams)
+	for i := range g {
+		g[i] = (ep - em) / (2 * eps * delta[i])
+	}
+	return g, nil
+}

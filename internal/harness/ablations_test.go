@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestA1AnchorSweepShapes(t *testing.T) {
+	rows, err := RunA1AnchorSweep(12, []int{1, 4, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Anchor-every-1 means every snapshot is full: largest bytes, chain 1.
+	allFull := rows[0]
+	longChain := rows[2]
+	if allFull.ChainLen != 1 {
+		t.Errorf("anchor=1 chain length %d", allFull.ChainLen)
+	}
+	if longChain.ChainLen <= allFull.ChainLen {
+		t.Errorf("longer anchor period did not lengthen chains: %d vs %d",
+			longChain.ChainLen, allFull.ChainLen)
+	}
+	if longChain.TotalBytes >= allFull.TotalBytes {
+		t.Errorf("longer chains did not reduce bytes: %d vs %d",
+			longChain.TotalBytes, allFull.TotalBytes)
+	}
+	for _, r := range rows {
+		if r.Snapshots != 12 {
+			t.Errorf("anchor=%d snapshots=%d, want 12", r.AnchorEvery, r.Snapshots)
+		}
+	}
+	if s := A1Table(rows).String(); !strings.Contains(s, "anchor-every") {
+		t.Errorf("table malformed")
+	}
+}
+
+func TestA2GroupingShapes(t *testing.T) {
+	rows, err := RunA2Grouping(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	termwise, grouped := rows[0], rows[1]
+	if termwise.Mode != "term-wise" || grouped.Mode != "grouped" {
+		t.Fatalf("row order: %s, %s", termwise.Mode, grouped.Mode)
+	}
+	// TFIM(4): 7 terms → 2 groups; shot bill shrinks accordingly.
+	if termwise.SettingsCount != 7 || grouped.SettingsCount != 2 {
+		t.Errorf("settings: %d and %d, want 7 and 2", termwise.SettingsCount, grouped.SettingsCount)
+	}
+	if grouped.ShotsPerStep >= termwise.ShotsPerStep {
+		t.Errorf("grouping did not cut shots: %d vs %d", grouped.ShotsPerStep, termwise.ShotsPerStep)
+	}
+	if grouped.StepVirtual >= termwise.StepVirtual {
+		t.Errorf("grouping did not cut step time: %v vs %v", grouped.StepVirtual, termwise.StepVirtual)
+	}
+	// Both make progress: losses below the trivial 0 energy toward ground.
+	for _, r := range rows {
+		if r.FinalLoss >= 0 {
+			t.Errorf("%s made no VQE progress: %v", r.Mode, r.FinalLoss)
+		}
+	}
+	if s := A2Table(rows).String(); !strings.Contains(s, "shots/step") {
+		t.Errorf("table malformed")
+	}
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/rng"
+)
+
+// F1Row is one MTBF point of the motivation figure: expected completion
+// time of a fixed-length training job with and without checkpointing,
+// analytic (Young/Daly) and Monte-Carlo simulated.
+type F1Row struct {
+	MTBF             time.Duration
+	JobLength        time.Duration
+	AnalyticNoCkpt   time.Duration
+	SimulatedNoCkpt  time.Duration
+	AnalyticCkpt     time.Duration // at the Young-optimal interval
+	OptimalInterval  time.Duration
+	WastedFracNoCkpt float64 // 1 − W/E[T] without checkpointing
+	WastedFracCkpt   float64
+}
+
+// simulateNoCheckpoint Monte-Carlo-simulates restart-from-scratch execution
+// of a job of length w under a Poisson failure process, averaged over
+// `trials` runs. Each failure restarts the job after `restart` recovery
+// time. A per-trial cap avoids unbounded runs at tiny MTBF.
+func simulateNoCheckpoint(w, mtbf, restart time.Duration, trials int, seed uint64) time.Duration {
+	r := rng.New(seed)
+	limit := 1000 * w // per-trial cap so tiny MTBFs terminate
+	var total time.Duration
+	for tr := 0; tr < trials; tr++ {
+		var elapsed time.Duration
+		for elapsed < limit {
+			gap := time.Duration(r.ExpFloat64() * float64(mtbf))
+			if gap >= w {
+				// The attempt finishes before the next failure.
+				elapsed += w
+				break
+			}
+			// Failure mid-attempt: all progress lost, pay the restart cost.
+			elapsed += gap + restart
+		}
+		if elapsed > limit {
+			elapsed = limit
+		}
+		total += elapsed
+	}
+	return total / time.Duration(trials)
+}
+
+// RunF1WastedWork sweeps MTBF for a fixed job length and returns the
+// motivation-figure rows.
+func RunF1WastedWork(jobLength time.Duration, mtbfs []time.Duration, ckptCost, restart time.Duration, trials int) ([]F1Row, error) {
+	if jobLength <= 0 || ckptCost <= 0 || restart < 0 || trials < 1 {
+		return nil, fmt.Errorf("harness: bad F1 inputs")
+	}
+	var rows []F1Row
+	for i, mtbf := range mtbfs {
+		opt := failure.OptimalInterval(ckptCost, mtbf)
+		anaNo := failure.ExpectedRunNoCheckpoint(jobLength, mtbf, restart)
+		anaCk := failure.ExpectedRunWithCheckpoint(jobLength, opt, ckptCost, mtbf, restart)
+		sim := simulateNoCheckpoint(jobLength, mtbf, restart, trials, 9000+uint64(i))
+		rows = append(rows, F1Row{
+			MTBF:             mtbf,
+			JobLength:        jobLength,
+			AnalyticNoCkpt:   anaNo,
+			SimulatedNoCkpt:  sim,
+			AnalyticCkpt:     anaCk,
+			OptimalInterval:  opt,
+			WastedFracNoCkpt: 1 - float64(jobLength)/float64(anaNo),
+			WastedFracCkpt:   1 - float64(jobLength)/float64(anaCk),
+		})
+	}
+	return rows, nil
+}
+
+// F1Table renders the rows.
+func F1Table(rows []F1Row) *Table {
+	t := &Table{
+		Title: "Figure 1 — Expected completion time of a fixed job vs MTBF (no checkpoint vs optimal-interval checkpoint)",
+		Columns: []string{"MTBF", "job", "E[T] no-ckpt (analytic)", "E[T] no-ckpt (sim)",
+			"E[T] ckpt", "opt interval", "waste% no-ckpt", "waste% ckpt"},
+	}
+	for _, r := range rows {
+		t.Add(r.MTBF, r.JobLength, r.AnalyticNoCkpt, r.SimulatedNoCkpt,
+			r.AnalyticCkpt, r.OptimalInterval,
+			fmt.Sprintf("%.1f%%", r.WastedFracNoCkpt*100),
+			fmt.Sprintf("%.1f%%", r.WastedFracCkpt*100))
+	}
+	return t
+}

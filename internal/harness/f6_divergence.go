@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/qpu"
+	"repro/internal/train"
+)
+
+// F6Row is one resume mode of the reproducibility figure: how far a run
+// resumed with partial state diverges from the uninterrupted trajectory.
+type F6Row struct {
+	Mode         string
+	Bitwise      bool    // final parameters bitwise equal to reference
+	MaxThetaDiff float64 // max |Δθ_i| at the end
+	LossRMSE     float64 // RMSE of the post-resume loss trace vs reference
+	FinalLossGap float64 // |final loss − reference final loss|
+}
+
+// RunF6Divergence quantifies why the checkpoint must be complete: it
+// captures a run at the midpoint, then resumes with (a) the full state,
+// (b) parameters+optimizer but fresh RNG streams, and (c) parameters only
+// (fresh optimizer and RNG), and measures the divergence of each resumed
+// trajectory from the uninterrupted reference.
+func RunF6Divergence(totalSteps int) ([]F6Row, error) {
+	if totalSteps < 4 || totalSteps%2 != 0 {
+		return nil, fmt.Errorf("harness: F6 needs an even step count ≥4")
+	}
+	half := totalSteps / 2
+	cfg, err := vqeTrainConfig(3, 2, 32, 666, qpu.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	// Uninterrupted reference.
+	ref, err := train.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ref.Run(totalSteps); err != nil {
+		return nil, err
+	}
+
+	// Midpoint capture from an identical run.
+	mid, err := train.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mid.Run(half); err != nil {
+		return nil, err
+	}
+	midState, err := mid.Capture()
+	if err != nil {
+		return nil, err
+	}
+
+	// A fresh trainer's state provides "factory" blobs for the partial
+	// resume modes.
+	freshTr, err := train.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	freshState, err := freshTr.Capture()
+	if err != nil {
+		return nil, err
+	}
+
+	modes := []struct {
+		name  string
+		build func() *core.TrainingState
+	}{
+		{"full-state", func() *core.TrainingState { return midState.Clone() }},
+		{"params+optimizer", func() *core.TrainingState {
+			st := midState.Clone()
+			st.RNG = append([]byte{}, freshState.RNG...)
+			return st
+		}},
+		{"params-only", func() *core.TrainingState {
+			st := midState.Clone()
+			st.RNG = append([]byte{}, freshState.RNG...)
+			st.Optimizer = append([]byte{}, freshState.Optimizer...)
+			return st
+		}},
+	}
+
+	var rows []F6Row
+	for _, mode := range modes {
+		tr, err := train.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Restore(mode.build()); err != nil {
+			return nil, err
+		}
+		if _, err := tr.Run(totalSteps); err != nil {
+			return nil, err
+		}
+		row := F6Row{Mode: mode.name, Bitwise: true}
+		for i := range ref.Theta() {
+			d := math.Abs(ref.Theta()[i] - tr.Theta()[i])
+			if d > row.MaxThetaDiff {
+				row.MaxThetaDiff = d
+			}
+			if ref.Theta()[i] != tr.Theta()[i] {
+				row.Bitwise = false
+			}
+		}
+		rh, th := ref.LossHistory(), tr.LossHistory()
+		n := 0
+		var sse float64
+		for i := half; i < len(rh) && i < len(th); i++ {
+			d := rh[i] - th[i]
+			sse += d * d
+			n++
+		}
+		if n > 0 {
+			row.LossRMSE = math.Sqrt(sse / float64(n))
+		}
+		row.FinalLossGap = math.Abs(rh[len(rh)-1] - th[len(th)-1])
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// F6Table renders the rows.
+func F6Table(rows []F6Row) *Table {
+	t := &Table{
+		Title:   "Figure 6 — Trajectory divergence after resume with partial state (why checkpoints must be complete)",
+		Columns: []string{"resume mode", "bitwise", "max |Δθ|", "loss RMSE", "final-loss gap"},
+	}
+	for _, r := range rows {
+		t.Add(r.Mode, r.Bitwise, r.MaxThetaDiff, r.LossRMSE, r.FinalLossGap)
+	}
+	return t
+}

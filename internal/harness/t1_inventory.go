@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/qpu"
+	"repro/internal/train"
+)
+
+// InventoryRow is one line of Table 1: the serialized size of every
+// training-state component for a given QNN shape, contrasted with the size
+// of a naive statevector dump.
+type InventoryRow struct {
+	Qubits, Layers, Params int
+	ParamsB                int
+	OptimizerB             int
+	RNGB                   int
+	GradAccumB             int // captured mid-step, worst case (all units done but one)
+	CursorB                int
+	OtherB                 int // loss history + best + counters + meta
+	TotalB                 int
+	FullSnapshotB          int // on-disk full snapshot (compressed, framed)
+	StatevectorB           int64
+}
+
+// RunT1Inventory builds trainers for each (qubits, layers) shape, runs a few
+// steps so every component is populated (including a mid-step gradient
+// accumulator), captures the state and itemizes its serialized size.
+func RunT1Inventory(shapes [][2]int) ([]InventoryRow, error) {
+	var rows []InventoryRow
+	for _, sh := range shapes {
+		n, layers := sh[0], sh[1]
+		cfg, err := vqeTrainConfig(n, layers, 64, 1000+uint64(n), qpu.Config{})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := train.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tr.Run(3); err != nil {
+			return nil, err
+		}
+		// Fill the gradient accumulator almost completely so the row shows
+		// the worst-case mid-step footprint.
+		if err := fillAccumulator(tr); err != nil {
+			return nil, err
+		}
+		st, err := tr.Capture()
+		if err != nil {
+			return nil, err
+		}
+		br := st.Breakdown()
+		payload, err := core.EncodePayload(st)
+		if err != nil {
+			return nil, err
+		}
+		file, err := core.EncodeSnapshotFile(core.Header{
+			Kind: core.KindFull, PayloadHash: core.PayloadHash(payload),
+		}, payload)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, InventoryRow{
+			Qubits: n, Layers: layers, Params: cfg.Circuit.NumParams,
+			ParamsB:       br.Params,
+			OptimizerB:    br.Optimizer,
+			RNGB:          br.RNG,
+			GradAccumB:    br.GradAccum,
+			CursorB:       br.DataCursor,
+			OtherB:        br.LossHistory + br.Best + br.Counters + br.Meta,
+			TotalB:        br.Total,
+			FullSnapshotB: len(file),
+			StatevectorB:  int64(16) << uint(n),
+		})
+	}
+	return rows, nil
+}
+
+// fillAccumulator advances the trainer into the middle of its next gradient
+// step, leaving a nearly complete accumulator (worst-case mid-step size).
+func fillAccumulator(tr *train.Trainer) error {
+	return tr.FillAccumulatorForInventory()
+}
+
+// T1Table renders the rows.
+func T1Table(rows []InventoryRow) *Table {
+	t := &Table{
+		Title: "Table 1 — Training-state inventory (bytes) vs QNN size; statevector dump for contrast",
+		Columns: []string{"qubits", "layers", "P", "params", "optimizer", "rng",
+			"grad-accum", "cursor", "other", "total", "snapshot(file)", "statevector"},
+	}
+	for _, r := range rows {
+		t.Add(r.Qubits, r.Layers, r.Params, r.ParamsB, r.OptimizerB, r.RNGB,
+			r.GradAccumB, r.CursorB, r.OtherB, r.TotalB, r.FullSnapshotB,
+			humanBytes(r.StatevectorB))
+	}
+	return t
+}

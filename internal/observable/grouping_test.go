@@ -1,0 +1,142 @@
+package observable
+
+import (
+	"testing"
+
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+func TestQubitWiseCompatible(t *testing.T) {
+	zz01 := NewPauliString(map[int]Pauli{0: Z, 1: Z})
+	zz12 := NewPauliString(map[int]Pauli{1: Z, 2: Z})
+	x0 := NewPauliString(map[int]Pauli{0: X})
+	z0 := NewPauliString(map[int]Pauli{0: Z})
+	if !qubitWiseCompatible(zz01, zz12) {
+		t.Errorf("ZZ(0,1) and ZZ(1,2) share qubit 1 with same Pauli; compatible")
+	}
+	if qubitWiseCompatible(zz01, x0) {
+		t.Errorf("ZZ(0,1) and X0 clash on qubit 0")
+	}
+	if !qubitWiseCompatible(x0, zz12) {
+		t.Errorf("disjoint strings must be compatible")
+	}
+	if !qubitWiseCompatible(z0, zz01) {
+		t.Errorf("Z0 within ZZ(0,1) basis is compatible")
+	}
+}
+
+func TestGroupTFIMIsTwoGroups(t *testing.T) {
+	// All ZZ terms mutually qubit-wise commute; all X terms commute; Z and
+	// X clash on shared qubits → exactly 2 groups for any chain length.
+	for _, n := range []int{2, 4, 8, 12} {
+		h := TFIM(n, 1, 0.5)
+		if g := NumGroups(h); g != 2 {
+			t.Errorf("TFIM(%d): %d groups, want 2", n, g)
+		}
+	}
+}
+
+func TestGroupCoversAllTerms(t *testing.T) {
+	h := Heisenberg(5, 1, 0.8, 0.6)
+	groups, constant := GroupTerms(h)
+	if constant != 0 {
+		t.Errorf("Heisenberg has no identity terms, constant = %v", constant)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Terms)
+		// All members must be pairwise compatible and consistent with the
+		// group basis.
+		for i, a := range g.Terms {
+			for _, b := range g.Terms[i+1:] {
+				if !qubitWiseCompatible(a.P, b.P) {
+					t.Fatalf("incompatible terms grouped: %s vs %s", a.P, b.P)
+				}
+			}
+			for q, p := range a.P.Ops {
+				if g.Basis.Ops[q] != p {
+					t.Fatalf("group basis inconsistent at qubit %d", q)
+				}
+			}
+		}
+	}
+	if total != len(h.Terms) {
+		t.Errorf("grouped %d terms of %d", total, len(h.Terms))
+	}
+}
+
+func TestGroupConstantExtraction(t *testing.T) {
+	h := MaxCut(4, RingEdges(4)) // half the terms are identity with −½ each
+	groups, constant := GroupTerms(h)
+	if constant != -2 {
+		t.Errorf("constant = %v, want -2", constant)
+	}
+	// The 4 ZZ terms are all-Z → one group.
+	if len(groups) != 1 {
+		t.Errorf("MaxCut ring: %d groups, want 1", len(groups))
+	}
+}
+
+func TestGroupingReducesSettingsVsTermCount(t *testing.T) {
+	h := Heisenberg(6, 1, 1, 1)
+	if g := NumGroups(h); g >= h.NumTerms() {
+		t.Errorf("grouping did not reduce settings: %d groups for %d terms", g, h.NumTerms())
+	}
+}
+
+func TestGroupDeterministic(t *testing.T) {
+	h := Heisenberg(4, 1, 0.5, 0.25)
+	a, _ := GroupTerms(h)
+	b, _ := GroupTerms(h)
+	if len(a) != len(b) {
+		t.Fatalf("group counts differ")
+	}
+	for i := range a {
+		if len(a[i].Terms) != len(b[i].Terms) {
+			t.Errorf("group %d sizes differ", i)
+		}
+	}
+}
+
+func TestGroupedExpectationMatchesTermwise(t *testing.T) {
+	// Estimating each group's members from shared shots must agree with
+	// the exact expectation. Simulate: rotate per group basis, sample,
+	// compute each member's parity average.
+	h := Heisenberg(3, 1, 0.7, 0.4)
+	r := rng.New(61)
+	s := quantum.RandomState(3, r)
+	exact := h.Expectation(s)
+
+	groups, constant := GroupTerms(h)
+	est := constant
+	for _, g := range groups {
+		rot := s.Clone()
+		g.Basis.RotateToZBasis(rot)
+		shotsIdx := rot.SampleShots(r, 60000)
+		for _, t := range g.Terms {
+			mask := t.P.ZMask()
+			sum := 0
+			for _, b := range shotsIdx {
+				if parity(b&mask) == 0 {
+					sum++
+				} else {
+					sum--
+				}
+			}
+			est += t.Coeff * float64(sum) / float64(len(shotsIdx))
+		}
+	}
+	if diff := est - exact; diff > 0.05 || diff < -0.05 {
+		t.Errorf("grouped estimate %v vs exact %v", est, exact)
+	}
+}
+
+func parity(x int) int {
+	c := 0
+	for x != 0 {
+		c ^= x & 1
+		x >>= 1
+	}
+	return c
+}

@@ -1,0 +1,404 @@
+// Package observable defines Pauli-string observables and Hamiltonians
+// (weighted sums of Pauli strings) together with exact and shot-based
+// expectation-value estimation over statevector states.
+//
+// These are the loss-function ingredients of the VQE and QAOA workloads the
+// checkpointing experiments train: the trainer asks the QPU for ⟨H⟩ at the
+// current parameters, and the gradient engine asks for it at shifted
+// parameters.
+package observable
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// Pauli is a single-qubit Pauli operator label.
+type Pauli byte
+
+// Pauli labels.
+const (
+	I Pauli = iota
+	X
+	Y
+	Z
+)
+
+// String returns "I", "X", "Y" or "Z".
+func (p Pauli) String() string {
+	switch p {
+	case I:
+		return "I"
+	case X:
+		return "X"
+	case Y:
+		return "Y"
+	case Z:
+		return "Z"
+	}
+	return "?"
+}
+
+// PauliString is a tensor product of single-qubit Paulis over n qubits,
+// stored sparsely as qubit→operator assignments. Qubits not present act as
+// identity.
+type PauliString struct {
+	Ops map[int]Pauli // qubit index -> non-identity Pauli
+}
+
+// NewPauliString builds a Pauli string from qubit/operator pairs. Identity
+// entries are dropped.
+func NewPauliString(ops map[int]Pauli) PauliString {
+	clean := make(map[int]Pauli, len(ops))
+	for q, p := range ops {
+		if q < 0 {
+			panic(fmt.Sprintf("observable: negative qubit %d", q))
+		}
+		if p != I {
+			clean[q] = p
+		}
+	}
+	return PauliString{Ops: clean}
+}
+
+// Weight returns the number of non-identity factors.
+func (ps PauliString) Weight() int { return len(ps.Ops) }
+
+// MaxQubit returns the largest qubit index touched, or -1 for the identity.
+func (ps PauliString) MaxQubit() int {
+	max := -1
+	for q := range ps.Ops {
+		if q > max {
+			max = q
+		}
+	}
+	return max
+}
+
+// String renders e.g. "X0·Z2·Z3" (identity renders as "I").
+func (ps PauliString) String() string {
+	if len(ps.Ops) == 0 {
+		return "I"
+	}
+	qs := make([]int, 0, len(ps.Ops))
+	for q := range ps.Ops {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	parts := make([]string, len(qs))
+	for i, q := range qs {
+		parts[i] = fmt.Sprintf("%s%d", ps.Ops[q], q)
+	}
+	return strings.Join(parts, "·")
+}
+
+// apply applies the Pauli string to a copy of the state and returns it.
+// Pauli application is a cheap permutation-with-phase, so ⟨ψ|P|ψ⟩ is
+// computed as ⟨ψ|(P ψ)⟩.
+func (ps PauliString) apply(s *quantum.State) *quantum.State {
+	out := s.Clone()
+	for q, p := range ps.Ops {
+		switch p {
+		case X:
+			out.ApplyPauliX(q)
+		case Y:
+			out.ApplyPauliY(q)
+		case Z:
+			out.ApplyPauliZ(q)
+		}
+	}
+	return out
+}
+
+// Expectation returns the exact ⟨ψ|P|ψ⟩ (a real number, since P is
+// Hermitian).
+func (ps PauliString) Expectation(s *quantum.State) float64 {
+	if ps.MaxQubit() >= s.Qubits() {
+		panic(fmt.Sprintf("observable: Pauli string touches qubit %d on %d-qubit state", ps.MaxQubit(), s.Qubits()))
+	}
+	return real(s.InnerProduct(ps.apply(s)))
+}
+
+// ZMask returns the bitmask of qubits measured for this string after
+// basis rotation (all non-identity factors become Z-measurements).
+func (ps PauliString) ZMask() int {
+	m := 0
+	for q := range ps.Ops {
+		m |= 1 << uint(q)
+	}
+	return m
+}
+
+// RotateToZBasis applies, in place, the single-qubit rotations that map each
+// X factor to Z (Hadamard) and each Y factor to Z (S†·H ordering: H·S†).
+func (ps PauliString) RotateToZBasis(s *quantum.State) {
+	for q, p := range ps.Ops {
+		switch p {
+		case X:
+			s.Apply1(&quantum.GateH, q)
+		case Y:
+			s.Apply1(&quantum.GateSdg, q)
+			s.Apply1(&quantum.GateH, q)
+		}
+	}
+}
+
+// EstimateExpectation estimates ⟨P⟩ from `shots` simulated measurements:
+// rotate a copy of the state into the Z-eigenbasis of P, sample bitstrings,
+// and average the parity ±1 of the measured qubits. shots must be positive.
+func (ps PauliString) EstimateExpectation(s *quantum.State, r *rng.Stream, shots int) float64 {
+	if shots <= 0 {
+		panic("observable: shots must be positive")
+	}
+	if len(ps.Ops) == 0 {
+		return 1 // identity
+	}
+	rot := s.Clone()
+	ps.RotateToZBasis(rot)
+	mask := ps.ZMask()
+	sum := 0
+	for _, b := range rot.SampleShots(r, shots) {
+		if bits.OnesCount(uint(b&mask))%2 == 0 {
+			sum++
+		} else {
+			sum--
+		}
+	}
+	return float64(sum) / float64(shots)
+}
+
+// Term is one weighted Pauli string in a Hamiltonian.
+type Term struct {
+	Coeff float64
+	P     PauliString
+}
+
+// Hamiltonian is a real-weighted sum of Pauli strings: H = Σ c_k P_k.
+type Hamiltonian struct {
+	Qubits int
+	Terms  []Term
+}
+
+// Validate checks the Hamiltonian is well formed.
+func (h Hamiltonian) Validate() error {
+	if h.Qubits < 1 {
+		return fmt.Errorf("observable: hamiltonian needs at least 1 qubit, has %d", h.Qubits)
+	}
+	for i, t := range h.Terms {
+		if mq := t.P.MaxQubit(); mq >= h.Qubits {
+			return fmt.Errorf("observable: term %d touches qubit %d beyond %d qubits", i, mq, h.Qubits)
+		}
+		if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+			return fmt.Errorf("observable: term %d has non-finite coefficient", i)
+		}
+	}
+	return nil
+}
+
+// Expectation returns the exact ⟨ψ|H|ψ⟩.
+func (h Hamiltonian) Expectation(s *quantum.State) float64 {
+	var e float64
+	for _, t := range h.Terms {
+		e += t.Coeff * t.P.Expectation(s)
+	}
+	return e
+}
+
+// EstimateExpectation estimates ⟨H⟩ term by term with shotsPerTerm shots
+// each (a simple grouping-free strategy; the shot budget accounting in the
+// QPU model charges len(Terms)·shotsPerTerm).
+func (h Hamiltonian) EstimateExpectation(s *quantum.State, r *rng.Stream, shotsPerTerm int) float64 {
+	var e float64
+	for _, t := range h.Terms {
+		if t.P.Weight() == 0 {
+			e += t.Coeff
+			continue
+		}
+		e += t.Coeff * t.P.EstimateExpectation(s, r, shotsPerTerm)
+	}
+	return e
+}
+
+// NumTerms returns the number of non-identity terms (those that cost shots).
+func (h Hamiltonian) NumTerms() int {
+	n := 0
+	for _, t := range h.Terms {
+		if t.P.Weight() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the Hamiltonian as "c0·P0 + c1·P1 + …".
+func (h Hamiltonian) String() string {
+	parts := make([]string, len(h.Terms))
+	for i, t := range h.Terms {
+		parts[i] = fmt.Sprintf("%+.4f·%s", t.Coeff, t.P)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Fingerprint returns a stable hashable description used to verify at resume
+// time that a checkpoint belongs to the same problem instance.
+func (h Hamiltonian) Fingerprint() string {
+	parts := make([]string, 0, len(h.Terms)+1)
+	parts = append(parts, fmt.Sprintf("n=%d", h.Qubits))
+	for _, t := range h.Terms {
+		parts = append(parts, fmt.Sprintf("%.12g*%s", t.Coeff, t.P))
+	}
+	return strings.Join(parts, ";")
+}
+
+// TFIM returns the transverse-field Ising Hamiltonian on a chain of n
+// qubits:
+//
+//	H = −J Σ Z_i Z_{i+1} − g Σ X_i
+//
+// with open boundary conditions. This is the canonical VQE benchmark
+// problem.
+func TFIM(n int, j, g float64) Hamiltonian {
+	h := Hamiltonian{Qubits: n}
+	for i := 0; i < n-1; i++ {
+		h.Terms = append(h.Terms, Term{
+			Coeff: -j,
+			P:     NewPauliString(map[int]Pauli{i: Z, i + 1: Z}),
+		})
+	}
+	for i := 0; i < n; i++ {
+		h.Terms = append(h.Terms, Term{
+			Coeff: -g,
+			P:     NewPauliString(map[int]Pauli{i: X}),
+		})
+	}
+	return h
+}
+
+// Heisenberg returns the XXZ Heisenberg chain
+//
+//	H = Σ (Jx X_i X_{i+1} + Jy Y_i Y_{i+1} + Jz Z_i Z_{i+1})
+//
+// with open boundary conditions.
+func Heisenberg(n int, jx, jy, jz float64) Hamiltonian {
+	h := Hamiltonian{Qubits: n}
+	for i := 0; i < n-1; i++ {
+		h.Terms = append(h.Terms,
+			Term{Coeff: jx, P: NewPauliString(map[int]Pauli{i: X, i + 1: X})},
+			Term{Coeff: jy, P: NewPauliString(map[int]Pauli{i: Y, i + 1: Y})},
+			Term{Coeff: jz, P: NewPauliString(map[int]Pauli{i: Z, i + 1: Z})},
+		)
+	}
+	return h
+}
+
+// MaxCut returns the MaxCut cost Hamiltonian for a graph given as an edge
+// list over n vertices:
+//
+//	H = Σ_{(u,v)∈E} ½ (Z_u Z_v − 1)
+//
+// whose ground state encodes the maximum cut (minimizing H maximizes the
+// cut). This is the canonical QAOA benchmark problem.
+func MaxCut(n int, edges [][2]int) Hamiltonian {
+	h := Hamiltonian{Qubits: n}
+	for _, e := range edges {
+		h.Terms = append(h.Terms,
+			Term{Coeff: 0.5, P: NewPauliString(map[int]Pauli{e[0]: Z, e[1]: Z})},
+			Term{Coeff: -0.5, P: NewPauliString(nil)},
+		)
+	}
+	return h
+}
+
+// RingEdges returns the edges of an n-cycle, a standard MaxCut instance.
+func RingEdges(n int) [][2]int {
+	edges := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int{i, (i + 1) % n}
+	}
+	return edges
+}
+
+// SingleZ returns the single-term observable Z on qubit q, used as the
+// readout observable of classification workloads.
+func SingleZ(n, q int) Hamiltonian {
+	return Hamiltonian{
+		Qubits: n,
+		Terms:  []Term{{Coeff: 1, P: NewPauliString(map[int]Pauli{q: Z})}},
+	}
+}
+
+// GroundStateEnergy computes the exact ground-state energy of h by dense
+// diagonalization-free power iteration on (cI − H); practical for the small
+// systems used in tests. It returns the minimum eigenvalue estimate.
+func GroundStateEnergy(h Hamiltonian, iters int, seed uint64) float64 {
+	dim := 1 << uint(h.Qubits)
+	r := rng.New(seed)
+	// Power iteration on M = cI − H with c = Σ|coeff| guarantees the
+	// dominant eigenvector of M is the ground state of H.
+	var c float64
+	for _, t := range h.Terms {
+		c += math.Abs(t.Coeff)
+	}
+	c += 1
+	v := make([]complex128, dim)
+	for i := range v {
+		v[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	normalize := func(x []complex128) {
+		var n float64
+		for _, a := range x {
+			n += real(a)*real(a) + imag(a)*imag(a)
+		}
+		n = math.Sqrt(n)
+		inv := complex(1/n, 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	normalize(v)
+	applyH := func(x []complex128) []complex128 {
+		st, err := quantum.FromVec(append([]complex128(nil), x...))
+		if err != nil {
+			panic(err)
+		}
+		out := make([]complex128, dim)
+		for _, t := range h.Terms {
+			term := st.Clone()
+			for q, p := range t.P.Ops {
+				switch p {
+				case X:
+					term.ApplyPauliX(q)
+				case Y:
+					term.ApplyPauliY(q)
+				case Z:
+					term.ApplyPauliZ(q)
+				}
+			}
+			coeff := complex(t.Coeff, 0)
+			for i, a := range term.Amplitudes() {
+				out[i] += coeff * a
+			}
+		}
+		return out
+	}
+	for k := 0; k < iters; k++ {
+		hv := applyH(v)
+		for i := range v {
+			v[i] = complex(c, 0)*v[i] - hv[i]
+		}
+		normalize(v)
+	}
+	// Rayleigh quotient ⟨v|H|v⟩.
+	hv := applyH(v)
+	var e complex128
+	for i := range v {
+		e += complex(real(v[i]), -imag(v[i])) * hv[i]
+	}
+	return real(e)
+}

@@ -1,0 +1,293 @@
+package observable
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+func TestPauliStringString(t *testing.T) {
+	ps := NewPauliString(map[int]Pauli{2: Z, 0: X, 3: Z})
+	if got := ps.String(); got != "X0·Z2·Z3" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := NewPauliString(nil).String(); got != "I" {
+		t.Errorf("identity String() = %q", got)
+	}
+}
+
+func TestNewPauliStringDropsIdentity(t *testing.T) {
+	ps := NewPauliString(map[int]Pauli{0: I, 1: X})
+	if ps.Weight() != 1 {
+		t.Errorf("weight = %d, want 1", ps.Weight())
+	}
+}
+
+func TestNewPauliStringNegativeQubitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewPauliString(map[int]Pauli{-1: X})
+}
+
+func TestZExpectationBasisStates(t *testing.T) {
+	z0 := NewPauliString(map[int]Pauli{0: Z})
+	s := quantum.New(2)
+	if e := z0.Expectation(s); math.Abs(e-1) > 1e-12 {
+		t.Errorf("⟨Z0⟩ on |00⟩ = %v, want 1", e)
+	}
+	s.Apply1(&quantum.GateX, 0)
+	if e := z0.Expectation(s); math.Abs(e+1) > 1e-12 {
+		t.Errorf("⟨Z0⟩ on |01⟩ = %v, want -1", e)
+	}
+}
+
+func TestXExpectationPlusState(t *testing.T) {
+	x0 := NewPauliString(map[int]Pauli{0: X})
+	s := quantum.New(1)
+	s.Apply1(&quantum.GateH, 0) // |+⟩
+	if e := x0.Expectation(s); math.Abs(e-1) > 1e-12 {
+		t.Errorf("⟨X⟩ on |+⟩ = %v, want 1", e)
+	}
+	s.Apply1(&quantum.GateZ, 0) // |−⟩
+	if e := x0.Expectation(s); math.Abs(e+1) > 1e-12 {
+		t.Errorf("⟨X⟩ on |−⟩ = %v, want -1", e)
+	}
+}
+
+func TestYExpectation(t *testing.T) {
+	y0 := NewPauliString(map[int]Pauli{0: Y})
+	s := quantum.New(1)
+	// |+i⟩ = S·H|0⟩ has ⟨Y⟩ = +1.
+	s.Apply1(&quantum.GateH, 0)
+	s.Apply1(&quantum.GateS, 0)
+	if e := y0.Expectation(s); math.Abs(e-1) > 1e-12 {
+		t.Errorf("⟨Y⟩ on |+i⟩ = %v, want 1", e)
+	}
+}
+
+func TestZZExpectationBell(t *testing.T) {
+	s := quantum.New(2)
+	s.Apply1(&quantum.GateH, 0)
+	s.CNOT(0, 1)
+	zz := NewPauliString(map[int]Pauli{0: Z, 1: Z})
+	if e := zz.Expectation(s); math.Abs(e-1) > 1e-12 {
+		t.Errorf("⟨ZZ⟩ on Bell = %v, want 1", e)
+	}
+	xx := NewPauliString(map[int]Pauli{0: X, 1: X})
+	if e := xx.Expectation(s); math.Abs(e-1) > 1e-12 {
+		t.Errorf("⟨XX⟩ on Bell = %v, want 1", e)
+	}
+	z0 := NewPauliString(map[int]Pauli{0: Z})
+	if e := z0.Expectation(s); math.Abs(e) > 1e-12 {
+		t.Errorf("⟨Z0⟩ on Bell = %v, want 0", e)
+	}
+}
+
+func TestExpectationOutOfRangePanics(t *testing.T) {
+	s := quantum.New(1)
+	ps := NewPauliString(map[int]Pauli{3: Z})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	ps.Expectation(s)
+}
+
+func TestEstimateExpectationConvergesToExact(t *testing.T) {
+	r := rng.New(21)
+	s := quantum.RandomState(3, r)
+	for _, ps := range []PauliString{
+		NewPauliString(map[int]Pauli{0: Z}),
+		NewPauliString(map[int]Pauli{0: X, 2: Z}),
+		NewPauliString(map[int]Pauli{0: Y, 1: Y}),
+	} {
+		exact := ps.Expectation(s)
+		est := ps.EstimateExpectation(s, r, 200000)
+		if math.Abs(est-exact) > 0.02 {
+			t.Errorf("%s: estimate %v vs exact %v", ps, est, exact)
+		}
+	}
+}
+
+func TestEstimateExpectationIdentity(t *testing.T) {
+	s := quantum.New(2)
+	ps := NewPauliString(nil)
+	if e := ps.EstimateExpectation(s, rng.New(1), 10); e != 1 {
+		t.Errorf("identity estimate = %v", e)
+	}
+}
+
+func TestEstimateZeroShotsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewPauliString(map[int]Pauli{0: Z}).EstimateExpectation(quantum.New(1), rng.New(1), 0)
+}
+
+func TestTFIMStructure(t *testing.T) {
+	h := TFIM(4, 1.0, 0.5)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 ZZ terms + 4 X terms.
+	if len(h.Terms) != 7 {
+		t.Errorf("TFIM(4) has %d terms, want 7", len(h.Terms))
+	}
+	if h.NumTerms() != 7 {
+		t.Errorf("NumTerms = %d", h.NumTerms())
+	}
+}
+
+func TestTFIMExpectationOnAllZeros(t *testing.T) {
+	// On |0000⟩: each ZZ gives +1 (coeff −J), each X gives 0.
+	h := TFIM(4, 2.0, 0.7)
+	s := quantum.New(4)
+	want := -2.0 * 3
+	if e := h.Expectation(s); math.Abs(e-want) > 1e-12 {
+		t.Errorf("⟨H⟩ = %v, want %v", e, want)
+	}
+}
+
+func TestHeisenbergStructure(t *testing.T) {
+	h := Heisenberg(3, 1, 1, 0.5)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Terms) != 6 {
+		t.Errorf("Heisenberg(3) has %d terms, want 6", len(h.Terms))
+	}
+}
+
+func TestMaxCutRing(t *testing.T) {
+	// 4-ring: maximum cut is 4 (bipartition alternating). H value on the
+	// optimal assignment |0101⟩: each edge has Z_u Z_v = −1, so each edge
+	// contributes ½(−1−1) = −1; total −4.
+	h := MaxCut(4, RingEdges(4))
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := quantum.New(4)
+	s.Apply1(&quantum.GateX, 1)
+	s.Apply1(&quantum.GateX, 3) // |1010⟩ in bit order = qubits 1,3 set
+	if e := h.Expectation(s); math.Abs(e+4) > 1e-12 {
+		t.Errorf("MaxCut on alternating assignment = %v, want -4", e)
+	}
+	// All-zeros cuts nothing: value 0.
+	z := quantum.New(4)
+	if e := h.Expectation(z); math.Abs(e) > 1e-12 {
+		t.Errorf("MaxCut on all-zeros = %v, want 0", e)
+	}
+}
+
+func TestSingleZ(t *testing.T) {
+	h := SingleZ(3, 1)
+	s := quantum.New(3)
+	if e := h.Expectation(s); math.Abs(e-1) > 1e-12 {
+		t.Errorf("⟨Z1⟩ = %v", e)
+	}
+}
+
+func TestValidateCatchesBadTerms(t *testing.T) {
+	h := Hamiltonian{Qubits: 2, Terms: []Term{
+		{Coeff: 1, P: NewPauliString(map[int]Pauli{5: Z})},
+	}}
+	if err := h.Validate(); err == nil {
+		t.Errorf("out-of-range term accepted")
+	}
+	h2 := Hamiltonian{Qubits: 0}
+	if err := h2.Validate(); err == nil {
+		t.Errorf("zero-qubit hamiltonian accepted")
+	}
+	h3 := Hamiltonian{Qubits: 1, Terms: []Term{{Coeff: math.NaN(), P: NewPauliString(nil)}}}
+	if err := h3.Validate(); err == nil {
+		t.Errorf("NaN coefficient accepted")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := TFIM(4, 1, 0.5)
+	b := TFIM(4, 1, 0.5)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical Hamiltonians have different fingerprints")
+	}
+	c := TFIM(4, 1, 0.6)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Errorf("different Hamiltonians share a fingerprint")
+	}
+}
+
+func TestHamiltonianEstimateExpectation(t *testing.T) {
+	h := TFIM(3, 1, 1)
+	r := rng.New(33)
+	s := quantum.RandomState(3, r)
+	exact := h.Expectation(s)
+	est := h.EstimateExpectation(s, r, 50000)
+	if math.Abs(est-exact) > 0.05 {
+		t.Errorf("estimate %v vs exact %v", est, exact)
+	}
+}
+
+func TestGroundStateEnergyTFIMSmall(t *testing.T) {
+	// 2-qubit TFIM, J=1, g=0: H = −Z0Z1, ground energy −1.
+	h := TFIM(2, 1, 0)
+	e := GroundStateEnergy(h, 300, 1)
+	if math.Abs(e+1) > 1e-6 {
+		t.Errorf("ground energy = %v, want -1", e)
+	}
+}
+
+func TestGroundStateEnergySingleX(t *testing.T) {
+	// H = −X has eigenvalues ±1; ground −1.
+	h := Hamiltonian{Qubits: 1, Terms: []Term{{Coeff: -1, P: NewPauliString(map[int]Pauli{0: X})}}}
+	e := GroundStateEnergy(h, 300, 2)
+	if math.Abs(e+1) > 1e-6 {
+		t.Errorf("ground energy = %v, want -1", e)
+	}
+}
+
+func TestGroundStateLowerThanRandomStates(t *testing.T) {
+	h := TFIM(4, 1, 0.8)
+	ground := GroundStateEnergy(h, 500, 3)
+	r := rng.New(44)
+	for i := 0; i < 10; i++ {
+		s := quantum.RandomState(4, r)
+		if h.Expectation(s) < ground-1e-6 {
+			t.Errorf("random state below computed ground energy")
+		}
+	}
+}
+
+func TestPauliStringWeightAndMaxQubit(t *testing.T) {
+	ps := NewPauliString(map[int]Pauli{0: X, 4: Y})
+	if ps.Weight() != 2 {
+		t.Errorf("weight = %d", ps.Weight())
+	}
+	if ps.MaxQubit() != 4 {
+		t.Errorf("maxQubit = %d", ps.MaxQubit())
+	}
+	if NewPauliString(nil).MaxQubit() != -1 {
+		t.Errorf("identity MaxQubit != -1")
+	}
+}
+
+func TestHamiltonianString(t *testing.T) {
+	h := TFIM(2, 1, 0.5)
+	if s := h.String(); s == "" {
+		t.Errorf("empty String()")
+	}
+}
+
+func TestRingEdges(t *testing.T) {
+	e := RingEdges(3)
+	if len(e) != 3 || e[2] != [2]int{2, 0} {
+		t.Errorf("RingEdges(3) = %v", e)
+	}
+}

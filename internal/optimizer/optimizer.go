@@ -1,0 +1,468 @@
+// Package optimizer implements the classical optimizers used by hybrid
+// quantum-classical training: SGD, SGD with momentum, AdaGrad, RMSProp and
+// Adam.
+//
+// Every optimizer's internal state (moment vectors, step counters) is fully
+// serializable via MarshalBinary/UnmarshalBinary, because optimizer state is
+// first-class checkpoint state: resuming Adam without its moment vectors
+// changes the trajectory (experiment F6 quantifies exactly how much). The
+// binary encoding embeds the optimizer kind, dimensions and hyperparameters
+// so a checkpoint restored against a mismatched configuration is rejected
+// rather than silently misapplied.
+package optimizer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Optimizer updates a parameter vector in place given a gradient of the same
+// length (the convention is minimization: params ← params − update).
+type Optimizer interface {
+	// Step applies one update. It panics if len(grad) != len(params) or if
+	// either contains a non-finite value.
+	Step(params, grad []float64)
+	// Name returns the optimizer kind name.
+	Name() string
+	// Dim returns the parameter dimension the optimizer was built for.
+	Dim() int
+	// StateFloats returns how many float64 values of mutable state the
+	// optimizer carries (for the checkpoint-size inventory, Table 1).
+	StateFloats() int
+	// MarshalBinary serializes kind, hyperparameters and mutable state.
+	MarshalBinary() ([]byte, error)
+	// UnmarshalBinary restores mutable state; it rejects blobs whose kind,
+	// dimension or hyperparameters do not match the receiver.
+	UnmarshalBinary(data []byte) error
+	// Reset clears mutable state to its initial value.
+	Reset()
+}
+
+// kind tags used in the serialized form.
+const (
+	kindSGD byte = iota + 1
+	kindMomentum
+	kindAdaGrad
+	kindRMSProp
+	kindAdam
+)
+
+func checkStep(params, grad []float64, dim int) {
+	if len(params) != dim || len(grad) != dim {
+		panic(fmt.Sprintf("optimizer: step with %d params, %d grads, want %d", len(params), len(grad), dim))
+	}
+	for i := range grad {
+		if math.IsNaN(grad[i]) || math.IsInf(grad[i], 0) {
+			panic(fmt.Sprintf("optimizer: non-finite gradient at %d: %v", i, grad[i]))
+		}
+	}
+}
+
+// header is the common serialized prefix: kind, dim, hyperparameter floats.
+func encodeHeader(kind byte, dim int, hyper ...float64) []byte {
+	buf := make([]byte, 0, 1+8+8*len(hyper))
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(dim))
+	for _, h := range hyper {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h))
+	}
+	return buf
+}
+
+func decodeHeader(data []byte, kind byte, dim int, hyper ...float64) ([]byte, error) {
+	need := 1 + 8 + 8*len(hyper)
+	if len(data) < need {
+		return nil, fmt.Errorf("optimizer: state blob too short (%d bytes)", len(data))
+	}
+	if data[0] != kind {
+		return nil, fmt.Errorf("optimizer: state blob kind %d, want %d", data[0], kind)
+	}
+	if got := int(binary.LittleEndian.Uint64(data[1:])); got != dim {
+		return nil, fmt.Errorf("optimizer: state blob dimension %d, want %d", got, dim)
+	}
+	off := 9
+	for i, h := range hyper {
+		got := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		if got != h {
+			return nil, fmt.Errorf("optimizer: hyperparameter %d mismatch: blob %v, receiver %v", i, got, h)
+		}
+		off += 8
+	}
+	return data[off:], nil
+}
+
+func appendFloats(buf []byte, vs []float64) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func readFloats(data []byte, dst []float64) ([]byte, error) {
+	if len(data) < 8*len(dst) {
+		return nil, fmt.Errorf("optimizer: state blob truncated")
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return data[8*len(dst):], nil
+}
+
+// SGD is plain stochastic gradient descent: θ ← θ − η·g. It carries no
+// mutable state beyond a step counter.
+type SGD struct {
+	LR   float64
+	dim  int
+	step uint64
+}
+
+// NewSGD returns an SGD optimizer for dim parameters.
+func NewSGD(dim int, lr float64) *SGD {
+	if dim < 1 || lr <= 0 {
+		panic(fmt.Sprintf("optimizer: bad SGD config dim=%d lr=%v", dim, lr))
+	}
+	return &SGD{LR: lr, dim: dim}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params, grad []float64) {
+	checkStep(params, grad, o.dim)
+	for i := range params {
+		params[i] -= o.LR * grad[i]
+	}
+	o.step++
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return "sgd" }
+
+// Dim implements Optimizer.
+func (o *SGD) Dim() int { return o.dim }
+
+// StateFloats implements Optimizer.
+func (o *SGD) StateFloats() int { return 0 }
+
+// Reset implements Optimizer.
+func (o *SGD) Reset() { o.step = 0 }
+
+// MarshalBinary implements Optimizer.
+func (o *SGD) MarshalBinary() ([]byte, error) {
+	buf := encodeHeader(kindSGD, o.dim, o.LR)
+	buf = binary.LittleEndian.AppendUint64(buf, o.step)
+	return buf, nil
+}
+
+// UnmarshalBinary implements Optimizer.
+func (o *SGD) UnmarshalBinary(data []byte) error {
+	rest, err := decodeHeader(data, kindSGD, o.dim, o.LR)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 8 {
+		return fmt.Errorf("optimizer: sgd state length %d", len(rest))
+	}
+	o.step = binary.LittleEndian.Uint64(rest)
+	return nil
+}
+
+// Momentum is SGD with classical momentum: v ← μv + g; θ ← θ − η·v.
+type Momentum struct {
+	LR, Mu float64
+	dim    int
+	step   uint64
+	vel    []float64
+}
+
+// NewMomentum returns a momentum optimizer.
+func NewMomentum(dim int, lr, mu float64) *Momentum {
+	if dim < 1 || lr <= 0 || mu < 0 || mu >= 1 {
+		panic(fmt.Sprintf("optimizer: bad momentum config dim=%d lr=%v mu=%v", dim, lr, mu))
+	}
+	return &Momentum{LR: lr, Mu: mu, dim: dim, vel: make([]float64, dim)}
+}
+
+// Step implements Optimizer.
+func (o *Momentum) Step(params, grad []float64) {
+	checkStep(params, grad, o.dim)
+	for i := range params {
+		o.vel[i] = o.Mu*o.vel[i] + grad[i]
+		params[i] -= o.LR * o.vel[i]
+	}
+	o.step++
+}
+
+// Name implements Optimizer.
+func (o *Momentum) Name() string { return "momentum" }
+
+// Dim implements Optimizer.
+func (o *Momentum) Dim() int { return o.dim }
+
+// StateFloats implements Optimizer.
+func (o *Momentum) StateFloats() int { return o.dim }
+
+// Reset implements Optimizer.
+func (o *Momentum) Reset() {
+	o.step = 0
+	for i := range o.vel {
+		o.vel[i] = 0
+	}
+}
+
+// MarshalBinary implements Optimizer.
+func (o *Momentum) MarshalBinary() ([]byte, error) {
+	buf := encodeHeader(kindMomentum, o.dim, o.LR, o.Mu)
+	buf = binary.LittleEndian.AppendUint64(buf, o.step)
+	buf = appendFloats(buf, o.vel)
+	return buf, nil
+}
+
+// UnmarshalBinary implements Optimizer.
+func (o *Momentum) UnmarshalBinary(data []byte) error {
+	rest, err := decodeHeader(data, kindMomentum, o.dim, o.LR, o.Mu)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 8+8*o.dim {
+		return fmt.Errorf("optimizer: momentum state length %d", len(rest))
+	}
+	o.step = binary.LittleEndian.Uint64(rest)
+	_, err = readFloats(rest[8:], o.vel)
+	return err
+}
+
+// AdaGrad accumulates squared gradients: G ← G + g²; θ ← θ − η·g/(√G + ε).
+type AdaGrad struct {
+	LR, Eps float64
+	dim     int
+	step    uint64
+	accum   []float64
+}
+
+// NewAdaGrad returns an AdaGrad optimizer.
+func NewAdaGrad(dim int, lr float64) *AdaGrad {
+	if dim < 1 || lr <= 0 {
+		panic(fmt.Sprintf("optimizer: bad adagrad config dim=%d lr=%v", dim, lr))
+	}
+	return &AdaGrad{LR: lr, Eps: 1e-10, dim: dim, accum: make([]float64, dim)}
+}
+
+// Step implements Optimizer.
+func (o *AdaGrad) Step(params, grad []float64) {
+	checkStep(params, grad, o.dim)
+	for i := range params {
+		o.accum[i] += grad[i] * grad[i]
+		params[i] -= o.LR * grad[i] / (math.Sqrt(o.accum[i]) + o.Eps)
+	}
+	o.step++
+}
+
+// Name implements Optimizer.
+func (o *AdaGrad) Name() string { return "adagrad" }
+
+// Dim implements Optimizer.
+func (o *AdaGrad) Dim() int { return o.dim }
+
+// StateFloats implements Optimizer.
+func (o *AdaGrad) StateFloats() int { return o.dim }
+
+// Reset implements Optimizer.
+func (o *AdaGrad) Reset() {
+	o.step = 0
+	for i := range o.accum {
+		o.accum[i] = 0
+	}
+}
+
+// MarshalBinary implements Optimizer.
+func (o *AdaGrad) MarshalBinary() ([]byte, error) {
+	buf := encodeHeader(kindAdaGrad, o.dim, o.LR, o.Eps)
+	buf = binary.LittleEndian.AppendUint64(buf, o.step)
+	buf = appendFloats(buf, o.accum)
+	return buf, nil
+}
+
+// UnmarshalBinary implements Optimizer.
+func (o *AdaGrad) UnmarshalBinary(data []byte) error {
+	rest, err := decodeHeader(data, kindAdaGrad, o.dim, o.LR, o.Eps)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 8+8*o.dim {
+		return fmt.Errorf("optimizer: adagrad state length %d", len(rest))
+	}
+	o.step = binary.LittleEndian.Uint64(rest)
+	_, err = readFloats(rest[8:], o.accum)
+	return err
+}
+
+// RMSProp keeps an exponential moving average of squared gradients.
+type RMSProp struct {
+	LR, Decay, Eps float64
+	dim            int
+	step           uint64
+	ms             []float64
+}
+
+// NewRMSProp returns an RMSProp optimizer.
+func NewRMSProp(dim int, lr, decay float64) *RMSProp {
+	if dim < 1 || lr <= 0 || decay <= 0 || decay >= 1 {
+		panic(fmt.Sprintf("optimizer: bad rmsprop config dim=%d lr=%v decay=%v", dim, lr, decay))
+	}
+	return &RMSProp{LR: lr, Decay: decay, Eps: 1e-10, dim: dim, ms: make([]float64, dim)}
+}
+
+// Step implements Optimizer.
+func (o *RMSProp) Step(params, grad []float64) {
+	checkStep(params, grad, o.dim)
+	for i := range params {
+		o.ms[i] = o.Decay*o.ms[i] + (1-o.Decay)*grad[i]*grad[i]
+		params[i] -= o.LR * grad[i] / (math.Sqrt(o.ms[i]) + o.Eps)
+	}
+	o.step++
+}
+
+// Name implements Optimizer.
+func (o *RMSProp) Name() string { return "rmsprop" }
+
+// Dim implements Optimizer.
+func (o *RMSProp) Dim() int { return o.dim }
+
+// StateFloats implements Optimizer.
+func (o *RMSProp) StateFloats() int { return o.dim }
+
+// Reset implements Optimizer.
+func (o *RMSProp) Reset() {
+	o.step = 0
+	for i := range o.ms {
+		o.ms[i] = 0
+	}
+}
+
+// MarshalBinary implements Optimizer.
+func (o *RMSProp) MarshalBinary() ([]byte, error) {
+	buf := encodeHeader(kindRMSProp, o.dim, o.LR, o.Decay, o.Eps)
+	buf = binary.LittleEndian.AppendUint64(buf, o.step)
+	buf = appendFloats(buf, o.ms)
+	return buf, nil
+}
+
+// UnmarshalBinary implements Optimizer.
+func (o *RMSProp) UnmarshalBinary(data []byte) error {
+	rest, err := decodeHeader(data, kindRMSProp, o.dim, o.LR, o.Decay, o.Eps)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 8+8*o.dim {
+		return fmt.Errorf("optimizer: rmsprop state length %d", len(rest))
+	}
+	o.step = binary.LittleEndian.Uint64(rest)
+	_, err = readFloats(rest[8:], o.ms)
+	return err
+}
+
+// Adam is the adaptive-moments optimizer (Kingma & Ba) with bias
+// correction. Its 2·dim floats of moment state plus the step counter are the
+// textbook example of why "checkpoint just the parameters" is wrong.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	dim                   int
+	step                  uint64
+	m, v                  []float64
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults
+// β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(dim int, lr float64) *Adam {
+	if dim < 1 || lr <= 0 {
+		panic(fmt.Sprintf("optimizer: bad adam config dim=%d lr=%v", dim, lr))
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		dim: dim, m: make([]float64, dim), v: make([]float64, dim),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params, grad []float64) {
+	checkStep(params, grad, o.dim)
+	o.step++
+	t := float64(o.step)
+	c1 := 1 - math.Pow(o.Beta1, t)
+	c2 := 1 - math.Pow(o.Beta2, t)
+	for i := range params {
+		o.m[i] = o.Beta1*o.m[i] + (1-o.Beta1)*grad[i]
+		o.v[i] = o.Beta2*o.v[i] + (1-o.Beta2)*grad[i]*grad[i]
+		mHat := o.m[i] / c1
+		vHat := o.v[i] / c2
+		params[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+	}
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return "adam" }
+
+// Dim implements Optimizer.
+func (o *Adam) Dim() int { return o.dim }
+
+// StateFloats implements Optimizer.
+func (o *Adam) StateFloats() int { return 2 * o.dim }
+
+// Reset implements Optimizer.
+func (o *Adam) Reset() {
+	o.step = 0
+	for i := range o.m {
+		o.m[i] = 0
+		o.v[i] = 0
+	}
+}
+
+// MarshalBinary implements Optimizer.
+func (o *Adam) MarshalBinary() ([]byte, error) {
+	buf := encodeHeader(kindAdam, o.dim, o.LR, o.Beta1, o.Beta2, o.Eps)
+	buf = binary.LittleEndian.AppendUint64(buf, o.step)
+	buf = appendFloats(buf, o.m)
+	buf = appendFloats(buf, o.v)
+	return buf, nil
+}
+
+// UnmarshalBinary implements Optimizer.
+func (o *Adam) UnmarshalBinary(data []byte) error {
+	rest, err := decodeHeader(data, kindAdam, o.dim, o.LR, o.Beta1, o.Beta2, o.Eps)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 8+16*o.dim {
+		return fmt.Errorf("optimizer: adam state length %d", len(rest))
+	}
+	o.step = binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	rest, err = readFloats(rest, o.m)
+	if err != nil {
+		return err
+	}
+	_, err = readFloats(rest, o.v)
+	return err
+}
+
+// StepCount returns the number of updates applied (Adam's bias-correction
+// clock; part of checkpoint state).
+func (o *Adam) StepCount() uint64 { return o.step }
+
+// New constructs an optimizer by kind name with sensible defaults; lr is the
+// learning rate. Recognized names: sgd, momentum, adagrad, rmsprop, adam.
+func New(name string, dim int, lr float64) (Optimizer, error) {
+	switch name {
+	case "sgd":
+		return NewSGD(dim, lr), nil
+	case "momentum":
+		return NewMomentum(dim, lr, 0.9), nil
+	case "adagrad":
+		return NewAdaGrad(dim, lr), nil
+	case "rmsprop":
+		return NewRMSProp(dim, lr, 0.9), nil
+	case "adam":
+		return NewAdam(dim, lr), nil
+	}
+	return nil, fmt.Errorf("optimizer: unknown kind %q", name)
+}

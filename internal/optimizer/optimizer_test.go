@@ -1,0 +1,272 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// quadLoss is f(x) = Σ (x_i − t_i)², gradient 2(x − t). All optimizers must
+// drive it down.
+func quadGrad(x, target []float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range x {
+		g[i] = 2 * (x[i] - target[i])
+	}
+	return g
+}
+
+func quadLoss(x, target []float64) float64 {
+	var s float64
+	for i := range x {
+		d := x[i] - target[i]
+		s += d * d
+	}
+	return s
+}
+
+func allOptimizers(dim int) []Optimizer {
+	return []Optimizer{
+		NewSGD(dim, 0.05),
+		NewMomentum(dim, 0.02, 0.9),
+		NewAdaGrad(dim, 0.5),
+		NewRMSProp(dim, 0.05, 0.9),
+		NewAdam(dim, 0.1),
+	}
+}
+
+func TestAllOptimizersMinimizeQuadratic(t *testing.T) {
+	target := []float64{1, -2, 0.5, 3}
+	for _, opt := range allOptimizers(4) {
+		x := []float64{5, 5, 5, 5}
+		initial := quadLoss(x, target)
+		for i := 0; i < 500; i++ {
+			opt.Step(x, quadGrad(x, target))
+		}
+		final := quadLoss(x, target)
+		if final > initial/100 {
+			t.Errorf("%s: loss %v -> %v, insufficient progress", opt.Name(), initial, final)
+		}
+	}
+}
+
+func TestStateRoundTripAllKinds(t *testing.T) {
+	target := []float64{1, -2, 0.5, 3}
+	for _, opt := range allOptimizers(4) {
+		x := []float64{5, 5, 5, 5}
+		for i := 0; i < 10; i++ {
+			opt.Step(x, quadGrad(x, target))
+		}
+		blob, err := opt.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", opt.Name(), err)
+		}
+		// Build a fresh optimizer of the same kind and restore.
+		fresh, err := New(opt.Name(), 4, lrOf(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("%s: unmarshal: %v", opt.Name(), err)
+		}
+		// Continue both for 20 steps on separate copies; trajectories must
+		// be bitwise identical.
+		xa := append([]float64(nil), x...)
+		xb := append([]float64(nil), x...)
+		for i := 0; i < 20; i++ {
+			opt.Step(xa, quadGrad(xa, target))
+			fresh.Step(xb, quadGrad(xb, target))
+		}
+		for i := range xa {
+			if xa[i] != xb[i] {
+				t.Errorf("%s: restored trajectory diverged at param %d: %v vs %v", opt.Name(), i, xa[i], xb[i])
+				break
+			}
+		}
+	}
+}
+
+// lrOf extracts the learning rate used in allOptimizers for each kind.
+func lrOf(o Optimizer) float64 {
+	switch v := o.(type) {
+	case *SGD:
+		return v.LR
+	case *Momentum:
+		return v.LR
+	case *AdaGrad:
+		return v.LR
+	case *RMSProp:
+		return v.LR
+	case *Adam:
+		return v.LR
+	}
+	return 0
+}
+
+func TestUnmarshalRejectsMismatches(t *testing.T) {
+	a := NewAdam(4, 0.1)
+	blob, _ := a.MarshalBinary()
+
+	wrongDim := NewAdam(5, 0.1)
+	if err := wrongDim.UnmarshalBinary(blob); err == nil {
+		t.Errorf("dimension mismatch accepted")
+	}
+	wrongLR := NewAdam(4, 0.2)
+	if err := wrongLR.UnmarshalBinary(blob); err == nil {
+		t.Errorf("hyperparameter mismatch accepted")
+	}
+	wrongKind := NewSGD(4, 0.1)
+	if err := wrongKind.UnmarshalBinary(blob); err == nil {
+		t.Errorf("kind mismatch accepted")
+	}
+	if err := a.UnmarshalBinary(blob[:10]); err == nil {
+		t.Errorf("truncated blob accepted")
+	}
+	if err := a.UnmarshalBinary(append(blob, 0)); err == nil {
+		t.Errorf("oversized blob accepted")
+	}
+}
+
+func TestAdamBiasCorrectionFirstStep(t *testing.T) {
+	// On the first step with gradient g, Adam's update is ≈ lr·sign(g).
+	o := NewAdam(1, 0.1)
+	x := []float64{0}
+	o.Step(x, []float64{3.7})
+	if math.Abs(x[0]+0.1) > 1e-6 {
+		t.Errorf("first Adam step = %v, want ≈ -0.1", x[0])
+	}
+}
+
+func TestAdamStepCount(t *testing.T) {
+	o := NewAdam(2, 0.1)
+	o.Step([]float64{0, 0}, []float64{1, 1})
+	o.Step([]float64{0, 0}, []float64{1, 1})
+	if o.StepCount() != 2 {
+		t.Errorf("step count = %d", o.StepCount())
+	}
+	o.Reset()
+	if o.StepCount() != 0 {
+		t.Errorf("reset did not clear step count")
+	}
+}
+
+func TestSGDExactUpdate(t *testing.T) {
+	o := NewSGD(2, 0.5)
+	x := []float64{1, 2}
+	o.Step(x, []float64{2, -4})
+	if x[0] != 0 || x[1] != 4 {
+		t.Errorf("SGD update wrong: %v", x)
+	}
+}
+
+func TestMomentumAcceleration(t *testing.T) {
+	// Constant gradient: momentum accumulates, so later steps are larger.
+	o := NewMomentum(1, 0.1, 0.9)
+	x := []float64{0}
+	o.Step(x, []float64{1})
+	d1 := -x[0]
+	prev := x[0]
+	o.Step(x, []float64{1})
+	d2 := prev - x[0]
+	if d2 <= d1 {
+		t.Errorf("momentum did not accelerate: first %v, second %v", d1, d2)
+	}
+}
+
+func TestStateFloatsInventory(t *testing.T) {
+	cases := map[string]int{
+		"sgd": 0, "momentum": 7, "adagrad": 7, "rmsprop": 7, "adam": 14,
+	}
+	for name, want := range cases {
+		o, err := New(name, 7, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := o.StateFloats(); got != want {
+			t.Errorf("%s StateFloats = %d, want %d", name, got, want)
+		}
+		if o.Dim() != 7 {
+			t.Errorf("%s Dim = %d", name, o.Dim())
+		}
+	}
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New("nope", 2, 0.1); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewSGD(0, 0.1) },
+		func() { NewSGD(2, 0) },
+		func() { NewMomentum(2, 0.1, 1.0) },
+		func() { NewMomentum(2, 0.1, -0.1) },
+		func() { NewAdaGrad(2, -1) },
+		func() { NewRMSProp(2, 0.1, 1.5) },
+		func() { NewAdam(-1, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStepRejectsBadInput(t *testing.T) {
+	o := NewSGD(2, 0.1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("length mismatch accepted")
+			}
+		}()
+		o.Step([]float64{1}, []float64{1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("NaN gradient accepted")
+			}
+		}()
+		o.Step([]float64{1, 2}, []float64{math.NaN(), 0})
+	}()
+}
+
+func TestResetClearsState(t *testing.T) {
+	for _, opt := range allOptimizers(3) {
+		x := []float64{1, 1, 1}
+		opt.Step(x, []float64{1, 1, 1})
+		opt.Reset()
+		blobA, _ := opt.MarshalBinary()
+		fresh, _ := New(opt.Name(), 3, lrOf(opt))
+		blobB, _ := fresh.MarshalBinary()
+		if string(blobA) != string(blobB) {
+			t.Errorf("%s: reset state differs from fresh state", opt.Name())
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	f := func(g1, g2 float64) bool {
+		if math.IsNaN(g1) || math.IsInf(g1, 0) || math.IsNaN(g2) || math.IsInf(g2, 0) {
+			return true
+		}
+		a := NewAdam(2, 0.1)
+		b := NewAdam(2, 0.1)
+		xa, xb := []float64{0, 0}, []float64{0, 0}
+		a.Step(xa, []float64{g1, g2})
+		b.Step(xb, []float64{g1, g2})
+		ba, _ := a.MarshalBinary()
+		bb, _ := b.MarshalBinary()
+		return string(ba) == string(bb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

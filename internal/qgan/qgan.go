@@ -1,0 +1,392 @@
+// Package qgan implements a dissipative quantum generative adversarial
+// network: two DQNNs — a generator G that maps random input states to
+// candidate outputs, and a discriminator D whose single readout qubit
+// scores "real vs generated" — trained in alternation (Beer & Müller,
+// arXiv:2112.06088, simplified).
+//
+// From the checkpointing system's perspective this workload is interesting
+// because its training state is *structured differently* from the
+// single-network jobs: two parameter vectors, two optimizer states, and an
+// alternation phase flag all have to be captured coherently, plus the RNG
+// stream that draws the generator's input noise each round. The package
+// exposes Capture/Restore to a core.TrainingState so the same checkpoint
+// engine covers it (parameters are concatenated [G | D]; the phase flag
+// rides in the Epoch field).
+package qgan
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dqnn"
+	"repro/internal/optimizer"
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// Config shapes a QGAN.
+type Config struct {
+	// GenWidths are the generator's layer widths; the output width must
+	// match the data qubits.
+	GenWidths []int
+	// DiscWidths are the discriminator's layer widths; input width must
+	// match the data qubits and output width must be 1 (the readout qubit).
+	DiscWidths []int
+	// LR is the learning rate used for both Adam optimizers.
+	LR float64
+	// BatchSize is the number of real samples / noise draws per round.
+	BatchSize int
+	// Seed derives all randomness (init, noise draws).
+	Seed uint64
+}
+
+// Model is a QGAN training run. It is not safe for concurrent use.
+type Model struct {
+	cfg  Config
+	gen  *dqnn.Network
+	disc *dqnn.Network
+
+	thetaG, thetaD []float64
+	optG, optD     *optimizer.Adam
+	rngs           *rng.Set
+
+	round uint64 // one round = one D step + one G step
+	phase uint8  // 0 = next is D step, 1 = next is G step
+
+	real []*quantum.State // the training set of real states
+
+	history []float64 // discriminator gap per round
+}
+
+// New builds a QGAN over the given real states.
+func New(cfg Config, real []*quantum.State) (*Model, error) {
+	if len(real) == 0 {
+		return nil, errors.New("qgan: need at least one real sample")
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("qgan: learning rate %v", cfg.LR)
+	}
+	if cfg.BatchSize < 1 || cfg.BatchSize > len(real) {
+		return nil, fmt.Errorf("qgan: batch size %d for %d samples", cfg.BatchSize, len(real))
+	}
+	gen, err := dqnn.New(cfg.GenWidths)
+	if err != nil {
+		return nil, fmt.Errorf("qgan: generator: %w", err)
+	}
+	disc, err := dqnn.New(cfg.DiscWidths)
+	if err != nil {
+		return nil, fmt.Errorf("qgan: discriminator: %w", err)
+	}
+	dataQubits := real[0].Qubits()
+	if gen.OutputQubits() != dataQubits {
+		return nil, fmt.Errorf("qgan: generator outputs %d qubits, data has %d", gen.OutputQubits(), dataQubits)
+	}
+	if disc.InputQubits() != dataQubits {
+		return nil, fmt.Errorf("qgan: discriminator takes %d qubits, data has %d", disc.InputQubits(), dataQubits)
+	}
+	if disc.OutputQubits() != 1 {
+		return nil, fmt.Errorf("qgan: discriminator must end in 1 readout qubit, has %d", disc.OutputQubits())
+	}
+	for i, s := range real {
+		if s.Qubits() != dataQubits {
+			return nil, fmt.Errorf("qgan: sample %d has %d qubits, want %d", i, s.Qubits(), dataQubits)
+		}
+	}
+	set := rng.NewSet(cfg.Seed)
+	m := &Model{
+		cfg:    cfg,
+		gen:    gen,
+		disc:   disc,
+		thetaG: gen.InitParams(set.Init),
+		thetaD: disc.InitParams(set.Init),
+		optG:   optimizer.NewAdam(gen.NumParams(), cfg.LR),
+		optD:   optimizer.NewAdam(disc.NumParams(), cfg.LR),
+		rngs:   set,
+		real:   real,
+	}
+	return m, nil
+}
+
+// Round returns the number of completed adversarial rounds.
+func (m *Model) Round() uint64 { return m.round }
+
+// History returns the per-round discriminator gap
+// (mean D(real) − mean D(fake); shrinks toward 0 as G improves).
+func (m *Model) History() []float64 { return append([]float64{}, m.history...) }
+
+// Generator returns the generator network and its current parameters.
+func (m *Model) Generator() (*dqnn.Network, []float64) {
+	return m.gen, append([]float64{}, m.thetaG...)
+}
+
+// drawNoise produces the round's generator inputs from the Data stream
+// (checkpointed, so replay is exact).
+func (m *Model) drawNoise() []*quantum.State {
+	out := make([]*quantum.State, m.cfg.BatchSize)
+	for i := range out {
+		out[i] = quantum.RandomState(m.gen.InputQubits(), m.rngs.Data)
+	}
+	return out
+}
+
+// drawRealBatch picks the round's real samples.
+func (m *Model) drawRealBatch() []*quantum.State {
+	out := make([]*quantum.State, m.cfg.BatchSize)
+	for i := range out {
+		out[i] = m.real[m.rngs.Data.Intn(len(m.real))]
+	}
+	return out
+}
+
+// score runs the discriminator on a density matrix and maps its readout to
+// P(real) ∈ [0, 1].
+func (m *Model) score(rho *quantum.Density, thetaD []float64, shiftParam int, shiftDelta float64) (float64, error) {
+	out, err := m.disc.FeedForward(rho, thetaD, shiftParam, shiftDelta)
+	if err != nil {
+		return 0, err
+	}
+	return (1 + out.ExpectationPauliZ(0)) / 2, nil
+}
+
+// discLoss is minimized by the discriminator:
+// mean D(fake) − mean D(real). Shifts apply to D's parameters.
+func (m *Model) discLoss(noise, realBatch []*quantum.State, thetaG, thetaD []float64, shiftParam int, shiftDelta float64) (float64, error) {
+	var fake, real float64
+	for _, z := range noise {
+		rho, err := m.gen.FeedForwardPure(z, thetaG, -1, 0)
+		if err != nil {
+			return 0, err
+		}
+		s, err := m.score(rho, thetaD, shiftParam, shiftDelta)
+		if err != nil {
+			return 0, err
+		}
+		fake += s
+	}
+	for _, r := range realBatch {
+		s, err := m.score(quantum.DensityFromState(r), thetaD, shiftParam, shiftDelta)
+		if err != nil {
+			return 0, err
+		}
+		real += s
+	}
+	n := float64(len(noise))
+	return fake/n - real/n, nil
+}
+
+// genLoss is minimized by the generator: −mean D(fake). Shifts apply to G's
+// parameters.
+func (m *Model) genLoss(noise []*quantum.State, thetaG, thetaD []float64, shiftParam int, shiftDelta float64) (float64, error) {
+	var fake float64
+	for _, z := range noise {
+		rho, err := m.gen.FeedForwardPure(z, thetaG, shiftParam, shiftDelta)
+		if err != nil {
+			return 0, err
+		}
+		s, err := m.score(rho, thetaD, -1, 0)
+		if err != nil {
+			return 0, err
+		}
+		fake += s
+	}
+	return -fake / float64(len(noise)), nil
+}
+
+// paramShiftGrad computes a ±π/2 parameter-shift gradient of an arbitrary
+// loss closure over P parameters.
+func paramShiftGrad(p int, loss func(shiftParam int, delta float64) (float64, error)) ([]float64, error) {
+	const halfPi = 3.14159265358979 / 2
+	g := make([]float64, p)
+	for i := 0; i < p; i++ {
+		plus, err := loss(i, halfPi)
+		if err != nil {
+			return nil, err
+		}
+		minus, err := loss(i, -halfPi)
+		if err != nil {
+			return nil, err
+		}
+		g[i] = 0.5 * (plus - minus)
+	}
+	return g, nil
+}
+
+// RunRound executes one adversarial round: a discriminator update followed
+// by a generator update, drawing fresh noise and real batches. The phase
+// flag makes half-completed rounds resumable: a crash between the D and G
+// steps resumes with the G step.
+func (m *Model) RunRound() error {
+	if m.phase == 0 {
+		noise := m.drawNoise()
+		realBatch := m.drawRealBatch()
+		gD, err := paramShiftGrad(m.disc.NumParams(), func(sp int, d float64) (float64, error) {
+			return m.discLoss(noise, realBatch, m.thetaG, m.thetaD, sp, d)
+		})
+		if err != nil {
+			return err
+		}
+		m.optD.Step(m.thetaD, gD)
+		m.phase = 1
+	}
+	noise := m.drawNoise()
+	gG, err := paramShiftGrad(m.gen.NumParams(), func(sp int, d float64) (float64, error) {
+		return m.genLoss(noise, m.thetaG, m.thetaD, sp, d)
+	})
+	if err != nil {
+		return err
+	}
+	m.optG.Step(m.thetaG, gG)
+	m.phase = 0
+	m.round++
+
+	gap, err := m.DiscriminatorGap(8)
+	if err != nil {
+		return err
+	}
+	m.history = append(m.history, gap)
+	return nil
+}
+
+// DiscriminatorGap evaluates mean D(real) − mean D(fake) over `samples`
+// fresh draws from a throwaway stream (does not consume checkpointed
+// randomness).
+func (m *Model) DiscriminatorGap(samples int) (float64, error) {
+	probe := rng.New(m.cfg.Seed ^ 0x9e3779b97f4a7c15)
+	var realScore, fakeScore float64
+	for i := 0; i < samples; i++ {
+		r := m.real[i%len(m.real)]
+		s, err := m.score(quantum.DensityFromState(r), m.thetaD, -1, 0)
+		if err != nil {
+			return 0, err
+		}
+		realScore += s
+		z := quantum.RandomState(m.gen.InputQubits(), probe)
+		rho, err := m.gen.FeedForwardPure(z, m.thetaG, -1, 0)
+		if err != nil {
+			return 0, err
+		}
+		s, err = m.score(rho, m.thetaD, -1, 0)
+		if err != nil {
+			return 0, err
+		}
+		fakeScore += s
+	}
+	n := float64(samples)
+	return realScore/n - fakeScore/n, nil
+}
+
+// MeanFidelityToTarget measures how close generated states are to a target
+// pure state (quality metric for the clustered-data demonstrations).
+func (m *Model) MeanFidelityToTarget(target *quantum.State, samples int) (float64, error) {
+	probe := rng.New(m.cfg.Seed ^ 0x517cc1b727220a95)
+	var f float64
+	for i := 0; i < samples; i++ {
+		z := quantum.RandomState(m.gen.InputQubits(), probe)
+		rho, err := m.gen.FeedForwardPure(z, m.thetaG, -1, 0)
+		if err != nil {
+			return 0, err
+		}
+		f += rho.FidelityWithPure(target)
+	}
+	return f / float64(samples), nil
+}
+
+// fingerprint identifies the model configuration for checkpoint metadata.
+func (m *Model) fingerprint() string {
+	return fmt.Sprintf("qgan-G(%s)-D(%s)-b%d", m.gen.Fingerprint(), m.disc.Fingerprint(), m.cfg.BatchSize)
+}
+
+// Capture assembles the full adversarial training state: both parameter
+// vectors (concatenated [G | D]), both optimizer blobs (concatenated with a
+// length prefix), the RNG set, the round counter and the phase flag.
+func (m *Model) Capture() (*core.TrainingState, error) {
+	st := core.NewTrainingState()
+	st.Step = m.round
+	st.Epoch = uint64(m.phase)
+	st.Params = append(append([]float64{}, m.thetaG...), m.thetaD...)
+	gBlob, err := m.optG.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	dBlob, err := m.optD.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	st.Optimizer = encodeTwoBlobs(gBlob, dBlob)
+	st.RNG, err = m.rngs.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	st.LossHistory = append([]float64{}, m.history...)
+	st.Meta = core.Meta{
+		FormatVersion: core.FormatVersion,
+		CircuitFP:     m.fingerprint(),
+		ProblemFP:     fmt.Sprintf("real-samples=%d-q%d", len(m.real), m.real[0].Qubits()),
+		OptimizerName: "adam",
+		Extra:         fmt.Sprintf("lr=%g;batch=%d;seed=%d", m.cfg.LR, m.cfg.BatchSize, m.cfg.Seed),
+	}
+	return st, nil
+}
+
+// Restore loads a captured state. The model must have been built with the
+// identical Config and real data.
+func (m *Model) Restore(st *core.TrainingState) error {
+	fresh, err := m.Capture()
+	if err != nil {
+		return err
+	}
+	snapMeta := st.Meta
+	snapMeta.CreatedUnixNano = 0
+	liveMeta := fresh.Meta
+	liveMeta.CreatedUnixNano = 0
+	if err := snapMeta.CompatibleWith(liveMeta); err != nil {
+		return err
+	}
+	pg, pd := m.gen.NumParams(), m.disc.NumParams()
+	if len(st.Params) != pg+pd {
+		return fmt.Errorf("qgan: snapshot has %d params, want %d", len(st.Params), pg+pd)
+	}
+	gBlob, dBlob, err := decodeTwoBlobs(st.Optimizer)
+	if err != nil {
+		return err
+	}
+	if err := m.optG.UnmarshalBinary(gBlob); err != nil {
+		return err
+	}
+	if err := m.optD.UnmarshalBinary(dBlob); err != nil {
+		return err
+	}
+	if err := m.rngs.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	m.thetaG = append(m.thetaG[:0], st.Params[:pg]...)
+	m.thetaD = append(m.thetaD[:0], st.Params[pg:]...)
+	m.round = st.Step
+	if st.Epoch > 1 {
+		return fmt.Errorf("qgan: snapshot phase %d", st.Epoch)
+	}
+	m.phase = uint8(st.Epoch)
+	m.history = append([]float64{}, st.LossHistory...)
+	return nil
+}
+
+// encodeTwoBlobs concatenates two byte blobs with a 4-byte length prefix on
+// the first.
+func encodeTwoBlobs(a, b []byte) []byte {
+	out := make([]byte, 0, 4+len(a)+len(b))
+	out = append(out, byte(len(a)), byte(len(a)>>8), byte(len(a)>>16), byte(len(a)>>24))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func decodeTwoBlobs(data []byte) (a, b []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, errors.New("qgan: optimizer blob too short")
+	}
+	n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+	if n < 0 || 4+n > len(data) {
+		return nil, nil, fmt.Errorf("qgan: optimizer blob length %d invalid", n)
+	}
+	return data[4 : 4+n], data[4+n:], nil
+}

@@ -1,0 +1,229 @@
+package qgan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// clusteredReal builds real samples clustered near |0⟩: RY(small ε)|0⟩.
+func clusteredReal(count int, spread float64, seed uint64) []*quantum.State {
+	r := rng.New(seed)
+	out := make([]*quantum.State, count)
+	for i := range out {
+		s := quantum.New(1)
+		m := quantum.RY(spread * (r.Float64()*2 - 1))
+		s.Apply1(&m, 0)
+		out[i] = s
+	}
+	return out
+}
+
+func smallConfig() Config {
+	return Config{
+		GenWidths:  []int{1, 1},
+		DiscWidths: []int{1, 1},
+		LR:         0.1,
+		BatchSize:  4,
+		Seed:       31337,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	real := clusteredReal(4, 0.2, 1)
+	good := smallConfig()
+	cases := []func(*Config){
+		func(c *Config) { c.LR = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.BatchSize = 99 },
+		func(c *Config) { c.GenWidths = []int{1, 2} },  // output ≠ data qubits
+		func(c *Config) { c.DiscWidths = []int{2, 1} }, // input ≠ data qubits
+		func(c *Config) { c.DiscWidths = []int{1, 2} }, // readout ≠ 1
+		func(c *Config) { c.GenWidths = []int{1} },     // invalid network
+	}
+	if _, err := New(good, real); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	if _, err := New(good, nil); err == nil {
+		t.Errorf("empty real set accepted")
+	}
+	for i, mut := range cases {
+		c := smallConfig()
+		mut(&c)
+		if _, err := New(c, real); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestRunRoundAdvancesAndRecordsHistory(t *testing.T) {
+	m, err := New(smallConfig(), clusteredReal(6, 0.2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Round() != 3 {
+		t.Errorf("round = %d", m.Round())
+	}
+	if len(m.History()) != 3 {
+		t.Errorf("history length %d", len(m.History()))
+	}
+}
+
+func TestGeneratorLearnsCluster(t *testing.T) {
+	// Real data clusters tightly near |0⟩. After training, generated states
+	// should have materially higher fidelity with |0⟩ than at init.
+	real := clusteredReal(8, 0.15, 3)
+	m, err := New(smallConfig(), real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := quantum.New(1)
+	before, err := m.MeanFidelityToTarget(target, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := m.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := m.MeanFidelityToTarget(target, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < before+0.1 {
+		t.Errorf("generator did not move toward the data cluster: %v -> %v", before, after)
+	}
+	if after < 0.7 {
+		t.Errorf("generated states far from cluster: fidelity %v", after)
+	}
+}
+
+func TestCaptureRestoreBitwise(t *testing.T) {
+	real := clusteredReal(6, 0.2, 4)
+	cfg := smallConfig()
+
+	// Reference: 8 uninterrupted rounds.
+	ref, err := New(cfg, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := ref.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refG, refD := ref.thetaG, ref.thetaD
+
+	// Interrupted: 3 rounds, capture, fresh model, restore, 5 more.
+	a, err := New(cfg, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := a.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if b.Round() != 3 {
+		t.Fatalf("restored round = %d", b.Round())
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range refG {
+		if refG[i] != b.thetaG[i] {
+			t.Fatalf("generator param %d diverged after resume", i)
+		}
+	}
+	for i := range refD {
+		if refD[i] != b.thetaD[i] {
+			t.Fatalf("discriminator param %d diverged after resume", i)
+		}
+	}
+	if len(b.History()) != len(ref.History()) {
+		t.Fatalf("history lengths differ")
+	}
+	for i := range ref.History() {
+		if ref.History()[i] != b.History()[i] {
+			t.Fatalf("history diverged at round %d", i)
+		}
+	}
+}
+
+func TestRestoreRejectsWrongConfig(t *testing.T) {
+	real := clusteredReal(6, 0.2, 5)
+	a, _ := New(smallConfig(), real)
+	if err := a.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := a.Capture()
+
+	other := smallConfig()
+	other.LR = 0.2
+	b, _ := New(other, real)
+	if err := b.Restore(st); err == nil {
+		t.Errorf("restore with different hyperparameters accepted")
+	}
+
+	deeper := smallConfig()
+	deeper.GenWidths = []int{1, 2, 1}
+	c, _ := New(deeper, real)
+	if err := c.Restore(st); err == nil {
+		t.Errorf("restore into different architecture accepted")
+	}
+}
+
+func TestTwoBlobCodec(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{9, 8}
+	enc := encodeTwoBlobs(a, b)
+	ga, gb, err := decodeTwoBlobs(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ga) != string(a) || string(gb) != string(b) {
+		t.Errorf("round trip: %v %v", ga, gb)
+	}
+	if _, _, err := decodeTwoBlobs([]byte{1}); err == nil {
+		t.Errorf("short blob accepted")
+	}
+	if _, _, err := decodeTwoBlobs([]byte{250, 255, 255, 255}); err == nil {
+		t.Errorf("bogus length accepted")
+	}
+}
+
+func TestDiscriminatorGapBoundedAndFiniteHistory(t *testing.T) {
+	m, err := New(smallConfig(), clusteredReal(6, 0.2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range m.History() {
+		if g < -1 || g > 1 || math.IsNaN(g) {
+			t.Errorf("discriminator gap out of range: %v", g)
+		}
+	}
+}

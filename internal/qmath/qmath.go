@@ -1,0 +1,320 @@
+// Package qmath provides the small amount of dense complex linear algebra the
+// quantum simulator and its tests need: vectors and square matrices over
+// complex128, Kronecker products, matrix-vector and matrix-matrix products,
+// adjoints, unitarity checks, and the standard state-distance measures
+// (fidelity, trace distance for pure states).
+//
+// The package is deliberately minimal: the simulator applies gates via
+// strided amplitude updates and only falls back to explicit matrices for
+// verification, so these routines favour clarity over blocking/SIMD tricks.
+package qmath
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Vec is a dense complex vector.
+type Vec []complex128
+
+// Matrix is a dense square complex matrix in row-major order.
+type Matrix struct {
+	N    int          // dimension
+	Data []complex128 // len N*N, row-major
+}
+
+// NewMatrix returns an N×N zero matrix.
+func NewMatrix(n int) Matrix {
+	return Matrix{N: n, Data: make([]complex128, n*n)}
+}
+
+// Identity returns the N×N identity matrix.
+func Identity(n int) Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length
+// matching the number of rows.
+func FromRows(rows [][]complex128) Matrix {
+	n := len(rows)
+	m := NewMatrix(n)
+	for i, r := range rows {
+		if len(r) != n {
+			panic(fmt.Sprintf("qmath: row %d has length %d, want %d", i, len(r), n))
+		}
+		copy(m.Data[i*n:(i+1)*n], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) complex128 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m Matrix) Set(i, j int, v complex128) { m.Data[i*m.N+j] = v }
+
+// Clone returns a deep copy of m.
+func (m Matrix) Clone() Matrix {
+	out := Matrix{N: m.N, Data: make([]complex128, len(m.Data))}
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Mul returns the matrix product m·b.
+func (m Matrix) Mul(b Matrix) Matrix {
+	if m.N != b.N {
+		panic(fmt.Sprintf("qmath: dimension mismatch %d vs %d", m.N, b.N))
+	}
+	n := m.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a := m.Data[i*n+k]
+			if a == 0 {
+				continue
+			}
+			row := b.Data[k*n : (k+1)*n]
+			dst := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				dst[j] += a * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m Matrix) MulVec(v Vec) Vec {
+	if m.N != len(v) {
+		panic(fmt.Sprintf("qmath: dimension mismatch %d vs %d", m.N, len(v)))
+	}
+	out := make(Vec, m.N)
+	for i := 0; i < m.N; i++ {
+		var s complex128
+		row := m.Data[i*m.N : (i+1)*m.N]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Adjoint returns the conjugate transpose of m.
+func (m Matrix) Adjoint() Matrix {
+	n := m.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*n+i] = cmplx.Conj(m.Data[i*n+j])
+		}
+	}
+	return out
+}
+
+// Scale returns c·m.
+func (m Matrix) Scale(c complex128) Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= c
+	}
+	return out
+}
+
+// Add returns m + b.
+func (m Matrix) Add(b Matrix) Matrix {
+	if m.N != b.N {
+		panic("qmath: dimension mismatch in Add")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// Sub returns m − b.
+func (m Matrix) Sub(b Matrix) Matrix {
+	if m.N != b.N {
+		panic("qmath: dimension mismatch in Sub")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] -= b.Data[i]
+	}
+	return out
+}
+
+// Trace returns the trace of m.
+func (m Matrix) Trace() complex128 {
+	var t complex128
+	for i := 0; i < m.N; i++ {
+		t += m.Data[i*m.N+i]
+	}
+	return t
+}
+
+// Kron returns the Kronecker product m ⊗ b.
+func (m Matrix) Kron(b Matrix) Matrix {
+	n := m.N * b.N
+	out := NewMatrix(n)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			a := m.Data[i*m.N+j]
+			if a == 0 {
+				continue
+			}
+			for k := 0; k < b.N; k++ {
+				for l := 0; l < b.N; l++ {
+					out.Data[(i*b.N+k)*n+(j*b.N+l)] = a * b.Data[k*b.N+l]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsUnitary reports whether m†·m is the identity to within tol in the max
+// norm.
+func (m Matrix) IsUnitary(tol float64) bool {
+	p := m.Adjoint().Mul(m)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(p.Data[i*m.N+j]-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether m and b agree element-wise to within tol.
+func (m Matrix) Equal(b Matrix, tol float64) bool {
+	if m.N != b.N {
+		return false
+	}
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the Hermitian inner product ⟨v|w⟩ = Σᵢ conj(vᵢ)·wᵢ.
+func (v Vec) Dot(w Vec) complex128 {
+	if len(v) != len(w) {
+		panic("qmath: dimension mismatch in Dot")
+	}
+	var s complex128
+	for i := range v {
+		s += cmplx.Conj(v[i]) * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vec) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit norm. It panics on the zero vector.
+func (v Vec) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		panic("qmath: cannot normalize zero vector")
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Fidelity returns |⟨ψ|φ⟩|² for pure states ψ, φ.
+func Fidelity(psi, phi Vec) float64 {
+	d := psi.Dot(phi)
+	return real(d)*real(d) + imag(d)*imag(d)
+}
+
+// TraceDistance returns the trace distance ½‖ρ−σ‖₁ between the pure states
+// |ψ⟩⟨ψ| and |φ⟩⟨φ|, which for pure states equals sqrt(1 − F).
+func TraceDistance(psi, phi Vec) float64 {
+	f := Fidelity(psi, phi)
+	if f > 1 {
+		f = 1 // numerical guard
+	}
+	return math.Sqrt(1 - f)
+}
+
+// OuterProduct returns |v⟩⟨w| as a matrix.
+func OuterProduct(v, w Vec) Matrix {
+	if len(v) != len(w) {
+		panic("qmath: dimension mismatch in OuterProduct")
+	}
+	n := len(v)
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = v[i] * cmplx.Conj(w[j])
+		}
+	}
+	return out
+}
+
+// Expm returns exp(i·theta·H) for a Hermitian matrix H via scaled Taylor
+// series with squaring. It is used only to verify rotation-gate matrices in
+// tests, so simplicity wins over performance.
+func Expm(h Matrix, theta float64) Matrix {
+	// A = i·theta·H.
+	a := h.Scale(complex(0, theta))
+	// Scale down so the series converges quickly.
+	var norm float64
+	for _, x := range a.Data {
+		if v := cmplx.Abs(x); v > norm {
+			norm = v
+		}
+	}
+	s := 0
+	for norm > 0.5 {
+		norm /= 2
+		s++
+	}
+	scale := complex(1/math.Pow(2, float64(s)), 0)
+	a = a.Scale(scale)
+
+	out := Identity(a.N)
+	term := Identity(a.N)
+	for k := 1; k <= 24; k++ {
+		term = term.Mul(a).Scale(complex(1/float64(k), 0))
+		out = out.Add(term)
+	}
+	for i := 0; i < s; i++ {
+		out = out.Mul(out)
+	}
+	return out
+}
+
+// AlmostEqual reports whether two complex numbers agree to within tol.
+func AlmostEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}

@@ -1,0 +1,335 @@
+package qmath
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(4)[%d,%d] = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := FromRows([][]complex128{
+		{1, 2i},
+		{3, 4},
+	})
+	if got := m.Mul(Identity(2)); !got.Equal(m, 0) {
+		t.Errorf("m·I != m: %v", got)
+	}
+	if got := Identity(2).Mul(m); !got.Equal(m, 0) {
+		t.Errorf("I·m != m: %v", got)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1, 2},
+		{3, 4},
+	})
+	b := FromRows([][]complex128{
+		{5, 6},
+		{7, 8},
+	})
+	want := FromRows([][]complex128{
+		{19, 22},
+		{43, 50},
+	})
+	if got := a.Mul(b); !got.Equal(want, 1e-12) {
+		t.Errorf("a·b = %v, want %v", got, want)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]complex128{
+		{0, 1},
+		{1, 0},
+	})
+	v := Vec{1, 0}
+	got := m.MulVec(v)
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("X|0⟩ = %v, want |1⟩", got)
+	}
+}
+
+func TestAdjoint(t *testing.T) {
+	m := FromRows([][]complex128{
+		{1 + 1i, 2},
+		{3i, 4},
+	})
+	adj := m.Adjoint()
+	if adj.At(0, 0) != 1-1i || adj.At(0, 1) != -3i || adj.At(1, 0) != 2 || adj.At(1, 1) != 4 {
+		t.Errorf("adjoint wrong: %v", adj)
+	}
+	// (m†)† == m
+	if !adj.Adjoint().Equal(m, 0) {
+		t.Errorf("double adjoint != original")
+	}
+}
+
+func TestKronDimensions(t *testing.T) {
+	a := Identity(2)
+	b := Identity(3)
+	k := a.Kron(b)
+	if k.N != 6 {
+		t.Fatalf("kron dim = %d, want 6", k.N)
+	}
+	if !k.Equal(Identity(6), 0) {
+		t.Errorf("I2⊗I3 != I6")
+	}
+}
+
+func TestKronPauli(t *testing.T) {
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	z := FromRows([][]complex128{{1, 0}, {0, -1}})
+	xz := x.Kron(z)
+	// X⊗Z has (0,2)=1, (1,3)=-1, (2,0)=1, (3,1)=-1
+	want := NewMatrix(4)
+	want.Set(0, 2, 1)
+	want.Set(1, 3, -1)
+	want.Set(2, 0, 1)
+	want.Set(3, 1, -1)
+	if !xz.Equal(want, 0) {
+		t.Errorf("X⊗Z = %v, want %v", xz, want)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := FromRows([][]complex128{
+		{1, 99},
+		{99, 2i},
+	})
+	if got := m.Trace(); got != 1+2i {
+		t.Errorf("trace = %v, want 1+2i", got)
+	}
+}
+
+func TestIsUnitary(t *testing.T) {
+	h := FromRows([][]complex128{
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+	})
+	if !h.IsUnitary(1e-12) {
+		t.Errorf("Hadamard not detected as unitary")
+	}
+	notU := FromRows([][]complex128{
+		{1, 1},
+		{0, 1},
+	})
+	if notU.IsUnitary(1e-12) {
+		t.Errorf("shear matrix detected as unitary")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	v := Vec{complex(1/math.Sqrt2, 0), complex(0, 1/math.Sqrt2)}
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %v, want 1", v.Norm())
+	}
+	d := v.Dot(v)
+	if cmplx.Abs(d-1) > 1e-12 {
+		t.Errorf("⟨v|v⟩ = %v, want 1", d)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vec{3, 4i}
+	v.Normalize()
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("normalized norm = %v", v.Norm())
+	}
+}
+
+func TestNormalizeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Normalize on zero vector did not panic")
+		}
+	}()
+	Vec{0, 0}.Normalize()
+}
+
+func TestFidelity(t *testing.T) {
+	zero := Vec{1, 0}
+	one := Vec{0, 1}
+	plus := Vec{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)}
+	if f := Fidelity(zero, zero); math.Abs(f-1) > 1e-12 {
+		t.Errorf("F(0,0) = %v, want 1", f)
+	}
+	if f := Fidelity(zero, one); f > 1e-12 {
+		t.Errorf("F(0,1) = %v, want 0", f)
+	}
+	if f := Fidelity(zero, plus); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("F(0,+) = %v, want 0.5", f)
+	}
+}
+
+func TestTraceDistance(t *testing.T) {
+	zero := Vec{1, 0}
+	one := Vec{0, 1}
+	if d := TraceDistance(zero, one); math.Abs(d-1) > 1e-12 {
+		t.Errorf("D(0,1) = %v, want 1", d)
+	}
+	if d := TraceDistance(zero, zero); d > 1e-9 {
+		t.Errorf("D(0,0) = %v, want 0", d)
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	zero := Vec{1, 0}
+	p := OuterProduct(zero, zero)
+	want := NewMatrix(2)
+	want.Set(0, 0, 1)
+	if !p.Equal(want, 0) {
+		t.Errorf("|0⟩⟨0| = %v", p)
+	}
+	if cmplx.Abs(p.Trace()-1) > 1e-12 {
+		t.Errorf("trace of projector = %v, want 1", p.Trace())
+	}
+}
+
+func TestExpmPauliX(t *testing.T) {
+	// exp(-i θ/2 X) = cos(θ/2) I − i sin(θ/2) X
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	theta := 0.7
+	got := Expm(x, -theta/2)
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	want := FromRows([][]complex128{
+		{complex(c, 0), complex(0, -s)},
+		{complex(0, -s), complex(c, 0)},
+	})
+	if !got.Equal(want, 1e-10) {
+		t.Errorf("Expm(X, -θ/2) = %v, want %v", got, want)
+	}
+}
+
+func TestExpmUnitary(t *testing.T) {
+	z := FromRows([][]complex128{{1, 0}, {0, -1}})
+	for _, theta := range []float64{0, 0.1, 1.5, math.Pi, 10} {
+		u := Expm(z, theta)
+		if !u.IsUnitary(1e-9) {
+			t.Errorf("Expm(Z, %v) not unitary", theta)
+		}
+	}
+}
+
+// randomVec returns a random normalized complex vector of dimension n.
+func randomVec(r *rand.Rand, n int) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	v.Normalize()
+	return v
+}
+
+func TestFidelitySymmetricProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randomVec(rr, 8)
+		b := randomVec(rr, 8)
+		fa, fb := Fidelity(a, b), Fidelity(b, a)
+		return math.Abs(fa-fb) < 1e-10 && fa >= -1e-12 && fa <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKronMixedProductProperty(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	r := rand.New(rand.NewSource(2))
+	randM := func(rr *rand.Rand, n int) Matrix {
+		m := NewMatrix(n)
+		for i := range m.Data {
+			m.Data[i] = complex(rr.NormFloat64(), rr.NormFloat64())
+		}
+		return m
+	}
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b, c, d := randM(rr, 2), randM(rr, 2), randM(rr, 2), randM(rr, 2)
+		lhs := a.Kron(b).Mul(c.Kron(d))
+		rhs := a.Mul(c).Kron(b.Mul(d))
+		return lhs.Equal(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	// M·(v as column) agrees with MulVec.
+	r := rand.New(rand.NewSource(3))
+	m := NewMatrix(4)
+	for i := range m.Data {
+		m.Data[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	v := randomVec(r, 4)
+	got := m.MulVec(v)
+	for i := 0; i < 4; i++ {
+		var want complex128
+		for j := 0; j < 4; j++ {
+			want += m.At(i, j) * v[j]
+		}
+		if cmplx.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	m := FromRows([][]complex128{{1, 2}, {3, 4}})
+	twice := m.Scale(2)
+	if got := twice.Sub(m); !got.Equal(m, 1e-12) {
+		t.Errorf("2m − m != m")
+	}
+	if got := m.Add(m); !got.Equal(twice, 1e-12) {
+		t.Errorf("m + m != 2m")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { Identity(2).Mul(Identity(3)) },
+		func() { Identity(2).MulVec(make(Vec, 3)) },
+		func() { Vec{1}.Dot(Vec{1, 2}) },
+		func() { OuterProduct(Vec{1}, Vec{1, 2}) },
+		func() { Identity(2).Add(Identity(3)) },
+		func() { Identity(2).Sub(Identity(3)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("FromRows on ragged input did not panic")
+		}
+	}()
+	FromRows([][]complex128{{1, 2}, {3}})
+}

@@ -1,0 +1,401 @@
+// Package qpu simulates a cloud quantum-processing-unit service: circuit
+// execution on the statevector simulator wrapped in the operational
+// characteristics that make checkpointing matter — per-job queueing delay on
+// a virtual clock, shot-by-shot sampling noise, a global depolarizing noise
+// model, readout error, and preemption driven by a failure schedule.
+//
+// Substitution note (see DESIGN.md §6): the paper targets real cloud QPUs;
+// this backend reproduces the two properties the checkpointing system
+// interacts with. First, a single loss evaluation takes seconds-to-minutes
+// of virtual wall-clock (queue + shots), so one optimizer step (2P
+// evaluations) is enormous compared to local checkpoint I/O. Second, jobs
+// fail out from under the client according to an externally imposed
+// schedule. Both are modeled explicitly and are sweep parameters in the
+// benchmarks.
+//
+// The clock is virtual (no real sleeping): every job advances an int64
+// nanosecond counter by queueDelay + shots·shotTime + depth·gateLatency.
+// Experiments convert between virtual QPU time and real checkpoint I/O time
+// explicitly.
+package qpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/failure"
+	"repro/internal/observable"
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// ErrPreempted is returned when the failure schedule kills the session
+// mid-job. The job's results are lost and its shots are billed as wasted.
+var ErrPreempted = errors.New("qpu: session preempted")
+
+// Config describes the simulated service.
+type Config struct {
+	// QueueDelay is the mean queueing delay charged per submitted job.
+	QueueDelay time.Duration
+	// QueueJitter is the relative jitter on QueueDelay, in [0, 1): the
+	// actual delay is QueueDelay·(1 + jitter·u) with u uniform in [−1, 1).
+	QueueJitter float64
+	// ShotTime is the virtual time per shot (includes state preparation and
+	// readout; ~1–10 kHz repetition rates on real hardware).
+	ShotTime time.Duration
+	// GateLatency is the virtual time per circuit-depth layer per shot
+	// batch; charged once per job as depth·GateLatency.
+	GateLatency time.Duration
+	// DepolarizingRate is the per-two-qubit-gate depolarizing probability.
+	// The job's signal is attenuated by (1−rate)^(#2q gates).
+	DepolarizingRate float64
+	// ReadoutError is the per-measured-bit classical flip probability,
+	// folded into expectation attenuation as (1−2e)^(weight).
+	ReadoutError float64
+	// DriftRate models calibration drift: the effective depolarizing rate
+	// grows linearly with virtual time since the last calibration, by
+	// DriftRate per hour (e.g. 0.001 adds 0.1 percentage points of
+	// two-qubit error per hour). Calibrate() resets the drift clock. Zero
+	// disables drift.
+	DriftRate float64
+}
+
+// DefaultConfig models a mid-2020s superconducting cloud device: 30 s mean
+// queue, 1 ms per shot, 1 µs gate layers, 0.5% two-qubit depolarizing, 1.5%
+// readout error.
+func DefaultConfig() Config {
+	return Config{
+		QueueDelay:       30 * time.Second,
+		QueueJitter:      0.3,
+		ShotTime:         time.Millisecond,
+		GateLatency:      time.Microsecond,
+		DepolarizingRate: 0.005,
+		ReadoutError:     0.015,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.QueueDelay < 0 || c.ShotTime < 0 || c.GateLatency < 0 {
+		return errors.New("qpu: negative latency")
+	}
+	if c.QueueJitter < 0 || c.QueueJitter >= 1 {
+		return fmt.Errorf("qpu: queue jitter %v out of [0,1)", c.QueueJitter)
+	}
+	if c.DepolarizingRate < 0 || c.DepolarizingRate >= 1 {
+		return fmt.Errorf("qpu: depolarizing rate %v out of [0,1)", c.DepolarizingRate)
+	}
+	if c.ReadoutError < 0 || c.ReadoutError >= 0.5 {
+		return fmt.Errorf("qpu: readout error %v out of [0,0.5)", c.ReadoutError)
+	}
+	if c.DriftRate < 0 {
+		return fmt.Errorf("qpu: negative drift rate %v", c.DriftRate)
+	}
+	return nil
+}
+
+// Backend is one simulated QPU session context. It is deterministic given
+// its RNG streams: the Shots stream drives sampling noise, the Noise stream
+// drives queue jitter.
+type Backend struct {
+	cfg      Config
+	shots    *rng.Stream
+	noise    *rng.Stream
+	failures *failure.Schedule // may be nil: never fails
+
+	clock         time.Duration // virtual time elapsed
+	lastCalibrate time.Duration // drift clock origin
+	totalShots    uint64        // all shots executed, including wasted ones
+	wastedShots   uint64        // shots billed to preempted jobs
+	jobs          uint64
+	preempts      uint64
+}
+
+// New creates a backend. failures may be nil for a failure-free service.
+func New(cfg Config, shotsRNG, noiseRNG *rng.Stream, failures *failure.Schedule) (*Backend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shotsRNG == nil || noiseRNG == nil {
+		return nil, errors.New("qpu: nil RNG stream")
+	}
+	return &Backend{cfg: cfg, shots: shotsRNG, noise: noiseRNG, failures: failures}, nil
+}
+
+// Clock returns the virtual time elapsed on this backend.
+func (b *Backend) Clock() time.Duration { return b.clock }
+
+// AdvanceClock adds external virtual time (e.g. client-side recovery delay)
+// so failure scheduling stays aligned with the experiment's world clock.
+func (b *Backend) AdvanceClock(d time.Duration) {
+	if d < 0 {
+		panic("qpu: negative clock advance")
+	}
+	b.clock += d
+}
+
+// TotalShots returns every shot executed, including wasted ones.
+func (b *Backend) TotalShots() uint64 { return b.totalShots }
+
+// WastedShots returns shots billed to jobs that were preempted.
+func (b *Backend) WastedShots() uint64 { return b.wastedShots }
+
+// Jobs returns the number of submitted jobs.
+func (b *Backend) Jobs() uint64 { return b.jobs }
+
+// Preemptions returns how many jobs were killed by the failure schedule.
+func (b *Backend) Preemptions() uint64 { return b.preempts }
+
+// Config returns the backend configuration.
+func (b *Backend) Config() Config { return b.cfg }
+
+// jobDuration computes the virtual duration of a job.
+func (b *Backend) jobDuration(c *circuit.Circuit, shots int) time.Duration {
+	queue := float64(b.cfg.QueueDelay)
+	if b.cfg.QueueJitter > 0 && queue > 0 {
+		u := b.noise.Float64()*2 - 1
+		queue *= 1 + b.cfg.QueueJitter*u
+	}
+	d := time.Duration(queue)
+	d += time.Duration(shots) * b.cfg.ShotTime
+	d += time.Duration(c.Depth()) * b.cfg.GateLatency
+	return d
+}
+
+// beginJob advances the clock for a job of the given duration and reports
+// preemption. On preemption the clock stops at the failure instant.
+func (b *Backend) beginJob(d time.Duration, shots int) error {
+	b.jobs++
+	start := b.clock
+	end := start + d
+	if b.failures != nil {
+		if at, fired := b.failures.FiresWithin(start, end); fired {
+			b.clock = at
+			b.preempts++
+			// Bill the shots proportional to how far the job got.
+			frac := 0.0
+			if d > 0 {
+				frac = float64(at-start) / float64(d)
+			}
+			wasted := uint64(float64(shots) * frac)
+			b.totalShots += wasted
+			b.wastedShots += wasted
+			return ErrPreempted
+		}
+	}
+	b.clock = end
+	b.totalShots += uint64(shots)
+	return nil
+}
+
+// effectiveDepolarizing returns the current per-gate depolarizing rate,
+// including calibration drift accrued since the last Calibrate().
+func (b *Backend) effectiveDepolarizing() float64 {
+	rate := b.cfg.DepolarizingRate
+	if b.cfg.DriftRate > 0 {
+		hours := float64(b.clock-b.lastCalibrate) / float64(time.Hour)
+		rate += b.cfg.DriftRate * hours
+	}
+	if rate >= 1 {
+		rate = 0.999999
+	}
+	return rate
+}
+
+// Calibrate resets the drift clock (the device was recalibrated now).
+func (b *Backend) Calibrate() { b.lastCalibrate = b.clock }
+
+// attenuation returns the signal attenuation factor the noise model applies
+// to an expectation value of a weight-w Pauli string measured after the
+// circuit.
+func (b *Backend) attenuation(c *circuit.Circuit, weight int) float64 {
+	f := math.Pow(1-b.effectiveDepolarizing(), float64(c.NumTwoQubitGates()))
+	f *= math.Pow(1-2*b.cfg.ReadoutError, float64(weight))
+	return f
+}
+
+// sampleExpectation draws a `shots`-shot estimate of an observable with
+// true (noisy) expectation e ∈ [−1, 1]: the mean of shots ±1 Bernoulli
+// draws with P(+1) = (1+e)/2. This is statistically identical to measuring
+// the rotated circuit shot by shot, at a fraction of the cost.
+func (b *Backend) sampleExpectation(e float64, shots int) float64 {
+	if e > 1 {
+		e = 1
+	} else if e < -1 {
+		e = -1
+	}
+	p := (1 + e) / 2
+	plus := 0
+	for i := 0; i < shots; i++ {
+		if b.shots.Float64() < p {
+			plus++
+		}
+	}
+	return float64(2*plus-shots) / float64(shots)
+}
+
+// EstimateEnergy submits one job that estimates ⟨H⟩ for the circuit at θ
+// (with optional occurrence shift), spending shotsPerTerm shots on each
+// non-identity Hamiltonian term. On ErrPreempted no estimate is returned.
+func (b *Backend) EstimateEnergy(c *circuit.Circuit, theta []float64, shift circuit.Shift, h observable.Hamiltonian, shotsPerTerm int) (float64, error) {
+	if shotsPerTerm <= 0 {
+		return 0, errors.New("qpu: shotsPerTerm must be positive")
+	}
+	if h.Qubits != c.Qubits {
+		return 0, fmt.Errorf("qpu: hamiltonian on %d qubits, circuit on %d", h.Qubits, c.Qubits)
+	}
+	totalShots := shotsPerTerm * h.NumTerms()
+	if err := b.beginJob(b.jobDuration(c, totalShots), totalShots); err != nil {
+		return 0, err
+	}
+	s := quantum.New(c.Qubits)
+	c.Run(s, theta, shift)
+	var e float64
+	for _, t := range h.Terms {
+		if t.P.Weight() == 0 {
+			e += t.Coeff
+			continue
+		}
+		exact := t.P.Expectation(s)
+		noisy := exact * b.attenuation(c, t.P.Weight())
+		e += t.Coeff * b.sampleExpectation(noisy, shotsPerTerm)
+	}
+	return e, nil
+}
+
+// EstimateEnergyGrouped estimates ⟨H⟩ using qubit-wise-commuting
+// measurement grouping: one shot batch per group instead of one per term,
+// cutting the shot bill by the grouping factor (TFIM: #terms → 2). Shots
+// within a group are shared across its member terms, so their estimation
+// errors are correlated — exactly as on hardware.
+func (b *Backend) EstimateEnergyGrouped(c *circuit.Circuit, theta []float64, shift circuit.Shift, h observable.Hamiltonian, shotsPerGroup int) (float64, error) {
+	if shotsPerGroup <= 0 {
+		return 0, errors.New("qpu: shotsPerGroup must be positive")
+	}
+	if h.Qubits != c.Qubits {
+		return 0, fmt.Errorf("qpu: hamiltonian on %d qubits, circuit on %d", h.Qubits, c.Qubits)
+	}
+	groups, constant := observable.GroupTerms(h)
+	totalShots := shotsPerGroup * len(groups)
+	if err := b.beginJob(b.jobDuration(c, totalShots), totalShots); err != nil {
+		return 0, err
+	}
+	s := quantum.New(c.Qubits)
+	c.Run(s, theta, shift)
+	e := constant
+	for _, g := range groups {
+		rot := s.Clone()
+		g.Basis.RotateToZBasis(rot)
+		samples := rot.SampleShots(b.shots, shotsPerGroup)
+		for _, t := range g.Terms {
+			mask := t.P.ZMask()
+			sum := 0
+			for _, bi := range samples {
+				if bits.OnesCount(uint(bi&mask))%2 == 0 {
+					sum++
+				} else {
+					sum--
+				}
+			}
+			est := float64(sum) / float64(shotsPerGroup)
+			e += t.Coeff * est * b.attenuation(c, t.P.Weight())
+		}
+	}
+	return e, nil
+}
+
+// EstimateFidelity submits one job estimating the fidelity between the
+// circuit output (run on `input`) and `target` via a simulated destructive
+// SWAP test: each shot passes with probability (1+F_noisy)/2, and the
+// estimator returns 2·(pass fraction) − 1 clamped to [0, 1].
+func (b *Backend) EstimateFidelity(c *circuit.Circuit, theta []float64, shift circuit.Shift, input, target *quantum.State, shots int) (float64, error) {
+	if shots <= 0 {
+		return 0, errors.New("qpu: shots must be positive")
+	}
+	if input.Qubits() != c.Qubits || target.Qubits() != c.Qubits {
+		return 0, fmt.Errorf("qpu: state size mismatch")
+	}
+	if err := b.beginJob(b.jobDuration(c, shots), shots); err != nil {
+		return 0, err
+	}
+	out := c.PrepareFrom(input, theta, shift)
+	f := out.Fidelity(target)
+	// Depolarizing mixes toward the maximally mixed state: fidelity decays
+	// toward 1/2^n.
+	att := math.Pow(1-b.effectiveDepolarizing(), float64(c.NumTwoQubitGates()))
+	dim := float64(int(1) << uint(c.Qubits))
+	fNoisy := att*f + (1-att)/dim
+	est := b.sampleExpectation(2*fNoisy-1, shots)
+	fEst := (est + 1) / 2
+	if fEst < 0 {
+		fEst = 0
+	} else if fEst > 1 {
+		fEst = 1
+	}
+	return fEst, nil
+}
+
+// ExactEnergy computes ⟨H⟩ with no shot noise, no hardware noise, no queue
+// time and no failure exposure — the validation oracle the trainer uses to
+// report true progress (and what a perfect classical simulator would give).
+func (b *Backend) ExactEnergy(c *circuit.Circuit, theta []float64, h observable.Hamiltonian) float64 {
+	s := quantum.New(c.Qubits)
+	c.Run(s, theta, circuit.NoShift)
+	return h.Expectation(s)
+}
+
+// ExactFidelity computes the noiseless output fidelity against target.
+func (b *Backend) ExactFidelity(c *circuit.Circuit, theta []float64, input, target *quantum.State) float64 {
+	out := c.PrepareFrom(input, theta, circuit.NoShift)
+	return out.Fidelity(target)
+}
+
+// FailureWithin reports whether the failure schedule has an instant within
+// the next d of virtual time — the "session about to expire" hint real
+// cloud services expose (session TTLs, maintenance windows). Clients use it
+// to checkpoint proactively just before losing the session.
+func (b *Backend) FailureWithin(d time.Duration) bool {
+	if b.failures == nil || d <= 0 {
+		return false
+	}
+	at, ok := b.failures.Peek()
+	if !ok {
+		return false
+	}
+	return at > b.clock && at <= b.clock+d
+}
+
+// Counters bundles the billing counters for checkpointing: they are part of
+// training state so resumed runs report cumulative totals correctly.
+type Counters struct {
+	Clock       time.Duration
+	TotalShots  uint64
+	WastedShots uint64
+	Jobs        uint64
+	Preemptions uint64
+}
+
+// Snapshot returns the current counters.
+func (b *Backend) Snapshot() Counters {
+	return Counters{
+		Clock:       b.clock,
+		TotalShots:  b.totalShots,
+		WastedShots: b.wastedShots,
+		Jobs:        b.jobs,
+		Preemptions: b.preempts,
+	}
+}
+
+// RestoreCounters overwrites the counters (used when a fresh backend object
+// resumes an interrupted run against the same virtual world).
+func (b *Backend) RestoreCounters(c Counters) {
+	b.clock = c.Clock
+	b.totalShots = c.TotalShots
+	b.wastedShots = c.WastedShots
+	b.jobs = c.Jobs
+	b.preempts = c.Preemptions
+}

@@ -1,0 +1,442 @@
+package qpu
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/failure"
+	"repro/internal/observable"
+	"repro/internal/quantum"
+	"repro/internal/rng"
+)
+
+// quiet returns a config with no latencies and no noise, for pure-logic
+// tests.
+func quiet() Config { return Config{} }
+
+func newBackend(t *testing.T, cfg Config, fails *failure.Schedule) *Backend {
+	t.Helper()
+	set := rng.NewSet(42)
+	b, err := New(cfg, set.Shots, set.Noise, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{QueueDelay: -1},
+		{QueueJitter: 1.0},
+		{DepolarizingRate: 1.0},
+		{ReadoutError: 0.5},
+		{ShotTime: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsNilRNG(t *testing.T) {
+	if _, err := New(quiet(), nil, nil, nil); err == nil {
+		t.Errorf("nil RNG accepted")
+	}
+}
+
+func TestEstimateEnergyConvergesToExact(t *testing.T) {
+	c := circuit.HardwareEfficient(3, 1)
+	h := observable.TFIM(3, 1, 0.7)
+	theta := c.InitParams(rng.New(1))
+	b := newBackend(t, quiet(), nil)
+	exact := b.ExactEnergy(c, theta, h)
+	est, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 0.05 {
+		t.Errorf("estimate %v vs exact %v", est, exact)
+	}
+}
+
+func TestEstimateEnergyShotNoiseScales(t *testing.T) {
+	// Variance with 100 shots should exceed variance with 10000 shots.
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.TFIM(2, 1, 0.7)
+	theta := c.InitParams(rng.New(2))
+	spread := func(shots int) float64 {
+		b := newBackend(t, quiet(), nil)
+		exact := b.ExactEnergy(c, theta, h)
+		var sse float64
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			est, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, shots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sse += (est - exact) * (est - exact)
+		}
+		return sse / trials
+	}
+	if spread(100) <= spread(10000) {
+		t.Errorf("shot noise did not shrink with more shots")
+	}
+}
+
+func TestDepolarizingAttenuatesEnergy(t *testing.T) {
+	c := circuit.HardwareEfficient(3, 2)
+	h := observable.TFIM(3, 1, 0.7)
+	theta := c.InitParams(rng.New(3))
+
+	clean := newBackend(t, quiet(), nil)
+	exact := clean.ExactEnergy(c, theta, h)
+
+	noisy := newBackend(t, Config{DepolarizingRate: 0.05}, nil)
+	est, err := noisy.EstimateEnergy(c, theta, circuit.NoShift, h, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est) >= math.Abs(exact) {
+		t.Errorf("noise did not attenuate: |%v| >= |%v|", est, exact)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	cfg := Config{QueueDelay: 10 * time.Second, ShotTime: time.Millisecond}
+	b := newBackend(t, cfg, nil)
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.TFIM(2, 1, 0.5)
+	theta := c.InitParams(rng.New(4))
+	if _, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 100); err != nil {
+		t.Fatal(err)
+	}
+	// TFIM(2) has 3 terms × 100 shots = 300 shots → 0.3 s; + 10 s queue.
+	want := 10*time.Second + 300*time.Millisecond
+	if d := b.Clock() - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("clock = %v, want ≈%v", b.Clock(), want)
+	}
+	if b.TotalShots() != 300 {
+		t.Errorf("total shots = %d, want 300", b.TotalShots())
+	}
+	if b.Jobs() != 1 {
+		t.Errorf("jobs = %d", b.Jobs())
+	}
+}
+
+func TestQueueJitterVariesClock(t *testing.T) {
+	cfg := Config{QueueDelay: 10 * time.Second, QueueJitter: 0.5}
+	b := newBackend(t, cfg, nil)
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.TFIM(2, 1, 0.5)
+	theta := c.InitParams(rng.New(5))
+	var durations []time.Duration
+	prev := b.Clock()
+	for i := 0; i < 10; i++ {
+		if _, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 1); err != nil {
+			t.Fatal(err)
+		}
+		durations = append(durations, b.Clock()-prev)
+		prev = b.Clock()
+	}
+	allSame := true
+	for _, d := range durations[1:] {
+		if d != durations[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Errorf("jitter produced identical durations: %v", durations)
+	}
+}
+
+func TestPreemption(t *testing.T) {
+	fails, _ := failure.NewTrace([]time.Duration{5 * time.Second})
+	cfg := Config{QueueDelay: 10 * time.Second}
+	b := newBackend(t, cfg, fails)
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.TFIM(2, 1, 0.5)
+	theta := c.InitParams(rng.New(6))
+	_, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 100)
+	if !errors.Is(err, ErrPreempted) {
+		t.Fatalf("want ErrPreempted, got %v", err)
+	}
+	if b.Clock() != 5*time.Second {
+		t.Errorf("clock should stop at failure instant: %v", b.Clock())
+	}
+	if b.Preemptions() != 1 {
+		t.Errorf("preemptions = %d", b.Preemptions())
+	}
+	if b.WastedShots() == 0 {
+		t.Errorf("preempted job billed no wasted shots")
+	}
+	// Next job succeeds (failure consumed).
+	if _, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 100); err != nil {
+		t.Errorf("job after preemption failed: %v", err)
+	}
+}
+
+func TestEstimateFidelityConverges(t *testing.T) {
+	c := circuit.HardwareEfficient(2, 1)
+	theta := c.InitParams(rng.New(7))
+	r := rng.New(8)
+	input := quantum.New(2)
+	target := quantum.RandomState(2, r)
+	b := newBackend(t, quiet(), nil)
+	exact := b.ExactFidelity(c, theta, input, target)
+	est, err := b.EstimateFidelity(c, theta, circuit.NoShift, input, target, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 0.02 {
+		t.Errorf("fidelity estimate %v vs exact %v", est, exact)
+	}
+	if est < 0 || est > 1 {
+		t.Errorf("fidelity estimate out of range: %v", est)
+	}
+}
+
+func TestEstimateInputValidation(t *testing.T) {
+	b := newBackend(t, quiet(), nil)
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.TFIM(3, 1, 0.5) // wrong size
+	theta := c.InitParams(rng.New(9))
+	if _, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 100); err == nil {
+		t.Errorf("qubit mismatch accepted")
+	}
+	h2 := observable.TFIM(2, 1, 0.5)
+	if _, err := b.EstimateEnergy(c, theta, circuit.NoShift, h2, 0); err == nil {
+		t.Errorf("zero shots accepted")
+	}
+	if _, err := b.EstimateFidelity(c, theta, circuit.NoShift, quantum.New(3), quantum.New(2), 10); err == nil {
+		t.Errorf("state size mismatch accepted")
+	}
+	if _, err := b.EstimateFidelity(c, theta, circuit.NoShift, quantum.New(2), quantum.New(2), 0); err == nil {
+		t.Errorf("zero fidelity shots accepted")
+	}
+}
+
+func TestDeterministicGivenSameStreams(t *testing.T) {
+	run := func() (float64, time.Duration) {
+		set := rng.NewSet(99)
+		b, err := New(DefaultConfig(), set.Shots, set.Noise, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := circuit.HardwareEfficient(2, 1)
+		theta := c.InitParams(rng.New(10))
+		h := observable.TFIM(2, 1, 0.5)
+		e, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, b.Clock()
+	}
+	e1, c1 := run()
+	e2, c2 := run()
+	if e1 != e2 || c1 != c2 {
+		t.Errorf("backend not deterministic: (%v,%v) vs (%v,%v)", e1, c1, e2, c2)
+	}
+}
+
+func TestCountersSnapshotRestore(t *testing.T) {
+	b := newBackend(t, Config{QueueDelay: time.Second}, nil)
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.TFIM(2, 1, 0.5)
+	theta := c.InitParams(rng.New(11))
+	if _, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 10); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Snapshot()
+	b2 := newBackend(t, Config{QueueDelay: time.Second}, nil)
+	b2.RestoreCounters(snap)
+	if b2.Clock() != b.Clock() || b2.TotalShots() != b.TotalShots() || b2.Jobs() != b.Jobs() {
+		t.Errorf("restore mismatch: %+v vs %+v", b2.Snapshot(), snap)
+	}
+}
+
+func TestAdvanceClock(t *testing.T) {
+	b := newBackend(t, quiet(), nil)
+	b.AdvanceClock(3 * time.Second)
+	if b.Clock() != 3*time.Second {
+		t.Errorf("clock = %v", b.Clock())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative advance accepted")
+		}
+	}()
+	b.AdvanceClock(-time.Second)
+}
+
+func TestPreemptionRespectsExternalClockAdvance(t *testing.T) {
+	// A failure at t=5s must fire even if the client burned virtual time
+	// externally (recovery delay) before submitting.
+	fails, _ := failure.NewTrace([]time.Duration{5 * time.Second})
+	b := newBackend(t, Config{QueueDelay: 2 * time.Second}, fails)
+	b.AdvanceClock(4 * time.Second)
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.TFIM(2, 1, 0.5)
+	theta := c.InitParams(rng.New(12))
+	_, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 10)
+	if !errors.Is(err, ErrPreempted) {
+		t.Errorf("want ErrPreempted, got %v", err)
+	}
+}
+
+func TestExactPathsCostNothing(t *testing.T) {
+	b := newBackend(t, DefaultConfig(), nil)
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.TFIM(2, 1, 0.5)
+	theta := c.InitParams(rng.New(13))
+	b.ExactEnergy(c, theta, h)
+	b.ExactFidelity(c, theta, quantum.New(2), quantum.New(2))
+	if b.Clock() != 0 || b.TotalShots() != 0 || b.Jobs() != 0 {
+		t.Errorf("exact paths were billed: %+v", b.Snapshot())
+	}
+}
+
+func TestReadoutErrorAttenuates(t *testing.T) {
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.SingleZ(2, 0)
+	theta := make([]float64, c.NumParams) // |00⟩ output: ⟨Z0⟩ = 1
+	b := newBackend(t, Config{ReadoutError: 0.1}, nil)
+	est, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1−2·0.1)^1 = 0.8.
+	if math.Abs(est-0.8) > 0.01 {
+		t.Errorf("readout-attenuated ⟨Z⟩ = %v, want ≈0.8", est)
+	}
+}
+
+func TestEstimateEnergyGroupedConvergesAndCostsLess(t *testing.T) {
+	c := circuit.HardwareEfficient(4, 1)
+	h := observable.TFIM(4, 1, 0.7)
+	theta := c.InitParams(rng.New(71))
+
+	grouped := newBackend(t, quiet(), nil)
+	exact := grouped.ExactEnergy(c, theta, h)
+	est, err := grouped.EstimateEnergyGrouped(c, theta, circuit.NoShift, h, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 0.05 {
+		t.Errorf("grouped estimate %v vs exact %v", est, exact)
+	}
+	// TFIM groups into 2 settings: cost 2×shots vs 7×shots term-wise.
+	if grouped.TotalShots() != 200000 {
+		t.Errorf("grouped shots = %d, want 200000 (2 groups)", grouped.TotalShots())
+	}
+	termwise := newBackend(t, quiet(), nil)
+	if _, err := termwise.EstimateEnergy(c, theta, circuit.NoShift, h, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if grouped.TotalShots() >= termwise.TotalShots() {
+		t.Errorf("grouping did not reduce shots: %d vs %d", grouped.TotalShots(), termwise.TotalShots())
+	}
+}
+
+func TestEstimateEnergyGroupedValidation(t *testing.T) {
+	b := newBackend(t, quiet(), nil)
+	c := circuit.HardwareEfficient(2, 1)
+	theta := c.InitParams(rng.New(72))
+	if _, err := b.EstimateEnergyGrouped(c, theta, circuit.NoShift, observable.TFIM(3, 1, 1), 10); err == nil {
+		t.Errorf("qubit mismatch accepted")
+	}
+	if _, err := b.EstimateEnergyGrouped(c, theta, circuit.NoShift, observable.TFIM(2, 1, 1), 0); err == nil {
+		t.Errorf("zero shots accepted")
+	}
+}
+
+func TestEstimateEnergyGroupedPreemptable(t *testing.T) {
+	fails, _ := failure.NewTrace([]time.Duration{time.Second})
+	b := newBackend(t, Config{QueueDelay: 5 * time.Second}, fails)
+	c := circuit.HardwareEfficient(2, 1)
+	theta := c.InitParams(rng.New(73))
+	_, err := b.EstimateEnergyGrouped(c, theta, circuit.NoShift, observable.TFIM(2, 1, 1), 10)
+	if !errors.Is(err, ErrPreempted) {
+		t.Errorf("want ErrPreempted, got %v", err)
+	}
+}
+
+func TestFailureWithin(t *testing.T) {
+	fails, _ := failure.NewTrace([]time.Duration{10 * time.Second})
+	b := newBackend(t, quiet(), fails)
+	if b.FailureWithin(5 * time.Second) {
+		t.Errorf("hint fired 10s early with a 5s window")
+	}
+	if !b.FailureWithin(15 * time.Second) {
+		t.Errorf("hint did not fire inside the window")
+	}
+	b.AdvanceClock(9 * time.Second)
+	if !b.FailureWithin(2 * time.Second) {
+		t.Errorf("hint did not fire 1s before the failure")
+	}
+	// Zero window and nil schedule never fire.
+	if b.FailureWithin(0) {
+		t.Errorf("zero window fired")
+	}
+	noFails := newBackend(t, quiet(), nil)
+	if noFails.FailureWithin(time.Hour) {
+		t.Errorf("nil schedule fired")
+	}
+}
+
+func TestCalibrationDrift(t *testing.T) {
+	c := circuit.HardwareEfficient(2, 2)
+	h := observable.SingleZ(2, 0)
+	theta := make([]float64, c.NumParams) // output |00⟩: ⟨Z0⟩ = 1 noiseless
+	cfg := Config{DepolarizingRate: 0.01, DriftRate: 0.05}
+	b := newBackend(t, cfg, nil)
+
+	fresh, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four hours later the device has drifted: 0.01 + 4·0.05 = 0.21
+	// effective depolarizing per gate.
+	b.AdvanceClock(4 * time.Hour)
+	drifted, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted >= fresh-0.1 {
+		t.Errorf("drift did not degrade signal: %v -> %v", fresh, drifted)
+	}
+	// Recalibration restores the base rate.
+	b.Calibrate()
+	recal, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recal-fresh) > 0.05 {
+		t.Errorf("recalibration did not restore signal: %v vs %v", recal, fresh)
+	}
+}
+
+func TestDriftRateValidation(t *testing.T) {
+	cfg := Config{DriftRate: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("negative drift rate accepted")
+	}
+}
+
+func TestDriftSaturatesBelowOne(t *testing.T) {
+	b := newBackend(t, Config{DepolarizingRate: 0.5, DriftRate: 1}, nil)
+	b.AdvanceClock(1000 * time.Hour)
+	c := circuit.HardwareEfficient(2, 1)
+	h := observable.SingleZ(2, 0)
+	theta := make([]float64, c.NumParams)
+	if _, err := b.EstimateEnergy(c, theta, circuit.NoShift, h, 100); err != nil {
+		t.Errorf("saturated drift broke estimation: %v", err)
+	}
+}

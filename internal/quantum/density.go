@@ -1,0 +1,429 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/qmath"
+)
+
+// MaxDensityQubits bounds density-matrix size (2^(2n) complex128 entries;
+// n=10 is 16 MiB).
+const MaxDensityQubits = 10
+
+// Density is an n-qubit density matrix ρ — the general (mixed) quantum
+// state. It supports unitary gates, standard noise channels, partial trace
+// and expectation values, which together are exactly what dissipative
+// quantum neural networks (layered CP maps with traced-out input layers)
+// and exact noise modeling need.
+//
+// Storage is row-major 2^n × 2^n; the qubit convention matches State
+// (qubit q = bit q of the index).
+type Density struct {
+	n    int
+	dim  int
+	data []complex128 // dim×dim, row-major
+}
+
+// NewDensity returns |0…0⟩⟨0…0| on n qubits.
+func NewDensity(n int) *Density {
+	if n < 1 || n > MaxDensityQubits {
+		panic(fmt.Sprintf("quantum: density qubit count %d out of range [1,%d]", n, MaxDensityQubits))
+	}
+	dim := 1 << uint(n)
+	d := &Density{n: n, dim: dim, data: make([]complex128, dim*dim)}
+	d.data[0] = 1
+	return d
+}
+
+// DensityFromState returns the pure-state density matrix |ψ⟩⟨ψ|.
+func DensityFromState(s *State) *Density {
+	if s.Qubits() > MaxDensityQubits {
+		panic("quantum: state too large for density representation")
+	}
+	d := NewDensity(s.Qubits())
+	amps := s.Amplitudes()
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			d.data[i*d.dim+j] = amps[i] * cmplx.Conj(amps[j])
+		}
+	}
+	return d
+}
+
+// MaximallyMixed returns I/2^n.
+func MaximallyMixed(n int) *Density {
+	d := NewDensity(n)
+	d.data[0] = 0
+	p := complex(1/float64(d.dim), 0)
+	for i := 0; i < d.dim; i++ {
+		d.data[i*d.dim+i] = p
+	}
+	return d
+}
+
+// Qubits returns the number of qubits.
+func (d *Density) Qubits() int { return d.n }
+
+// Dim returns 2^n.
+func (d *Density) Dim() int { return d.dim }
+
+// At returns ρ[i][j].
+func (d *Density) At(i, j int) complex128 { return d.data[i*d.dim+j] }
+
+// Clone deep-copies ρ.
+func (d *Density) Clone() *Density {
+	cp := &Density{n: d.n, dim: d.dim, data: make([]complex128, len(d.data))}
+	copy(cp.data, d.data)
+	return cp
+}
+
+// Trace returns tr(ρ) (1 for a valid state).
+func (d *Density) Trace() complex128 {
+	var t complex128
+	for i := 0; i < d.dim; i++ {
+		t += d.data[i*d.dim+i]
+	}
+	return t
+}
+
+// Purity returns tr(ρ²) ∈ [1/2^n, 1]; 1 iff pure.
+func (d *Density) Purity() float64 {
+	var p complex128
+	for i := 0; i < d.dim; i++ {
+		for k := 0; k < d.dim; k++ {
+			p += d.data[i*d.dim+k] * d.data[k*d.dim+i]
+		}
+	}
+	return real(p)
+}
+
+// Validate checks trace ≈ 1 and Hermiticity to within tol.
+func (d *Density) Validate(tol float64) error {
+	if t := d.Trace(); cmplx.Abs(t-1) > tol {
+		return fmt.Errorf("quantum: density trace %v", t)
+	}
+	for i := 0; i < d.dim; i++ {
+		for j := i; j < d.dim; j++ {
+			if cmplx.Abs(d.data[i*d.dim+j]-cmplx.Conj(d.data[j*d.dim+i])) > tol {
+				return fmt.Errorf("quantum: density not Hermitian at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// checkQubit panics if q is out of range.
+func (d *Density) checkQubit(q int) {
+	if q < 0 || q >= d.n {
+		panic(fmt.Sprintf("quantum: qubit %d out of range [0,%d)", q, d.n))
+	}
+}
+
+// apply1Rows applies m to qubit q on the row index of ρ (ρ ← (m⊗I)ρ).
+func (d *Density) apply1Rows(m *[4]complex128, q int) {
+	bit := 1 << uint(q)
+	for col := 0; col < d.dim; col++ {
+		for base := 0; base < d.dim; base += bit << 1 {
+			for i := base; i < base+bit; i++ {
+				r0 := i*d.dim + col
+				r1 := (i | bit) * d.dim
+				a0, a1 := d.data[r0], d.data[r1+col]
+				d.data[r0] = m[0]*a0 + m[1]*a1
+				d.data[r1+col] = m[2]*a0 + m[3]*a1
+			}
+		}
+	}
+}
+
+// apply1ColsConj applies m† to qubit q on the column index (ρ ← ρ(m†⊗I)).
+func (d *Density) apply1ColsConj(m *[4]complex128, q int) {
+	bit := 1 << uint(q)
+	c0 := cmplx.Conj(m[0])
+	c1 := cmplx.Conj(m[1])
+	c2 := cmplx.Conj(m[2])
+	c3 := cmplx.Conj(m[3])
+	for row := 0; row < d.dim; row++ {
+		off := row * d.dim
+		for base := 0; base < d.dim; base += bit << 1 {
+			for j := base; j < base+bit; j++ {
+				a0, a1 := d.data[off+j], d.data[off+(j|bit)]
+				d.data[off+j] = a0*c0 + a1*c1
+				d.data[off+(j|bit)] = a0*c2 + a1*c3
+			}
+		}
+	}
+}
+
+// Apply1 performs ρ ← U ρ U† for the single-qubit gate m on qubit q.
+func (d *Density) Apply1(m *[4]complex128, q int) {
+	d.checkQubit(q)
+	d.apply1Rows(m, q)
+	d.apply1ColsConj(m, q)
+}
+
+// Apply2 performs ρ ← U ρ U† for the two-qubit gate m on (q0, q1), with the
+// same sub-index convention as State.Apply2.
+func (d *Density) Apply2(m *[16]complex128, q0, q1 int) {
+	d.checkQubit(q0)
+	d.checkQubit(q1)
+	if q0 == q1 {
+		panic("quantum: Apply2 with identical qubits")
+	}
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	mask := b0 | b1
+	// Rows: ρ ← (U⊗I)ρ.
+	for col := 0; col < d.dim; col++ {
+		for i := 0; i < d.dim; i++ {
+			if i&mask != 0 {
+				continue
+			}
+			i01, i10, i11 := i|b0, i|b1, i|mask
+			a0 := d.data[i*d.dim+col]
+			a1 := d.data[i01*d.dim+col]
+			a2 := d.data[i10*d.dim+col]
+			a3 := d.data[i11*d.dim+col]
+			d.data[i*d.dim+col] = m[0]*a0 + m[1]*a1 + m[2]*a2 + m[3]*a3
+			d.data[i01*d.dim+col] = m[4]*a0 + m[5]*a1 + m[6]*a2 + m[7]*a3
+			d.data[i10*d.dim+col] = m[8]*a0 + m[9]*a1 + m[10]*a2 + m[11]*a3
+			d.data[i11*d.dim+col] = m[12]*a0 + m[13]*a1 + m[14]*a2 + m[15]*a3
+		}
+	}
+	// Columns: ρ ← ρ(U†⊗I).
+	var conj [16]complex128
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			conj[i*4+j] = cmplx.Conj(m[j*4+i]) // (U†)[i][j] = conj(U[j][i])
+		}
+	}
+	for row := 0; row < d.dim; row++ {
+		off := row * d.dim
+		for j := 0; j < d.dim; j++ {
+			if j&mask != 0 {
+				continue
+			}
+			j01, j10, j11 := j|b0, j|b1, j|mask
+			a0, a1, a2, a3 := d.data[off+j], d.data[off+j01], d.data[off+j10], d.data[off+j11]
+			// Right multiplication: out[j'] = Σ a_k (U†)[k][j'].
+			d.data[off+j] = a0*conj[0] + a1*conj[4] + a2*conj[8] + a3*conj[12]
+			d.data[off+j01] = a0*conj[1] + a1*conj[5] + a2*conj[9] + a3*conj[13]
+			d.data[off+j10] = a0*conj[2] + a1*conj[6] + a2*conj[10] + a3*conj[14]
+			d.data[off+j11] = a0*conj[3] + a1*conj[7] + a2*conj[11] + a3*conj[15]
+		}
+	}
+}
+
+// mixPauli adds p·(P ρ P) into dst for Pauli P ∈ {X, Y, Z} on qubit q.
+func (d *Density) pauliConjugated(p byte, q int) *Density {
+	out := d.Clone()
+	switch p {
+	case 'X':
+		out.Apply1(&GateX, q)
+	case 'Y':
+		out.Apply1(&GateY, q)
+	case 'Z':
+		out.Apply1(&GateZ, q)
+	}
+	return out
+}
+
+// Depolarize applies the single-qubit depolarizing channel with probability
+// p: ρ ← (1−p)ρ + (p/3)(XρX + YρY + ZρZ).
+func (d *Density) Depolarize(q int, p float64) {
+	d.checkQubit(q)
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("quantum: depolarizing probability %v", p))
+	}
+	if p == 0 {
+		return
+	}
+	x := d.pauliConjugated('X', q)
+	y := d.pauliConjugated('Y', q)
+	z := d.pauliConjugated('Z', q)
+	keep := complex(1-p, 0)
+	mix := complex(p/3, 0)
+	for i := range d.data {
+		d.data[i] = keep*d.data[i] + mix*(x.data[i]+y.data[i]+z.data[i])
+	}
+}
+
+// AmplitudeDamp applies the amplitude-damping channel with rate gamma on
+// qubit q (Kraus operators K0 = diag(1, √(1−γ)), K1 = √γ |0⟩⟨1|).
+func (d *Density) AmplitudeDamp(q int, gamma float64) {
+	d.checkQubit(q)
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("quantum: damping rate %v", gamma))
+	}
+	k0 := [4]complex128{1, 0, 0, complex(math.Sqrt(1-gamma), 0)}
+	k1 := [4]complex128{0, complex(math.Sqrt(gamma), 0), 0, 0}
+	a := d.Clone()
+	a.apply1Rows(&k0, q)
+	a.apply1ColsConj(&k0, q)
+	b := d.Clone()
+	b.apply1Rows(&k1, q)
+	b.apply1ColsConj(&k1, q)
+	for i := range d.data {
+		d.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// Dephase applies the phase-damping channel with probability p on qubit q:
+// ρ ← (1−p)ρ + p·ZρZ.
+func (d *Density) Dephase(q int, p float64) {
+	d.checkQubit(q)
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("quantum: dephasing probability %v", p))
+	}
+	z := d.pauliConjugated('Z', q)
+	keep := complex(1-p, 0)
+	mix := complex(p, 0)
+	for i := range d.data {
+		d.data[i] = keep*d.data[i] + mix*z.data[i]
+	}
+}
+
+// TensorZeros returns ρ ⊗ |0…0⟩⟨0…0| with k fresh qubits appended as the
+// new high-order qubits (indices n…n+k−1).
+func (d *Density) TensorZeros(k int) *Density {
+	if k < 1 {
+		panic("quantum: TensorZeros needs k ≥ 1")
+	}
+	if d.n+k > MaxDensityQubits {
+		panic("quantum: TensorZeros exceeds MaxDensityQubits")
+	}
+	out := NewDensity(d.n + k)
+	for i := range out.data {
+		out.data[i] = 0
+	}
+	// New indices: high bits zero; the old matrix occupies the top-left
+	// block in the low-bit subspace.
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			out.data[i*out.dim+j] = d.data[i*d.dim+j]
+		}
+	}
+	return out
+}
+
+// PartialTrace traces out the qubits in `drop` (sorted or not, no
+// duplicates) and returns the reduced state on the remaining qubits, which
+// keep their relative order.
+func (d *Density) PartialTrace(drop []int) *Density {
+	dropMask := 0
+	for _, q := range drop {
+		d.checkQubit(q)
+		bit := 1 << uint(q)
+		if dropMask&bit != 0 {
+			panic("quantum: duplicate qubit in PartialTrace")
+		}
+		dropMask |= bit
+	}
+	keep := make([]int, 0, d.n-len(drop))
+	for q := 0; q < d.n; q++ {
+		if dropMask&(1<<uint(q)) == 0 {
+			keep = append(keep, q)
+		}
+	}
+	if len(keep) == 0 {
+		panic("quantum: cannot trace out every qubit")
+	}
+	out := NewDensity(len(keep))
+	for i := range out.data {
+		out.data[i] = 0
+	}
+	// expand maps a reduced index to a full index with dropped bits = e.
+	expand := func(reduced, e int) int {
+		full := e
+		for pos, q := range keep {
+			if reduced&(1<<uint(pos)) != 0 {
+				full |= 1 << uint(q)
+			}
+		}
+		return full
+	}
+	// Enumerate assignments of the dropped qubits.
+	numDrop := len(drop)
+	dropBits := make([]int, 0, numDrop)
+	for q := 0; q < d.n; q++ {
+		if dropMask&(1<<uint(q)) != 0 {
+			dropBits = append(dropBits, q)
+		}
+	}
+	embedDrop := func(e int) int {
+		full := 0
+		for pos, q := range dropBits {
+			if e&(1<<uint(pos)) != 0 {
+				full |= 1 << uint(q)
+			}
+		}
+		return full
+	}
+	for i := 0; i < out.dim; i++ {
+		for j := 0; j < out.dim; j++ {
+			var sum complex128
+			for e := 0; e < 1<<uint(numDrop); e++ {
+				fe := embedDrop(e)
+				sum += d.data[expand(i, fe)*d.dim+expand(j, fe)]
+			}
+			out.data[i*out.dim+j] = sum
+		}
+	}
+	return out
+}
+
+// FidelityWithPure returns ⟨φ|ρ|φ⟩ for a pure state φ of matching size.
+func (d *Density) FidelityWithPure(phi *State) float64 {
+	if phi.Qubits() != d.n {
+		panic("quantum: fidelity size mismatch")
+	}
+	amps := phi.Amplitudes()
+	var f complex128
+	for i := 0; i < d.dim; i++ {
+		var row complex128
+		for j := 0; j < d.dim; j++ {
+			row += d.data[i*d.dim+j] * amps[j]
+		}
+		f += cmplx.Conj(amps[i]) * row
+	}
+	return real(f)
+}
+
+// HilbertSchmidtDistance returns tr((ρ−σ)²), the loss used for mixed-state
+// comparisons in the graph-structured QNN literature.
+func (d *Density) HilbertSchmidtDistance(o *Density) float64 {
+	if d.n != o.n {
+		panic("quantum: distance size mismatch")
+	}
+	var s complex128
+	for i := 0; i < d.dim; i++ {
+		for k := 0; k < d.dim; k++ {
+			diffIK := d.data[i*d.dim+k] - o.data[i*d.dim+k]
+			diffKI := d.data[k*d.dim+i] - o.data[k*d.dim+i]
+			s += diffIK * diffKI
+		}
+	}
+	return real(s)
+}
+
+// ExpectationPauliZ returns tr(ρ·Z_q).
+func (d *Density) ExpectationPauliZ(q int) float64 {
+	d.checkQubit(q)
+	bit := 1 << uint(q)
+	var e float64
+	for i := 0; i < d.dim; i++ {
+		v := real(d.data[i*d.dim+i])
+		if i&bit == 0 {
+			e += v
+		} else {
+			e -= v
+		}
+	}
+	return e
+}
+
+// Matrix exports ρ as a qmath.Matrix (for test oracles).
+func (d *Density) Matrix() qmath.Matrix {
+	return qmath.Matrix{N: d.dim, Data: append([]complex128{}, d.data...)}
+}

@@ -1,0 +1,266 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewDensityIsZeroProjector(t *testing.T) {
+	d := NewDensity(2)
+	if err := d.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if real(d.At(0, 0)) != 1 {
+		t.Errorf("ρ[0][0] = %v", d.At(0, 0))
+	}
+	if math.Abs(d.Purity()-1) > 1e-12 {
+		t.Errorf("purity = %v", d.Purity())
+	}
+}
+
+func TestDensityFromStateMatchesProjector(t *testing.T) {
+	r := rng.New(1)
+	s := RandomState(3, r)
+	d := DensityFromState(s)
+	if err := d.Validate(1e-10); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Purity()-1) > 1e-10 {
+		t.Errorf("pure state purity = %v", d.Purity())
+	}
+	if f := d.FidelityWithPure(s); math.Abs(f-1) > 1e-10 {
+		t.Errorf("⟨ψ|ρ|ψ⟩ = %v, want 1", f)
+	}
+}
+
+func TestDensityGatesMatchStatevector(t *testing.T) {
+	// Unitary-only evolution on a density matrix must match the pure-state
+	// simulator exactly.
+	r := rng.New(2)
+	s := RandomState(3, r)
+	d := DensityFromState(s)
+
+	h := GateH
+	s.Apply1(&h, 0)
+	d.Apply1(&h, 0)
+	rx := RX(0.7)
+	s.Apply1(&rx, 2)
+	d.Apply1(&rx, 2)
+	rzz := RZZ(1.1)
+	s.Apply2(&rzz, 0, 2)
+	d.Apply2(&rzz, 0, 2)
+	rxx := RXX(0.4)
+	s.Apply2(&rxx, 1, 0)
+	d.Apply2(&rxx, 1, 0)
+
+	want := DensityFromState(s)
+	for i := 0; i < d.Dim(); i++ {
+		for j := 0; j < d.Dim(); j++ {
+			diff := d.At(i, j) - want.At(i, j)
+			if math.Hypot(real(diff), imag(diff)) > 1e-10 {
+				t.Fatalf("density evolution diverged at (%d,%d): %v vs %v", i, j, d.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDensityUnitaryPreservesPurityProperty(t *testing.T) {
+	f := func(seed uint64, theta float64, q uint8) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		r := rng.New(seed)
+		d := DensityFromState(RandomState(3, r))
+		m := RY(math.Mod(theta, 7))
+		d.Apply1(&m, int(q)%3)
+		m2 := RZZ(math.Mod(theta, 3))
+		d.Apply2(&m2, int(q)%3, (int(q)+1)%3)
+		return math.Abs(d.Purity()-1) < 1e-9 && d.Validate(1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepolarizeReducesPurity(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(&GateH, 0)
+	d.Depolarize(0, 0.3)
+	if err := d.Validate(1e-10); err != nil {
+		t.Fatal(err)
+	}
+	if p := d.Purity(); p >= 1-1e-9 {
+		t.Errorf("purity after depolarizing = %v", p)
+	}
+	// Full depolarizing (p = 3/4) of any single-qubit state is maximally
+	// mixed.
+	d2 := NewDensity(1)
+	d2.Depolarize(0, 0.75)
+	if math.Abs(real(d2.At(0, 0))-0.5) > 1e-10 || math.Abs(real(d2.At(1, 1))-0.5) > 1e-10 {
+		t.Errorf("p=3/4 depolarizing not maximally mixed: %v %v", d2.At(0, 0), d2.At(1, 1))
+	}
+}
+
+func TestAmplitudeDampDrivesToGround(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(&GateX, 0) // |1⟩
+	d.AmplitudeDamp(0, 0.4)
+	if err := d.Validate(1e-10); err != nil {
+		t.Fatal(err)
+	}
+	// P(0) = γ = 0.4 after one application on |1⟩.
+	if p0 := real(d.At(0, 0)); math.Abs(p0-0.4) > 1e-10 {
+		t.Errorf("P(0) = %v, want 0.4", p0)
+	}
+	// γ=1 resets to |0⟩.
+	d.AmplitudeDamp(0, 1)
+	if p0 := real(d.At(0, 0)); math.Abs(p0-1) > 1e-10 {
+		t.Errorf("full damping P(0) = %v", p0)
+	}
+}
+
+func TestDephaseKillsCoherence(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(&GateH, 0)
+	before := d.At(0, 1)
+	d.Dephase(0, 0.5)
+	after := d.At(0, 1)
+	if err := d.Validate(1e-10); err != nil {
+		t.Fatal(err)
+	}
+	// (1−2p) scaling of off-diagonals: p=0.5 → 0.
+	if math.Hypot(real(after), imag(after)) > 1e-10 {
+		t.Errorf("off-diagonal after p=0.5 dephasing: %v (was %v)", after, before)
+	}
+	// Populations unchanged.
+	if math.Abs(real(d.At(0, 0))-0.5) > 1e-10 {
+		t.Errorf("dephasing changed populations")
+	}
+}
+
+func TestTensorZerosAndPartialTraceRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	d := DensityFromState(RandomState(2, r))
+	ext := d.TensorZeros(2)
+	if ext.Qubits() != 4 {
+		t.Fatalf("extended qubits = %d", ext.Qubits())
+	}
+	if err := ext.Validate(1e-10); err != nil {
+		t.Fatal(err)
+	}
+	back := ext.PartialTrace([]int{2, 3})
+	for i := 0; i < d.Dim(); i++ {
+		for j := 0; j < d.Dim(); j++ {
+			diff := back.At(i, j) - d.At(i, j)
+			if math.Hypot(real(diff), imag(diff)) > 1e-10 {
+				t.Fatalf("round trip broke at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPartialTraceBellIsMixed(t *testing.T) {
+	s := New(2)
+	s.Apply1(&GateH, 0)
+	s.CNOT(0, 1)
+	d := DensityFromState(s)
+	red := d.PartialTrace([]int{1})
+	if red.Qubits() != 1 {
+		t.Fatalf("reduced qubits = %d", red.Qubits())
+	}
+	// Reduced Bell state is maximally mixed.
+	if math.Abs(real(red.At(0, 0))-0.5) > 1e-10 || math.Abs(real(red.At(1, 1))-0.5) > 1e-10 {
+		t.Errorf("reduced Bell not maximally mixed: %v", red.Matrix())
+	}
+	if p := red.Purity(); math.Abs(p-0.5) > 1e-10 {
+		t.Errorf("reduced Bell purity = %v, want 0.5", p)
+	}
+}
+
+func TestPartialTraceValidation(t *testing.T) {
+	d := NewDensity(2)
+	for i, fn := range []func(){
+		func() { d.PartialTrace([]int{0, 0}) },
+		func() { d.PartialTrace([]int{0, 1}) },
+		func() { d.PartialTrace([]int{5}) },
+		func() { d.TensorZeros(0) },
+		func() { NewDensity(MaxDensityQubits).TensorZeros(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFidelityWithPureMixed(t *testing.T) {
+	// Maximally mixed vs any pure state: 1/2^n.
+	m := MaximallyMixed(2)
+	r := rng.New(4)
+	phi := RandomState(2, r)
+	if f := m.FidelityWithPure(phi); math.Abs(f-0.25) > 1e-10 {
+		t.Errorf("⟨φ|I/4|φ⟩ = %v, want 0.25", f)
+	}
+}
+
+func TestHilbertSchmidtDistance(t *testing.T) {
+	a := NewDensity(1)
+	b := NewDensity(1)
+	if d := a.HilbertSchmidtDistance(b); math.Abs(d) > 1e-12 {
+		t.Errorf("distance to self = %v", d)
+	}
+	b.Apply1(&GateX, 0)
+	// tr((|0><0| − |1><1|)²) = 2.
+	if d := a.HilbertSchmidtDistance(b); math.Abs(d-2) > 1e-10 {
+		t.Errorf("D(|0⟩,|1⟩) = %v, want 2", d)
+	}
+}
+
+func TestExpectationPauliZDensity(t *testing.T) {
+	d := NewDensity(2)
+	if e := d.ExpectationPauliZ(0); math.Abs(e-1) > 1e-12 {
+		t.Errorf("⟨Z0⟩ = %v", e)
+	}
+	d.Apply1(&GateX, 1)
+	if e := d.ExpectationPauliZ(1); math.Abs(e+1) > 1e-12 {
+		t.Errorf("⟨Z1⟩ = %v", e)
+	}
+	m := MaximallyMixed(1)
+	if e := m.ExpectationPauliZ(0); math.Abs(e) > 1e-12 {
+		t.Errorf("mixed ⟨Z⟩ = %v", e)
+	}
+}
+
+func TestDensityChannelsPreserveTraceProperty(t *testing.T) {
+	f := func(seed uint64, pRaw float64) bool {
+		p := math.Mod(math.Abs(pRaw), 1)
+		if math.IsNaN(p) {
+			return true
+		}
+		r := rng.New(seed)
+		d := DensityFromState(RandomState(2, r))
+		d.Depolarize(0, p)
+		d.AmplitudeDamp(1, p)
+		d.Dephase(0, p)
+		return d.Validate(1e-8) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDensityQubitsEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("oversized density accepted")
+		}
+	}()
+	NewDensity(MaxDensityQubits + 1)
+}

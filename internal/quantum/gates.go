@@ -1,0 +1,210 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/qmath"
+)
+
+// Fixed single-qubit gate matrices, row-major 2×2.
+var (
+	// GateI is the identity.
+	GateI = [4]complex128{1, 0, 0, 1}
+	// GateX is the Pauli X (NOT).
+	GateX = [4]complex128{0, 1, 1, 0}
+	// GateY is the Pauli Y.
+	GateY = [4]complex128{0, -1i, 1i, 0}
+	// GateZ is the Pauli Z.
+	GateZ = [4]complex128{1, 0, 0, -1}
+	// GateH is the Hadamard.
+	GateH = [4]complex128{
+		complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0),
+		complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0),
+	}
+	// GateS is the phase gate diag(1, i).
+	GateS = [4]complex128{1, 0, 0, 1i}
+	// GateSdg is S†.
+	GateSdg = [4]complex128{1, 0, 0, -1i}
+	// GateT is the π/8 gate diag(1, e^{iπ/4}).
+	GateT = [4]complex128{1, 0, 0, complex(1/math.Sqrt2, 1/math.Sqrt2)}
+	// GateTdg is T†.
+	GateTdg = [4]complex128{1, 0, 0, complex(1/math.Sqrt2, -1/math.Sqrt2)}
+	// GateSX is √X.
+	GateSX = [4]complex128{
+		complex(0.5, 0.5), complex(0.5, -0.5),
+		complex(0.5, -0.5), complex(0.5, 0.5),
+	}
+)
+
+// RX returns exp(−iθX/2).
+func RX(theta float64) [4]complex128 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return [4]complex128{c, s, s, c}
+}
+
+// RY returns exp(−iθY/2).
+func RY(theta float64) [4]complex128 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return [4]complex128{c, -s, s, c}
+}
+
+// RZ returns exp(−iθZ/2) = diag(e^{−iθ/2}, e^{+iθ/2}).
+func RZ(theta float64) [4]complex128 {
+	return [4]complex128{
+		cmplx.Exp(complex(0, -theta/2)), 0,
+		0, cmplx.Exp(complex(0, theta/2)),
+	}
+}
+
+// Phase returns diag(1, e^{iφ}).
+func Phase(phi float64) [4]complex128 {
+	return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, phi))}
+}
+
+// U3 returns the generic single-qubit rotation
+//
+//	U(θ, φ, λ) = [[cos(θ/2), −e^{iλ} sin(θ/2)],
+//	              [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]]
+//
+// the standard parameterization used by IBM-style hardware.
+func U3(theta, phi, lambda float64) [4]complex128 {
+	c := math.Cos(theta / 2)
+	s := math.Sin(theta / 2)
+	return [4]complex128{
+		complex(c, 0),
+		-cmplx.Exp(complex(0, lambda)) * complex(s, 0),
+		cmplx.Exp(complex(0, phi)) * complex(s, 0),
+		cmplx.Exp(complex(0, phi+lambda)) * complex(c, 0),
+	}
+}
+
+// Two-qubit matrices, row-major 4×4 over basis |q1 q0⟩ (q0 = low bit).
+
+// RXX returns exp(−iθ XX/2).
+func RXX(theta float64) [16]complex128 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return [16]complex128{
+		c, 0, 0, s,
+		0, c, s, 0,
+		0, s, c, 0,
+		s, 0, 0, c,
+	}
+}
+
+// RYY returns exp(−iθ YY/2).
+func RYY(theta float64) [16]complex128 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, math.Sin(theta/2))
+	ns := complex(0, -math.Sin(theta/2))
+	return [16]complex128{
+		c, 0, 0, s,
+		0, c, ns, 0,
+		0, ns, c, 0,
+		s, 0, 0, c,
+	}
+}
+
+// RZZ returns exp(−iθ ZZ/2) = diag(e^{−iθ/2}, e^{iθ/2}, e^{iθ/2}, e^{−iθ/2}).
+func RZZ(theta float64) [16]complex128 {
+	em := cmplx.Exp(complex(0, -theta/2))
+	ep := cmplx.Exp(complex(0, theta/2))
+	return [16]complex128{
+		em, 0, 0, 0,
+		0, ep, 0, 0,
+		0, 0, ep, 0,
+		0, 0, 0, em,
+	}
+}
+
+// Canonical returns the canonical two-qubit gate
+// CAN(px, py, pz) = exp(−i·π/2·(px·XX + py·YY + pz·ZZ)),
+// the entangling core of an arbitrary two-qubit unitary (used by the
+// DQNN-style NISQ perceptron decomposition).
+func Canonical(px, py, pz float64) [16]complex128 {
+	a := RXX(math.Pi * px)
+	b := RYY(math.Pi * py)
+	c := RZZ(math.Pi * pz)
+	// The three generators commute, so the product in any order equals the
+	// exponential of the sum.
+	return mul4(mul4(a, b), c)
+}
+
+// mul4 multiplies two 4×4 matrices.
+func mul4(a, b [16]complex128) [16]complex128 {
+	var out [16]complex128
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 4; k++ {
+			av := a[i*4+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < 4; j++ {
+				out[i*4+j] += av * b[k*4+j]
+			}
+		}
+	}
+	return out
+}
+
+// Mat1 converts a 2×2 gate array to a qmath.Matrix (for test oracles).
+func Mat1(m [4]complex128) qmath.Matrix {
+	return qmath.Matrix{N: 2, Data: m[:]}
+}
+
+// Mat2 converts a 4×4 gate array to a qmath.Matrix (for test oracles).
+func Mat2(m [16]complex128) qmath.Matrix {
+	return qmath.Matrix{N: 4, Data: m[:]}
+}
+
+// RandomUnitary returns a Haar-ish random 2^n × 2^n unitary built by QR-like
+// Gram–Schmidt orthonormalization of a complex Ginibre matrix. Used to
+// generate "unknown device" unitaries for the learning workloads.
+func RandomUnitary(n int, r interface{ NormFloat64() float64 }) qmath.Matrix {
+	dim := 1 << uint(n)
+	m := qmath.NewMatrix(dim)
+	for i := range m.Data {
+		m.Data[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	// Gram–Schmidt on columns.
+	cols := make([]qmath.Vec, dim)
+	for j := 0; j < dim; j++ {
+		col := make(qmath.Vec, dim)
+		for i := 0; i < dim; i++ {
+			col[i] = m.At(i, j)
+		}
+		for k := 0; k < j; k++ {
+			proj := cols[k].Dot(col)
+			for i := 0; i < dim; i++ {
+				col[i] -= proj * cols[k][i]
+			}
+		}
+		col.Normalize()
+		cols[j] = col
+	}
+	out := qmath.NewMatrix(dim)
+	for j := 0; j < dim; j++ {
+		for i := 0; i < dim; i++ {
+			out.Set(i, j, cols[j][i])
+		}
+	}
+	return out
+}
+
+// RandomState returns a Haar-ish random pure n-qubit state.
+func RandomState(n int, r interface{ NormFloat64() float64 }) *State {
+	dim := 1 << uint(n)
+	v := make(qmath.Vec, dim)
+	for i := range v {
+		v[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	v.Normalize()
+	s, err := FromVec(v)
+	if err != nil {
+		panic(err) // cannot happen: dimension and norm are valid by construction
+	}
+	return s
+}

@@ -1,0 +1,411 @@
+// Package quantum implements an n-qubit statevector simulator: gate
+// application by strided amplitude updates, projective measurement with
+// shot sampling, and exact expectation values.
+//
+// Conventions: qubit q corresponds to bit q of the basis-state index, i.e.
+// qubit 0 is the least-significant bit, and the state |q_{n-1} … q_1 q_0⟩ has
+// index Σ q_i·2^i. The simulator holds 2^n complex128 amplitudes, so memory
+// is 16·2^n bytes — 16 MiB at 20 qubits, which bounds practical sizes and is
+// exactly the exponential blow-up the checkpoint-size experiment (F2)
+// contrasts against checkpointing classical training state only.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/qmath"
+	"repro/internal/rng"
+)
+
+// MaxQubits bounds simulator size to keep memory under control (2^26
+// amplitudes = 1 GiB).
+const MaxQubits = 26
+
+// State is an n-qubit pure state.
+type State struct {
+	n    int
+	amps qmath.Vec
+}
+
+// New returns the n-qubit all-zeros state |0…0⟩.
+func New(n int) *State {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("quantum: qubit count %d out of range [1,%d]", n, MaxQubits))
+	}
+	s := &State{n: n, amps: make(qmath.Vec, 1<<uint(n))}
+	s.amps[0] = 1
+	return s
+}
+
+// FromVec builds a state from an amplitude vector, which must have power-of-
+// two length and unit norm (to within 1e-9). The vector is not copied.
+func FromVec(v qmath.Vec) (*State, error) {
+	n := 0
+	for 1<<uint(n) < len(v) {
+		n++
+	}
+	if 1<<uint(n) != len(v) || n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("quantum: amplitude vector length %d is not a valid power of two", len(v))
+	}
+	if math.Abs(v.Norm()-1) > 1e-9 {
+		return nil, fmt.Errorf("quantum: amplitude vector norm %v, want 1", v.Norm())
+	}
+	return &State{n: n, amps: v}, nil
+}
+
+// Qubits returns the number of qubits.
+func (s *State) Qubits() int { return s.n }
+
+// Dim returns the Hilbert-space dimension 2^n.
+func (s *State) Dim() int { return len(s.amps) }
+
+// Amplitudes exposes the raw amplitude slice. Callers must not resize it.
+func (s *State) Amplitudes() qmath.Vec { return s.amps }
+
+// Clone returns an independent deep copy.
+func (s *State) Clone() *State {
+	return &State{n: s.n, amps: s.amps.Clone()}
+}
+
+// Reset returns the state to |0…0⟩ in place.
+func (s *State) Reset() {
+	for i := range s.amps {
+		s.amps[i] = 0
+	}
+	s.amps[0] = 1
+}
+
+// Norm returns the Euclidean norm (1 for a valid state).
+func (s *State) Norm() float64 { return s.amps.Norm() }
+
+// checkQubit panics if q is out of range.
+func (s *State) checkQubit(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("quantum: qubit %d out of range [0,%d)", q, s.n))
+	}
+}
+
+// Apply1 applies the 2×2 matrix m (row-major: m[0] m[1]; m[2] m[3]) to qubit
+// q.
+func (s *State) Apply1(m *[4]complex128, q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	block := bit << 1
+	for base := 0; base < len(s.amps); base += block {
+		for i := base; i < base+bit; i++ {
+			j := i | bit
+			a0, a1 := s.amps[i], s.amps[j]
+			s.amps[i] = m[0]*a0 + m[1]*a1
+			s.amps[j] = m[2]*a0 + m[3]*a1
+		}
+	}
+}
+
+// Apply2 applies the 4×4 matrix m to qubits (q0, q1). The matrix acts on the
+// 2-bit sub-index (bit(q1)<<1)|bit(q0), i.e. q0 is the low bit of the 4×4
+// basis.
+func (s *State) Apply2(m *[16]complex128, q0, q1 int) {
+	s.checkQubit(q0)
+	s.checkQubit(q1)
+	if q0 == q1 {
+		panic("quantum: Apply2 with identical qubits")
+	}
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	mask := b0 | b1
+	for i := range s.amps {
+		if i&mask != 0 {
+			continue
+		}
+		i01 := i | b0
+		i10 := i | b1
+		i11 := i | mask
+		a0, a1, a2, a3 := s.amps[i], s.amps[i01], s.amps[i10], s.amps[i11]
+		s.amps[i] = m[0]*a0 + m[1]*a1 + m[2]*a2 + m[3]*a3
+		s.amps[i01] = m[4]*a0 + m[5]*a1 + m[6]*a2 + m[7]*a3
+		s.amps[i10] = m[8]*a0 + m[9]*a1 + m[10]*a2 + m[11]*a3
+		s.amps[i11] = m[12]*a0 + m[13]*a1 + m[14]*a2 + m[15]*a3
+	}
+}
+
+// ApplyControlled1 applies the 2×2 matrix m to the target qubit in the
+// subspace where the control qubit is |1⟩.
+func (s *State) ApplyControlled1(m *[4]complex128, control, target int) {
+	s.checkQubit(control)
+	s.checkQubit(target)
+	if control == target {
+		panic("quantum: control equals target")
+	}
+	cb := 1 << uint(control)
+	tb := 1 << uint(target)
+	for i := range s.amps {
+		// Visit each affected pair once: control set, target clear.
+		if i&cb == 0 || i&tb != 0 {
+			continue
+		}
+		j := i | tb
+		a0, a1 := s.amps[i], s.amps[j]
+		s.amps[i] = m[0]*a0 + m[1]*a1
+		s.amps[j] = m[2]*a0 + m[3]*a1
+	}
+}
+
+// CNOT applies a controlled-X.
+func (s *State) CNOT(control, target int) {
+	s.checkQubit(control)
+	s.checkQubit(target)
+	if control == target {
+		panic("quantum: control equals target")
+	}
+	cb := 1 << uint(control)
+	tb := 1 << uint(target)
+	for i := range s.amps {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		}
+	}
+}
+
+// CZ applies a controlled-Z.
+func (s *State) CZ(q0, q1 int) {
+	s.checkQubit(q0)
+	s.checkQubit(q1)
+	if q0 == q1 {
+		panic("quantum: CZ with identical qubits")
+	}
+	mask := (1 << uint(q0)) | (1 << uint(q1))
+	for i := range s.amps {
+		if i&mask == mask {
+			s.amps[i] = -s.amps[i]
+		}
+	}
+}
+
+// SWAP exchanges two qubits.
+func (s *State) SWAP(q0, q1 int) {
+	s.checkQubit(q0)
+	s.checkQubit(q1)
+	if q0 == q1 {
+		return
+	}
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	for i := range s.amps {
+		if i&b0 != 0 && i&b1 == 0 {
+			j := (i &^ b0) | b1
+			s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		}
+	}
+}
+
+// ApplyPauliX applies X to qubit q (a permutation; cheaper than Apply1).
+func (s *State) ApplyPauliX(q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	for i := range s.amps {
+		if i&bit == 0 {
+			j := i | bit
+			s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		}
+	}
+}
+
+// ApplyPauliY applies Y to qubit q.
+func (s *State) ApplyPauliY(q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	for i := range s.amps {
+		if i&bit == 0 {
+			j := i | bit
+			a0, a1 := s.amps[i], s.amps[j]
+			s.amps[i] = complex(imag(a1), -real(a1)) // -i·a1
+			s.amps[j] = complex(-imag(a0), real(a0)) // +i·a0
+		}
+	}
+}
+
+// ApplyPauliZ applies Z to qubit q.
+func (s *State) ApplyPauliZ(q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	for i := range s.amps {
+		if i&bit != 0 {
+			s.amps[i] = -s.amps[i]
+		}
+	}
+}
+
+// GlobalPhase multiplies the whole state by e^{iφ}.
+func (s *State) GlobalPhase(phi float64) {
+	p := cmplx.Exp(complex(0, phi))
+	for i := range s.amps {
+		s.amps[i] *= p
+	}
+}
+
+// Probability returns |⟨b|ψ⟩|² for the basis state with index b.
+func (s *State) Probability(b int) float64 {
+	a := s.amps[b]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Probabilities returns the full 2^n probability vector.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amps))
+	for i, a := range s.amps {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// ProbabilityOne returns the probability that measuring qubit q yields 1.
+func (s *State) ProbabilityOne(q int) float64 {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	var p float64
+	for i, a := range s.amps {
+		if i&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// Fidelity returns |⟨ψ|φ⟩|² between s and other.
+func (s *State) Fidelity(other *State) float64 {
+	if s.n != other.n {
+		panic("quantum: fidelity between states of different size")
+	}
+	return qmath.Fidelity(s.amps, other.amps)
+}
+
+// InnerProduct returns ⟨s|other⟩.
+func (s *State) InnerProduct(other *State) complex128 {
+	if s.n != other.n {
+		panic("quantum: inner product between states of different size")
+	}
+	return s.amps.Dot(other.amps)
+}
+
+// Sample draws one basis-state index from the measurement distribution using
+// the provided stream, without collapsing the state.
+func (s *State) Sample(r *rng.Stream) int {
+	u := r.Float64()
+	var acc float64
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if u < acc {
+			return i
+		}
+	}
+	return len(s.amps) - 1 // numerical tail
+}
+
+// SampleShots draws `shots` basis-state indices. It builds the cumulative
+// distribution once and binary-searches per shot, so cost is
+// O(2^n + shots·n).
+func (s *State) SampleShots(r *rng.Stream, shots int) []int {
+	if shots < 0 {
+		panic("quantum: negative shot count")
+	}
+	cum := make([]float64, len(s.amps))
+	var acc float64
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cum[i] = acc
+	}
+	out := make([]int, shots)
+	for k := 0; k < shots; k++ {
+		u := r.Float64() * acc // scale by acc to absorb rounding of the total
+		idx := sort.SearchFloat64s(cum, u)
+		if idx == len(cum) {
+			idx = len(cum) - 1
+		}
+		// SearchFloat64s finds the first cum[i] >= u; when u lands exactly on
+		// a boundary this still yields a valid index.
+		out[k] = idx
+	}
+	return out
+}
+
+// SampleCounts draws `shots` measurements and returns a histogram keyed by
+// basis-state index.
+func (s *State) SampleCounts(r *rng.Stream, shots int) map[int]int {
+	counts := make(map[int]int)
+	for _, b := range s.SampleShots(r, shots) {
+		counts[b]++
+	}
+	return counts
+}
+
+// MeasureQubit performs a projective measurement of qubit q, collapsing the
+// state, and returns the outcome (0 or 1).
+func (s *State) MeasureQubit(q int, r *rng.Stream) int {
+	s.checkQubit(q)
+	p1 := s.ProbabilityOne(q)
+	outcome := 0
+	if r.Float64() < p1 {
+		outcome = 1
+	}
+	s.CollapseQubit(q, outcome)
+	return outcome
+}
+
+// CollapseQubit projects qubit q onto the given outcome and renormalizes. It
+// panics if the outcome has (near-)zero probability.
+func (s *State) CollapseQubit(q, outcome int) {
+	s.checkQubit(q)
+	if outcome != 0 && outcome != 1 {
+		panic("quantum: outcome must be 0 or 1")
+	}
+	bit := 1 << uint(q)
+	var norm float64
+	for i, a := range s.amps {
+		set := i&bit != 0
+		if set == (outcome == 1) {
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		} else {
+			s.amps[i] = 0
+		}
+	}
+	if norm < 1e-300 {
+		panic("quantum: collapse onto zero-probability outcome")
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amps {
+		s.amps[i] *= inv
+	}
+}
+
+// ApplyUnitary applies an arbitrary 2^n × 2^n unitary to the full state. This
+// is O(4^n) and intended for small n (test oracles, random-unitary dataset
+// generation).
+func (s *State) ApplyUnitary(u qmath.Matrix) {
+	if u.N != len(s.amps) {
+		panic(fmt.Sprintf("quantum: unitary dim %d vs state dim %d", u.N, len(s.amps)))
+	}
+	s.amps = u.MulVec(s.amps)
+}
+
+// String renders the state as a sum of basis kets, omitting negligible
+// amplitudes.
+func (s *State) String() string {
+	out := ""
+	for i, a := range s.amps {
+		if cmplx.Abs(a) < 1e-9 {
+			continue
+		}
+		if out != "" {
+			out += " + "
+		}
+		out += fmt.Sprintf("(%.4f%+.4fi)|%0*b⟩", real(a), imag(a), s.n, i)
+	}
+	if out == "" {
+		out = "0"
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+// Package rng implements a deterministic, splittable, fully serializable
+// pseudo-random number generator used everywhere randomness enters hybrid
+// quantum-classical training: shot sampling, data-order shuffling, parameter
+// initialization, noise injection, and failure scheduling.
+//
+// Reproducible resume is the whole point of checkpointing a training run, and
+// it is impossible unless every RNG stream's exact position can be captured
+// and restored. The standard library generators either hide their state
+// (math/rand.Source pre-1.22) or are awkward to split deterministically, so
+// this package implements xoshiro256** (Blackman & Vigna) directly:
+//
+//   - 32 bytes of state, trivially serializable (MarshalBinary/Unmarshal),
+//   - a Jump() function equivalent to 2^128 Next() calls, giving
+//     non-overlapping substreams for Split(),
+//   - exact cross-platform determinism (pure uint64 arithmetic).
+//
+// A Stream additionally counts how many raw 64-bit outputs it has produced,
+// so tests can assert that a restored stream is at the identical position.
+package rng
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Stream is a xoshiro256** generator with an output counter. The zero value
+// is not usable; construct with New or Restore.
+type Stream struct {
+	s     [4]uint64
+	count uint64 // number of Uint64 outputs produced
+}
+
+// splitmix64 is used to expand a seed into the 256-bit xoshiro state, per the
+// reference implementation's recommendation.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Stream seeded from the given 64-bit seed. Distinct seeds give
+// (with overwhelming probability) unrelated streams.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	x := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&x)
+	}
+	// Guard against the all-zero state, which is a fixed point.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64-bit output.
+func (st *Stream) Uint64() uint64 {
+	result := rotl(st.s[1]*5, 7) * 9
+	t := st.s[1] << 17
+	st.s[2] ^= st.s[0]
+	st.s[3] ^= st.s[1]
+	st.s[1] ^= st.s[2]
+	st.s[0] ^= st.s[3]
+	st.s[2] ^= t
+	st.s[3] = rotl(st.s[3], 45)
+	st.count++
+	return result
+}
+
+// Count returns the number of Uint64 outputs produced so far. Derived draws
+// (Float64, Intn, NormFloat64...) consume one or more raw outputs each.
+func (st *Stream) Count() uint64 { return st.count }
+
+// Float64 returns a uniformly distributed value in [0, 1) with 53 bits of
+// precision.
+func (st *Stream) Float64() float64 {
+	return float64(st.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
+// Debiasing uses rejection sampling so the distribution is exactly uniform.
+func (st *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	// Lemire-style rejection: draw until the value falls in the largest
+	// multiple of n below 2^64.
+	limit := -un % un // (2^64 - n) mod n == 2^64 mod n
+	for {
+		v := st.Uint64()
+		if v >= limit {
+			return int(v % un)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method (deterministic count of raw draws is variable, which is fine: the
+// counter tracks raw outputs).
+func (st *Stream) NormFloat64() float64 {
+	for {
+		u := 2*st.Float64() - 1
+		v := 2*st.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed variate with rate 1 (mean
+// 1). Scale by 1/λ for rate λ.
+func (st *Stream) ExpFloat64() float64 {
+	for {
+		u := st.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) via Fisher–Yates.
+func (st *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := st.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// jumpPoly is the xoshiro256** jump polynomial: applying Jump advances the
+// stream by 2^128 steps.
+var jumpPoly = [4]uint64{
+	0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+	0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+}
+
+// Jump advances the stream by 2^128 steps in O(256) work. Streams separated
+// by jumps never overlap in any feasible computation.
+func (st *Stream) Jump() {
+	var s0, s1, s2, s3 uint64
+	for _, jp := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if jp&(1<<uint(b)) != 0 {
+				s0 ^= st.s[0]
+				s1 ^= st.s[1]
+				s2 ^= st.s[2]
+				s3 ^= st.s[3]
+			}
+			st.Uint64()
+		}
+	}
+	st.s[0], st.s[1], st.s[2], st.s[3] = s0, s1, s2, s3
+}
+
+// Split returns a new Stream whose sequence is guaranteed not to overlap with
+// the receiver's: the child takes the receiver's state after a Jump, and the
+// receiver itself is advanced past the jump as well. Both streams start with
+// a zero output counter... no: the receiver keeps its counter; the child's
+// counter starts at zero.
+func (st *Stream) Split() *Stream {
+	child := &Stream{s: st.s}
+	child.Jump()
+	child.count = 0
+	// Advance the parent past the child's region too, so repeated Split
+	// calls yield mutually disjoint streams.
+	st.s = child.s
+	child2 := &Stream{s: st.s}
+	child2.Jump()
+	st.s = child2.s
+	return child
+}
+
+// marshaled layout: 4×8 bytes of state + 8 bytes of counter.
+const marshaledSize = 40
+
+// MarshalBinary encodes the full generator state.
+func (st *Stream) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, marshaledSize)
+	for i, s := range st.s {
+		binary.LittleEndian.PutUint64(buf[i*8:], s)
+	}
+	binary.LittleEndian.PutUint64(buf[32:], st.count)
+	return buf, nil
+}
+
+// UnmarshalBinary restores the full generator state.
+func (st *Stream) UnmarshalBinary(data []byte) error {
+	if len(data) != marshaledSize {
+		return fmt.Errorf("rng: bad state length %d, want %d", len(data), marshaledSize)
+	}
+	for i := range st.s {
+		st.s[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	st.count = binary.LittleEndian.Uint64(data[32:])
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		return errors.New("rng: refusing to restore all-zero state")
+	}
+	return nil
+}
+
+// Restore constructs a Stream from previously marshaled state.
+func Restore(data []byte) (*Stream, error) {
+	st := &Stream{}
+	if err := st.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Clone returns an independent copy at the identical position.
+func (st *Stream) Clone() *Stream {
+	cp := *st
+	return &cp
+}
+
+// Equal reports whether two streams are at the identical state and position.
+func (st *Stream) Equal(other *Stream) bool {
+	return st.s == other.s && st.count == other.count
+}
+
+// Set is a named bundle of independent streams, one per randomness consumer
+// in a training run. Keeping the consumers on separate streams means adding
+// draws to one consumer (e.g. more shots) cannot perturb another (e.g. the
+// data-order shuffle), which keeps experiments comparable across
+// configurations.
+type Set struct {
+	Shots *Stream // measurement-shot sampling
+	Data  *Stream // dataset shuffling / minibatch order
+	Init  *Stream // parameter initialization
+	Noise *Stream // hardware-noise injection
+	Fail  *Stream // failure-event scheduling
+}
+
+// NewSet derives five disjoint streams from one master seed.
+func NewSet(seed uint64) *Set {
+	master := New(seed)
+	return &Set{
+		Shots: master.Split(),
+		Data:  master.Split(),
+		Init:  master.Split(),
+		Noise: master.Split(),
+		Fail:  master.Split(),
+	}
+}
+
+// MarshalBinary encodes all five streams.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 5*marshaledSize)
+	for _, st := range []*Stream{s.Shots, s.Data, s.Init, s.Noise, s.Fail} {
+		b, err := st.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores all five streams. When the set already holds
+// stream objects, their state is overwritten in place, so components that
+// captured the pointers (e.g. a QPU backend holding Shots) observe the
+// restored state without re-wiring.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	if len(data) != 5*marshaledSize {
+		return fmt.Errorf("rng: bad set length %d, want %d", len(data), 5*marshaledSize)
+	}
+	streams := make([]*Stream, 5)
+	for i := range streams {
+		st, err := Restore(data[i*marshaledSize : (i+1)*marshaledSize])
+		if err != nil {
+			return err
+		}
+		streams[i] = st
+	}
+	dst := []**Stream{&s.Shots, &s.Data, &s.Init, &s.Noise, &s.Fail}
+	for i, d := range dst {
+		if *d != nil {
+			**d = *streams[i]
+		} else {
+			*d = streams[i]
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the set.
+func (s *Set) Clone() *Set {
+	return &Set{
+		Shots: s.Shots.Clone(),
+		Data:  s.Data.Clone(),
+		Init:  s.Init.Clone(),
+		Noise: s.Noise.Clone(),
+		Fail:  s.Fail.Clone(),
+	}
+}
+
+// Equal reports whether every stream in both sets is at the identical state.
+func (s *Set) Equal(other *Set) bool {
+	return s.Shots.Equal(other.Shots) && s.Data.Equal(other.Data) &&
+		s.Init.Equal(other.Init) && s.Noise.Equal(other.Noise) && s.Fail.Equal(other.Fail)
+}

@@ -1,0 +1,353 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d identical draws of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Errorf("seed 0 produced a stuck stream")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 123; i++ {
+		s.Uint64()
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(restored) {
+		t.Fatalf("restored stream not equal")
+	}
+	if restored.Count() != 123 {
+		t.Errorf("restored count = %d, want 123", restored.Count())
+	}
+	for i := 0; i < 1000; i++ {
+		if s.Uint64() != restored.Uint64() {
+			t.Fatalf("restored stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, skip uint16) bool {
+		s := New(seed)
+		for i := 0; i < int(skip); i++ {
+			s.Uint64()
+		}
+		data, _ := s.MarshalBinary()
+		r, err := Restore(data)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			if s.Uint64() != r.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsBadLength(t *testing.T) {
+	var s Stream
+	if err := s.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Errorf("expected error on short input")
+	}
+}
+
+func TestUnmarshalRejectsZeroState(t *testing.T) {
+	data := make([]byte, marshaledSize)
+	if _, err := Restore(data); err == nil {
+		t.Errorf("expected error on all-zero state")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(12)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	s := New(13)
+	const n, draws = 7, 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := s.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	s := New(1)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			s.Intn(n)
+		}()
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(14)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(15)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exp mean = %v, want ≈1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(16)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermVariesWithState(t *testing.T) {
+	s := New(17)
+	a := s.Perm(20)
+	b := s.Perm(20)
+	equal := true
+	for i := range a {
+		if a[i] != b[i] {
+			equal = false
+		}
+	}
+	if equal {
+		t.Errorf("two consecutive Perm(20) identical; generator stuck?")
+	}
+}
+
+func TestSplitStreamsDisjoint(t *testing.T) {
+	parent := New(99)
+	a := parent.Split()
+	b := parent.Split()
+	// Children should not reproduce each other's sequence.
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[a.Uint64()] = true
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if seen[b.Uint64()] {
+			hits++
+		}
+	}
+	if hits > 1 {
+		t.Errorf("split streams shared %d values of 1000", hits)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	p1 := New(5)
+	p2 := New(5)
+	a1 := p1.Split()
+	a2 := p2.Split()
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatalf("split is not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestJumpChangesState(t *testing.T) {
+	s := New(21)
+	before := s.Clone()
+	s.Jump()
+	if s.Equal(before) {
+		t.Errorf("Jump left state unchanged")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(22)
+	c := s.Clone()
+	s.Uint64()
+	if s.Equal(c) {
+		t.Errorf("clone tracked parent mutation")
+	}
+	// c should still produce the value s produced.
+	s2 := New(22)
+	if c.Uint64() != s2.Uint64() {
+		t.Errorf("clone did not preserve position")
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	set := NewSet(1234)
+	set.Shots.Uint64()
+	set.Data.Float64()
+	set.Init.NormFloat64()
+	data, err := set.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Set{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(restored) {
+		t.Fatalf("set round-trip not equal")
+	}
+	// All five streams continue identically.
+	pairs := [][2]*Stream{
+		{set.Shots, restored.Shots},
+		{set.Data, restored.Data},
+		{set.Init, restored.Init},
+		{set.Noise, restored.Noise},
+		{set.Fail, restored.Fail},
+	}
+	for si, pr := range pairs {
+		for i := 0; i < 100; i++ {
+			if pr[0].Uint64() != pr[1].Uint64() {
+				t.Fatalf("stream %d diverged after restore at draw %d", si, i)
+			}
+		}
+	}
+}
+
+func TestSetUnmarshalRejectsBadLength(t *testing.T) {
+	set := &Set{}
+	if err := set.UnmarshalBinary(make([]byte, 10)); err == nil {
+		t.Errorf("expected error")
+	}
+}
+
+func TestSetStreamsMutuallyDistinct(t *testing.T) {
+	set := NewSet(7)
+	streams := []*Stream{set.Shots, set.Data, set.Init, set.Noise, set.Fail}
+	firsts := map[uint64]int{}
+	for i, s := range streams {
+		v := s.Clone().Uint64()
+		if j, dup := firsts[v]; dup {
+			t.Errorf("streams %d and %d start with identical output", i, j)
+		}
+		firsts[v] = i
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	set := NewSet(8)
+	cl := set.Clone()
+	set.Shots.Uint64()
+	if set.Equal(cl) {
+		t.Errorf("clone tracked mutation")
+	}
+}
+
+func TestCountAdvances(t *testing.T) {
+	s := New(9)
+	if s.Count() != 0 {
+		t.Fatalf("fresh count = %d", s.Count())
+	}
+	s.Uint64()
+	s.Float64()
+	if s.Count() != 2 {
+		t.Errorf("count = %d, want 2", s.Count())
+	}
+}

@@ -1,0 +1,161 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/dataset"
+	"repro/internal/observable"
+	"repro/internal/qpu"
+	"repro/internal/rng"
+)
+
+func testBackend(t *testing.T) *qpu.Backend {
+	t.Helper()
+	set := rng.NewSet(9001)
+	b, err := qpu.New(qpu.Config{}, set.Shots, set.Noise, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestVQETaskBasics(t *testing.T) {
+	h := observable.TFIM(3, 1, 0.5)
+	task, err := NewVQETask(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Name() != "vqe" || task.NumSamples() != 0 {
+		t.Errorf("task identity wrong: %s %d", task.Name(), task.NumSamples())
+	}
+	if task.Fingerprint() == "" {
+		t.Errorf("empty fingerprint")
+	}
+	bad := observable.Hamiltonian{Qubits: 0}
+	if _, err := NewVQETask(bad); err == nil {
+		t.Errorf("invalid Hamiltonian accepted")
+	}
+}
+
+func TestGroupedVQETaskFingerprintDiffers(t *testing.T) {
+	h := observable.TFIM(3, 1, 0.5)
+	plain, _ := NewVQETask(h)
+	grouped, err := NewGroupedVQETask(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fingerprint() == grouped.Fingerprint() {
+		t.Errorf("grouped and term-wise tasks share a fingerprint (resume would cross estimators)")
+	}
+}
+
+func TestGroupedVQEEstimateAgreesWithExact(t *testing.T) {
+	h := observable.TFIM(3, 1, 0.5)
+	task, _ := NewGroupedVQETask(h)
+	c := circuit.HardwareEfficient(3, 1)
+	theta := c.InitParams(rng.New(5))
+	b := testBackend(t)
+	exact := task.ExactLoss(b, c, theta)
+	est, err := task.EstimateLoss(b, c, theta, circuit.NoShift, nil, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 0.1 {
+		t.Errorf("grouped estimate %v vs exact %v", est, exact)
+	}
+}
+
+func TestStateLearningTaskValidation(t *testing.T) {
+	if _, err := NewStateLearningTask(nil); err == nil {
+		t.Errorf("nil dataset accepted")
+	}
+	d, _ := dataset.NewUnitaryLearning(2, 4, rng.New(6))
+	task, err := NewStateLearningTask(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.NumSamples() != 4 || task.Name() != "state-learning" {
+		t.Errorf("task identity wrong")
+	}
+	b := testBackend(t)
+	c := circuit.HardwareEfficient(2, 1)
+	theta := c.InitParams(rng.New(7))
+	if _, err := task.EstimateLoss(b, c, theta, circuit.NoShift, nil, 100); err == nil {
+		t.Errorf("empty batch accepted")
+	}
+	if _, err := task.EstimateLoss(b, c, theta, circuit.NoShift, []int{99}, 100); err == nil {
+		t.Errorf("out-of-range batch index accepted")
+	}
+}
+
+func TestStateLearningExactLossBounds(t *testing.T) {
+	d, _ := dataset.NewUnitaryLearning(2, 5, rng.New(8))
+	task, _ := NewStateLearningTask(d)
+	b := testBackend(t)
+	c := circuit.HardwareEfficient(2, 2)
+	theta := c.InitParams(rng.New(9))
+	l := task.ExactLoss(b, c, theta)
+	if l < 0 || l > 1 {
+		t.Errorf("state-learning loss %v out of [0,1]", l)
+	}
+}
+
+func TestClassificationTaskValidationAndAccuracy(t *testing.T) {
+	if _, err := NewClassificationTask(nil, 0); err == nil {
+		t.Errorf("nil dataset accepted")
+	}
+	d, _ := dataset.NewBlobs(2, 10, 2.0, rng.New(10))
+	if _, err := NewClassificationTask(d, -1); err == nil {
+		t.Errorf("negative readout accepted")
+	}
+	task, err := NewClassificationTask(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Name() != "classify" || task.NumSamples() != 10 {
+		t.Errorf("task identity wrong")
+	}
+	b := testBackend(t)
+	c := circuit.HardwareEfficient(2, 1)
+	theta := c.InitParams(rng.New(11))
+	acc := task.Accuracy(b, c, theta)
+	if acc < 0 || acc > 1 {
+		t.Errorf("accuracy %v out of range", acc)
+	}
+	// Readout qubit beyond the circuit is rejected at evaluation time.
+	far, _ := NewClassificationTask(d, 5)
+	if _, err := far.EstimateLoss(b, c, theta, circuit.NoShift, []int{0}, 10); err == nil {
+		t.Errorf("readout beyond circuit width accepted")
+	}
+	if _, err := task.EstimateLoss(b, c, theta, circuit.NoShift, nil, 10); err == nil {
+		t.Errorf("empty batch accepted")
+	}
+	if _, err := task.EstimateLoss(b, c, theta, circuit.NoShift, []int{-1}, 10); err == nil {
+		t.Errorf("negative batch index accepted")
+	}
+}
+
+func TestClassificationShiftOffsetCorrect(t *testing.T) {
+	// The occurrence shift refers to ansatz op indices; with a per-sample
+	// encoder prefix the task must translate it. Verify: shifting ansatz
+	// occurrence k by δ equals evaluating with that parameter shifted,
+	// HWE-style (one occurrence per parameter).
+	d, _ := dataset.NewBlobs(2, 4, 2.0, rng.New(12))
+	task, _ := NewClassificationTask(d, 0)
+	b := testBackend(t)
+	c := circuit.HardwareEfficient(2, 1)
+	theta := c.InitParams(rng.New(13))
+	occ := c.ParamOccurrences()
+	opIdx := occ[2][0]
+
+	shifted := circuit.Shift{OpIndex: opIdx, Delta: 0.4}
+	lossA := task.ExactLossShifted(b, c, theta, shifted)
+	theta2 := append([]float64{}, theta...)
+	theta2[2] += 0.4
+	lossB := task.ExactLoss(b, c, theta2)
+	if math.Abs(lossA-lossB) > 1e-10 {
+		t.Errorf("occurrence shift broken through encoder prefix: %v vs %v", lossA, lossB)
+	}
+}
