@@ -1,0 +1,29 @@
+# Tier-1 gate: make check (fmt + vet + build + test).
+
+GO ?= go
+
+.PHONY: build test bench fmt vet check experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+check:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then echo "gofmt needed:"; echo "$$files"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -quick

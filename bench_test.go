@@ -66,6 +66,28 @@ func BenchmarkTable2Strategies(b *testing.B) {
 	}
 }
 
+// BenchmarkTable3Backends regenerates Table 3: the checkpoint pipeline
+// against each storage backend. Metrics: dedup rate of the chunked path,
+// and the modeled object-store write bill for the whole run.
+func BenchmarkTable3Backends(b *testing.B) {
+	var rows []harness.T3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunT3Backends(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch {
+		case r.Backend == "mem" && r.ChunkKB > 0:
+			b.ReportMetric(r.DedupPct, "chunked-dedup-%")
+		case r.Backend == "tier:object":
+			b.ReportMetric(float64(r.Modeled.Milliseconds()), "object-modeled-ms")
+		}
+	}
+}
+
 // BenchmarkFig1WastedWork regenerates Figure 1: expected completion time
 // without checkpointing vs MTBF. Metric: the blow-up factor E[T]/W at
 // MTBF = W/5.
@@ -235,6 +257,37 @@ func BenchmarkCheckpointSaveDelta(b *testing.B) {
 		if _, err := mgr.Save(st); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCheckpointSaveChunked measures one chunked delta save with a
+// 4-worker pipeline (content-addressed dedup against the chunk store).
+func BenchmarkCheckpointSaveChunked(b *testing.B) {
+	dir := b.TempDir()
+	mgr, err := core.NewManager(core.Options{
+		Dir: dir, Strategy: core.StrategyDelta, AnchorEvery: 1 << 30,
+		Workers: 4, ChunkBytes: 8 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	st := benchState(2048)
+	if _, err := mgr.Save(st); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step = uint64(i)
+		st.Params[i%len(st.Params)] += 1e-9
+		if _, err := mgr.Save(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := mgr.Stats()
+	if stats.Chunks > 0 {
+		b.ReportMetric(100*float64(stats.DedupHits)/float64(stats.Chunks), "dedup-%")
 	}
 }
 

@@ -1,31 +1,46 @@
 // Command qckpt inspects checkpoint directories and files produced by the
-// checkpoint engine (internal/core).
+// checkpoint engine (internal/core), including chunked snapshots whose
+// bodies live in the directory's content-addressed chunk store.
 //
 // Usage:
 //
-//	qckpt ls <dir>              list snapshots (newest first)
-//	qckpt verify <dir>          verify every snapshot including delta chains
-//	qckpt show <file>           print one snapshot's header and state summary
-//	qckpt latest <dir>          print the state the recovery path would restore
-//	qckpt compact <dir>         rewrite the newest state as one full snapshot
-//	                            and delete the rest
-//	qckpt diff <fileA> <fileB>  compare two full snapshots' states
+//	qckpt [flags] ls <dir>         list snapshots (newest first)
+//	qckpt [flags] verify <dir>     verify every snapshot including delta chains
+//	qckpt show <file>              print one snapshot's header and state summary
+//	qckpt [flags] latest <dir>     print the state the recovery path would restore
+//	qckpt compact <dir>            rewrite the newest state as one full snapshot
+//	                               and delete the rest
+//	qckpt diff <fileA> <fileB>     compare two full snapshots' states
+//
+// Flags:
+//
+//	-tier nvme|nfs|object          project directory reads through a modeled
+//	                               storage tier and report the virtual I/O
+//	                               cost the command would have paid there
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 )
 
+// tierName is the -tier flag: when set, directory commands read through a
+// latency-modeled tier and report the modeled cost afterwards.
+var tierName string
+
 func main() {
-	if len(os.Args) < 3 {
+	flag.StringVar(&tierName, "tier", "", "model directory reads against a device tier (nvme, nfs, object)")
+	flag.Parse()
+	if flag.NArg() < 2 {
 		usage()
 	}
-	cmd, arg := os.Args[1], os.Args[2]
+	cmd, arg := flag.Arg(0), flag.Arg(1)
 	var err error
 	switch cmd {
 	case "ls":
@@ -39,10 +54,10 @@ func main() {
 	case "compact":
 		err = cmdCompact(arg)
 	case "diff":
-		if len(os.Args) < 4 {
+		if flag.NArg() < 3 {
 			usage()
 		}
-		err = cmdDiff(arg, os.Args[3])
+		err = cmdDiff(arg, flag.Arg(2))
 	default:
 		usage()
 	}
@@ -53,31 +68,72 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qckpt {ls|verify|latest|compact} <dir> | qckpt show <file> | qckpt diff <a> <b>")
+	fmt.Fprintln(os.Stderr, "usage: qckpt [-tier nvme|nfs|object] {ls|verify|latest} <dir> | qckpt compact <dir> | qckpt show <file> | qckpt diff <a> <b>")
 	os.Exit(2)
 }
 
+// openDir opens a checkpoint directory as a storage backend, optionally
+// wrapped in the -tier device model. The returned tier is nil when -tier
+// is unset.
+func openDir(dir string) (storage.Backend, *storage.Tier, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, nil, err
+	}
+	b, err := storage.NewLocal(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tierName == "" {
+		return b, nil, nil
+	}
+	dev, err := storage.DeviceByName(tierName)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := storage.NewTier(b, dev)
+	return t, t, nil
+}
+
+// reportTier prints the modeled I/O bill of a directory command.
+func reportTier(t *storage.Tier) {
+	if t == nil {
+		return
+	}
+	st := t.Stats()
+	fmt.Printf("modeled %s cost: %v (%d ops, %d B read)\n",
+		t.Device().Name, st.Modeled.Round(time.Microsecond), st.Ops, st.BytesRead)
+}
+
 func cmdLs(dir string) error {
-	headers, skipped, err := core.ListSnapshots(dir)
+	b, tier, err := openDir(dir)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-8s %-6s %-16s %-16s\n", "SEQ", "STEP", "KIND", "PAYLOAD-HASH", "BASE-HASH")
+	headers, skipped, err := core.ListSnapshotsBackend(b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-8s %-14s %-16s %-16s\n", "SEQ", "STEP", "KIND", "PAYLOAD-HASH", "BASE-HASH")
 	for _, h := range headers {
 		base := "-"
-		if h.Kind == core.KindDelta {
+		if h.Kind.Base() == core.KindDelta {
 			base = fmt.Sprintf("%x", h.BaseHash[:8])
 		}
-		fmt.Printf("%-8d %-8d %-6s %-16x %-16s\n", h.Seq, h.Step, h.Kind, h.PayloadHash[:8], base)
+		fmt.Printf("%-8d %-8d %-14s %-16x %-16s\n", h.Seq, h.Step, h.Kind, h.PayloadHash[:8], base)
 	}
 	for _, s := range skipped {
 		fmt.Printf("unparseable: %s\n", s)
 	}
+	reportTier(tier)
 	return nil
 }
 
 func cmdVerify(dir string) error {
-	ok, problems, err := core.VerifyDir(dir)
+	b, tier, err := openDir(dir)
+	if err != nil {
+		return err
+	}
+	ok, problems, err := core.VerifyBackend(b)
 	if err != nil {
 		return err
 	}
@@ -85,6 +141,7 @@ func cmdVerify(dir string) error {
 	for _, p := range problems {
 		fmt.Printf("BROKEN: %s\n", p)
 	}
+	reportTier(tier)
 	if len(problems) > 0 {
 		return fmt.Errorf("%d broken snapshot(s)", len(problems))
 	}
@@ -98,12 +155,12 @@ func cmdShow(path string) error {
 	}
 	fmt.Printf("kind:    %s\nseq:     %d\nstep:    %d\n", h.Kind, h.Seq, h.Step)
 	fmt.Printf("payload: %x\n", h.PayloadHash[:16])
-	if h.Kind == core.KindDelta {
+	if h.Kind.Base() == core.KindDelta {
 		fmt.Printf("base:    %x\n", h.BaseHash[:16])
 		fmt.Println("(delta snapshot: run `qckpt latest <dir>` to resolve its chain)")
 		return nil
 	}
-	_, body, err := core.ReadSnapshotFile(path)
+	_, body, err := core.ReadSnapshotBody(path)
 	if err != nil {
 		return err
 	}
@@ -116,7 +173,11 @@ func cmdShow(path string) error {
 }
 
 func cmdLatest(dir string) error {
-	st, report, err := core.LoadLatest(dir, nil)
+	b, tier, err := openDir(dir)
+	if err != nil {
+		return err
+	}
+	st, report, err := core.LoadLatestBackend(b, nil)
 	if err != nil {
 		return err
 	}
@@ -125,6 +186,7 @@ func cmdLatest(dir string) error {
 		fmt.Printf("skipped:  %s\n", s)
 	}
 	printState(st)
+	reportTier(tier)
 	return nil
 }
 
@@ -140,11 +202,11 @@ func cmdCompact(dir string) error {
 // loadStateFromFile resolves a snapshot file to its TrainingState. Delta
 // snapshots are resolved through their directory's chain.
 func loadStateFromFile(path string) (*core.TrainingState, error) {
-	h, body, err := core.ReadSnapshotFile(path)
+	h, body, err := core.ReadSnapshotBody(path)
 	if err != nil {
 		return nil, err
 	}
-	if h.Kind == core.KindFull {
+	if h.Kind.Base() == core.KindFull {
 		return core.DecodePayload(body)
 	}
 	return nil, fmt.Errorf("%s is a delta snapshot; diff full snapshots or run compact first", path)

@@ -7,6 +7,7 @@
 //	train -task vqe -qubits 4 -layers 2 -steps 100 -ckpt /tmp/run1 -resume
 //	train -task unitary -qubits 2 -layers 3 -pairs 12 -batch 4 -steps 60
 //	train -task maxcut -qubits 6 -p 2 -steps 40 -mtbf 5m -ckpt /tmp/run2
+//	train -task vqe -qubits 4 -layers 2 -steps 50 -ckpt /tmp/run3 -async -workers 4 -chunk 64
 package main
 
 import (
@@ -46,6 +47,9 @@ func main() {
 		grouped  = flag.Bool("grouped", false, "use measurement grouping (vqe/maxcut)")
 		mtbf     = flag.Duration("mtbf", 0, "inject Poisson session failures with this MTBF (0 disables)")
 		realQPU  = flag.Bool("qpu-latency", false, "model realistic QPU latencies (default: latency-free)")
+		async    = flag.Bool("async", false, "write checkpoints asynchronously")
+		workers  = flag.Int("workers", 1, "checkpoint write workers (chunked pipeline)")
+		chunkKB  = flag.Int("chunk", 0, "chunk checkpoints into KB-sized deduplicated pieces (0 = monolithic)")
 	)
 	flag.Parse()
 
@@ -66,6 +70,7 @@ func main() {
 	if *ckptDir != "" {
 		mgr, err = core.NewManager(core.Options{
 			Dir: *ckptDir, Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
+			Async: *async, Workers: *workers, ChunkBytes: *chunkKB << 10,
 		})
 		if err != nil {
 			fatal(err)

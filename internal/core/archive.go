@@ -15,7 +15,9 @@ import (
 // store and writes a manifest mapping file names to chunk addresses.
 // Identical content across archives (shared anchors, repeated snapshots of
 // converged runs) is stored once — the dedup that makes keeping many runs'
-// checkpoint histories cheap.
+// checkpoint histories cheap. Chunked snapshots are materialized into
+// self-contained monolithic files on the way in, so an archive never
+// depends on the source directory's chunk namespace.
 //
 // The manifest is written atomically; snapshots carry their own integrity
 // (whole-file SHA-256), and the chunk store re-verifies content addresses
@@ -25,6 +27,7 @@ func Archive(dir string, cs *storage.ChunkStore, manifestPath string) (archived 
 	if err != nil {
 		return 0, fmt.Errorf("core: archive read dir: %w", err)
 	}
+	var view *snapshotView
 	type entry struct{ name, addr string }
 	var list []entry
 	for _, e := range entries {
@@ -40,8 +43,27 @@ func Archive(dir string, cs *storage.ChunkStore, manifestPath string) (archived 
 		}
 		// Refuse to archive corrupt snapshots: the archive is a recovery
 		// artifact and must not launder damage.
-		if _, _, err := DecodeSnapshotFile(data); err != nil {
+		h, body, err := DecodeSnapshotFile(data)
+		if err != nil {
 			return archived, fmt.Errorf("core: refusing to archive %s: %w", e.Name(), err)
+		}
+		if h.Kind.Chunked() {
+			// Resolve the manifest to its body and re-encode monolithic.
+			if view == nil {
+				b, berr := storage.NewLocal(dir)
+				if berr != nil {
+					return archived, berr
+				}
+				view = newSnapshotView(b)
+			}
+			body, err = assembleChunks(view.cs, body)
+			if err != nil {
+				return archived, fmt.Errorf("core: refusing to archive %s: %w", e.Name(), err)
+			}
+			h.Kind = h.Kind.Base()
+			if data, err = EncodeSnapshotFile(h, body); err != nil {
+				return archived, err
+			}
 		}
 		addr, err := cs.Put(data)
 		if err != nil {

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Chunked snapshots split the body (payload or delta bytes) into fixed-size
+// chunks, compress each chunk independently, and store the compressed
+// chunks content-addressed in the backend's chunk store under
+// ChunkPrefix/. The snapshot file itself shrinks to a manifest naming the
+// chunk addresses in order; it is committed with the same atomic Put as a
+// monolithic snapshot, and only after every chunk it references is durable.
+// A crash therefore leaves at worst orphan chunks (collected by retention
+// GC or Compact), never a manifest pointing at missing data.
+//
+// Dedup falls out of content addressing: between consecutive snapshots of
+// a slowly moving training state most chunks are byte-identical (for delta
+// bodies, mostly-zero), so re-saving them is a Stat, not a write.
+//
+// Manifest body format (this body is itself flate-compressed and
+// integrity-protected by the snapshot file framing):
+//
+//	QCKPT-CHUNKS1\n
+//	<rawLen>\n          total body length in bytes before chunking
+//	<addr>\n            one 64-hex chunk address per line, in order
+//	...
+
+// ChunkPrefix is the key namespace inside a Manager's backend that holds
+// the content-addressed chunks of chunked snapshots.
+const ChunkPrefix = "chunks"
+
+// DefaultChunkBytes is a sensible chunk size for callers that want chunked
+// snapshots without tuning (Options{ChunkBytes: DefaultChunkBytes}): large
+// enough that manifest overhead is negligible, small enough that a slowly
+// drifting state deduplicates most of its chunks between saves.
+const DefaultChunkBytes = 256 << 10
+
+const chunkManifestMagic = "QCKPT-CHUNKS1"
+
+// encodeChunkManifest renders the manifest body for a chunked snapshot.
+func encodeChunkManifest(rawLen int, addrs []string) []byte {
+	var b strings.Builder
+	b.Grow(len(chunkManifestMagic) + 16 + 65*len(addrs))
+	b.WriteString(chunkManifestMagic)
+	b.WriteByte('\n')
+	b.WriteString(strconv.Itoa(rawLen))
+	b.WriteByte('\n')
+	for _, a := range addrs {
+		b.WriteString(a)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// decodeChunkManifest parses a manifest body.
+func decodeChunkManifest(data []byte) (rawLen int, addrs []string, err error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) < 2 || lines[0] != chunkManifestMagic {
+		return 0, nil, fmt.Errorf("%w: bad chunk manifest header", ErrCorrupt)
+	}
+	rawLen, err = strconv.Atoi(lines[1])
+	if err != nil || rawLen < 0 {
+		return 0, nil, fmt.Errorf("%w: bad chunk manifest length %q", ErrCorrupt, lines[1])
+	}
+	for _, line := range lines[2:] {
+		if line == "" {
+			continue
+		}
+		if len(line) != 64 {
+			return 0, nil, fmt.Errorf("%w: malformed chunk address %q", ErrCorrupt, line)
+		}
+		addrs = append(addrs, line)
+	}
+	return rawLen, addrs, nil
+}
+
+// splitChunks cuts body into size-byte chunks (the last may be shorter). A
+// zero-length body yields no chunks.
+func splitChunks(body []byte, size int) [][]byte {
+	if size <= 0 {
+		size = DefaultChunkBytes
+	}
+	chunks := make([][]byte, 0, (len(body)+size-1)/size)
+	for off := 0; off < len(body); off += size {
+		end := off + size
+		if end > len(body) {
+			end = len(body)
+		}
+		chunks = append(chunks, body[off:end])
+	}
+	return chunks
+}
+
+// assembleChunks reconstructs a chunked snapshot's body from its manifest:
+// each chunk is fetched (content-verified by the store), decompressed, and
+// concatenated in manifest order.
+func assembleChunks(cs *storage.ChunkStore, manifest []byte) ([]byte, error) {
+	rawLen, addrs, err := decodeChunkManifest(manifest)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, rawLen)
+	for _, addr := range addrs {
+		comp, err := cs.Get(addr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: chunk %.12s…: %v", ErrCorrupt, addr, err)
+		}
+		raw, err := decompress(comp)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, raw...)
+	}
+	if len(body) != rawLen {
+		return nil, fmt.Errorf("%w: assembled %d bytes, manifest says %d", ErrCorrupt, len(body), rawLen)
+	}
+	return body, nil
+}
+
+// chunkReferences collects every chunk address referenced by the snapshot
+// manifests present in b — the keep-set for chunk garbage collection.
+// Non-chunked snapshots are skipped on a header probe without reading
+// their (potentially large) bodies.
+func chunkReferences(b storage.Backend) (map[string]bool, error) {
+	keys, err := b.List(snapshotKeyPrefix)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]bool)
+	for _, key := range keys {
+		if _, _, ok := parseSnapshotName(key); !ok {
+			continue
+		}
+		buf, err := storage.GetRange(b, key, 0, headerSize)
+		if err != nil {
+			return nil, err
+		}
+		if h, err := parseHeaderBytes(buf); err != nil || !h.Kind.Chunked() {
+			// Corrupt snapshots keep their chunks out of the keep-set; they
+			// are already unrecoverable and will be skipped or deleted by
+			// recovery/retention.
+			continue
+		}
+		data, err := b.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		_, body, err := DecodeSnapshotFile(data)
+		if err != nil {
+			continue
+		}
+		_, addrs, err := decodeChunkManifest(body)
+		if err != nil {
+			continue
+		}
+		for _, a := range addrs {
+			keep[a] = true
+		}
+	}
+	return keep, nil
+}
+
+// gcOrphanChunks deletes every chunk in b's chunk namespace that no
+// readable manifest references — the shared tail of retention GC and
+// Compact. It is conservative: if the keep-set cannot be computed, nothing
+// is deleted.
+func gcOrphanChunks(b storage.Backend) {
+	keep, err := chunkReferences(b)
+	if err != nil {
+		return
+	}
+	storage.NewChunkStore(storage.WithPrefix(b, ChunkPrefix)).GC(keep)
+}

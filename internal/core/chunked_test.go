@@ -1,0 +1,417 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// chunkedOpts is the standard chunked-pipeline configuration under test:
+// a small chunk size so even test states span many chunks, and a worker
+// pool (the acceptance bar is workers ≥ 2).
+func chunkedOpts(o Options) Options {
+	o.ChunkBytes = 1 << 10
+	o.Workers = 4
+	return o
+}
+
+// bigSeqStates yields n drifting states whose payloads span many chunks at
+// the test chunk size, so chunk-level dedup has something to find.
+func bigSeqStates(n int) []*TrainingState {
+	out := make([]*TrainingState, n)
+	s := NewTrainingState()
+	s.Params = make([]float64, 2048)
+	for i := range s.Params {
+		s.Params[i] = float64(i) * 0.137
+	}
+	s.Optimizer = make([]byte, 16*2048)
+	s.RNG = make([]byte, 200)
+	s.Meta = Meta{FormatVersion: FormatVersion, CircuitFP: "c", ProblemFP: "p", OptimizerName: "adam"}
+	for i := 0; i < n; i++ {
+		s = s.Clone()
+		s.Step = uint64(i)
+		s.Params[i%len(s.Params)] += 1e-9 // a few low-order bits move per step
+		s.LossHistory = append(s.LossHistory, 1.0/float64(i+1))
+		out[i] = s
+	}
+	return out
+}
+
+func TestManagerChunkedSaveRecoverLocal(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(chunkedOpts(Options{Dir: dir, Strategy: StrategyDelta, AnchorEvery: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := bigSeqStates(10)
+	for _, s := range states {
+		if _, err := m.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, report, err := LoadLatest(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(states[9]) {
+		t.Errorf("chunked restore mismatch")
+	}
+	if report.ChainLen < 2 {
+		t.Errorf("expected delta chain, got chain length %d", report.ChainLen)
+	}
+	st := m.Stats()
+	if st.Chunks == 0 {
+		t.Errorf("no chunks recorded: %+v", st)
+	}
+	// Slowly drifting training state must dedup between snapshots.
+	if st.DedupHits == 0 {
+		t.Errorf("no dedup hits across %d snapshots: %+v", st.Snapshots, st)
+	}
+	// The on-disk snapshot files are small manifests now; bodies live in
+	// the chunk namespace.
+	entries, _ := os.ReadDir(filepath.Join(dir, ChunkPrefix))
+	if len(entries) == 0 {
+		t.Errorf("chunk namespace empty")
+	}
+}
+
+func TestManagerChunkedAsyncWorkersMemBackend(t *testing.T) {
+	mem := storage.NewMem()
+	m, err := NewManager(chunkedOpts(Options{
+		Backend: mem, Strategy: StrategyDelta, AnchorEvery: 4, Async: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := seqStates(12)
+	for _, s := range states {
+		res, err := m.Save(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Write != 0 || res.FileBytes != 0 {
+			t.Errorf("async save reported synchronous write cost")
+		}
+	}
+	if err := m.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadLatestBackend(mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(states[11]) {
+		t.Errorf("async chunked restore mismatch")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Snapshots != 12 || st.BytesWritten == 0 || st.Chunks == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestManagerChunkedCrashFallback corrupts the chunked path newest-first
+// and asserts recovery falls back to an older intact snapshot rather than
+// returning garbage — the chunked analogue of the monolithic fault tests.
+func TestManagerChunkedCrashFallback(t *testing.T) {
+	t.Run("corrupt-manifest", func(t *testing.T) {
+		dir := t.TempDir()
+		states := writeChunkedRun(t, dir, 6)
+		// Truncate the newest manifest file (torn write by a non-atomic
+		// foreign tool).
+		newest := newestSnapshotPath(t, dir)
+		raw, _ := os.ReadFile(newest)
+		if err := os.WriteFile(newest, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, report, err := LoadLatest(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(states[4]) {
+			t.Errorf("fallback restored step %d, want 4", got.Step)
+		}
+		if len(report.Skipped) == 0 {
+			t.Errorf("corrupt manifest not reported")
+		}
+	})
+
+	t.Run("missing-chunk", func(t *testing.T) {
+		dir := t.TempDir()
+		states := writeChunkedRun(t, dir, 6)
+		// Delete a chunk referenced only by the newest snapshot: its
+		// delta body is unique, older snapshots must stay restorable.
+		newest := newestSnapshotPath(t, dir)
+		_, manifest, err := ReadSnapshotFile(newest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, addrs, err := decodeChunkManifest(manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := addrs[len(addrs)-1]
+		if err := os.Remove(filepath.Join(dir, ChunkPrefix, victim[:2], victim)); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := LoadLatest(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := false
+		for _, s := range states {
+			if got.Equal(s) {
+				match = true
+			}
+		}
+		if !match {
+			t.Errorf("recovery returned a never-saved state (step %d)", got.Step)
+		}
+		if got.Step == states[5].Step {
+			t.Errorf("newest snapshot restored despite missing chunk")
+		}
+	})
+
+	t.Run("corrupt-chunk", func(t *testing.T) {
+		dir := t.TempDir()
+		states := writeChunkedRun(t, dir, 6)
+		newest := newestSnapshotPath(t, dir)
+		_, manifest, err := ReadSnapshotFile(newest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, addrs, err := decodeChunkManifest(manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := filepath.Join(dir, ChunkPrefix, addrs[0][:2], addrs[0])
+		raw, _ := os.ReadFile(victim)
+		raw[len(raw)/2] ^= 0xFF
+		if err := os.WriteFile(victim, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := LoadLatest(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := false
+		for _, s := range states {
+			if got.Equal(s) {
+				match = true
+			}
+		}
+		if !match {
+			t.Errorf("recovery returned a never-saved state after chunk corruption")
+		}
+	})
+}
+
+// writeChunkedRun persists n evolving states through the chunked pipeline
+// and returns them.
+func writeChunkedRun(t *testing.T, dir string, n int) []*TrainingState {
+	t.Helper()
+	m, err := NewManager(chunkedOpts(Options{Dir: dir, Strategy: StrategyDelta, AnchorEvery: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := seqStates(n)
+	for _, s := range states {
+		if _, err := m.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return states
+}
+
+// newestSnapshotPath returns the path of the highest-sequence snapshot.
+func newestSnapshotPath(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best string
+	var bestSeq uint64
+	for _, e := range entries {
+		if seq, _, ok := parseSnapshotName(e.Name()); ok && (best == "" || seq > bestSeq) {
+			best, bestSeq = filepath.Join(dir, e.Name()), seq
+		}
+	}
+	if best == "" {
+		t.Fatal("no snapshots found")
+	}
+	return best
+}
+
+// TestManagerChunkedRetentionCollectsChunks checks that retention GC
+// removes both old manifests and the chunks only they referenced, while
+// every surviving snapshot stays fully restorable.
+func TestManagerChunkedRetentionCollectsChunks(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(chunkedOpts(Options{
+		Dir: dir, Strategy: StrategyDelta, AnchorEvery: 2, Retain: 2,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := seqStates(12)
+	for _, s := range states {
+		if _, err := m.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := storage.NewLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No orphans: every stored chunk is referenced by a live manifest.
+	keep, err := chunkReferences(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := storage.NewChunkStore(storage.WithPrefix(b, ChunkPrefix))
+	addrs, err := cs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		if !keep[a] {
+			t.Errorf("orphan chunk %s survived retention GC", a[:12])
+		}
+	}
+	// Everything remaining verifies, and the newest state restores.
+	ok, problems, err := VerifyDir(dir)
+	if err != nil || len(problems) > 0 {
+		t.Fatalf("verify after retention: ok=%d problems=%v err=%v", ok, problems, err)
+	}
+	got, _, err := LoadLatest(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(states[11]) {
+		t.Errorf("retention broke newest snapshot")
+	}
+}
+
+// TestManagerChunkedRestartContinues reopens a chunked directory and keeps
+// saving; dedup must pick up against chunks from the previous incarnation.
+func TestManagerChunkedRestartContinues(t *testing.T) {
+	dir := t.TempDir()
+	states := writeChunkedRun(t, dir, 4)
+	m, err := NewManager(chunkedOpts(Options{Dir: dir, Strategy: StrategyDelta, AnchorEvery: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := states[3].Clone()
+	next.Step = 100
+	res, err := m.Save(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 4 {
+		t.Errorf("restart seq = %d, want 4", res.Seq)
+	}
+	if res.Kind != KindFull {
+		t.Errorf("restart first save kind = %s, want full anchor", res.Kind)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadLatest(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 100 {
+		t.Errorf("restored step %d after restart", got.Step)
+	}
+}
+
+// TestManagerChunkedTierBackend runs the pipeline against a
+// latency-modeled object-store tier and checks the model billed the
+// traffic.
+func TestManagerChunkedTierBackend(t *testing.T) {
+	tier := storage.NewTier(storage.NewMem(), storage.DeviceObject)
+	m, err := NewManager(chunkedOpts(Options{Backend: tier, Strategy: StrategyFull}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := seqStates(3)
+	for _, s := range states {
+		if _, err := m.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := tier.Stats()
+	if st.Modeled == 0 || st.BytesWritten == 0 {
+		t.Errorf("tier did not bill the pipeline: %+v", st)
+	}
+	got, _, err := LoadLatestBackend(tier, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(states[2]) {
+		t.Errorf("tier restore mismatch")
+	}
+}
+
+func TestChunkManifestRoundTrip(t *testing.T) {
+	addrs := []string{
+		strings.Repeat("ab", 32),
+		strings.Repeat("cd", 32),
+	}
+	m := encodeChunkManifest(12345, addrs)
+	rawLen, got, err := decodeChunkManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawLen != 12345 || len(got) != 2 || got[0] != addrs[0] || got[1] != addrs[1] {
+		t.Errorf("round trip: %d %v", rawLen, got)
+	}
+	for _, bad := range [][]byte{nil, []byte("garbage"), []byte("QCKPT-CHUNKS1\n-1\n"), []byte("QCKPT-CHUNKS1\n10\nshortaddr\n")} {
+		if _, _, err := decodeChunkManifest(bad); err == nil {
+			t.Errorf("decodeChunkManifest(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSplitChunks(t *testing.T) {
+	body := bytes.Repeat([]byte{1}, 10)
+	chunks := splitChunks(body, 4)
+	if len(chunks) != 3 || len(chunks[0]) != 4 || len(chunks[2]) != 2 {
+		t.Errorf("splitChunks lengths: %d", len(chunks))
+	}
+	if got := splitChunks(nil, 4); len(got) != 0 {
+		t.Errorf("empty body produced %d chunks", len(got))
+	}
+	var back []byte
+	for _, c := range chunks {
+		back = append(back, c...)
+	}
+	if !bytes.Equal(back, body) {
+		t.Errorf("chunks do not reassemble")
+	}
+}
+
+func TestManagerRejectsNegativeChunkBytes(t *testing.T) {
+	if _, err := NewManager(Options{Dir: t.TempDir(), ChunkBytes: -1}); err == nil {
+		t.Errorf("negative chunk size accepted")
+	}
+}

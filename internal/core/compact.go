@@ -4,13 +4,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/storage"
 )
 
 // Compact rewrites the newest recoverable snapshot in dir as a single
 // self-contained full snapshot (appended with the next sequence number) and
 // optionally deletes everything older. Use cases: archiving a run's final
 // state, trimming long delta chains before copying a checkpoint directory
-// to slower storage, and bounding recovery latency.
+// to slower storage, and bounding recovery latency. Chunked snapshot
+// directories compact to one monolithic full snapshot; chunks no longer
+// referenced by any remaining manifest are collected.
 //
 // Compaction is crash-safe: the new full snapshot is written atomically
 // before any deletion, so an interrupted Compact leaves the directory at
@@ -60,6 +64,13 @@ func Compact(dir string, deleteOld bool) (newPath string, removed int, err error
 			}
 			if rmErr := os.Remove(p); rmErr == nil {
 				removed++
+			}
+		}
+		// Collect chunks orphaned by the deletions (no-op for purely
+		// monolithic directories, which have no chunk namespace).
+		if _, err := os.Stat(filepath.Join(dir, ChunkPrefix)); err == nil {
+			if b, berr := storage.NewLocal(dir); berr == nil {
+				gcOrphanChunks(b)
 			}
 		}
 	}

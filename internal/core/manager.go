@@ -3,12 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/storage"
 )
 
 // Strategy selects how snapshots are persisted.
@@ -36,25 +37,47 @@ func (s Strategy) String() string {
 
 // Options configures a Manager.
 type Options struct {
-	// Dir is the checkpoint directory (created if missing).
+	// Dir is the checkpoint directory (created if missing). It is required
+	// when Backend is nil, and otherwise only used to report file paths.
 	Dir string
+	// Backend overrides where snapshots are persisted. Nil selects the
+	// crash-consistent local filesystem backend rooted at Dir. Any
+	// storage.Backend works: storage.NewMem for tests and benchmarks,
+	// storage.NewTier to project writes onto a modeled storage tier, or a
+	// custom remote implementation.
+	Backend storage.Backend
 	// Strategy selects full or delta-chained snapshots.
 	Strategy Strategy
 	// AnchorEvery bounds delta chains: a full anchor is written every
 	// AnchorEvery snapshots (default 16; ignored for StrategyFull).
 	AnchorEvery int
-	// Async moves compression and file I/O to a background worker; Save
+	// Async moves compression and I/O to a background pipeline; Save
 	// returns after the in-memory state capture. Errors surface on the next
 	// Save or on Barrier/Close.
 	Async bool
+	// Workers sizes the chunk-write worker pool (default 1): with
+	// ChunkBytes set, a snapshot's chunks are compressed and written
+	// concurrently by Workers goroutines. Ignored for monolithic
+	// snapshots (ChunkBytes == 0), which have nothing to parallelize.
+	Workers int
+	// ChunkBytes, when positive, switches to chunked snapshots: the body is
+	// split into ChunkBytes-size pieces stored content-addressed (and
+	// deduplicated) in the backend's chunk store, and the snapshot file
+	// becomes a small manifest committed atomically after every chunk is
+	// durable. Zero keeps monolithic snapshot files.
+	ChunkBytes int
 	// Retain keeps the newest Retain anchor chains and garbage-collects
-	// older files; 0 keeps everything.
+	// older files (and, for chunked snapshots, unreferenced chunks); 0
+	// keeps everything.
 	Retain int
 }
 
 func (o Options) withDefaults() Options {
 	if o.AnchorEvery <= 0 {
 		o.AnchorEvery = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -65,7 +88,7 @@ type SaveResult struct {
 	Seq          uint64
 	Step         uint64
 	Path         string
-	FileBytes    int           // bytes written to disk (0 until async completes)
+	FileBytes    int           // bytes written to storage (0 until async completes; excludes dedup hits)
 	PayloadBytes int           // canonical payload size before delta/compression
 	Encode       time.Duration // state capture + payload encode (always synchronous)
 	Write        time.Duration // compression + I/O (0 for async saves)
@@ -76,16 +99,30 @@ type Stats struct {
 	Snapshots    int
 	FullCount    int
 	DeltaCount   int
-	BytesWritten int64
+	BytesWritten int64 // bytes that actually reached the backend (dedup hits excluded)
 	WriteTime    time.Duration
 	EncodeTime   time.Duration
+	// Chunked-pipeline counters (zero for monolithic snapshots).
+	Chunks     int // chunks referenced by written snapshots
+	DedupHits  int // chunks skipped because identical content was present
+	ChunkBytes int64
 }
 
 // Manager orchestrates checkpoint persistence: strategy selection, delta
-// chaining, asynchronous writes, retention and recovery. A Manager is
-// driven by a single trainer goroutine; the async worker runs internally.
+// chaining, chunking and dedup, asynchronous writes through a worker
+// pipeline, retention and recovery. A Manager is driven by a single
+// trainer goroutine; the pipeline runs internally.
+//
+// Write path topology: Save encodes synchronously, then either persists
+// inline (sync mode) or enqueues the snapshot to a sequencer goroutine
+// (async mode) that commits snapshots strictly in sequence order — a delta
+// is never durable before its base. In chunked mode the persisting
+// goroutine fans the snapshot's chunks out to a pool of Options.Workers
+// writers and commits the manifest only after all chunks are stored.
 type Manager struct {
-	opt Options
+	opt     Options
+	backend storage.Backend
+	chunks  *storage.ChunkStore // non-nil iff ChunkBytes > 0
 
 	mu          sync.Mutex
 	seq         uint64
@@ -94,56 +131,85 @@ type Manager struct {
 	stats       Stats
 	asyncErr    error
 
-	jobs    chan writeJob
-	worker  sync.WaitGroup
-	pending sync.WaitGroup // one count per queued async write
-	closed  bool
+	jobs      chan writeJob // async sequencer queue
+	sequencer sync.WaitGroup
+	tasks     chan func() // chunk-write worker pool (nil unless chunked with Workers > 1)
+	workers   sync.WaitGroup
+	pending   sync.WaitGroup // one count per queued async write
+	closed    bool
 }
 
 type writeJob struct {
-	path string
+	name string
 	h    Header
 	body []byte
 }
 
-// NewManager creates the checkpoint directory and returns a Manager.
+// NewManager opens the backend (creating the checkpoint directory for the
+// default local backend) and returns a Manager.
 func NewManager(opt Options) (*Manager, error) {
 	opt = opt.withDefaults()
-	if opt.Dir == "" {
-		return nil, errors.New("core: checkpoint directory required")
-	}
 	if opt.Retain < 0 {
 		return nil, fmt.Errorf("core: negative retention %d", opt.Retain)
 	}
-	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("core: create checkpoint dir: %w", err)
+	if opt.ChunkBytes < 0 {
+		return nil, fmt.Errorf("core: negative chunk size %d", opt.ChunkBytes)
 	}
-	m := &Manager{opt: opt}
-	// Continue the sequence after any snapshots already in the directory,
+	backend := opt.Backend
+	if backend == nil {
+		if opt.Dir == "" {
+			return nil, errors.New("core: checkpoint directory required")
+		}
+		var err error
+		backend, err = storage.NewLocal(opt.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("core: create checkpoint dir: %w", err)
+		}
+	}
+	m := &Manager{opt: opt, backend: backend}
+	if opt.ChunkBytes > 0 {
+		m.chunks = storage.NewChunkStore(storage.WithPrefix(backend, ChunkPrefix))
+	}
+	// Continue the sequence after any snapshots already in the backend,
 	// so a restarted incarnation never overwrites its predecessor's files
 	// (which would break delta chains that reference them). The first save
 	// of a restarted delta-mode manager is always a full anchor because
 	// lastPayload is empty.
-	if entries, err := os.ReadDir(opt.Dir); err == nil {
-		for _, e := range entries {
-			if seq, _, ok := parseSnapshotName(e.Name()); ok && seq >= m.seq {
+	if keys, err := backend.List(snapshotKeyPrefix); err == nil {
+		for _, k := range keys {
+			if seq, _, ok := parseSnapshotName(k); ok && seq >= m.seq {
 				m.seq = seq + 1
 			}
 		}
 	}
+	if opt.Workers > 1 && opt.ChunkBytes > 0 {
+		m.tasks = make(chan func())
+		for i := 0; i < opt.Workers; i++ {
+			m.workers.Add(1)
+			go func() {
+				defer m.workers.Done()
+				for fn := range m.tasks {
+					fn()
+				}
+			}()
+		}
+	}
 	if opt.Async {
 		m.jobs = make(chan writeJob, 4)
-		m.worker.Add(1)
-		go m.runWorker()
+		m.sequencer.Add(1)
+		go m.runSequencer()
 	}
 	return m, nil
 }
 
-func (m *Manager) runWorker() {
-	defer m.worker.Done()
+// runSequencer drains the async queue, persisting snapshots strictly in
+// submission (= sequence) order so crash consistency of delta chains is
+// independent of chunk-write concurrency.
+func (m *Manager) runSequencer() {
+	defer m.sequencer.Done()
 	for job := range m.jobs {
 		start := time.Now()
-		n, err := WriteSnapshotFile(job.path, job.h, job.body)
+		n, err := m.persist(job)
 		dur := time.Since(start)
 		m.mu.Lock()
 		if err != nil && m.asyncErr == nil {
@@ -159,18 +225,122 @@ func (m *Manager) runWorker() {
 	}
 }
 
-// snapshotName builds the file name for a sequence number and kind.
-func snapshotName(seq uint64, kind SnapshotKind) string {
-	return fmt.Sprintf("ckpt-%012d-%s.qckpt", seq, kind)
+// dispatch runs fn on the worker pool when one exists, inline otherwise.
+// wg is incremented before submission and released when fn completes.
+func (m *Manager) dispatch(wg *sync.WaitGroup, fn func()) {
+	if m.tasks == nil {
+		fn()
+		return
+	}
+	wg.Add(1)
+	m.tasks <- func() {
+		defer wg.Done()
+		fn()
+	}
 }
 
-// parseSnapshotName extracts (seq, kind) from a file name; ok=false for
-// foreign files.
+// persist writes one snapshot through the backend and returns the bytes
+// newly written (dedup hits count zero).
+func (m *Manager) persist(job writeJob) (int, error) {
+	if m.chunks == nil {
+		data, err := EncodeSnapshotFile(job.h, job.body)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.backend.Put(job.name, data); err != nil {
+			return 0, err
+		}
+		return len(data), nil
+	}
+	return m.persistChunked(job)
+}
+
+// persistChunked splits the body into chunks, compresses and stores them
+// concurrently on the worker pool, then commits the manifest. Chunks are
+// durable before the manifest that references them, so a crash can orphan
+// chunks but never dangle a manifest.
+func (m *Manager) persistChunked(job writeJob) (int, error) {
+	pieces := splitChunks(job.body, m.opt.ChunkBytes)
+	// Collapse identical pieces before dispatch: delta bodies are mostly
+	// zero runs, so one save usually repeats the same chunk many times.
+	// Writing each distinct piece once keeps concurrent workers from racing
+	// Ingest's exists-check on their own duplicates (harmless for the
+	// stored data, but it would double-write and skew the dedup stats).
+	type result struct {
+		addr    string
+		written int
+		err     error
+	}
+	pieceKey := make([]string, len(pieces))
+	results := make(map[string]*result, len(pieces))
+	var wg sync.WaitGroup
+	for i, piece := range pieces {
+		key := storage.Hash(piece)
+		pieceKey[i] = key
+		if _, seen := results[key]; seen {
+			continue
+		}
+		r := &result{}
+		results[key] = r
+		piece := piece
+		m.dispatch(&wg, func() {
+			comp, err := compress(piece)
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.addr, r.written, r.err = m.chunks.Ingest(comp)
+		})
+	}
+	wg.Wait()
+	total, dedup := 0, len(pieces)-len(results)
+	for _, r := range results {
+		if r.err != nil {
+			return 0, fmt.Errorf("core: write chunk: %w", r.err)
+		}
+		total += r.written
+		if r.written == 0 {
+			dedup++
+		}
+	}
+	addrs := make([]string, len(pieces))
+	for i, key := range pieceKey {
+		addrs[i] = results[key].addr
+	}
+	h := job.h
+	h.Kind = h.Kind.chunkedVariant()
+	manifest := encodeChunkManifest(len(job.body), addrs)
+	data, err := EncodeSnapshotFile(h, manifest)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.backend.Put(job.name, data); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	m.stats.Chunks += len(pieces)
+	m.stats.DedupHits += dedup
+	m.stats.ChunkBytes += int64(total)
+	m.mu.Unlock()
+	return total + len(data), nil
+}
+
+// snapshotKeyPrefix prefixes every snapshot object key; scans list by it
+// so backends can skip the chunk namespace entirely.
+const snapshotKeyPrefix = "ckpt-"
+
+// snapshotName builds the object key for a sequence number and kind.
+func snapshotName(seq uint64, kind SnapshotKind) string {
+	return fmt.Sprintf("%s%012d-%s.qckpt", snapshotKeyPrefix, seq, kind.Base())
+}
+
+// parseSnapshotName extracts (seq, base kind) from an object key; ok=false
+// for foreign keys (including everything under the chunk prefix).
 func parseSnapshotName(name string) (seq uint64, kind SnapshotKind, ok bool) {
-	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".qckpt") {
+	if !strings.HasPrefix(name, snapshotKeyPrefix) || !strings.HasSuffix(name, ".qckpt") {
 		return 0, 0, false
 	}
-	core := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".qckpt")
+	core := strings.TrimSuffix(strings.TrimPrefix(name, snapshotKeyPrefix), ".qckpt")
 	parts := strings.SplitN(core, "-", 2)
 	if len(parts) != 2 {
 		return 0, 0, false
@@ -187,6 +357,15 @@ func parseSnapshotName(name string) (seq uint64, kind SnapshotKind, ok bool) {
 		return 0, 0, false
 	}
 	return seq, kind, true
+}
+
+// resultPath reports where a snapshot landed: a file path for directory
+// backends, the backend key otherwise.
+func (m *Manager) resultPath(name string) string {
+	if m.opt.Dir != "" {
+		return filepath.Join(m.opt.Dir, name)
+	}
+	return name
 }
 
 // Save captures the state and persists it according to the strategy. In
@@ -246,20 +425,20 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 		BaseHash:    baseHash,
 		PayloadHash: PayloadHash(payload),
 	}
-	path := filepath.Join(m.opt.Dir, snapshotName(seq, kind))
+	name := snapshotName(seq, kind)
 	res := SaveResult{
-		Kind: kind, Seq: seq, Step: state.Step, Path: path,
+		Kind: kind, Seq: seq, Step: state.Step, Path: m.resultPath(name),
 		PayloadBytes: len(payload), Encode: encDur,
 	}
 
 	if async {
 		m.pending.Add(1)
-		m.jobs <- writeJob{path: path, h: h, body: body}
+		m.jobs <- writeJob{name: name, h: h, body: body}
 		return res, nil
 	}
 
 	wStart := time.Now()
-	n, err := WriteSnapshotFile(path, h, body)
+	n, err := m.persist(writeJob{name: name, h: h, body: body})
 	res.Write = time.Since(wStart)
 	res.FileBytes = n
 	if err != nil {
@@ -273,6 +452,9 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 	return res, nil
 }
 
+// Backend returns the backend snapshots are persisted to.
+func (m *Manager) Backend() storage.Backend { return m.backend }
+
 // Barrier waits for all queued async writes and returns the first error.
 // It is a no-op in synchronous mode.
 func (m *Manager) Barrier() error {
@@ -284,7 +466,8 @@ func (m *Manager) Barrier() error {
 	return err
 }
 
-// Close flushes async writes and shuts the manager down.
+// Close flushes async writes, stops the pipeline and shuts the manager
+// down.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -293,10 +476,15 @@ func (m *Manager) Close() error {
 	}
 	m.closed = true
 	jobs := m.jobs
+	tasks := m.tasks
 	m.mu.Unlock()
 	if jobs != nil {
 		close(jobs)
-		m.worker.Wait()
+		m.sequencer.Wait()
+	}
+	if tasks != nil {
+		close(tasks)
+		m.workers.Wait()
 	}
 	m.mu.Lock()
 	err := m.asyncErr
@@ -312,15 +500,16 @@ func (m *Manager) Stats() Stats {
 	return m.stats
 }
 
-// gc applies the retention policy: keep every file belonging to the newest
-// Retain anchor chains, delete the rest. Deletion touches only files
-// strictly older than the kept anchor, so it is safe against concurrent
-// writes of newer files.
+// gc applies the retention policy: keep every snapshot belonging to the
+// newest Retain anchor chains, delete the rest, then collect chunks no
+// remaining manifest references. Deletion touches only snapshots strictly
+// older than the kept anchor, so it is safe against concurrent writes of
+// newer files.
 func (m *Manager) gc() {
 	if m.opt.Retain <= 0 {
 		return
 	}
-	entries, err := os.ReadDir(m.opt.Dir)
+	keys, err := m.backend.List(snapshotKeyPrefix)
 	if err != nil {
 		return
 	}
@@ -330,9 +519,9 @@ func (m *Manager) gc() {
 		name string
 	}
 	var files []fileInfo
-	for _, e := range entries {
-		if seq, kind, ok := parseSnapshotName(e.Name()); ok {
-			files = append(files, fileInfo{seq, kind, e.Name()})
+	for _, k := range keys {
+		if seq, kind, ok := parseSnapshotName(k); ok {
+			files = append(files, fileInfo{seq, kind, k})
 		}
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].seq > files[j].seq })
@@ -353,9 +542,15 @@ func (m *Manager) gc() {
 	if !found {
 		return // fewer than Retain anchors exist; keep everything
 	}
+	deleted := false
 	for _, f := range files {
 		if f.seq < cutoff {
-			os.Remove(filepath.Join(m.opt.Dir, f.name))
+			if m.backend.Delete(f.name) == nil {
+				deleted = true
+			}
 		}
+	}
+	if deleted && m.chunks != nil {
+		gcOrphanChunks(m.backend)
 	}
 }

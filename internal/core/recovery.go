@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/storage"
 )
 
 // ErrNoCheckpoint is returned by LoadLatest when the directory contains no
@@ -22,34 +25,67 @@ type LoadReport struct {
 	Skipped  []string // corrupt or unresolvable candidates, newest first
 }
 
-// indexEntry caches one snapshot file's header for chain resolution.
+// indexEntry caches one snapshot object's header for chain resolution.
 type indexEntry struct {
-	path string
-	h    Header
+	key string
+	h   Header
 }
 
-// buildIndex parses the header of every snapshot file in dir. Files whose
-// header cannot be parsed are reported in skipped but do not abort the scan.
-func buildIndex(dir string) (bySeq []indexEntry, byPayloadHash map[[32]byte]indexEntry, skipped []string, err error) {
-	entries, err := os.ReadDir(dir)
+// snapshotView reads snapshots (including chunked ones) from a backend.
+type snapshotView struct {
+	b  storage.Backend
+	cs *storage.ChunkStore
+}
+
+func newSnapshotView(b storage.Backend) *snapshotView {
+	return &snapshotView{b: b, cs: storage.NewChunkStore(storage.WithPrefix(b, ChunkPrefix))}
+}
+
+// readBody fully verifies the snapshot object at key and returns its
+// resolved body: the payload or delta bytes, with chunked bodies assembled
+// from the chunk store.
+func (v *snapshotView) readBody(key string) (Header, []byte, error) {
+	data, err := v.b.Get(key)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: read checkpoint dir: %w", err)
+		return Header{}, nil, err
+	}
+	h, body, err := DecodeSnapshotFile(data)
+	if err != nil {
+		return h, nil, err
+	}
+	if h.Kind.Chunked() {
+		body, err = assembleChunks(v.cs, body)
+		if err != nil {
+			return h, nil, err
+		}
+	}
+	return h, body, nil
+}
+
+// buildIndex parses the header of every snapshot object in the backend.
+// Objects whose header cannot be parsed are reported in skipped but do not
+// abort the scan.
+func (v *snapshotView) buildIndex() (bySeq []indexEntry, byPayloadHash map[[32]byte]indexEntry, skipped []string, err error) {
+	keys, err := v.b.List(snapshotKeyPrefix)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: list checkpoints: %w", err)
 	}
 	byPayloadHash = make(map[[32]byte]indexEntry)
-	for _, e := range entries {
-		if e.IsDir() {
+	for _, key := range keys {
+		if _, _, ok := parseSnapshotName(key); !ok {
 			continue
 		}
-		if _, _, ok := parseSnapshotName(e.Name()); !ok {
+		buf, gerr := storage.GetRange(v.b, key, 0, headerSize)
+		if gerr != nil {
+			skipped = append(skipped, key)
 			continue
 		}
-		path := filepath.Join(dir, e.Name())
-		h, herr := ReadHeader(path)
+		h, herr := parseHeaderBytes(buf)
 		if herr != nil {
-			skipped = append(skipped, e.Name())
+			skipped = append(skipped, key)
 			continue
 		}
-		ent := indexEntry{path: path, h: h}
+		ent := indexEntry{key: key, h: h}
 		bySeq = append(bySeq, ent)
 		byPayloadHash[h.PayloadHash] = ent
 	}
@@ -63,11 +99,11 @@ const maxChainLen = 1 << 16
 
 // resolvePayload reconstructs the canonical payload of the snapshot at ent,
 // following the delta chain back to its full anchor.
-func resolvePayload(ent indexEntry, byPayloadHash map[[32]byte]indexEntry) (payload []byte, chainLen int, err error) {
+func (v *snapshotView) resolvePayload(ent indexEntry, byPayloadHash map[[32]byte]indexEntry) (payload []byte, chainLen int, err error) {
 	// Walk back collecting the chain: ent, base(ent), base(base(ent)), …
 	chain := []indexEntry{ent}
 	cur := ent
-	for cur.h.Kind == KindDelta {
+	for cur.h.Kind.Base() == KindDelta {
 		if len(chain) > maxChainLen {
 			return nil, 0, fmt.Errorf("%w: delta chain too long", ErrCorrupt)
 		}
@@ -79,7 +115,7 @@ func resolvePayload(ent indexEntry, byPayloadHash map[[32]byte]indexEntry) (payl
 		cur = base
 	}
 	// Apply forward from the anchor.
-	_, payload, err = ReadSnapshotFile(chain[len(chain)-1].path)
+	_, payload, err = v.readBody(chain[len(chain)-1].key)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -87,7 +123,7 @@ func resolvePayload(ent indexEntry, byPayloadHash map[[32]byte]indexEntry) (payl
 		return nil, 0, fmt.Errorf("%w: anchor payload hash mismatch", ErrCorrupt)
 	}
 	for i := len(chain) - 2; i >= 0; i-- {
-		_, delta, err := ReadSnapshotFile(chain[i].path)
+		_, delta, err := v.readBody(chain[i].key)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -102,34 +138,45 @@ func resolvePayload(ent indexEntry, byPayloadHash map[[32]byte]indexEntry) (payl
 	return payload, len(chain), nil
 }
 
-// LoadLatest restores the newest valid snapshot in dir, falling back to
-// older snapshots when the newest is corrupt or its chain is broken. If
-// live is non-nil, snapshots whose Meta is incompatible with *live are
-// skipped (with an error recorded) rather than restored into the wrong run.
-func LoadLatest(dir string, live *Meta) (*TrainingState, LoadReport, error) {
-	bySeq, byHash, skipped, err := buildIndex(dir)
+// dirBackend opens dir as a local backend for the dir-based entry points,
+// refusing to create the directory as a side effect of a read.
+func dirBackend(dir string) (storage.Backend, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint dir: %w", err)
+	}
+	return storage.NewLocal(dir)
+}
+
+// LoadLatestBackend restores the newest valid snapshot stored in b,
+// falling back to older snapshots when the newest is corrupt or its chain
+// is broken. If live is non-nil, snapshots whose Meta is incompatible with
+// *live are skipped (with an error recorded) rather than restored into the
+// wrong run. The report's Path is the backend key.
+func LoadLatestBackend(b storage.Backend, live *Meta) (*TrainingState, LoadReport, error) {
+	v := newSnapshotView(b)
+	bySeq, byHash, skipped, err := v.buildIndex()
 	if err != nil {
 		return nil, LoadReport{}, err
 	}
 	report := LoadReport{Skipped: skipped}
 	for _, ent := range bySeq {
-		payload, chainLen, err := resolvePayload(ent, byHash)
+		payload, chainLen, err := v.resolvePayload(ent, byHash)
 		if err != nil {
-			report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", filepath.Base(ent.path), err))
+			report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", path.Base(ent.key), err))
 			continue
 		}
 		state, err := DecodePayload(payload)
 		if err != nil {
-			report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", filepath.Base(ent.path), err))
+			report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", path.Base(ent.key), err))
 			continue
 		}
 		if live != nil {
 			if err := state.Meta.CompatibleWith(*live); err != nil {
-				report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", filepath.Base(ent.path), err))
+				report.Skipped = append(report.Skipped, fmt.Sprintf("%s: %v", path.Base(ent.key), err))
 				continue
 			}
 		}
-		report.Path = ent.path
+		report.Path = ent.key
 		report.Seq = ent.h.Seq
 		report.Step = ent.h.Step
 		report.ChainLen = chainLen
@@ -138,16 +185,53 @@ func LoadLatest(dir string, live *Meta) (*TrainingState, LoadReport, error) {
 	return nil, report, ErrNoCheckpoint
 }
 
+// LoadLatest restores the newest valid snapshot in dir (see
+// LoadLatestBackend). The report's Path is the snapshot's file path.
+func LoadLatest(dir string, live *Meta) (*TrainingState, LoadReport, error) {
+	b, err := dirBackend(dir)
+	if err != nil {
+		return nil, LoadReport{}, err
+	}
+	state, report, err := LoadLatestBackend(b, live)
+	if report.Path != "" {
+		report.Path = filepath.Join(dir, filepath.FromSlash(report.Path))
+	}
+	return state, report, err
+}
+
+// ReadSnapshotBody loads one snapshot file and resolves its body — the
+// canonical payload for full snapshots, the delta bytes for deltas —
+// assembling chunked bodies through the chunk store next to the file
+// (<dir>/chunks).
+func ReadSnapshotBody(filePath string) (Header, []byte, error) {
+	h, body, err := ReadSnapshotFile(filePath)
+	if err != nil {
+		return h, nil, err
+	}
+	if h.Kind.Chunked() {
+		b, berr := dirBackend(filepath.Dir(filePath))
+		if berr != nil {
+			return h, nil, berr
+		}
+		body, err = assembleChunks(newSnapshotView(b).cs, body)
+		if err != nil {
+			return h, nil, err
+		}
+	}
+	return h, body, nil
+}
+
 // VerifyFile fully verifies a single snapshot file: whole-file hash,
 // decompression, and — for full snapshots — payload hash and decodability.
-// Delta files are verified up to their body (chain application requires the
-// base; use VerifyDir for that).
-func VerifyFile(path string) (Header, error) {
-	h, body, err := ReadSnapshotFile(path)
+// Chunked snapshots are resolved through the chunk store next to the file
+// (<dir>/chunks). Delta bodies are verified up to their own bytes; chain
+// application requires the base (use VerifyDir for that).
+func VerifyFile(filePath string) (Header, error) {
+	h, body, err := ReadSnapshotBody(filePath)
 	if err != nil {
 		return h, err
 	}
-	if h.Kind == KindFull {
+	if h.Kind.Base() == KindFull {
 		if PayloadHash(body) != h.PayloadHash {
 			return h, fmt.Errorf("%w: payload hash mismatch", ErrCorrupt)
 		}
@@ -158,22 +242,23 @@ func VerifyFile(path string) (Header, error) {
 	return h, nil
 }
 
-// VerifyDir verifies every snapshot in dir including delta-chain
-// resolution; it returns one error message per broken snapshot.
-func VerifyDir(dir string) (ok int, problems []string, err error) {
-	bySeq, byHash, skipped, err := buildIndex(dir)
+// VerifyBackend verifies every snapshot in b including delta-chain and
+// chunk resolution; it returns one error message per broken snapshot.
+func VerifyBackend(b storage.Backend) (ok int, problems []string, err error) {
+	v := newSnapshotView(b)
+	bySeq, byHash, skipped, err := v.buildIndex()
 	if err != nil {
 		return 0, nil, err
 	}
 	problems = append(problems, skipped...)
 	for _, ent := range bySeq {
-		payload, _, rerr := resolvePayload(ent, byHash)
+		payload, _, rerr := v.resolvePayload(ent, byHash)
 		if rerr != nil {
-			problems = append(problems, fmt.Sprintf("%s: %v", filepath.Base(ent.path), rerr))
+			problems = append(problems, fmt.Sprintf("%s: %v", path.Base(ent.key), rerr))
 			continue
 		}
 		if _, derr := DecodePayload(payload); derr != nil {
-			problems = append(problems, fmt.Sprintf("%s: %v", filepath.Base(ent.path), derr))
+			problems = append(problems, fmt.Sprintf("%s: %v", path.Base(ent.key), derr))
 			continue
 		}
 		ok++
@@ -181,10 +266,19 @@ func VerifyDir(dir string) (ok int, problems []string, err error) {
 	return ok, problems, nil
 }
 
-// ListSnapshots returns headers of all parseable snapshots in dir, newest
-// first.
-func ListSnapshots(dir string) ([]Header, []string, error) {
-	bySeq, _, skipped, err := buildIndex(dir)
+// VerifyDir verifies every snapshot in dir (see VerifyBackend).
+func VerifyDir(dir string) (ok int, problems []string, err error) {
+	b, err := dirBackend(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	return VerifyBackend(b)
+}
+
+// ListSnapshotsBackend returns headers of all parseable snapshots in b,
+// newest first.
+func ListSnapshotsBackend(b storage.Backend) ([]Header, []string, error) {
+	bySeq, _, skipped, err := newSnapshotView(b).buildIndex()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -193,4 +287,14 @@ func ListSnapshots(dir string) ([]Header, []string, error) {
 		hs[i] = e.h
 	}
 	return hs, skipped, nil
+}
+
+// ListSnapshots returns headers of all parseable snapshots in dir, newest
+// first.
+func ListSnapshots(dir string) ([]Header, []string, error) {
+	b, err := dirBackend(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ListSnapshotsBackend(b)
 }

@@ -32,24 +32,68 @@ import (
 
 var magic = [6]byte{'Q', 'C', 'K', 'P', 'T', '1'}
 
-// SnapshotKind distinguishes full snapshots from delta links.
+// SnapshotKind distinguishes full snapshots from delta links, and
+// monolithic bodies from chunked ones. For the monolithic kinds the file
+// body is the (compressed) payload or delta bytes; for the chunked kinds
+// the body is a chunk manifest and the payload or delta bytes live in the
+// backend's content-addressed chunk store (see chunked.go).
 type SnapshotKind uint8
 
 // Snapshot kinds.
 const (
-	KindFull  SnapshotKind = 1
-	KindDelta SnapshotKind = 2
+	KindFull         SnapshotKind = 1
+	KindDelta        SnapshotKind = 2
+	KindFullChunked  SnapshotKind = 3
+	KindDeltaChunked SnapshotKind = 4
 )
 
-// String returns "full" or "delta".
+// String returns the kind name.
 func (k SnapshotKind) String() string {
 	switch k {
 	case KindFull:
 		return "full"
 	case KindDelta:
 		return "delta"
+	case KindFullChunked:
+		return "full-chunked"
+	case KindDeltaChunked:
+		return "delta-chunked"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Chunked reports whether the snapshot body is a chunk manifest.
+func (k SnapshotKind) Chunked() bool {
+	return k == KindFullChunked || k == KindDeltaChunked
+}
+
+// Base maps a chunked kind to its monolithic equivalent (KindFull or
+// KindDelta); monolithic kinds map to themselves. Strategy logic, file
+// naming and retention operate on base kinds.
+func (k SnapshotKind) Base() SnapshotKind {
+	switch k {
+	case KindFullChunked:
+		return KindFull
+	case KindDeltaChunked:
+		return KindDelta
+	}
+	return k
+}
+
+// chunkedVariant maps a base kind to its chunked equivalent.
+func (k SnapshotKind) chunkedVariant() SnapshotKind {
+	switch k {
+	case KindFull:
+		return KindFullChunked
+	case KindDelta:
+		return KindDeltaChunked
+	}
+	return k
+}
+
+// validKind reports whether k is a known kind.
+func validKind(k SnapshotKind) bool {
+	return k >= KindFull && k <= KindDeltaChunked
 }
 
 // Header is the parsed snapshot file header.
@@ -138,7 +182,7 @@ func DecodeSnapshotFile(data []byte) (Header, []byte, error) {
 		return h, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	h.Kind = SnapshotKind(data[6])
-	if h.Kind != KindFull && h.Kind != KindDelta {
+	if !validKind(h.Kind) {
 		return h, nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, data[6])
 	}
 	h.Seq = binary.LittleEndian.Uint64(data[7:])
@@ -157,29 +201,41 @@ func DecodeSnapshotFile(data []byte) (Header, []byte, error) {
 	return h, raw, nil
 }
 
-// ReadHeader parses just the fixed-size header of a snapshot file (without
-// whole-file verification) — used to build the recovery index cheaply.
-func ReadHeader(path string) (Header, error) {
+// parseHeaderBytes parses the fixed-size header prefix of a snapshot file
+// image (without whole-file verification).
+func parseHeaderBytes(buf []byte) (Header, error) {
 	var h Header
-	f, err := os.Open(path)
-	if err != nil {
-		return h, err
-	}
-	defer f.Close()
-	buf := make([]byte, headerSize)
-	if _, err := io.ReadFull(f, buf); err != nil {
-		return h, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	if len(buf) < headerSize {
+		return h, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(buf))
 	}
 	if !bytes.Equal(buf[:6], magic[:]) {
 		return h, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	h.Kind = SnapshotKind(buf[6])
+	if !validKind(h.Kind) {
+		return h, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, buf[6])
+	}
 	h.Seq = binary.LittleEndian.Uint64(buf[7:])
 	h.Step = binary.LittleEndian.Uint64(buf[15:])
 	copy(h.BaseHash[:], buf[23:55])
 	copy(h.PayloadHash[:], buf[55:87])
 	h.BodyLen = binary.LittleEndian.Uint64(buf[87:])
 	return h, nil
+}
+
+// ReadHeader parses just the fixed-size header of a snapshot file (without
+// whole-file verification) — used to build the recovery index cheaply.
+func ReadHeader(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return Header{}, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	return parseHeaderBytes(buf)
 }
 
 // WriteSnapshotFile encodes and atomically persists a snapshot.

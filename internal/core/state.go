@@ -5,9 +5,12 @@
 // The package captures the complete training state (circuit parameters,
 // optimizer moments, RNG streams, the mid-step gradient accumulator, data
 // cursor, loss history, best-so-far state and QPU billing counters) in a
-// versioned, integrity-checked binary snapshot; writes it atomically with
-// full, delta-chained, and asynchronous strategies; and recovers the newest
-// valid snapshot after a crash, guaranteeing bitwise-identical resumption.
+// versioned, integrity-checked binary snapshot; persists it through any
+// storage.Backend with full, delta-chained, chunked content-addressed, and
+// asynchronous strategies (a configurable worker pipeline chunks,
+// deduplicates, compresses and writes concurrently); and recovers the
+// newest valid snapshot after a crash, guaranteeing bitwise-identical
+// resumption.
 //
 // Layering: core depends only on internal/storage. Domain objects
 // (optimizer, RNG set, gradient accumulator) arrive as the opaque binary

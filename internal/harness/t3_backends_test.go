@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestT3BackendShapes(t *testing.T) {
+	rows, err := RunT3Backends(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := func(name string, workers, chunkKB int) *T3Row {
+		for i := range rows {
+			if rows[i].Backend == name && rows[i].Workers == workers && rows[i].ChunkKB == chunkKB {
+				return &rows[i]
+			}
+		}
+		t.Fatalf("row %s/w%d/c%d missing", name, workers, chunkKB)
+		return nil
+	}
+	for _, r := range rows {
+		if r.Snapshots != 8 {
+			t.Errorf("%s: %d snapshots", r.Backend, r.Snapshots)
+		}
+		if r.BytesTotal <= 0 || r.MeanSave <= 0 || r.Recovery <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Backend, r)
+		}
+	}
+	// Chunked rows dedup on the drifting-state workload; monolithic rows
+	// have no chunks at all.
+	mono := byName("local", 1, 0)
+	if mono.DedupPct != 0 {
+		t.Errorf("monolithic row reports dedup %v", mono.DedupPct)
+	}
+	for _, r := range rows {
+		if r.ChunkKB > 0 && r.DedupPct == 0 {
+			t.Errorf("%s/w%d: chunked run found no duplicates", r.Backend, r.Workers)
+		}
+	}
+	// The device model orders the tiers: nvme < nfs < object, and only
+	// tier rows bill modeled time.
+	nvme := byName("tier:nvme", 4, 8)
+	nfs := byName("tier:nfs", 4, 8)
+	obj := byName("tier:object", 4, 8)
+	if !(nvme.Modeled < nfs.Modeled && nfs.Modeled < obj.Modeled) {
+		t.Errorf("tier ordering violated: %v %v %v", nvme.Modeled, nfs.Modeled, obj.Modeled)
+	}
+	if byName("mem", 4, 8).Modeled != 0 {
+		t.Errorf("mem row billed modeled time")
+	}
+	// Table renders.
+	if s := T3Table(rows).String(); !strings.Contains(s, "dedup%") {
+		t.Errorf("table missing columns:\n%s", s)
+	}
+}

@@ -1,20 +1,20 @@
 // Package storage provides the durable-storage substrate under the
-// checkpoint engine: crash-consistent atomic file writes, a
-// content-addressed chunk store with reference-counted garbage collection,
-// and a parameterized device model used by the benchmarks to translate
-// checkpoint sizes into write latencies for storage tiers other than the
-// local filesystem the tests run on (local NVMe, network FS, object store).
+// checkpoint engine. It is organized around the pluggable Backend
+// interface (Put/Get/List/Delete/Stat over flat keys) with three
+// implementations — Local (crash-consistent atomic files), Mem (in-memory,
+// for tests and benchmarks), and Tier (any backend wrapped in a Device
+// latency/bandwidth cost model for tiers the test machine does not have:
+// local NVMe, network FS, object store) — plus a content-addressed
+// ChunkStore that deduplicates identical content on any backend, and the
+// low-level crash-consistent file primitives the local backend is built on.
 package storage
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"time"
 )
 
@@ -71,149 +71,6 @@ func Hash(data []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// ErrChunkNotFound is returned by ChunkStore.Get for unknown addresses.
-var ErrChunkNotFound = errors.New("storage: chunk not found")
-
-// ChunkStore is a content-addressed blob store on the filesystem: chunks are
-// stored under <root>/<first2>/<hash>. Identical content is stored once,
-// which is what makes incremental checkpoint chains cheap when the base
-// snapshot repeats.
-type ChunkStore struct {
-	root string
-}
-
-// OpenChunkStore creates (if needed) and opens a chunk store rooted at dir.
-func OpenChunkStore(dir string) (*ChunkStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("storage: create chunk root: %w", err)
-	}
-	return &ChunkStore{root: dir}, nil
-}
-
-func (cs *ChunkStore) path(addr string) (string, error) {
-	if len(addr) != 64 || strings.ContainsAny(addr, "/\\.") {
-		return "", fmt.Errorf("storage: malformed chunk address %q", addr)
-	}
-	return filepath.Join(cs.root, addr[:2], addr), nil
-}
-
-// Put stores data and returns its content address. Re-putting identical
-// content is a no-op returning the same address.
-func (cs *ChunkStore) Put(data []byte) (string, error) {
-	addr := Hash(data)
-	p, err := cs.path(addr)
-	if err != nil {
-		return "", err
-	}
-	if _, err := os.Stat(p); err == nil {
-		return addr, nil // dedup hit
-	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return "", fmt.Errorf("storage: create chunk dir: %w", err)
-	}
-	if err := AtomicWriteFile(p, data, 0o644); err != nil {
-		return "", err
-	}
-	return addr, nil
-}
-
-// Get retrieves the chunk at addr, verifying its content against the
-// address (detects on-disk corruption).
-func (cs *ChunkStore) Get(addr string) ([]byte, error) {
-	p, err := cs.path(addr)
-	if err != nil {
-		return nil, err
-	}
-	data, err := os.ReadFile(p)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("%w: %s", ErrChunkNotFound, addr)
-		}
-		return nil, fmt.Errorf("storage: read chunk: %w", err)
-	}
-	if Hash(data) != addr {
-		return nil, fmt.Errorf("storage: chunk %s corrupt on disk", addr)
-	}
-	return data, nil
-}
-
-// Has reports whether addr is present.
-func (cs *ChunkStore) Has(addr string) bool {
-	p, err := cs.path(addr)
-	if err != nil {
-		return false
-	}
-	_, statErr := os.Stat(p)
-	return statErr == nil
-}
-
-// List returns all stored addresses, sorted.
-func (cs *ChunkStore) List() ([]string, error) {
-	var addrs []string
-	entries, err := os.ReadDir(cs.root)
-	if err != nil {
-		return nil, err
-	}
-	for _, e := range entries {
-		if !e.IsDir() || len(e.Name()) != 2 {
-			continue
-		}
-		sub, err := os.ReadDir(filepath.Join(cs.root, e.Name()))
-		if err != nil {
-			return nil, err
-		}
-		for _, f := range sub {
-			if !f.IsDir() && len(f.Name()) == 64 {
-				addrs = append(addrs, f.Name())
-			}
-		}
-	}
-	sort.Strings(addrs)
-	return addrs, nil
-}
-
-// GC deletes every chunk whose address is not in keep. It returns the
-// number of chunks removed and bytes reclaimed.
-func (cs *ChunkStore) GC(keep map[string]bool) (removed int, reclaimed int64, err error) {
-	addrs, err := cs.List()
-	if err != nil {
-		return 0, 0, err
-	}
-	for _, addr := range addrs {
-		if keep[addr] {
-			continue
-		}
-		p, perr := cs.path(addr)
-		if perr != nil {
-			continue
-		}
-		if st, serr := os.Stat(p); serr == nil {
-			reclaimed += st.Size()
-		}
-		if rerr := os.Remove(p); rerr != nil {
-			return removed, reclaimed, fmt.Errorf("storage: gc remove: %w", rerr)
-		}
-		removed++
-	}
-	return removed, reclaimed, nil
-}
-
-// TotalBytes returns the summed size of all chunks.
-func (cs *ChunkStore) TotalBytes() (int64, error) {
-	addrs, err := cs.List()
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	for _, addr := range addrs {
-		p, _ := cs.path(addr)
-		if st, err := os.Stat(p); err == nil {
-			total += st.Size()
-		}
-	}
-	return total, nil
-}
-
 // Device models a storage tier as fixed per-operation latency plus
 // bandwidth. The benchmarks use it to project measured checkpoint sizes
 // onto storage tiers the test machine does not have.
@@ -246,3 +103,17 @@ var (
 	// DeviceObject models a cloud object store (e.g. S3-class).
 	DeviceObject = Device{Name: "object", Latency: 50 * time.Millisecond, Bandwidth: 100e6}
 )
+
+// DeviceByName resolves a standard tier name ("nvme", "nfs", "object") —
+// the vocabulary of command-line tier flags.
+func DeviceByName(name string) (Device, error) {
+	switch name {
+	case DeviceNVMe.Name:
+		return DeviceNVMe, nil
+	case DeviceNFS.Name:
+		return DeviceNFS, nil
+	case DeviceObject.Name:
+		return DeviceObject, nil
+	}
+	return Device{}, fmt.Errorf("storage: unknown device tier %q (want nvme, nfs, object)", name)
+}
