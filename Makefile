@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench fmt vet check experiments
+.PHONY: build test bench bench-json fmt vet check experiments
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,15 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Machine-readable benchmark metrics for tracking the perf trajectory
+# across PRs (see cmd/benchjson). Two steps, not a pipe, so a failing
+# benchmark fails the target instead of writing a truncated JSON.
+bench-json:
+	$(GO) test -bench=. -benchmem -run '^$$' . > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR2.json < bench.out
+	@rm -f bench.out
+	@echo wrote BENCH_PR2.json
 
 fmt:
 	gofmt -l -w .

@@ -88,6 +88,35 @@ func BenchmarkTable3Backends(b *testing.B) {
 	}
 }
 
+// BenchmarkTable4Lifecycle regenerates Table 4: the tiered snapshot
+// lifecycle. Metrics: hot-tier occupancy with and without demotion, the
+// objects the lifecycle engine moved, and the modeled save bill a
+// cold-only placement would have paid.
+func BenchmarkTable4Lifecycle(b *testing.B) {
+	var rows []harness.T4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunT4Lifecycle(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if !r.Bitwise || !r.VerifyOK {
+			b.Fatalf("config %s lost bitwise recovery after placement", r.Config)
+		}
+		switch r.Config {
+		case "hot-only":
+			b.ReportMetric(float64(r.HotBytes), "hotonly-occ-bytes")
+		case "tiered":
+			b.ReportMetric(float64(r.HotBytes), "tiered-hot-occ-bytes")
+			b.ReportMetric(float64(r.Migrated), "migrated-objects")
+		case "cold-only":
+			b.ReportMetric(float64(r.SaveBill.Milliseconds()), "cold-save-bill-ms")
+		}
+	}
+}
+
 // BenchmarkFig1WastedWork regenerates Figure 1: expected completion time
 // without checkpointing vs MTBF. Metric: the blow-up factor E[T]/W at
 // MTBF = W/5.

@@ -1,0 +1,103 @@
+// Command benchjson converts the text output of `go test -bench` on stdin
+// into a JSON document, so the benchmark trajectory of the checkpoint
+// pipeline (including the custom metrics the harness benchmarks report:
+// dedup rates, modeled I/O bills, tier occupancy) is machine-readable.
+// The `make bench-json` target pipes the full benchmark suite through it
+// into BENCH_PR2.json.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run '^$' . | benchjson [-o out.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line: its name, iteration count, and every
+// value/unit metric pair (ns/op, B/op, allocs/op, custom metrics).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole document.
+type Output struct {
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// parseBenchLine parses "BenchmarkName-8  100  123 ns/op  4.5 dedup-%".
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	res := BenchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		res.Metrics[fields[i+1]] = val
+	}
+	return res, true
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	doc := Output{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		default:
+			if res, ok := parseBenchLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	res, ok := parseBenchLine("BenchmarkCheckpointSaveChunked-8   \t 1264\t    934591 ns/op\t  91.23 dedup-%\t 2048 B/op\t 31 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if res.Name != "BenchmarkCheckpointSaveChunked-8" || res.Iterations != 1264 {
+		t.Errorf("header = %q / %d", res.Name, res.Iterations)
+	}
+	want := map[string]float64{"ns/op": 934591, "dedup-%": 91.23, "B/op": 2048, "allocs/op": 31}
+	for unit, val := range want {
+		if res.Metrics[unit] != val {
+			t.Errorf("metric %s = %v, want %v", unit, res.Metrics[unit], val)
+		}
+	}
+	for _, bad := range []string{"", "PASS", "ok  \trepro\t1.2s", "goos: linux", "BenchmarkX"} {
+		if _, ok := parseBenchLine(bad); ok {
+			t.Errorf("parsed non-benchmark line %q", bad)
+		}
+	}
+}

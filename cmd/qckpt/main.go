@@ -1,6 +1,7 @@
 // Command qckpt inspects checkpoint directories and files produced by the
 // checkpoint engine (internal/core), including chunked snapshots whose
-// bodies live in the directory's content-addressed chunk store.
+// bodies live in the directory's content-addressed chunk store and tiered
+// directories whose cold history was demoted down the level hierarchy.
 //
 // Usage:
 //
@@ -8,8 +9,11 @@
 //	qckpt [flags] verify <dir>     verify every snapshot including delta chains
 //	qckpt show <file>              print one snapshot's header and state summary
 //	qckpt [flags] latest <dir>     print the state the recovery path would restore
-//	qckpt compact <dir>            rewrite the newest state as one full snapshot
+//	qckpt [flags] gc <dir>         collect orphaned chunks (bytes reclaimed)
+//	qckpt [flags] compact <dir>    rewrite the newest state as one full snapshot
 //	                               and delete the rest
+//	qckpt -levels ... tiers <dir>  per-level occupancy and modeled placement cost
+//	qckpt -levels ... migrate <dir> demote anchor chains that left the hot set
 //	qckpt diff <fileA> <fileB>     compare two full snapshots' states
 //
 // Flags:
@@ -17,25 +21,40 @@
 //	-tier nvme|nfs|object          project directory reads through a modeled
 //	                               storage tier and report the virtual I/O
 //	                               cost the command would have paid there
+//	-levels nvme,object            open <dir> as a tiered layout (hot level at
+//	                               <dir>, colder levels under <dir>/.level-*),
+//	                               each level wrapped in its device model
+//	-keep N                        migrate: anchor chains kept hot (default 1)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/storage"
 )
 
-// tierName is the -tier flag: when set, directory commands read through a
-// latency-modeled tier and report the modeled cost afterwards.
-var tierName string
+var (
+	// tierName is the -tier flag: when set, directory commands read through
+	// a latency-modeled tier and report the modeled cost afterwards.
+	tierName string
+	// levelsFlag is the -levels flag: comma-separated device names opening
+	// the directory as a tiered layout.
+	levelsFlag string
+	// keepChains is the -keep flag for migrate.
+	keepChains int
+)
 
 func main() {
 	flag.StringVar(&tierName, "tier", "", "model directory reads against a device tier (nvme, nfs, object)")
+	flag.StringVar(&levelsFlag, "levels", "", "open the directory as a tiered layout (comma-separated device names, hot first)")
+	flag.IntVar(&keepChains, "keep", 1, "anchor chains kept on the hot level by migrate")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		usage()
@@ -51,8 +70,14 @@ func main() {
 		err = cmdShow(arg)
 	case "latest":
 		err = cmdLatest(arg)
+	case "gc":
+		err = cmdGc(arg)
 	case "compact":
 		err = cmdCompact(arg)
+	case "tiers":
+		err = cmdTiers(arg)
+	case "migrate":
+		err = cmdMigrate(arg)
 	case "diff":
 		if flag.NArg() < 3 {
 			usage()
@@ -68,44 +93,75 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qckpt [-tier nvme|nfs|object] {ls|verify|latest} <dir> | qckpt compact <dir> | qckpt show <file> | qckpt diff <a> <b>")
+	fmt.Fprintln(os.Stderr, "usage: qckpt [-tier dev] [-levels devs] {ls|verify|latest|gc|compact|tiers|migrate} <dir> | qckpt show <file> | qckpt diff <a> <b>")
 	os.Exit(2)
 }
 
-// openDir opens a checkpoint directory as a storage backend, optionally
-// wrapped in the -tier device model. The returned tier is nil when -tier
-// is unset.
-func openDir(dir string) (storage.Backend, *storage.Tier, error) {
+// openDir opens a checkpoint directory as a storage backend — plain local
+// files, a -tier device model, or a -levels tiered layout — plus a
+// reporter that prints the modeled I/O the command paid.
+func openDir(dir string) (storage.Backend, func(), error) {
 	if _, err := os.Stat(dir); err != nil {
 		return nil, nil, err
+	}
+	if tierName != "" && levelsFlag != "" {
+		return nil, nil, errors.New("-tier and -levels are mutually exclusive")
+	}
+	if levelsFlag != "" {
+		tb, err := storage.NewTieredDir(dir, strings.Split(levelsFlag, ","))
+		if err != nil {
+			return nil, nil, err
+		}
+		return tb, func() { reportLevels(tb) }, nil
 	}
 	b, err := storage.NewLocal(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	if tierName == "" {
-		return b, nil, nil
+		return b, func() {}, nil
 	}
 	dev, err := storage.DeviceByName(tierName)
 	if err != nil {
 		return nil, nil, err
 	}
 	t := storage.NewTier(b, dev)
-	return t, t, nil
+	return t, func() { reportTier(t) }, nil
+}
+
+// openTieredDir opens the directory as a tiered layout, requiring -levels.
+func openTieredDir(dir string) (*storage.Tiered, error) {
+	if levelsFlag == "" {
+		return nil, errors.New("requires -levels (e.g. -levels nvme,object)")
+	}
+	b, _, err := openDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return b.(*storage.Tiered), nil
 }
 
 // reportTier prints the modeled I/O bill of a directory command.
 func reportTier(t *storage.Tier) {
-	if t == nil {
-		return
-	}
 	st := t.Stats()
 	fmt.Printf("modeled %s cost: %v (%d ops, %d B read)\n",
 		t.Device().Name, st.Modeled.Round(time.Microsecond), st.Ops, st.BytesRead)
 }
 
+// reportLevels prints the modeled I/O bill per level of a tiered command.
+func reportLevels(tb *storage.Tiered) {
+	for i := 0; i < tb.Len(); i++ {
+		if t, ok := tb.Level(i).Backend.(*storage.Tier); ok {
+			if st := t.Stats(); st.Ops > 0 {
+				fmt.Printf("modeled %s cost: %v (%d ops, %d B read)\n",
+					t.Device().Name, st.Modeled.Round(time.Microsecond), st.Ops, st.BytesRead)
+			}
+		}
+	}
+}
+
 func cmdLs(dir string) error {
-	b, tier, err := openDir(dir)
+	b, report, err := openDir(dir)
 	if err != nil {
 		return err
 	}
@@ -124,12 +180,12 @@ func cmdLs(dir string) error {
 	for _, s := range skipped {
 		fmt.Printf("unparseable: %s\n", s)
 	}
-	reportTier(tier)
+	report()
 	return nil
 }
 
 func cmdVerify(dir string) error {
-	b, tier, err := openDir(dir)
+	b, report, err := openDir(dir)
 	if err != nil {
 		return err
 	}
@@ -141,7 +197,7 @@ func cmdVerify(dir string) error {
 	for _, p := range problems {
 		fmt.Printf("BROKEN: %s\n", p)
 	}
-	reportTier(tier)
+	report()
 	if len(problems) > 0 {
 		return fmt.Errorf("%d broken snapshot(s)", len(problems))
 	}
@@ -173,29 +229,119 @@ func cmdShow(path string) error {
 }
 
 func cmdLatest(dir string) error {
-	b, tier, err := openDir(dir)
+	b, report, err := openDir(dir)
 	if err != nil {
 		return err
 	}
-	st, report, err := core.LoadLatestBackend(b, nil)
+	st, loadReport, err := core.LoadLatestBackend(b, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("restored: %s (seq %d, chain length %d)\n", report.Path, report.Seq, report.ChainLen)
-	for _, s := range report.Skipped {
+	fmt.Printf("restored: %s (seq %d, chain length %d)\n", loadReport.Path, loadReport.Seq, loadReport.ChainLen)
+	for _, s := range loadReport.Skipped {
 		fmt.Printf("skipped:  %s\n", s)
 	}
 	printState(st)
-	reportTier(tier)
+	report()
+	return nil
+}
+
+func cmdGc(dir string) error {
+	b, report, err := openDir(dir)
+	if err != nil {
+		return err
+	}
+	removed, reclaimed, err := core.CollectOrphanChunks(b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d orphan chunk(s), %d bytes reclaimed\n", removed, reclaimed)
+	report()
 	return nil
 }
 
 func cmdCompact(dir string) error {
-	path, removed, err := core.Compact(dir, true)
+	b, report, err := openDir(dir)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("compacted to %s (%d old files removed)\n", path, removed)
+	key, removed, err := core.CompactBackend(b, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted to %s (%d old files removed)\n", key, removed)
+	report()
+	return nil
+}
+
+func cmdTiers(dir string) error {
+	tb, err := openTieredDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-10s %-10s %-12s %-12s %-14s\n",
+		"LEVEL", "MANIFESTS", "CHUNKS", "BYTES", "SHARE", "MODELED-WRITE")
+	type levelRow struct {
+		name              string
+		manifests, chunks int
+		bytes             int64
+		modeled           time.Duration
+	}
+	var rows []levelRow
+	var total int64
+	for i := 0; i < tb.Len(); i++ {
+		lv := tb.Level(i)
+		keys, err := lv.Backend.List("")
+		if err != nil {
+			return err
+		}
+		row := levelRow{name: lv.Name}
+		for _, k := range keys {
+			info, err := lv.Backend.Stat(k)
+			if err != nil {
+				continue
+			}
+			if strings.HasPrefix(k, core.ChunkPrefix+"/") {
+				row.chunks++
+			} else {
+				row.manifests++
+			}
+			row.bytes += info.Size
+		}
+		if t, ok := lv.Backend.(*storage.Tier); ok && row.bytes > 0 {
+			// The modeled bill to place this level's resident bytes.
+			row.modeled = t.Device().WriteCost(int(row.bytes))
+		}
+		total += row.bytes
+		rows = append(rows, row)
+	}
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.bytes) / float64(total)
+		}
+		fmt.Printf("%-10s %-10d %-10d %-12d %-12s %-14v\n",
+			r.name, r.manifests, r.chunks, r.bytes,
+			fmt.Sprintf("%.1f%%", share), r.modeled.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func cmdMigrate(dir string) error {
+	tb, err := openTieredDir(dir)
+	if err != nil {
+		return err
+	}
+	if keepChains < 1 {
+		return fmt.Errorf("-keep must be ≥ 1 (got %d)", keepChains)
+	}
+	rep, err := core.Migrate(tb, core.LifecyclePolicy{KeepHotChains: keepChains}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("demoted %d chain(s) to level %s: %d manifest(s), %d chunk(s), %d bytes moved\n",
+		rep.Chains, rep.Level, rep.Manifests, rep.Chunks, rep.Bytes)
+	reportLevels(tb)
 	return nil
 }
 

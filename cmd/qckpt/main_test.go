@@ -2,10 +2,12 @@ package main
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 )
 
 // populate writes a few snapshots and returns the paths.
@@ -81,6 +83,117 @@ func TestCmdDiffRejectsDelta(t *testing.T) {
 	paths := populate(t, dir, core.StrategyDelta)
 	if err := cmdDiff(paths[1], paths[2]); err == nil {
 		t.Errorf("diff of delta snapshots accepted")
+	}
+}
+
+// populateTiered writes a chunked delta history into the standard tiered
+// directory layout and returns the composite backend.
+func populateTiered(t *testing.T, dir string, names []string) *storage.Tiered {
+	t.Helper()
+	levels, err := storage.TieredDirLevels(dir, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewManager(core.Options{
+		Dir: dir, Tiers: levels, Strategy: core.StrategyDelta, AnchorEvery: 2, ChunkBytes: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := core.NewTrainingState()
+	st.Params = []float64{1, 2, 3}
+	st.Meta = core.Meta{FormatVersion: core.FormatVersion, CircuitFP: "c", ProblemFP: "p", OptimizerName: "adam"}
+	st.BestLoss = math.Inf(1)
+	for i := 0; i < 6; i++ {
+		st = st.Clone()
+		st.Step = uint64(i)
+		st.Params[0] += 0.25
+		if _, err := m.Save(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.Backend().(*storage.Tiered)
+}
+
+func TestCmdTiersMigrateGc(t *testing.T) {
+	dir := t.TempDir()
+	populateTiered(t, dir, []string{"nvme", "object"})
+	levelsFlag = "nvme,object"
+	keepChains = 1
+	defer func() { levelsFlag = "" }()
+
+	if err := cmdTiers(dir); err != nil {
+		t.Errorf("tiers: %v", err)
+	}
+	if err := cmdMigrate(dir); err != nil {
+		t.Errorf("migrate: %v", err)
+	}
+	// After migration only the newest chain stays hot; tiered ls/verify/
+	// latest still see everything.
+	hot, err := storage.NewLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotKeys, _ := hot.List("ckpt-")
+	if len(hotKeys) != 2 {
+		t.Errorf("hot level holds %v after migrate, want 2 manifests", hotKeys)
+	}
+	if err := cmdVerify(dir); err != nil {
+		t.Errorf("verify tiered: %v", err)
+	}
+	if err := cmdLatest(dir); err != nil {
+		t.Errorf("latest tiered: %v", err)
+	}
+	if err := cmdGc(dir); err != nil {
+		t.Errorf("gc tiered: %v", err)
+	}
+	// migrate demands a sane -keep.
+	keepChains = 0
+	if err := cmdMigrate(dir); err == nil {
+		t.Errorf("migrate accepted -keep 0")
+	}
+	keepChains = 1
+}
+
+func TestCmdGcReclaimsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	m, err := core.NewManager(core.Options{Dir: dir, Strategy: core.StrategyFull, ChunkBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewTrainingState()
+	st.Params = []float64{1, 2, 3}
+	st.Meta = core.Meta{FormatVersion: core.FormatVersion, CircuitFP: "c", ProblemFP: "p", OptimizerName: "adam"}
+	st.BestLoss = math.Inf(1)
+	var last string
+	for i := 0; i < 2; i++ {
+		st = st.Clone()
+		st.Step = uint64(i)
+		st.Params[0] += 1
+		res, err := m.Save(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res.Path
+	}
+	m.Close()
+	// Orphan the newest snapshot's chunks by deleting its manifest.
+	if err := os.Remove(last); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := storage.NewLocal(dir)
+	before, _ := storage.NewChunkStore(storage.WithPrefix(b, core.ChunkPrefix)).List()
+	if err := cmdGc(dir); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	after, _ := storage.NewChunkStore(storage.WithPrefix(b, core.ChunkPrefix)).List()
+	if len(after) >= len(before) {
+		t.Errorf("gc reclaimed nothing: %d -> %d chunks", len(before), len(after))
+	}
+	// The surviving snapshot still verifies.
+	if err := cmdVerify(dir); err != nil {
+		t.Errorf("verify after gc: %v", err)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	train -task unitary -qubits 2 -layers 3 -pairs 12 -batch 4 -steps 60
 //	train -task maxcut -qubits 6 -p 2 -steps 40 -mtbf 5m -ckpt /tmp/run2
 //	train -task vqe -qubits 4 -layers 2 -steps 50 -ckpt /tmp/run3 -async -workers 4 -chunk 64
+//	train -task vqe -qubits 4 -layers 2 -steps 80 -ckpt /tmp/run4 -chunk 64 -tiers nvme+object -keep-hot 2
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/circuit"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/observable"
 	"repro/internal/qpu"
 	"repro/internal/rng"
+	"repro/internal/storage"
 	"repro/internal/train"
 )
 
@@ -50,6 +53,8 @@ func main() {
 		async    = flag.Bool("async", false, "write checkpoints asynchronously")
 		workers  = flag.Int("workers", 1, "checkpoint write workers (chunked pipeline)")
 		chunkKB  = flag.Int("chunk", 0, "chunk checkpoints into KB-sized deduplicated pieces (0 = monolithic)")
+		tiers    = flag.String("tiers", "", "tiered checkpoint placement preset: device levels hot-to-cold joined by '+' (e.g. nvme+object, nvme+nfs+object); empty disables tiering")
+		keepHot  = flag.Int("keep-hot", 2, "anchor chains kept on the hot tier before demotion (with -tiers)")
 	)
 	flag.Parse()
 
@@ -68,10 +73,22 @@ func main() {
 
 	var mgr *core.Manager
 	if *ckptDir != "" {
-		mgr, err = core.NewManager(core.Options{
+		opt := core.Options{
 			Dir: *ckptDir, Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
 			Async: *async, Workers: *workers, ChunkBytes: *chunkKB << 10,
-		})
+		}
+		if *tiers != "" {
+			// Tiered preset: hot level at the checkpoint dir, colder
+			// device-modeled levels under it, old anchor chains demoted once
+			// they leave the hot set.
+			levels, lerr := storage.TieredDirLevels(*ckptDir, strings.Split(*tiers, "+"))
+			if lerr != nil {
+				fatal(lerr)
+			}
+			opt.Tiers = levels
+			opt.Lifecycle = core.LifecyclePolicy{KeepHotChains: *keepHot}
+		}
+		mgr, err = core.NewManager(opt)
 		if err != nil {
 			fatal(err)
 		}

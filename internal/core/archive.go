@@ -11,54 +11,46 @@ import (
 	"repro/internal/storage"
 )
 
-// Archive copies every snapshot file in dir into a content-addressed chunk
-// store and writes a manifest mapping file names to chunk addresses.
-// Identical content across archives (shared anchors, repeated snapshots of
-// converged runs) is stored once — the dedup that makes keeping many runs'
-// checkpoint histories cheap. Chunked snapshots are materialized into
-// self-contained monolithic files on the way in, so an archive never
-// depends on the source directory's chunk namespace.
+// ArchiveBackend copies every snapshot in src into a content-addressed
+// chunk store and writes a manifest mapping snapshot names to chunk
+// addresses. Identical content across archives (shared anchors, repeated
+// snapshots of converged runs) is stored once — the dedup that makes
+// keeping many runs' checkpoint histories cheap. Chunked snapshots are
+// materialized into self-contained monolithic files on the way in, so an
+// archive never depends on the source's chunk namespace; on a
+// storage.Tiered source every snapshot is archived from whatever level it
+// lives on.
 //
 // The manifest is written atomically; snapshots carry their own integrity
 // (whole-file SHA-256), and the chunk store re-verifies content addresses
 // on read, so the archive chain is verifiable end to end.
-func Archive(dir string, cs *storage.ChunkStore, manifestPath string) (archived int, err error) {
-	entries, err := os.ReadDir(dir)
+func ArchiveBackend(src storage.Backend, cs *storage.ChunkStore, manifestPath string) (archived int, err error) {
+	keys, err := src.List(snapshotKeyPrefix)
 	if err != nil {
-		return 0, fmt.Errorf("core: archive read dir: %w", err)
+		return 0, fmt.Errorf("core: archive list: %w", err)
 	}
-	var view *snapshotView
+	view := newSnapshotView(src)
 	type entry struct{ name, addr string }
 	var list []entry
-	for _, e := range entries {
-		if e.IsDir() {
+	for _, key := range keys {
+		if _, _, ok := parseSnapshotName(key); !ok {
 			continue
 		}
-		if _, _, ok := parseSnapshotName(e.Name()); !ok {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		data, err := src.Get(key)
 		if err != nil {
-			return archived, fmt.Errorf("core: archive read %s: %w", e.Name(), err)
+			return archived, fmt.Errorf("core: archive read %s: %w", key, err)
 		}
 		// Refuse to archive corrupt snapshots: the archive is a recovery
 		// artifact and must not launder damage.
 		h, body, err := DecodeSnapshotFile(data)
 		if err != nil {
-			return archived, fmt.Errorf("core: refusing to archive %s: %w", e.Name(), err)
+			return archived, fmt.Errorf("core: refusing to archive %s: %w", key, err)
 		}
 		if h.Kind.Chunked() {
 			// Resolve the manifest to its body and re-encode monolithic.
-			if view == nil {
-				b, berr := storage.NewLocal(dir)
-				if berr != nil {
-					return archived, berr
-				}
-				view = newSnapshotView(b)
-			}
 			body, err = assembleChunks(view.cs, body)
 			if err != nil {
-				return archived, fmt.Errorf("core: refusing to archive %s: %w", e.Name(), err)
+				return archived, fmt.Errorf("core: refusing to archive %s: %w", key, err)
 			}
 			h.Kind = h.Kind.Base()
 			if data, err = EncodeSnapshotFile(h, body); err != nil {
@@ -69,7 +61,7 @@ func Archive(dir string, cs *storage.ChunkStore, manifestPath string) (archived 
 		if err != nil {
 			return archived, err
 		}
-		list = append(list, entry{name: e.Name(), addr: addr})
+		list = append(list, entry{name: key, addr: addr})
 		archived++
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
@@ -82,6 +74,15 @@ func Archive(dir string, cs *storage.ChunkStore, manifestPath string) (archived 
 		return archived, err
 	}
 	return archived, nil
+}
+
+// Archive runs ArchiveBackend over a checkpoint directory.
+func Archive(dir string, cs *storage.ChunkStore, manifestPath string) (archived int, err error) {
+	b, err := dirBackend(dir)
+	if err != nil {
+		return 0, fmt.Errorf("core: archive read dir: %w", err)
+	}
+	return ArchiveBackend(b, cs, manifestPath)
 }
 
 // Unarchive materializes an archived checkpoint directory from a manifest

@@ -164,14 +164,21 @@ func chunkReferences(b storage.Backend) (map[string]bool, error) {
 	return keep, nil
 }
 
-// gcOrphanChunks deletes every chunk in b's chunk namespace that no
-// readable manifest references — the shared tail of retention GC and
-// Compact. It is conservative: if the keep-set cannot be computed, nothing
-// is deleted.
-func gcOrphanChunks(b storage.Backend) {
+// CollectOrphanChunks deletes every chunk in b's chunk namespace that no
+// readable manifest references, reporting how many chunks and bytes were
+// reclaimed. It is the shared tail of retention GC, Compact and the
+// `qckpt gc` subcommand; on a Tiered backend the keep-set spans every
+// level and orphans are collected wherever they live.
+func CollectOrphanChunks(b storage.Backend) (removed int, reclaimed int64, err error) {
 	keep, err := chunkReferences(b)
 	if err != nil {
-		return
+		return 0, 0, err
 	}
-	storage.NewChunkStore(storage.WithPrefix(b, ChunkPrefix)).GC(keep)
+	return storage.NewChunkStore(storage.WithPrefix(b, ChunkPrefix)).GC(keep)
+}
+
+// gcOrphanChunks is the best-effort form used inside GC paths: if the
+// keep-set cannot be computed, nothing is deleted.
+func gcOrphanChunks(b storage.Backend) {
+	CollectOrphanChunks(b)
 }

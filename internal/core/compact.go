@@ -2,25 +2,26 @@ package core
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"repro/internal/storage"
 )
 
-// Compact rewrites the newest recoverable snapshot in dir as a single
-// self-contained full snapshot (appended with the next sequence number) and
-// optionally deletes everything older. Use cases: archiving a run's final
-// state, trimming long delta chains before copying a checkpoint directory
-// to slower storage, and bounding recovery latency. Chunked snapshot
-// directories compact to one monolithic full snapshot; chunks no longer
+// CompactBackend rewrites the newest recoverable snapshot in b as a single
+// self-contained full snapshot (appended with the next sequence number)
+// and optionally deletes everything older. Use cases: archiving a run's
+// final state, trimming long delta chains before copying a checkpoint
+// directory to slower storage, and bounding recovery latency. Chunked
+// snapshots compact to one monolithic full snapshot; chunks no longer
 // referenced by any remaining manifest are collected.
 //
 // Compaction is crash-safe: the new full snapshot is written atomically
-// before any deletion, so an interrupted Compact leaves the directory at
-// least as recoverable as before.
-func Compact(dir string, deleteOld bool) (newPath string, removed int, err error) {
-	state, report, err := LoadLatest(dir, nil)
+// before any deletion, so an interrupted compaction leaves the backend at
+// least as recoverable as before. On a storage.Tiered backend the source
+// snapshots are found at whatever level they live, the fresh anchor lands
+// on the hot level, and deletion clears every level's copy.
+func CompactBackend(b storage.Backend, deleteOld bool) (newKey string, removed int, err error) {
+	state, _, err := LoadLatestBackend(b, nil)
 	if err != nil {
 		return "", 0, err
 	}
@@ -29,13 +30,13 @@ func Compact(dir string, deleteOld bool) (newPath string, removed int, err error
 		return "", 0, err
 	}
 	// Next sequence number after everything present.
-	var nextSeq uint64
-	entries, err := os.ReadDir(dir)
+	keys, err := b.List(snapshotKeyPrefix)
 	if err != nil {
 		return "", 0, err
 	}
-	for _, e := range entries {
-		if seq, _, ok := parseSnapshotName(e.Name()); ok && seq >= nextSeq {
+	var nextSeq uint64
+	for _, k := range keys {
+		if seq, _, ok := parseSnapshotName(k); ok && seq >= nextSeq {
 			nextSeq = seq + 1
 		}
 	}
@@ -45,35 +46,53 @@ func Compact(dir string, deleteOld bool) (newPath string, removed int, err error
 		Step:        state.Step,
 		PayloadHash: PayloadHash(payload),
 	}
-	newPath = filepath.Join(dir, snapshotName(nextSeq, KindFull))
-	if _, err := WriteSnapshotFile(newPath, h, payload); err != nil {
+	newKey = snapshotName(nextSeq, KindFull)
+	data, err := EncodeSnapshotFile(h, payload)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := b.Put(newKey, data); err != nil {
 		return "", 0, err
 	}
 	// Paranoia: verify the fresh anchor before deleting anything.
-	if _, err := VerifyFile(newPath); err != nil {
+	gotH, body, err := newSnapshotView(b).readBody(newKey)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: compacted snapshot failed verification: %w", err)
+	}
+	if PayloadHash(body) != gotH.PayloadHash {
+		return "", 0, fmt.Errorf("core: compacted snapshot failed verification: %w", ErrCorrupt)
+	}
+	if _, err := DecodePayload(body); err != nil {
 		return "", 0, fmt.Errorf("core: compacted snapshot failed verification: %w", err)
 	}
 	if deleteOld {
-		for _, e := range entries {
-			if _, _, ok := parseSnapshotName(e.Name()); !ok {
+		for _, k := range keys {
+			if k == newKey {
 				continue
 			}
-			p := filepath.Join(dir, e.Name())
-			if p == newPath {
-				continue
-			}
-			if rmErr := os.Remove(p); rmErr == nil {
+			if rmErr := b.Delete(k); rmErr == nil {
 				removed++
 			}
 		}
 		// Collect chunks orphaned by the deletions (no-op for purely
-		// monolithic directories, which have no chunk namespace).
-		if _, err := os.Stat(filepath.Join(dir, ChunkPrefix)); err == nil {
-			if b, berr := storage.NewLocal(dir); berr == nil {
-				gcOrphanChunks(b)
-			}
+		// monolithic histories, whose chunk namespace is empty).
+		if removed > 0 {
+			gcOrphanChunks(b)
 		}
 	}
-	_ = report
-	return newPath, removed, nil
+	return newKey, removed, nil
+}
+
+// Compact runs CompactBackend over a checkpoint directory, returning the
+// new snapshot's file path.
+func Compact(dir string, deleteOld bool) (newPath string, removed int, err error) {
+	b, err := dirBackend(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	newKey, removed, err := CompactBackend(b, deleteOld)
+	if err != nil {
+		return "", removed, err
+	}
+	return filepath.Join(dir, filepath.FromSlash(newKey)), removed, nil
 }

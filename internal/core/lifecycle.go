@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Tiered snapshot lifecycle: with a storage.Tiered backend every save
+// lands on the hot level, and this engine demotes whole anchor chains —
+// each chain's manifests plus the chunks only demoted chains reference —
+// down the hierarchy once the chain falls out of the policy's hot set.
+// Migration is copy-verify-delete in two phases (copy every object to the
+// target level and read it back, only then delete the warm copies), and
+// the Tiered read path falls through levels, so at no point does a
+// readable manifest reference an unreadable chunk: a crash anywhere in a
+// migration leaves at worst duplicate copies, which the next pass settles.
+
+// LifecyclePolicy configures when anchor chains leave the hot level. The
+// zero value disables the lifecycle engine.
+type LifecyclePolicy struct {
+	// KeepHotChains keeps the newest KeepHotChains anchor chains on the
+	// hot level and demotes older ones. <= 0 disables the chain-count rule.
+	KeepHotChains int
+	// MaxHotAge demotes a chain once its newest snapshot was saved longer
+	// than MaxHotAge ago (by the manager's in-memory save clock; chains
+	// predating the current incarnation have unknown age and are governed
+	// by KeepHotChains alone). 0 disables the age rule.
+	MaxHotAge time.Duration
+	// Level names the demotion target level; empty selects the coldest.
+	Level string
+}
+
+// enabled reports whether any lifecycle rule is active.
+func (p LifecyclePolicy) enabled() bool { return p.KeepHotChains > 0 || p.MaxHotAge > 0 }
+
+// MigrationReport summarizes one migration pass.
+type MigrationReport struct {
+	Level     string // target level name
+	Chains    int    // anchor chains demoted (at least partially resident warm)
+	Manifests int    // snapshot manifests moved
+	Chunks    int    // chunks moved
+	Bytes     int64  // object bytes copied down
+}
+
+// lifecycleFaultHook, when set by tests, runs between the copy and delete
+// phases of a migration pass; returning an error aborts the pass with the
+// copies in place — the crash window the fault-injection suite exercises.
+var lifecycleFaultHook func() error
+
+// chainGroup is one anchor chain: a full snapshot and the deltas saved
+// after it (up to the next anchor), in sequence order.
+type chainGroup struct {
+	keys      []string
+	newestSeq uint64
+	chunks    map[string]bool // chunk addresses its manifests reference
+}
+
+// chunkKey maps a chunk address to its backend object key.
+func chunkKey(addr string) string {
+	return ChunkPrefix + "/" + addr[:2] + "/" + addr
+}
+
+// groupChains groups the snapshots in b into anchor chains (sequence
+// order) from object names alone — no reads. Unparseable snapshots are
+// ignored; they are recovery's problem, not placement's.
+func groupChains(b storage.Backend) ([]chainGroup, error) {
+	keys, err := b.List(snapshotKeyPrefix)
+	if err != nil {
+		return nil, err
+	}
+	type snap struct {
+		seq  uint64
+		kind SnapshotKind
+		key  string
+	}
+	var snaps []snap
+	for _, k := range keys {
+		if seq, kind, ok := parseSnapshotName(k); ok {
+			snaps = append(snaps, snap{seq, kind, k})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq < snaps[j].seq })
+	var chains []chainGroup
+	for _, s := range snaps {
+		if s.kind == KindFull || len(chains) == 0 {
+			chains = append(chains, chainGroup{chunks: make(map[string]bool)})
+		}
+		c := &chains[len(chains)-1]
+		c.keys = append(c.keys, s.key)
+		c.newestSeq = s.seq
+	}
+	return chains, nil
+}
+
+// loadChainRefs fills every chain's chunk-reference set: probe each
+// snapshot's header, read the manifest body only for chunked kinds. This
+// is the expensive half of chain loading — Migrate defers it until it
+// knows manifests actually have to move.
+func loadChainRefs(b storage.Backend, chains []chainGroup) {
+	for ci := range chains {
+		c := &chains[ci]
+		for _, key := range c.keys {
+			buf, err := storage.GetRange(b, key, 0, headerSize)
+			if err != nil {
+				continue
+			}
+			h, err := parseHeaderBytes(buf)
+			if err != nil || !h.Kind.Chunked() {
+				continue
+			}
+			data, err := b.Get(key)
+			if err != nil {
+				continue
+			}
+			_, body, err := DecodeSnapshotFile(data)
+			if err != nil {
+				continue
+			}
+			_, addrs, err := decodeChunkManifest(body)
+			if err != nil {
+				continue
+			}
+			for _, a := range addrs {
+				c.chunks[a] = true
+			}
+		}
+	}
+}
+
+// Migrate applies pol to the tiered backend t: anchor chains outside the
+// hot set are demoted to the target level, manifests plus the chunks no
+// kept chain references. age reports how long ago a sequence number was
+// saved (ok=false for unknown); nil disables the age rule. The newest
+// chain — the one still being written — is never demoted.
+func Migrate(t *storage.Tiered, pol LifecyclePolicy, age func(seq uint64) (time.Duration, bool)) (MigrationReport, error) {
+	target := t.Len() - 1
+	if pol.Level != "" {
+		var err error
+		if target, err = t.LevelIndex(pol.Level); err != nil {
+			return MigrationReport{}, err
+		}
+	}
+	rep := MigrationReport{Level: t.Level(target).Name}
+	if !pol.enabled() || t.Len() < 2 || target == 0 {
+		return rep, nil
+	}
+	chains, err := groupChains(t)
+	if err != nil {
+		return rep, err
+	}
+	if len(chains) < 2 {
+		return rep, nil
+	}
+	demote := make([]bool, len(chains))
+	for i := range chains[:len(chains)-1] { // newest chain always stays hot
+		if pol.KeepHotChains > 0 && i < len(chains)-pol.KeepHotChains {
+			demote[i] = true
+		}
+		if pol.MaxHotAge > 0 && age != nil {
+			if d, ok := age(chains[i].newestSeq); ok && d > pol.MaxHotAge {
+				demote[i] = true
+			}
+		}
+	}
+	// Cheap steady-state exit: find demoted manifests still resident warm.
+	// If there are none, the pass's chunks are cold too (a pass deletes
+	// warm chunk copies before warm manifest copies) and nothing moves —
+	// without this, every save would re-read every demoted manifest body
+	// at cold-device cost just to conclude that.
+	var manifests []string
+	warmChain := make([]bool, len(chains))
+	for i, c := range chains {
+		if !demote[i] {
+			continue
+		}
+		for _, key := range c.keys {
+			if lv, err := t.Residency(key); err == nil && lv < target {
+				manifests = append(manifests, key)
+				warmChain[i] = true
+			}
+		}
+	}
+	if len(manifests) == 0 {
+		return rep, nil
+	}
+	// A chunk demotes only when no kept chain references it.
+	loadChainRefs(t, chains)
+	keepAddrs := make(map[string]bool)
+	for i, c := range chains {
+		if !demote[i] {
+			for a := range c.chunks {
+				keepAddrs[a] = true
+			}
+		}
+	}
+	var chunkKeys []string
+	chunkSeen := make(map[string]bool)
+	for i, c := range chains {
+		if !demote[i] {
+			continue
+		}
+		for a := range c.chunks {
+			if keepAddrs[a] || chunkSeen[a] {
+				continue
+			}
+			chunkSeen[a] = true
+			key := chunkKey(a)
+			if lv, err := t.Residency(key); err == nil && lv < target {
+				chunkKeys = append(chunkKeys, key)
+				warmChain[i] = true
+			}
+		}
+	}
+	for _, warm := range warmChain {
+		if warm {
+			rep.Chains++
+		}
+	}
+	// Phase 1: copy everything to the target level and verify. Chunks
+	// first, manifests after — immaterial for readability (reads fall
+	// through levels) but it keeps the occupancy accounting conservative.
+	all := append(append([]string(nil), chunkKeys...), manifests...)
+	for _, key := range all {
+		n, err := t.CopyTo(key, target)
+		if err != nil {
+			return rep, fmt.Errorf("core: migrate copy %s: %w", key, err)
+		}
+		rep.Bytes += n
+	}
+	if lifecycleFaultHook != nil {
+		if err := lifecycleFaultHook(); err != nil {
+			return rep, err
+		}
+	}
+	// Phase 2: drop the warm copies.
+	for _, key := range all {
+		if _, err := t.DeleteOutside(key, target); err != nil {
+			return rep, fmt.Errorf("core: migrate delete %s: %w", key, err)
+		}
+	}
+	rep.Chunks = len(chunkKeys)
+	rep.Manifests = len(manifests)
+	return rep, nil
+}
+
+// Migrate runs one lifecycle pass under the manager's policy and save
+// clock, returning what moved. It requires Options.Tiers (or a Tiered
+// backend).
+func (m *Manager) Migrate() (MigrationReport, error) {
+	if m.tiered == nil {
+		return MigrationReport{}, errors.New("core: migration requires a tiered backend")
+	}
+	rep, err := Migrate(m.tiered, m.opt.Lifecycle, m.ageOf)
+	if err == nil {
+		m.mu.Lock()
+		m.stats.Migrated += rep.Manifests + rep.Chunks
+		m.stats.MigratedBytes += rep.Bytes
+		m.mu.Unlock()
+	}
+	return rep, err
+}
+
+// ageOf reports how long ago seq was saved by this incarnation.
+func (m *Manager) ageOf(seq uint64) (time.Duration, bool) {
+	m.mu.Lock()
+	t, ok := m.savedAt[seq]
+	m.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return time.Since(t), true
+}
+
+// maybeMigrate runs the lifecycle engine after a successful save/GC when a
+// policy is configured. Like retention GC it is best-effort: placement is
+// an optimization and must never fail a save.
+func (m *Manager) maybeMigrate() {
+	if m.tiered == nil || !m.opt.Lifecycle.enabled() {
+		return
+	}
+	m.Migrate()
+}

@@ -70,6 +70,15 @@ type Options struct {
 	// older files (and, for chunked snapshots, unreferenced chunks); 0
 	// keeps everything.
 	Retain int
+	// Tiers, when non-empty, persists snapshots through a composite
+	// storage.Tiered backend built over these levels (ordered hot to
+	// cold): saves land on the first level, reads fall through the
+	// hierarchy. Mutually exclusive with Backend.
+	Tiers []storage.Level
+	// Lifecycle demotes anchor chains that leave the hot set (see
+	// LifecyclePolicy) down the tier hierarchy at save/GC time. Requires
+	// Tiers (or a Backend that is a *storage.Tiered).
+	Lifecycle LifecyclePolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +115,9 @@ type Stats struct {
 	Chunks     int // chunks referenced by written snapshots
 	DedupHits  int // chunks skipped because identical content was present
 	ChunkBytes int64
+	// Lifecycle counters (zero without a tiered backend + policy).
+	Migrated      int   // objects demoted down the tier hierarchy
+	MigratedBytes int64 // bytes copied down by migrations
 }
 
 // Manager orchestrates checkpoint persistence: strategy selection, delta
@@ -122,12 +134,14 @@ type Stats struct {
 type Manager struct {
 	opt     Options
 	backend storage.Backend
+	tiered  *storage.Tiered     // non-nil iff the backend is tiered
 	chunks  *storage.ChunkStore // non-nil iff ChunkBytes > 0
 
 	mu          sync.Mutex
 	seq         uint64
 	lastPayload []byte // base for the next delta
 	sinceAnchor int
+	savedAt     map[uint64]time.Time // save clock for the lifecycle age rule
 	stats       Stats
 	asyncErr    error
 
@@ -156,6 +170,16 @@ func NewManager(opt Options) (*Manager, error) {
 		return nil, fmt.Errorf("core: negative chunk size %d", opt.ChunkBytes)
 	}
 	backend := opt.Backend
+	if len(opt.Tiers) > 0 {
+		if backend != nil {
+			return nil, errors.New("core: Backend and Tiers are mutually exclusive")
+		}
+		var err error
+		backend, err = storage.NewTiered(opt.Tiers...)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if backend == nil {
 		if opt.Dir == "" {
 			return nil, errors.New("core: checkpoint directory required")
@@ -166,7 +190,18 @@ func NewManager(opt Options) (*Manager, error) {
 			return nil, fmt.Errorf("core: create checkpoint dir: %w", err)
 		}
 	}
-	m := &Manager{opt: opt, backend: backend}
+	m := &Manager{opt: opt, backend: backend, savedAt: make(map[uint64]time.Time)}
+	m.tiered, _ = backend.(*storage.Tiered)
+	if opt.Lifecycle.enabled() {
+		if m.tiered == nil {
+			return nil, errors.New("core: Lifecycle requires a tiered backend (set Tiers)")
+		}
+		if opt.Lifecycle.Level != "" {
+			if _, err := m.tiered.LevelIndex(opt.Lifecycle.Level); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if opt.ChunkBytes > 0 {
 		m.chunks = storage.NewChunkStore(storage.WithPrefix(backend, ChunkPrefix))
 	}
@@ -220,6 +255,7 @@ func (m *Manager) runSequencer() {
 		m.mu.Unlock()
 		if err == nil {
 			m.gc()
+			m.maybeMigrate()
 		}
 		m.pending.Done()
 	}
@@ -408,6 +444,11 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 	seq := m.seq
 	m.seq++
 	m.lastPayload = payload
+	if m.opt.Lifecycle.MaxHotAge > 0 {
+		// The save clock only feeds the lifecycle age rule; without it the
+		// map would grow one entry per save for the run's lifetime.
+		m.savedAt[seq] = time.Now()
+	}
 	m.stats.Snapshots++
 	if kind == KindFull {
 		m.stats.FullCount++
@@ -449,6 +490,7 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 	m.stats.WriteTime += res.Write
 	m.mu.Unlock()
 	m.gc()
+	m.maybeMigrate()
 	return res, nil
 }
 
@@ -547,6 +589,9 @@ func (m *Manager) gc() {
 		if f.seq < cutoff {
 			if m.backend.Delete(f.name) == nil {
 				deleted = true
+				m.mu.Lock()
+				delete(m.savedAt, f.seq)
+				m.mu.Unlock()
 			}
 		}
 	}

@@ -31,14 +31,25 @@ type indexEntry struct {
 	h   Header
 }
 
-// snapshotView reads snapshots (including chunked ones) from a backend.
+// recoveryCacheBytes bounds the LRU read cache under every snapshotView.
+// Chain resolution re-reads anchors and shared chunks once per candidate;
+// on a Tiered backend each re-read of a demoted object would otherwise be
+// billed at cold-device cost. 64 MiB holds the working set of any chain
+// the engine realistically writes while staying far from memory pressure.
+const recoveryCacheBytes = 64 << 20
+
+// snapshotView reads snapshots (including chunked ones) from a backend,
+// through a bounded LRU read cache: a cold-tier restore pays the cold
+// fetch once and every later touch — repeated chain resolution, shared
+// chunks between deltas — is served warm.
 type snapshotView struct {
 	b  storage.Backend
 	cs *storage.ChunkStore
 }
 
 func newSnapshotView(b storage.Backend) *snapshotView {
-	return &snapshotView{b: b, cs: storage.NewChunkStore(storage.WithPrefix(b, ChunkPrefix))}
+	cb := storage.NewCache(b, recoveryCacheBytes)
+	return &snapshotView{b: cb, cs: storage.NewChunkStore(storage.WithPrefix(cb, ChunkPrefix))}
 }
 
 // readBody fully verifies the snapshot object at key and returns its

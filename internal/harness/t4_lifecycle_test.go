@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestT4LifecycleShape asserts Table 4's deterministic findings: tiered
+// placement with demotion keeps the save path billed at hot-tier cost
+// while shrinking hot occupancy, demoted history remains bitwise
+// recoverable from the cold level, and cold-only placement pays for it on
+// every save.
+func TestT4LifecycleShape(t *testing.T) {
+	rows, err := RunT4Lifecycle(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byConfig := map[string]T4Row{}
+	for _, r := range rows {
+		byConfig[r.Config] = r
+		if !r.Bitwise {
+			t.Errorf("%s: recovery not bitwise-identical", r.Config)
+		}
+		if !r.VerifyOK {
+			t.Errorf("%s: not every snapshot resolves after placement", r.Config)
+		}
+		if r.Snapshots != 24 {
+			t.Errorf("%s: %d snapshots, want 24", r.Config, r.Snapshots)
+		}
+	}
+	hot, tiered, cold := byConfig["hot-only"], byConfig["tiered"], byConfig["cold-only"]
+
+	// Demotion happened, and only in the tiered configuration.
+	if tiered.Migrated == 0 {
+		t.Errorf("tiered: lifecycle migrated nothing")
+	}
+	if hot.Migrated != 0 || cold.Migrated != 0 {
+		t.Errorf("single-level configs migrated objects: hot=%d cold=%d", hot.Migrated, cold.Migrated)
+	}
+
+	// Demotion cut hot-tier occupancy versus hot-only.
+	if tiered.HotBytes >= hot.HotBytes {
+		t.Errorf("tiered hot occupancy %d not below hot-only %d", tiered.HotBytes, hot.HotBytes)
+	}
+	if tiered.ColdBytes == 0 {
+		t.Errorf("tiered: nothing resident on the cold level")
+	}
+	if hot.ColdBytes != 0 {
+		t.Errorf("hot-only: %d bytes below the hot level", hot.ColdBytes)
+	}
+
+	// The save path still bills at hot-tier cost: the same stream writes
+	// the same bytes to the same NVMe model whether or not old chains
+	// later demote.
+	if tiered.SaveBill > hot.SaveBill*105/100 || tiered.SaveBill < hot.SaveBill*95/100 {
+		t.Errorf("tiered save bill %v far from hot-only %v", tiered.SaveBill, hot.SaveBill)
+	}
+	if cold.SaveBill < 2*hot.SaveBill {
+		t.Errorf("cold-only save bill %v not ≫ hot-only %v", cold.SaveBill, hot.SaveBill)
+	}
+
+	// Recovery bills order hot-only < tiered < cold-only: the latest
+	// chain stays hot under the tiered policy, and only index probes of
+	// demoted history touch the cold device.
+	if !(hot.RecBill < tiered.RecBill && tiered.RecBill < cold.RecBill) {
+		t.Errorf("recovery bills out of order: hot=%v tiered=%v cold=%v",
+			hot.RecBill, tiered.RecBill, cold.RecBill)
+	}
+}

@@ -64,9 +64,22 @@ type RangeReader interface {
 	GetRange(key string, off, n int64) ([]byte, error)
 }
 
+// validRange rejects negative offsets and lengths; every GetRange
+// implementation shares the contract (a past-EOF offset or zero length is
+// an empty read, a negative one is caller error).
+func validRange(off, n int64) error {
+	if off < 0 || n < 0 {
+		return fmt.Errorf("storage: invalid range off=%d n=%d", off, n)
+	}
+	return nil
+}
+
 // GetRange reads [off, off+n) of key, using the backend's RangeReader fast
 // path when available and falling back to a full Get otherwise.
 func GetRange(b Backend, key string, off, n int64) ([]byte, error) {
+	if err := validRange(off, n); err != nil {
+		return nil, err
+	}
 	if rr, ok := b.(RangeReader); ok {
 		return rr.GetRange(key, off, n)
 	}
@@ -169,6 +182,9 @@ func (l *Local) Get(key string) ([]byte, error) {
 func (l *Local) GetRange(key string, off, n int64) ([]byte, error) {
 	p, err := l.path(key)
 	if err != nil {
+		return nil, err
+	}
+	if err := validRange(off, n); err != nil {
 		return nil, err
 	}
 	f, err := os.Open(p)

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache wraps a Backend with a bounded LRU read cache keyed by object.
+// Recovery is its customer: resolving a delta chain re-reads anchors and
+// shared chunks many times, and on a Tiered backend those re-reads would
+// otherwise be billed by a cold device model on every touch. Writes go
+// through to the base backend and update the cached copy, deletes evict
+// it, so the cache never serves stale objects it created itself.
+// (Coherence with writers bypassing this wrapper is out of scope — the
+// snapshot namespace is immutable-by-content, which is what makes caching
+// safe.)
+type Cache struct {
+	base Backend
+	max  int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+	gen     uint64 // bumped by every Put/Delete; fences in-flight miss fills
+	stats   CacheStats
+}
+
+// CacheStats aggregates cache activity.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Objects   int
+	Bytes     int64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache wraps base with an LRU read cache holding at most maxBytes of
+// object data. Objects larger than maxBytes are served but never cached;
+// maxBytes <= 0 disables caching entirely (pure pass-through).
+func NewCache(base Backend, maxBytes int64) *Cache {
+	return &Cache{
+		base:    base,
+		max:     maxBytes,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Base returns the wrapped backend.
+func (c *Cache) Base() Backend { return c.base }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Objects = len(c.entries)
+	st.Bytes = c.bytes
+	return st
+}
+
+// lookup returns a copy of the cached object and bumps its recency,
+// along with the write generation observed (for insert fencing).
+func (c *Cache) lookup(key string) ([]byte, bool, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false, c.gen
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	data := el.Value.(*cacheEntry).data
+	return append([]byte(nil), data...), true, c.gen
+}
+
+// insert stores a copy of data under key, evicting LRU entries beyond the
+// byte budget. Oversized objects are ignored. A fill whose base read
+// started at generation gen is dropped if any write happened since —
+// otherwise a slow miss could install data a concurrent Put/Delete
+// already superseded. Internal updates pass the current generation.
+func (c *Cache) insert(key string, data []byte, gen uint64) {
+	if c.max <= 0 || int64(len(data)) > c.max {
+		return
+	}
+	cp := append([]byte(nil), data...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(cp)) - int64(len(ent.data))
+		ent.data = cp
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, data: cp})
+		c.bytes += int64(len(cp))
+	}
+	for c.bytes > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ent.key)
+		c.bytes -= int64(len(ent.data))
+		c.stats.Evictions++
+	}
+}
+
+// drop evicts key if cached and fences in-flight fills.
+func (c *Cache) drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.bytes -= int64(len(ent.data))
+	}
+}
+
+// Name implements Backend.
+func (c *Cache) Name() string { return "cache+" + c.base.Name() }
+
+// Capabilities implements Backend: caching changes no guarantee of the
+// base.
+func (c *Cache) Capabilities() Capabilities { return c.base.Capabilities() }
+
+// Put implements Backend: write-through, keeping any cached copy current.
+func (c *Cache) Put(key string, data []byte) error {
+	if err := c.base.Put(key, data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.gen++
+	gen := c.gen
+	_, cached := c.entries[key]
+	c.mu.Unlock()
+	if cached {
+		c.insert(key, data, gen)
+	}
+	return nil
+}
+
+// Get implements Backend, filling the cache on miss.
+func (c *Cache) Get(key string) ([]byte, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	data, ok, gen := c.lookup(key)
+	if ok {
+		return data, nil
+	}
+	data, err := c.base.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(key, data, gen)
+	return data, nil
+}
+
+// GetRange implements RangeReader: cached objects are sliced in memory;
+// misses pass through to the base without caching (a range probe must not
+// pull whole cold objects into the budget).
+func (c *Cache) GetRange(key string, off, n int64) ([]byte, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	if err := validRange(off, n); err != nil {
+		return nil, err
+	}
+	if data, ok, _ := c.lookup(key); ok {
+		if off >= int64(len(data)) {
+			return nil, nil
+		}
+		end := off + n
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		return data[off:end], nil
+	}
+	return GetRange(c.base, key, off, n)
+}
+
+// List implements Backend.
+func (c *Cache) List(prefix string) ([]string, error) { return c.base.List(prefix) }
+
+// Delete implements Backend, evicting any cached copy first.
+func (c *Cache) Delete(key string) error {
+	c.drop(key)
+	return c.base.Delete(key)
+}
+
+// Stat implements Backend.
+func (c *Cache) Stat(key string) (ObjectInfo, error) { return c.base.Stat(key) }

@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	base := NewMem()
+	c := NewCache(base, 25)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := c.Put(k, bytes.Repeat([]byte(k), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Puts of uncached keys do not populate the cache.
+	if st := c.Stats(); st.Objects != 0 {
+		t.Fatalf("puts populated the cache: %+v", st)
+	}
+	// First read misses and fills; second hits.
+	if _, err := c.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Objects != 1 || st.Bytes != 10 {
+		t.Errorf("stats after re-read: %+v", st)
+	}
+	// Third object exceeds the budget: LRU ("a" is older than "b") evicts.
+	c.Get("b")
+	c.Get("a") // bump a
+	c.Get("c") // 30 bytes > 25: evicts b
+	st = c.Stats()
+	if st.Evictions != 1 || st.Objects != 2 {
+		t.Errorf("stats after eviction: %+v", st)
+	}
+	if _, hit, _ := c.lookup("b"); hit {
+		t.Errorf("LRU evicted the wrong entry")
+	}
+	// The evicted key still reads correctly through the base.
+	if got, err := c.Get("b"); err != nil || string(got) != "bbbbbbbbbb" {
+		t.Errorf("evicted key read: %q, %v", got, err)
+	}
+}
+
+func TestCacheCoherence(t *testing.T) {
+	base := NewMem()
+	c := NewCache(base, 1<<20)
+	c.Put("k", []byte("v1"))
+	if got, _ := c.Get("k"); string(got) != "v1" {
+		t.Fatalf("got %q", got)
+	}
+	// Overwrite through the cache keeps the cached copy current.
+	if err := c.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Get("k"); string(got) != "v2" {
+		t.Errorf("stale cached copy after Put: %q", got)
+	}
+	// Delete evicts.
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted key still served: %v", err)
+	}
+	if st := c.Stats(); st.Objects != 0 || st.Bytes != 0 {
+		t.Errorf("cache retains deleted entry: %+v", st)
+	}
+	// Callers cannot mutate cached data through returned slices.
+	c.Put("m", []byte("abc"))
+	got, _ := c.Get("m")
+	got[0] = 'X'
+	if again, _ := c.Get("m"); string(again) != "abc" {
+		t.Errorf("cache aliased caller memory: %q", again)
+	}
+}
+
+func TestCacheGetRange(t *testing.T) {
+	c := NewCache(NewMem(), 1<<20)
+	c.Put("k", []byte("0123456789"))
+	// Range probe on a cold key passes through without caching.
+	if got, err := GetRange(c, "k", 2, 3); err != nil || string(got) != "234" {
+		t.Fatalf("cold range: %q, %v", got, err)
+	}
+	if st := c.Stats(); st.Objects != 0 {
+		t.Errorf("range probe cached the object: %+v", st)
+	}
+	// After a full read the range is served from the cached copy.
+	c.Get("k")
+	if got, err := GetRange(c, "k", 8, 10); err != nil || string(got) != "89" {
+		t.Errorf("cached range: %q, %v", got, err)
+	}
+	if got, err := GetRange(c, "k", 20, 4); err != nil || len(got) != 0 {
+		t.Errorf("cached past-EOF range: %q, %v", got, err)
+	}
+	if _, err := GetRange(c, "k", -1, 4); err == nil {
+		t.Errorf("negative offset accepted")
+	}
+}
+
+func TestCacheOversizedAndDisabled(t *testing.T) {
+	big := bytes.Repeat([]byte{7}, 100)
+	c := NewCache(NewMem(), 10)
+	c.Put("big", big)
+	if got, err := c.Get("big"); err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("oversized read: %d bytes, %v", len(got), err)
+	}
+	if st := c.Stats(); st.Objects != 0 {
+		t.Errorf("oversized object cached: %+v", st)
+	}
+	off := NewCache(NewMem(), 0)
+	off.Put("k", []byte("v"))
+	if got, err := off.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("disabled cache read: %q, %v", got, err)
+	}
+	if st := off.Stats(); st.Objects != 0 {
+		t.Errorf("disabled cache stored entries: %+v", st)
+	}
+}

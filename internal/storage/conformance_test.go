@@ -34,6 +34,40 @@ func backendImpls() map[string]func(t *testing.T) Backend {
 			}
 			return WithPrefix(b, "ns")
 		},
+		"tiered": func(t *testing.T) Backend {
+			tb, err := NewTiered(
+				Level{Name: "hot", Backend: NewMem()},
+				Level{Name: "cold", Backend: NewMem()},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tb
+		},
+		"tiered-local": func(t *testing.T) Backend {
+			tb, err := NewTieredDir(t.TempDir(), []string{"nvme", "object"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tb
+		},
+		"cache-local": func(t *testing.T) Backend {
+			b, err := NewLocal(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewCache(b, 1<<20)
+		},
+		"cache-tiered": func(t *testing.T) Backend {
+			tb, err := NewTiered(
+				Level{Name: "hot", Backend: NewMem()},
+				Level{Name: "cold", Backend: NewTier(NewMem(), DeviceObject)},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewCache(tb, 1<<20)
+		},
 	}
 }
 
@@ -216,6 +250,52 @@ func TestBackendGetRange(t *testing.T) {
 		}
 		if _, err := GetRange(b, "absent", 0, 4); !errors.Is(err, ErrNotFound) {
 			t.Errorf("GetRange(absent) = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+// TestBackendGetRangeEdgeCases pins the corners of the range-read
+// contract on every backend: offsets at or past EOF and zero lengths are
+// empty reads, negative offsets or lengths are errors, and a range on a
+// missing key is ErrNotFound regardless of the range itself.
+func TestBackendGetRangeEdgeCases(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		data := []byte("0123456789")
+		if err := b.Put("k", data); err != nil {
+			t.Fatal(err)
+		}
+		// Offset exactly at EOF, and far past it.
+		for _, off := range []int64{10, 11, 1 << 20} {
+			got, err := GetRange(b, "k", off, 4)
+			if err != nil {
+				t.Errorf("GetRange(off=%d) = %v, want empty read", off, err)
+			}
+			if len(got) != 0 {
+				t.Errorf("GetRange(off=%d) = %q, want empty", off, got)
+			}
+		}
+		// Zero length is an empty read wherever it lands.
+		for _, off := range []int64{0, 5, 10, 20} {
+			got, err := GetRange(b, "k", off, 0)
+			if err != nil {
+				t.Errorf("GetRange(off=%d, n=0) = %v", off, err)
+			}
+			if len(got) != 0 {
+				t.Errorf("GetRange(off=%d, n=0) = %q", off, got)
+			}
+		}
+		// Negative offsets and lengths are caller errors, not ErrNotFound.
+		if _, err := GetRange(b, "k", -1, 4); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("GetRange(off=-1) = %v, want range error", err)
+		}
+		if _, err := GetRange(b, "k", 0, -4); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("GetRange(n=-4) = %v, want range error", err)
+		}
+		// Ranges on missing keys report the missing key, whatever the range.
+		for _, r := range [][2]int64{{0, 4}, {100, 4}, {0, 0}} {
+			if _, err := GetRange(b, "absent", r[0], r[1]); !errors.Is(err, ErrNotFound) {
+				t.Errorf("GetRange(absent, %d, %d) = %v, want ErrNotFound", r[0], r[1], err)
+			}
 		}
 	})
 }

@@ -1,12 +1,15 @@
 // Package storage provides the durable-storage substrate under the
 // checkpoint engine. It is organized around the pluggable Backend
-// interface (Put/Get/List/Delete/Stat over flat keys) with three
+// interface (Put/Get/List/Delete/Stat over flat keys) with three base
 // implementations — Local (crash-consistent atomic files), Mem (in-memory,
 // for tests and benchmarks), and Tier (any backend wrapped in a Device
 // latency/bandwidth cost model for tiers the test machine does not have:
-// local NVMe, network FS, object store) — plus a content-addressed
-// ChunkStore that deduplicates identical content on any backend, and the
-// low-level crash-consistent file primitives the local backend is built on.
+// local NVMe, network FS, object store) — and two composites: Tiered, an
+// ordered hot→cold level stack with read-through fallback and explicit
+// promote/demote object moves, and Cache, a bounded LRU read cache. A
+// content-addressed ChunkStore deduplicates identical content on any
+// backend, built on the low-level crash-consistent file primitives the
+// local backend uses.
 package storage
 
 import (

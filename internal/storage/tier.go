@@ -26,8 +26,14 @@ type TierStats struct {
 	// BytesWritten and BytesRead count payload bytes moved by Put/Get.
 	BytesWritten int64
 	BytesRead    int64
-	// Modeled is the total virtual time the device model charged.
-	Modeled time.Duration
+	// Modeled is the total virtual time the device model charged;
+	// ModeledWrite and ModeledRead split out the portions charged for
+	// Puts and for Get/GetRange (metadata latency is in neither), so
+	// experiments can separate the save-path bill from migration and
+	// recovery traffic.
+	Modeled      time.Duration
+	ModeledWrite time.Duration
+	ModeledRead  time.Duration
 }
 
 // NewTier wraps base with the dev cost model.
@@ -58,6 +64,11 @@ func (t *Tier) charge(cost time.Duration, written, read int64) {
 	t.stats.Modeled += cost
 	t.stats.BytesWritten += written
 	t.stats.BytesRead += read
+	if written > 0 {
+		t.stats.ModeledWrite += cost
+	} else if read > 0 {
+		t.stats.ModeledRead += cost
+	}
 	t.mu.Unlock()
 }
 

@@ -1,0 +1,422 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Level is one named rung of a Tiered backend: any Backend (typically
+// Tier-wrapped with a Device model) plus the name placement policies and
+// command-line flags refer to it by. Levels are ordered hot to cold.
+type Level struct {
+	Name    string
+	Backend Backend
+}
+
+// Tiered is a composite Backend over an ordered list of levels. Writes
+// land on the hot (first) level; reads fall through the hierarchy until a
+// level answers, so an object stays readable wherever it lives. Explicit
+// Promote/Demote moves (copy, verify, delete) let a lifecycle policy
+// migrate cold history down without ever making it unreadable. List and
+// Delete span every level, so retention GC and chunk collection operate on
+// the union of all residencies.
+type Tiered struct {
+	levels []Level
+
+	mu    sync.Mutex
+	stats TieredStats
+}
+
+// TieredStats aggregates read-through and migration activity.
+type TieredStats struct {
+	// Hits counts reads (Get/GetRange/Stat) answered per level.
+	Hits []int64
+	// Misses counts reads no level could answer.
+	Misses int64
+	// Promotions and Demotions count completed object moves.
+	Promotions int64
+	Demotions  int64
+	// MovedBytes counts payload bytes copied by moves.
+	MovedBytes int64
+}
+
+// NewTiered builds a composite backend over levels, ordered hot to cold.
+// At least one level is required and level names must be unique.
+func NewTiered(levels ...Level) (*Tiered, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("storage: tiered backend needs at least one level")
+	}
+	seen := make(map[string]bool, len(levels))
+	for _, lv := range levels {
+		if lv.Name == "" {
+			return nil, errors.New("storage: tiered level without a name")
+		}
+		if lv.Backend == nil {
+			return nil, fmt.Errorf("storage: tiered level %q without a backend", lv.Name)
+		}
+		if seen[lv.Name] {
+			return nil, fmt.Errorf("storage: duplicate tiered level %q", lv.Name)
+		}
+		seen[lv.Name] = true
+	}
+	return &Tiered{levels: append([]Level(nil), levels...), stats: TieredStats{Hits: make([]int64, len(levels))}}, nil
+}
+
+// Len returns the number of levels.
+func (t *Tiered) Len() int { return len(t.levels) }
+
+// Level returns level i (0 = hottest).
+func (t *Tiered) Level(i int) Level { return t.levels[i] }
+
+// LevelIndex resolves a level name to its index.
+func (t *Tiered) LevelIndex(name string) (int, error) {
+	for i, lv := range t.levels {
+		if lv.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("storage: unknown tier level %q", name)
+}
+
+// Stats returns a copy of the accumulated counters.
+func (t *Tiered) Stats() TieredStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats
+	st.Hits = append([]int64(nil), t.stats.Hits...)
+	return st
+}
+
+func (t *Tiered) hit(level int) {
+	t.mu.Lock()
+	t.stats.Hits[level]++
+	t.mu.Unlock()
+}
+
+func (t *Tiered) miss() {
+	t.mu.Lock()
+	t.stats.Misses++
+	t.mu.Unlock()
+}
+
+// Name implements Backend.
+func (t *Tiered) Name() string {
+	names := make([]string, len(t.levels))
+	for i, lv := range t.levels {
+		names[i] = lv.Name
+	}
+	return "tiered(" + strings.Join(names, "+") + ")"
+}
+
+// Capabilities implements Backend: the composite is only as strong as its
+// weakest level for atomicity and persistence, and modeled if any level is.
+func (t *Tiered) Capabilities() Capabilities {
+	c := Capabilities{Atomic: true, Persistent: true}
+	for _, lv := range t.levels {
+		lc := lv.Backend.Capabilities()
+		c.Atomic = c.Atomic && lc.Atomic
+		c.Persistent = c.Persistent && lc.Persistent
+		c.Modeled = c.Modeled || lc.Modeled
+	}
+	return c
+}
+
+// Put implements Backend: writes always land on the hot level.
+func (t *Tiered) Put(key string, data []byte) error {
+	return t.levels[0].Backend.Put(key, data)
+}
+
+// Get implements Backend: read-through from hot to cold, returning the
+// warmest copy.
+func (t *Tiered) Get(key string) ([]byte, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	for i, lv := range t.levels {
+		data, err := lv.Backend.Get(key)
+		if err == nil {
+			t.hit(i)
+			return data, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+	}
+	t.miss()
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// GetRange implements RangeReader with the same read-through order.
+func (t *Tiered) GetRange(key string, off, n int64) ([]byte, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	if err := validRange(off, n); err != nil {
+		return nil, err
+	}
+	for i, lv := range t.levels {
+		data, err := GetRange(lv.Backend, key, off, n)
+		if err == nil {
+			t.hit(i)
+			return data, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+	}
+	t.miss()
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// List implements Backend: the sorted union of every level's keys.
+func (t *Tiered) List(prefix string) ([]string, error) {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, lv := range t.levels {
+		ks, err := lv.Backend.List(prefix)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Backend: the object is removed from every level that
+// holds it; ErrNotFound only when no level did.
+func (t *Tiered) Delete(key string) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	found := false
+	for _, lv := range t.levels {
+		err := lv.Backend.Delete(key)
+		if err == nil {
+			found = true
+			continue
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return err
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return nil
+}
+
+// Stat implements Backend: metadata of the warmest copy.
+func (t *Tiered) Stat(key string) (ObjectInfo, error) {
+	if err := ValidateKey(key); err != nil {
+		return ObjectInfo{}, err
+	}
+	for i, lv := range t.levels {
+		info, err := lv.Backend.Stat(key)
+		if err == nil {
+			t.hit(i)
+			return info, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return ObjectInfo{}, err
+		}
+	}
+	t.miss()
+	return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// Residency returns the index of the warmest level holding key, or
+// ErrNotFound.
+func (t *Tiered) Residency(key string) (int, error) {
+	if err := ValidateKey(key); err != nil {
+		return 0, err
+	}
+	for i, lv := range t.levels {
+		if _, err := lv.Backend.Stat(key); err == nil {
+			return i, nil
+		} else if !errors.Is(err, ErrNotFound) {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// CopyTo copies key onto level target (verifying the copy by reading it
+// back) without deleting any other copy — the first half of a
+// copy-verify-delete move. It reports the bytes copied; a no-op (already
+// resident at target) copies zero.
+func (t *Tiered) CopyTo(key string, target int) (int64, error) {
+	if target < 0 || target >= len(t.levels) {
+		return 0, fmt.Errorf("storage: tier level %d out of range", target)
+	}
+	dst := t.levels[target].Backend
+	if _, err := dst.Stat(key); err == nil {
+		return 0, nil
+	}
+	data, err := t.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	if err := dst.Put(key, data); err != nil {
+		return 0, err
+	}
+	back, err := dst.Get(key)
+	if err != nil {
+		return 0, fmt.Errorf("storage: verify copy of %s: %w", key, err)
+	}
+	if !bytes.Equal(back, data) {
+		return 0, fmt.Errorf("storage: copy of %s to level %s corrupt", key, t.levels[target].Name)
+	}
+	return int64(len(data)), nil
+}
+
+// DeleteOutside removes every copy of key except the one at level keep —
+// the second half of a copy-verify-delete move. Missing copies are not
+// errors; it reports how many copies were removed.
+func (t *Tiered) DeleteOutside(key string, keep int) (int, error) {
+	removed := 0
+	for i, lv := range t.levels {
+		if i == keep {
+			continue
+		}
+		err := lv.Backend.Delete(key)
+		if err == nil {
+			removed++
+			continue
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// move relocates key to exactly level target with copy-verify-delete
+// ordering: the object is never unreadable mid-move, and a crash leaves at
+// worst an extra copy.
+func (t *Tiered) move(key string, target int) error {
+	from, err := t.Residency(key)
+	if err != nil {
+		return err
+	}
+	if from == target {
+		return nil
+	}
+	n, err := t.CopyTo(key, target)
+	if err != nil {
+		return err
+	}
+	if _, err := t.DeleteOutside(key, target); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if target > from {
+		t.stats.Demotions++
+	} else {
+		t.stats.Promotions++
+	}
+	t.stats.MovedBytes += n
+	t.mu.Unlock()
+	return nil
+}
+
+// Demote moves key down to level target (colder or equal to its current
+// residency).
+func (t *Tiered) Demote(key string, target int) error {
+	if from, err := t.Residency(key); err != nil {
+		return err
+	} else if target < from {
+		return fmt.Errorf("storage: demote %s would move it warmer (level %d -> %d)", key, from, target)
+	}
+	return t.move(key, target)
+}
+
+// Promote moves key up to level target (warmer or equal to its current
+// residency).
+func (t *Tiered) Promote(key string, target int) error {
+	if from, err := t.Residency(key); err != nil {
+		return err
+	} else if target > from {
+		return fmt.Errorf("storage: promote %s would move it colder (level %d -> %d)", key, from, target)
+	}
+	return t.move(key, target)
+}
+
+// LevelOccupancy is one level's resident footprint.
+type LevelOccupancy struct {
+	Name    string
+	Objects int
+	Bytes   int64
+}
+
+// Occupancy reports each level's resident object count and bytes.
+func (t *Tiered) Occupancy() ([]LevelOccupancy, error) {
+	occ := make([]LevelOccupancy, len(t.levels))
+	for i, lv := range t.levels {
+		occ[i].Name = lv.Name
+		keys, err := lv.Backend.List("")
+		if err != nil {
+			return nil, err
+		}
+		occ[i].Objects = len(keys)
+		for _, k := range keys {
+			info, err := lv.Backend.Stat(k)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					continue // racing delete
+				}
+				return nil, err
+			}
+			occ[i].Bytes += info.Size
+		}
+	}
+	return occ, nil
+}
+
+// TieredDirLevels builds the standard on-disk tiered layout rooted at dir:
+// the hot level is dir itself (so untiered tools keep working on the hot
+// set), and each colder level lives under dir/.level-<name> — dot-prefixed
+// so hot-level listings never see it. Each name must resolve with
+// DeviceByName and the level is wrapped in its device cost model.
+func TieredDirLevels(dir string, names []string) ([]Level, error) {
+	if len(names) == 0 {
+		return nil, errors.New("storage: tiered layout needs at least one level name")
+	}
+	levels := make([]Level, 0, len(names))
+	for i, name := range names {
+		dev, err := DeviceByName(name)
+		if err != nil {
+			return nil, err
+		}
+		root := dir
+		if i > 0 {
+			root = filepath.Join(dir, ".level-"+name)
+		}
+		base, err := NewLocal(root)
+		if err != nil {
+			return nil, err
+		}
+		levels = append(levels, Level{Name: name, Backend: NewTier(base, dev)})
+	}
+	return levels, nil
+}
+
+// NewTieredDir opens the standard on-disk tiered layout (see
+// TieredDirLevels) as a composite backend.
+func NewTieredDir(dir string, names []string) (*Tiered, error) {
+	levels, err := TieredDirLevels(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	return NewTiered(levels...)
+}

@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func twoLevel(t *testing.T) *Tiered {
+	t.Helper()
+	tb, err := NewTiered(Level{Name: "hot", Backend: NewMem()}, Level{Name: "cold", Backend: NewMem()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTieredValidation(t *testing.T) {
+	if _, err := NewTiered(); err == nil {
+		t.Errorf("empty level list accepted")
+	}
+	if _, err := NewTiered(Level{Name: "", Backend: NewMem()}); err == nil {
+		t.Errorf("unnamed level accepted")
+	}
+	if _, err := NewTiered(Level{Name: "a", Backend: nil}); err == nil {
+		t.Errorf("backend-less level accepted")
+	}
+	if _, err := NewTiered(Level{Name: "a", Backend: NewMem()}, Level{Name: "a", Backend: NewMem()}); err == nil {
+		t.Errorf("duplicate level names accepted")
+	}
+}
+
+func TestTieredPlacementAndReadThrough(t *testing.T) {
+	tb := twoLevel(t)
+	if err := tb.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Writes land hot.
+	if lv, err := tb.Residency("k"); err != nil || lv != 0 {
+		t.Fatalf("Residency after Put = %d, %v", lv, err)
+	}
+	if _, err := tb.Level(1).Backend.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cold level holds a fresh write")
+	}
+	// Demote: object moves, stays readable, hit is charged to the cold level.
+	if err := tb.Demote("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if lv, _ := tb.Residency("k"); lv != 1 {
+		t.Errorf("Residency after Demote = %d", lv)
+	}
+	if _, err := tb.Level(0).Backend.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("hot copy survived demotion")
+	}
+	got, err := tb.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("read-through after demotion: %q, %v", got, err)
+	}
+	if got, err := GetRange(tb, "k", 0, 1); err != nil || string(got) != "v" {
+		t.Errorf("range read-through after demotion: %q, %v", got, err)
+	}
+	st := tb.Stats()
+	if st.Hits[1] == 0 || st.Demotions != 1 || st.MovedBytes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Promote back.
+	if err := tb.Promote("k", 0); err != nil {
+		t.Fatal(err)
+	}
+	if lv, _ := tb.Residency("k"); lv != 0 {
+		t.Errorf("Residency after Promote = %d", lv)
+	}
+	if tb.Stats().Promotions != 1 {
+		t.Errorf("promotion not counted: %+v", tb.Stats())
+	}
+}
+
+func TestTieredMoveDirectionChecks(t *testing.T) {
+	tb := twoLevel(t)
+	if err := tb.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Promote("k", 1); err == nil {
+		t.Errorf("Promote to a colder level accepted")
+	}
+	if err := tb.Demote("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Demote("k", 0); err == nil {
+		t.Errorf("Demote to a warmer level accepted")
+	}
+	if err := tb.Demote("absent", 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Demote(absent) = %v, want ErrNotFound", err)
+	}
+	if _, err := tb.CopyTo("k", 5); err == nil {
+		t.Errorf("CopyTo out-of-range level accepted")
+	}
+}
+
+func TestTieredListDeleteSpanLevels(t *testing.T) {
+	tb := twoLevel(t)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := tb.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Demote("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := tb.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Errorf("union list = %v", keys)
+	}
+	// Stat sees the demoted copy.
+	if info, err := tb.Stat("b"); err != nil || info.Size != 1 {
+		t.Errorf("Stat(b) = %+v, %v", info, err)
+	}
+	// Delete clears every level, and an object duplicated by an
+	// interrupted move is fully removed.
+	if _, err := tb.CopyTo("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.Len(); i++ {
+		if _, err := tb.Level(i).Backend.Get("a"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("level %d still holds deleted key", i)
+		}
+	}
+	if err := tb.Delete("b"); err != nil {
+		t.Errorf("delete of cold-only key: %v", err)
+	}
+}
+
+func TestTieredOccupancy(t *testing.T) {
+	tb := twoLevel(t)
+	tb.Put("a", make([]byte, 10))
+	tb.Put("b", make([]byte, 20))
+	tb.Demote("b", 1)
+	occ, err := tb.Occupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ[0].Name != "hot" || occ[0].Objects != 1 || occ[0].Bytes != 10 {
+		t.Errorf("hot occupancy = %+v", occ[0])
+	}
+	if occ[1].Name != "cold" || occ[1].Objects != 1 || occ[1].Bytes != 20 {
+		t.Errorf("cold occupancy = %+v", occ[1])
+	}
+}
+
+func TestTieredDirLayout(t *testing.T) {
+	dir := t.TempDir()
+	tb, err := NewTieredDir(dir, []string{"nvme", "object"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 || tb.Level(0).Name != "nvme" {
+		t.Fatalf("layout = %s", tb.Name())
+	}
+	if err := tb.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Demote("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	// The cold level is invisible to a plain hot-root backend (dot-dir).
+	hot, err := NewLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys, _ := hot.List(""); len(keys) != 0 {
+		t.Errorf("hot root leaks cold objects: %v", keys)
+	}
+	// A fresh open sees the demoted object (the layout persists).
+	tb2, err := NewTieredDir(dir, []string{"nvme", "object"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tb2.Get("k"); err != nil || string(got) != "v" {
+		t.Errorf("reopened layout: %q, %v", got, err)
+	}
+	if lv, _ := tb2.Residency("k"); lv != 1 {
+		t.Errorf("residency lost across reopen: %d", lv)
+	}
+	// Unknown device names are rejected.
+	if _, err := NewTieredDir(dir, []string{"floppy"}); err == nil {
+		t.Errorf("unknown device accepted")
+	}
+	if _, err := NewTieredDir(dir, nil); err == nil {
+		t.Errorf("empty level list accepted")
+	}
+}
