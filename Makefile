@@ -2,13 +2,19 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json fmt vet check experiments
+.PHONY: build test test-race bench bench-json fmt vet check experiments
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent machinery (save pipeline,
+# parallel restore engine, cache, tiered batch reads). CI runs this as
+# its own job.
+test-race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -18,9 +24,9 @@ bench:
 # benchmark fails the target instead of writing a truncated JSON.
 bench-json:
 	$(GO) test -bench=. -benchmem -run '^$$' . > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR2.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR3.json < bench.out
 	@rm -f bench.out
-	@echo wrote BENCH_PR2.json
+	@echo wrote BENCH_PR3.json
 
 fmt:
 	gofmt -l -w .

@@ -117,6 +117,35 @@ func BenchmarkTable4Lifecycle(b *testing.B) {
 	}
 }
 
+// BenchmarkTable5Restore regenerates Table 5: serial vs parallel
+// streaming restore of multi-chunk snapshot chains, hot and demoted.
+// Metrics: recovery wall time per configuration and the parallel speedup;
+// any mode losing bitwise recovery fails the benchmark.
+func BenchmarkTable5Restore(b *testing.B) {
+	var rows []harness.T5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunT5Restore(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	recovery := map[string]time.Duration{}
+	for _, r := range rows {
+		if !r.Bitwise {
+			b.Fatalf("%s/%s restore not bitwise-identical", r.Config, r.Mode)
+		}
+		recovery[r.Config+"-"+r.Mode] = r.Recovery
+		b.ReportMetric(float64(r.Recovery.Microseconds()), r.Config+"-"+r.Mode+"-µs")
+	}
+	if s, p := recovery["hot-serial"], recovery["hot-parallel"]; p > 0 {
+		b.ReportMetric(float64(s)/float64(p), "hot-speedup-x")
+	}
+	if s, p := recovery["demoted-serial"], recovery["demoted-parallel"]; p > 0 {
+		b.ReportMetric(float64(s)/float64(p), "demoted-speedup-x")
+	}
+}
+
 // BenchmarkFig1WastedWork regenerates Figure 1: expected completion time
 // without checkpointing vs MTBF. Metric: the blow-up factor E[T]/W at
 // MTBF = W/5.

@@ -211,3 +211,32 @@ func TestCmdErrorsOnMissing(t *testing.T) {
 		t.Errorf("compact on empty dir succeeded")
 	}
 }
+
+func TestCmdRestoreParallel(t *testing.T) {
+	dir := t.TempDir()
+	m, err := core.NewManager(core.Options{
+		Dir: dir, Strategy: core.StrategyDelta, AnchorEvery: 4,
+		ChunkBytes: 1 << 10, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewTrainingState()
+	st.Params = make([]float64, 2048)
+	st.Meta = core.Meta{FormatVersion: core.FormatVersion, CircuitFP: "c", ProblemFP: "p", OptimizerName: "adam"}
+	st.BestLoss = math.Inf(1)
+	for i := 0; i < 6; i++ {
+		st = st.Clone()
+		st.Step = uint64(i)
+		st.Params[i] += 1
+		if _, err := m.Save(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	restoreWorkers, restorePrefetch = 4, 8
+	defer func() { restoreWorkers, restorePrefetch = 0, 0 }()
+	if err := cmdRestore(dir); err != nil {
+		t.Errorf("restore: %v", err)
+	}
+}

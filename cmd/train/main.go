@@ -9,6 +9,7 @@
 //	train -task maxcut -qubits 6 -p 2 -steps 40 -mtbf 5m -ckpt /tmp/run2
 //	train -task vqe -qubits 4 -layers 2 -steps 50 -ckpt /tmp/run3 -async -workers 4 -chunk 64
 //	train -task vqe -qubits 4 -layers 2 -steps 80 -ckpt /tmp/run4 -chunk 64 -tiers nvme+object -keep-hot 2
+//	train -task vqe -qubits 4 -layers 2 -steps 100 -ckpt /tmp/run1 -resume -restore-workers 0
 package main
 
 import (
@@ -55,6 +56,7 @@ func main() {
 		chunkKB  = flag.Int("chunk", 0, "chunk checkpoints into KB-sized deduplicated pieces (0 = monolithic)")
 		tiers    = flag.String("tiers", "", "tiered checkpoint placement preset: device levels hot-to-cold joined by '+' (e.g. nvme+object, nvme+nfs+object); empty disables tiering")
 		keepHot  = flag.Int("keep-hot", 2, "anchor chains kept on the hot tier before demotion (with -tiers)")
+		restoreW = flag.Int("restore-workers", 1, "parallel chunk-restore workers for -resume (1 = serial, ≤0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -102,8 +104,12 @@ func main() {
 		if *ckptDir == "" {
 			fatal(errors.New("-resume requires -ckpt"))
 		}
+		ropts := core.RestoreOptions{Workers: *restoreW}
+		if *restoreW <= 0 {
+			ropts = core.DefaultRestoreOptions()
+		}
 		var report core.LoadReport
-		tr, report, err = train.ResumeLatest(cfg, *ckptDir)
+		tr, report, err = train.ResumeLatestOptions(cfg, *ckptDir, ropts)
 		if err != nil {
 			fatal(err)
 		}

@@ -29,7 +29,7 @@ func ArchiveBackend(src storage.Backend, cs *storage.ChunkStore, manifestPath st
 	if err != nil {
 		return 0, fmt.Errorf("core: archive list: %w", err)
 	}
-	view := newSnapshotView(src)
+	view := newSnapshotView(src, RestoreOptions{})
 	type entry struct{ name, addr string }
 	var list []entry
 	for _, key := range keys {

@@ -95,21 +95,24 @@ func splitChunks(body []byte, size int) [][]byte {
 	return chunks
 }
 
-// assembleChunks reconstructs a chunked snapshot's body from its manifest:
-// each chunk is fetched (content-verified by the store), decompressed, and
-// concatenated in manifest order.
+// assembleChunks reconstructs a chunked snapshot's body from its manifest
+// serially; assembleChunksOptions (restore.go) is the engine-selecting
+// form the recovery path uses.
 func assembleChunks(cs *storage.ChunkStore, manifest []byte) ([]byte, error) {
 	rawLen, addrs, err := decodeChunkManifest(manifest)
 	if err != nil {
 		return nil, err
 	}
+	return assembleAddrs(cs, rawLen, addrs)
+}
+
+// assembleAddrs is the serial assembly path: each chunk is fetched
+// (content-verified by the store), decompressed, and concatenated in
+// manifest order.
+func assembleAddrs(cs *storage.ChunkStore, rawLen int, addrs []string) ([]byte, error) {
 	body := make([]byte, 0, rawLen)
 	for _, addr := range addrs {
-		comp, err := cs.Get(addr)
-		if err != nil {
-			return nil, fmt.Errorf("%w: chunk %.12s…: %v", ErrCorrupt, addr, err)
-		}
-		raw, err := decompress(comp)
+		raw, err := fetchChunk(cs, addr)
 		if err != nil {
 			return nil, err
 		}
@@ -166,9 +169,13 @@ func chunkReferences(b storage.Backend) (map[string]bool, error) {
 
 // CollectOrphanChunks deletes every chunk in b's chunk namespace that no
 // readable manifest references, reporting how many chunks and bytes were
-// reclaimed. It is the shared tail of retention GC, Compact and the
-// `qckpt gc` subcommand; on a Tiered backend the keep-set spans every
-// level and orphans are collected wherever they live.
+// reclaimed. It is the shared tail of Compact and the `qckpt gc`
+// subcommand; on a Tiered backend the keep-set spans every level and
+// orphans are collected wherever they live. It must not run concurrently
+// with a live writer on the same backend — a chunked save's chunks are
+// durable before the manifest that references them, so a mid-flight save
+// looks like orphans. Against a live Manager use Manager.CollectOrphans,
+// whose pin protocol makes that interleaving safe.
 func CollectOrphanChunks(b storage.Backend) (removed int, reclaimed int64, err error) {
 	keep, err := chunkReferences(b)
 	if err != nil {
@@ -177,8 +184,8 @@ func CollectOrphanChunks(b storage.Backend) (removed int, reclaimed int64, err e
 	return storage.NewChunkStore(storage.WithPrefix(b, ChunkPrefix)).GC(keep)
 }
 
-// gcOrphanChunks is the best-effort form used inside GC paths: if the
-// keep-set cannot be computed, nothing is deleted.
+// gcOrphanChunks is the best-effort form used inside offline GC paths: if
+// the keep-set cannot be computed, nothing is deleted.
 func gcOrphanChunks(b storage.Backend) {
 	CollectOrphanChunks(b)
 }

@@ -145,6 +145,25 @@ type Manager struct {
 	stats       Stats
 	asyncErr    error
 
+	// pins holds the chunk addresses of saves whose manifests have not
+	// committed yet (refcounted: concurrent saves may share content).
+	// Chunks are durable before the manifest that references them, so
+	// without pinning a concurrent orphan-chunk GC would see a mid-flight
+	// save's chunks as garbage and delete them out from under the manifest
+	// about to commit. Guarded by pinMu, not mu: pins are touched from
+	// chunk-write workers while mu serializes trainer-side state.
+	pinMu sync.Mutex
+	pins  map[string]int
+
+	// gcGate closes the last hole pins alone cannot: a manifest that
+	// commits after GC scanned manifests but whose pins release before GC
+	// sweeps would dangle. Saves release their pins under the read side
+	// (after the manifest commit); CollectOrphans holds the write side
+	// across manifest scan + sweep, so a release lands either before the
+	// scan (the manifest is in the keep-set) or after the sweep (the pins
+	// were live at every delete-time check).
+	gcGate sync.RWMutex
+
 	jobs      chan writeJob // async sequencer queue
 	sequencer sync.WaitGroup
 	tasks     chan func() // chunk-write worker pool (nil unless chunked with Workers > 1)
@@ -190,7 +209,7 @@ func NewManager(opt Options) (*Manager, error) {
 			return nil, fmt.Errorf("core: create checkpoint dir: %w", err)
 		}
 	}
-	m := &Manager{opt: opt, backend: backend, savedAt: make(map[uint64]time.Time)}
+	m := &Manager{opt: opt, backend: backend, savedAt: make(map[uint64]time.Time), pins: make(map[string]int)}
 	m.tiered, _ = backend.(*storage.Tiered)
 	if opt.Lifecycle.enabled() {
 		if m.tiered == nil {
@@ -304,6 +323,7 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	// stored data, but it would double-write and skew the dedup stats).
 	type result struct {
 		addr    string
+		pinned  string // chunk address pinned against concurrent GC
 		written int
 		err     error
 	}
@@ -325,10 +345,31 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 				r.err = err
 				return
 			}
-			r.addr, r.written, r.err = m.chunks.Ingest(comp)
+			// Pin before touching the store: Manager.CollectOrphans
+			// re-checks live pins immediately before each delete, so the
+			// pin shields this chunk — written or dedup-hit, even an
+			// orphan of a deleted manifest — until our manifest commits.
+			// The address doubles as Ingest's, so each chunk hashes once.
+			r.pinned = storage.Hash(comp)
+			m.pinChunk(r.pinned)
+			r.addr, r.written, r.err = m.chunks.IngestAddressed(r.pinned, comp)
 		})
 	}
 	wg.Wait()
+	// Pins are released only after the manifest commit below — inside the
+	// gcGate read section, so a concurrent GC either sees the committed
+	// manifest or the still-held pins — or on abort, where no manifest
+	// will ever reference the chunks and plain release is safe. unpinAll
+	// is idempotent; the defer covers every abort path.
+	unpinAll := func() {
+		for _, r := range results {
+			if r.pinned != "" {
+				m.unpinChunk(r.pinned)
+				r.pinned = ""
+			}
+		}
+	}
+	defer unpinAll()
 	total, dedup := 0, len(pieces)-len(results)
 	for _, r := range results {
 		if r.err != nil {
@@ -351,14 +392,97 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 		return 0, err
 	}
 	if err := m.backend.Put(job.name, data); err != nil {
-		return 0, err
+		return 0, err // the deferred unpinAll releases; no manifest exists to dangle
 	}
+	// Release pins under the gcGate read side, which forces the release to
+	// land either before a collection's manifest scan (the committed
+	// manifest is then in its keep-set) or after its sweep (the pins were
+	// still live at every delete check). The gate is held only for this
+	// instant — not the manifest write or the chunk writes above.
+	m.gcGate.RLock()
+	unpinAll()
+	m.gcGate.RUnlock()
 	m.mu.Lock()
 	m.stats.Chunks += len(pieces)
 	m.stats.DedupHits += dedup
 	m.stats.ChunkBytes += int64(total)
 	m.mu.Unlock()
 	return total + len(data), nil
+}
+
+// pinChunk marks addr as belonging to an in-flight save.
+func (m *Manager) pinChunk(addr string) {
+	m.pinMu.Lock()
+	m.pins[addr]++
+	m.pinMu.Unlock()
+}
+
+// unpinChunk releases one reference to addr.
+func (m *Manager) unpinChunk(addr string) {
+	m.pinMu.Lock()
+	if m.pins[addr] > 1 {
+		m.pins[addr]--
+	} else {
+		delete(m.pins, addr)
+	}
+	m.pinMu.Unlock()
+}
+
+// pinnedChunks snapshots the in-flight chunk addresses for GC exclusion.
+func (m *Manager) pinnedChunks() map[string]bool {
+	m.pinMu.Lock()
+	defer m.pinMu.Unlock()
+	out := make(map[string]bool, len(m.pins))
+	for a := range m.pins {
+		out[a] = true
+	}
+	return out
+}
+
+// chunkPinned reports whether addr is pinned right now — the sweep's
+// delete-time check, which catches pins taken after the snapshot (a save
+// dedup-hitting an old orphan while a collection is in progress).
+func (m *Manager) chunkPinned(addr string) bool {
+	m.pinMu.Lock()
+	defer m.pinMu.Unlock()
+	return m.pins[addr] > 0
+}
+
+// CollectOrphans removes unreferenced chunks from the manager's backend
+// while honoring the pins of saves still in flight, so it is safe to call
+// concurrently with async chunked saves — unlike the package-level
+// CollectOrphanChunks, which must only run against a quiescent backend.
+// Retention GC uses the same path internally.
+//
+// Safety argument, combining the pin protocol with the gcGate: (1) the
+// chunk inventory is listed first, so chunks ingested after it are never
+// swept; (2) a save pins every chunk before touching the store (write or
+// dedup hit alike) and the sweep re-checks live pins immediately before
+// each delete, so a pin held across the sweep always protects its chunk;
+// (3) pins are released under the gate's read side while the manifest
+// scan + sweep run under the write side, so a release lands either
+// before the scan — the committed manifest is then in the keep-set — or
+// after the sweep, where (2) already protected the chunk. Together: no
+// chunk a committing save references is ever swept, including old orphan
+// chunks revived by a dedup hit mid-collection (if the sweep deleted the
+// chunk before the save's Stat, the dedup check misses and the save
+// rewrites the chunk instead).
+func (m *Manager) CollectOrphans() (removed int, reclaimed int64, err error) {
+	cs := storage.NewChunkStore(storage.WithPrefix(m.backend, ChunkPrefix))
+	addrs, err := cs.List()
+	if err != nil {
+		return 0, 0, err
+	}
+	m.gcGate.Lock()
+	defer m.gcGate.Unlock()
+	keep, err := chunkReferences(m.backend)
+	if err != nil {
+		return 0, 0, err
+	}
+	for a := range m.pinnedChunks() {
+		keep[a] = true
+	}
+	return cs.Sweep(addrs, keep, m.chunkPinned)
 }
 
 // snapshotKeyPrefix prefixes every snapshot object key; scans list by it
@@ -596,6 +720,6 @@ func (m *Manager) gc() {
 		}
 	}
 	if deleted && m.chunks != nil {
-		gcOrphanChunks(m.backend)
+		m.CollectOrphans()
 	}
 }

@@ -41,15 +41,18 @@ const recoveryCacheBytes = 64 << 20
 // snapshotView reads snapshots (including chunked ones) from a backend,
 // through a bounded LRU read cache: a cold-tier restore pays the cold
 // fetch once and every later touch — repeated chain resolution, shared
-// chunks between deltas — is served warm.
+// chunks between deltas — is served warm. Its RestoreOptions select the
+// serial or parallel chunk-assembly engine (restore.go); the cache below
+// it is safe under the engine's concurrent readers.
 type snapshotView struct {
-	b  storage.Backend
-	cs *storage.ChunkStore
+	b    storage.Backend
+	cs   *storage.ChunkStore
+	opts RestoreOptions
 }
 
-func newSnapshotView(b storage.Backend) *snapshotView {
+func newSnapshotView(b storage.Backend, opts RestoreOptions) *snapshotView {
 	cb := storage.NewCache(b, recoveryCacheBytes)
-	return &snapshotView{b: cb, cs: storage.NewChunkStore(storage.WithPrefix(cb, ChunkPrefix))}
+	return &snapshotView{b: cb, cs: storage.NewChunkStore(storage.WithPrefix(cb, ChunkPrefix)), opts: opts}
 }
 
 // readBody fully verifies the snapshot object at key and returns its
@@ -65,7 +68,7 @@ func (v *snapshotView) readBody(key string) (Header, []byte, error) {
 		return h, nil, err
 	}
 	if h.Kind.Chunked() {
-		body, err = assembleChunks(v.cs, body)
+		body, err = assembleChunksOptions(v.cs, body, v.opts)
 		if err != nil {
 			return h, nil, err
 		}
@@ -109,7 +112,10 @@ func (v *snapshotView) buildIndex() (bySeq []indexEntry, byPayloadHash map[[32]b
 const maxChainLen = 1 << 16
 
 // resolvePayload reconstructs the canonical payload of the snapshot at ent,
-// following the delta chain back to its full anchor.
+// following the delta chain back to its full anchor. Under parallel
+// RestoreOptions the next link's manifest and chunks are prefetched into
+// the view's cache while the current link is fetched and applied, so cold
+// I/O for link N+1 overlaps the CPU work of link N.
 func (v *snapshotView) resolvePayload(ent indexEntry, byPayloadHash map[[32]byte]indexEntry) (payload []byte, chainLen int, err error) {
 	// Walk back collecting the chain: ent, base(ent), base(base(ent)), …
 	chain := []indexEntry{ent}
@@ -125,7 +131,14 @@ func (v *snapshotView) resolvePayload(ent indexEntry, byPayloadHash map[[32]byte
 		chain = append(chain, base)
 		cur = base
 	}
-	// Apply forward from the anchor.
+	// Apply forward from the anchor. The deferred wait ensures no warmer
+	// outlives resolution, error or not.
+	var pf prefetcher
+	defer pf.wait()
+	var warmed func() // wait for the in-flight warm of the next link
+	if v.opts.parallel() && len(chain) >= 2 {
+		warmed = pf.start(v, chain[len(chain)-2].key)
+	}
 	_, payload, err = v.readBody(chain[len(chain)-1].key)
 	if err != nil {
 		return nil, 0, err
@@ -134,6 +147,14 @@ func (v *snapshotView) resolvePayload(ent indexEntry, byPayloadHash map[[32]byte
 		return nil, 0, fmt.Errorf("%w: anchor payload hash mismatch", ErrCorrupt)
 	}
 	for i := len(chain) - 2; i >= 0; i-- {
+		ready := warmed
+		warmed = nil
+		if v.opts.parallel() && i-1 >= 0 {
+			warmed = pf.start(v, chain[i-1].key)
+		}
+		if ready != nil {
+			ready() // this link's warm has run since the previous iteration
+		}
 		_, delta, err := v.readBody(chain[i].key)
 		if err != nil {
 			return nil, 0, err
@@ -162,9 +183,19 @@ func dirBackend(dir string) (storage.Backend, error) {
 // falling back to older snapshots when the newest is corrupt or its chain
 // is broken. If live is non-nil, snapshots whose Meta is incompatible with
 // *live are skipped (with an error recorded) rather than restored into the
-// wrong run. The report's Path is the backend key.
+// wrong run. The report's Path is the backend key. Restore is serial; use
+// LoadLatestBackendOptions to enable the parallel engine.
 func LoadLatestBackend(b storage.Backend, live *Meta) (*TrainingState, LoadReport, error) {
-	v := newSnapshotView(b)
+	return LoadLatestBackendOptions(b, live, RestoreOptions{})
+}
+
+// LoadLatestBackendOptions is LoadLatestBackend with restore-engine
+// options: chunked bodies are assembled by opts.Workers concurrent
+// fetch+decompress workers and delta chains prefetch their next link
+// while the current one applies. The recovered state is bitwise-identical
+// to a serial restore's.
+func LoadLatestBackendOptions(b storage.Backend, live *Meta, opts RestoreOptions) (*TrainingState, LoadReport, error) {
+	v := newSnapshotView(b, opts)
 	bySeq, byHash, skipped, err := v.buildIndex()
 	if err != nil {
 		return nil, LoadReport{}, err
@@ -199,11 +230,17 @@ func LoadLatestBackend(b storage.Backend, live *Meta) (*TrainingState, LoadRepor
 // LoadLatest restores the newest valid snapshot in dir (see
 // LoadLatestBackend). The report's Path is the snapshot's file path.
 func LoadLatest(dir string, live *Meta) (*TrainingState, LoadReport, error) {
+	return LoadLatestOptions(dir, live, RestoreOptions{})
+}
+
+// LoadLatestOptions restores the newest valid snapshot in dir through the
+// restore engine configured by opts (see LoadLatestBackendOptions).
+func LoadLatestOptions(dir string, live *Meta, opts RestoreOptions) (*TrainingState, LoadReport, error) {
 	b, err := dirBackend(dir)
 	if err != nil {
 		return nil, LoadReport{}, err
 	}
-	state, report, err := LoadLatestBackend(b, live)
+	state, report, err := LoadLatestBackendOptions(b, live, opts)
 	if report.Path != "" {
 		report.Path = filepath.Join(dir, filepath.FromSlash(report.Path))
 	}
@@ -224,7 +261,7 @@ func ReadSnapshotBody(filePath string) (Header, []byte, error) {
 		if berr != nil {
 			return h, nil, berr
 		}
-		body, err = assembleChunks(newSnapshotView(b).cs, body)
+		body, err = assembleChunks(newSnapshotView(b, RestoreOptions{}).cs, body)
 		if err != nil {
 			return h, nil, err
 		}
@@ -256,7 +293,7 @@ func VerifyFile(filePath string) (Header, error) {
 // VerifyBackend verifies every snapshot in b including delta-chain and
 // chunk resolution; it returns one error message per broken snapshot.
 func VerifyBackend(b storage.Backend) (ok int, problems []string, err error) {
-	v := newSnapshotView(b)
+	v := newSnapshotView(b, RestoreOptions{})
 	bySeq, byHash, skipped, err := v.buildIndex()
 	if err != nil {
 		return 0, nil, err
@@ -289,7 +326,7 @@ func VerifyDir(dir string) (ok int, problems []string, err error) {
 // ListSnapshotsBackend returns headers of all parseable snapshots in b,
 // newest first.
 func ListSnapshotsBackend(b storage.Backend) ([]Header, []string, error) {
-	bySeq, _, skipped, err := newSnapshotView(b).buildIndex()
+	bySeq, _, skipped, err := newSnapshotView(b, RestoreOptions{}).buildIndex()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Parallel streaming restore engine. Save became a concurrent chunked
+// pipeline in PR 1 and placement became tiered in PR 2, but restore — the
+// latency that decides how much work a failure wastes — still reassembled
+// chunks one blocking fetch at a time. This engine fans chunk fetch and
+// decompression across a bounded worker pool while a single committer
+// writes completed chunks into a preallocated buffer in manifest order,
+// and chain resolution warms the next delta's chunks while the current
+// one applies. Correctness invariants:
+//
+//   - Ordered reassembly: chunks commit to the output buffer strictly in
+//     manifest order, whatever order workers finish in, so the recovered
+//     body is bitwise-identical to the serial path's.
+//   - Bounded window: at most Workers+Prefetch chunks past the commit
+//     frontier are in flight (fetched, decompressed, or queued), so
+//     restoring an arbitrarily large snapshot holds a bounded working set
+//     beyond the output buffer itself.
+//   - First-error cancellation: the committer surfaces the failure of the
+//     lowest-index failing chunk — deterministic under any scheduling —
+//     closes the cancel gate, and waits for every worker to drain before
+//     returning, so a failed restore leaks no goroutines.
+
+// RestoreOptions tunes the parallel streaming restore engine. The zero
+// value restores serially — exactly the pre-engine behavior — so existing
+// entry points are unchanged unless a caller opts in.
+type RestoreOptions struct {
+	// Workers sizes the chunk fetch+decompress worker pool. Values <= 1
+	// restore serially.
+	Workers int
+	// Prefetch bounds how many chunks beyond the ordered reassembly
+	// frontier may be in flight in addition to the Workers currently
+	// executing. <= 0 defaults to 2×Workers.
+	Prefetch int
+}
+
+// DefaultRestoreOptions sizes the worker pool to the machine: one worker
+// per CPU (decompression is the CPU-bound half of a restore) with the
+// default prefetch window.
+func DefaultRestoreOptions() RestoreOptions {
+	return RestoreOptions{Workers: runtime.NumCPU()}
+}
+
+// parallel reports whether the options select the concurrent engine.
+func (o RestoreOptions) parallel() bool { return o.Workers > 1 }
+
+// window is the bound on chunks in flight past the commit frontier.
+func (o RestoreOptions) window() int {
+	pf := o.Prefetch
+	if pf <= 0 {
+		pf = 2 * o.Workers
+	}
+	return o.Workers + pf
+}
+
+// assembleChunksOptions reconstructs a chunked snapshot body from its
+// manifest under opt: serially for the zero value, through the parallel
+// engine otherwise. Both paths return bitwise-identical bodies.
+func assembleChunksOptions(cs *storage.ChunkStore, manifest []byte, opt RestoreOptions) ([]byte, error) {
+	rawLen, addrs, err := decodeChunkManifest(manifest)
+	if err != nil {
+		return nil, err
+	}
+	if !opt.parallel() || len(addrs) < 2 {
+		return assembleAddrs(cs, rawLen, addrs)
+	}
+	return assembleAddrsParallel(cs, rawLen, addrs, opt)
+}
+
+// fetchChunk is the unit of restore work: one content-verified chunk read
+// plus its decompression. Both failure modes wrap ErrCorrupt so recovery
+// falls back to an older snapshot instead of treating the directory as
+// unreadable.
+func fetchChunk(cs *storage.ChunkStore, addr string) ([]byte, error) {
+	comp, err := cs.Get(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: chunk %.12s…: %v", ErrCorrupt, addr, err)
+	}
+	return decompress(comp)
+}
+
+// chunkSlot carries one chunk's result from a worker to the committer.
+type chunkSlot struct {
+	raw  []byte
+	err  error
+	done chan struct{}
+}
+
+// assembleAddrsParallel is the concurrent engine behind
+// assembleChunksOptions (see the package comment above for invariants).
+func assembleAddrsParallel(cs *storage.ChunkStore, rawLen int, addrs []string, opt RestoreOptions) ([]byte, error) {
+	workers := opt.Workers
+	if workers > len(addrs) {
+		workers = len(addrs)
+	}
+	slots := make([]chunkSlot, len(addrs))
+	for i := range slots {
+		slots[i].done = make(chan struct{})
+	}
+
+	// Delta bodies repeat the all-zero chunk heavily, so a manifest names
+	// the same address many times. The first occurrence fetches and
+	// decompresses; repeats share the result instead of re-reading it.
+	// Only repeated addresses are memoized, so unique chunks (the bulk of
+	// an anchor) are still released as the committer passes them.
+	type sharedChunk struct {
+		once sync.Once
+		raw  []byte
+		err  error
+	}
+	counts := make(map[string]int, len(addrs))
+	for _, a := range addrs {
+		counts[a]++
+	}
+	memo := make(map[string]*sharedChunk)
+	for a, n := range counts {
+		if n > 1 {
+			memo[a] = &sharedChunk{}
+		}
+	}
+
+	var (
+		wg     sync.WaitGroup
+		cancel = make(chan struct{})
+		once   sync.Once
+	)
+	stop := func() { once.Do(func() { close(cancel) }) }
+
+	// Producer: dispatch indices in order, gated by the in-flight window.
+	// The committer returns a window slot only after consuming a chunk, so
+	// dispatch never runs more than window() chunks ahead of the frontier.
+	sem := make(chan struct{}, opt.window())
+	idxCh := make(chan int)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(idxCh)
+		for i := range addrs {
+			select {
+			case sem <- struct{}{}:
+			case <-cancel:
+				return
+			}
+			select {
+			case idxCh <- i:
+			case <-cancel:
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				select {
+				case <-cancel:
+					// A failed restore is tearing down: complete the slot
+					// without fetching so shutdown is prompt.
+					close(slots[i].done)
+					continue
+				default:
+				}
+				if sh := memo[addrs[i]]; sh != nil {
+					sh.once.Do(func() { sh.raw, sh.err = fetchChunk(cs, addrs[i]) })
+					slots[i].raw, slots[i].err = sh.raw, sh.err
+				} else {
+					slots[i].raw, slots[i].err = fetchChunk(cs, addrs[i])
+				}
+				close(slots[i].done)
+			}
+		}()
+	}
+
+	// Committer: consume slots strictly in manifest order into the
+	// preallocated buffer. On the first error — first by chunk index, so
+	// the reported failure is deterministic however workers interleave —
+	// cancel the pool and stop waiting on slots that were never dispatched.
+	body := make([]byte, 0, rawLen)
+	var firstErr error
+	for i := range slots {
+		<-slots[i].done
+		if slots[i].err != nil {
+			firstErr = slots[i].err
+			break
+		}
+		if len(body)+len(slots[i].raw) > rawLen {
+			firstErr = fmt.Errorf("%w: assembled more than the %d manifest bytes", ErrCorrupt, rawLen)
+			break
+		}
+		body = append(body, slots[i].raw...)
+		slots[i].raw = nil
+		<-sem
+	}
+	stop()
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(body) != rawLen {
+		return nil, fmt.Errorf("%w: assembled %d bytes, manifest says %d", ErrCorrupt, len(body), rawLen)
+	}
+	return body, nil
+}
+
+// prefetcher pipelines delta-chain resolution: while one link is being
+// fetched and applied, the next link's manifest and chunks are pulled
+// through the snapshotView's cache in the background, so on a tiered
+// backend the cold fetches of link N+1 overlap the CPU work of link N.
+type prefetcher struct {
+	wg sync.WaitGroup
+}
+
+// start warms key's manifest and chunks in the background and returns a
+// wait function. The resolver calls it right before its foreground read
+// of key: by then the warmer has been running for the whole previous
+// link, so the wait is usually instant, and blocking until the fill lands
+// keeps the foreground from racing the warmer into duplicate cold
+// fetches of the same chunks.
+func (p *prefetcher) start(v *snapshotView, key string) func() {
+	done := make(chan struct{})
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(done)
+		v.warm(key)
+	}()
+	return func() { <-done }
+}
+
+// wait blocks until every outstanding prefetch has finished; callers defer
+// it so no warmers outlive the resolution that spawned them.
+func (p *prefetcher) wait() { p.wg.Wait() }
+
+// warm pulls key's snapshot object — and, for chunked kinds, its distinct
+// chunks — through the view's read cache, batching the chunk fetches so a
+// Tiered backend overlaps them per level. Errors are deliberately
+// dropped: prefetch is a cache warmer, and the foreground read reports
+// any failure with full context.
+func (v *snapshotView) warm(key string) {
+	data, err := v.b.Get(key)
+	if err != nil {
+		return
+	}
+	h, body, err := DecodeSnapshotFile(data)
+	if err != nil || !h.Kind.Chunked() {
+		return
+	}
+	_, addrs, err := decodeChunkManifest(body)
+	if err != nil {
+		return
+	}
+	seen := make(map[string]bool, len(addrs))
+	distinct := addrs[:0]
+	for _, a := range addrs {
+		if !seen[a] {
+			seen[a] = true
+			distinct = append(distinct, a)
+		}
+	}
+	v.cs.GetBatch(distinct)
+}

@@ -1,0 +1,37 @@
+package harness
+
+import "testing"
+
+func TestRunT5Restore(t *testing.T) {
+	rows, err := RunT5Restore(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows (hot/demoted × serial/parallel), got %d", len(rows))
+	}
+	seen := map[string]T5Row{}
+	for _, r := range rows {
+		if !r.Bitwise {
+			t.Errorf("%s/%s: restore not bitwise-identical", r.Config, r.Mode)
+		}
+		if r.ChainLen < 2 {
+			t.Errorf("%s/%s: chain length %d exercises no chain pipelining", r.Config, r.Mode, r.ChainLen)
+		}
+		seen[r.Config+"/"+r.Mode] = r
+	}
+	for _, key := range []string{"hot/serial", "hot/parallel", "demoted/serial", "demoted/parallel"} {
+		if _, ok := seen[key]; !ok {
+			t.Errorf("missing row %s", key)
+		}
+	}
+	// Placement must dominate the modeled read bill: restoring the demoted
+	// chain pays far more device time than the hot one, in both modes.
+	if seen["demoted/serial"].RecBill <= seen["hot/serial"].RecBill {
+		t.Errorf("demoted restore billed no more than hot: %v vs %v",
+			seen["demoted/serial"].RecBill, seen["hot/serial"].RecBill)
+	}
+	if T5Table(rows).String() == "" {
+		t.Error("empty table")
+	}
+}

@@ -405,6 +405,14 @@ func (p *prefixed) GetRange(key string, off, n int64) ([]byte, error) {
 	return GetRange(p.base, p.prefix+key, off, n)
 }
 
+func (p *prefixed) GetBatch(keys []string) ([][]byte, []error) {
+	full := make([]string, len(keys))
+	for i, k := range keys {
+		full[i] = p.prefix + k // the base validates the joined key
+	}
+	return GetBatch(p.base, full)
+}
+
 func (p *prefixed) List(prefix string) ([]string, error) {
 	keys, err := p.base.List(p.prefix + prefix)
 	if err != nil {

@@ -7,13 +7,16 @@ import (
 
 // Cache wraps a Backend with a bounded LRU read cache keyed by object.
 // Recovery is its customer: resolving a delta chain re-reads anchors and
-// shared chunks many times, and on a Tiered backend those re-reads would
-// otherwise be billed by a cold device model on every touch. Writes go
-// through to the base backend and update the cached copy, deletes evict
-// it, so the cache never serves stale objects it created itself.
-// (Coherence with writers bypassing this wrapper is out of scope — the
-// snapshot namespace is immutable-by-content, which is what makes caching
-// safe.)
+// shared chunks many times — since PR 3 from many goroutines at once —
+// and on a Tiered backend those re-reads would otherwise be billed by a
+// cold device model on every touch. Writes go through to the base backend
+// and invalidate any cached copy, deletes evict it, so the cache never
+// serves stale objects it created itself; invalidation (rather than
+// updating in place) is what keeps two racing Puts of the same key from
+// leaving the cache holding the loser's data. Every method is safe for
+// concurrent use. (Coherence with writers bypassing this wrapper is out
+// of scope — the snapshot namespace is immutable-by-content, which is
+// what makes caching safe.)
 type Cache struct {
 	base Backend
 	max  int64
@@ -138,19 +141,17 @@ func (c *Cache) Name() string { return "cache+" + c.base.Name() }
 // base.
 func (c *Cache) Capabilities() Capabilities { return c.base.Capabilities() }
 
-// Put implements Backend: write-through, keeping any cached copy current.
+// Put implements Backend: write-through, invalidating any cached copy.
+// Updating the cached entry in place instead would race a concurrent Put
+// of the same key — base writes and cache updates could interleave in
+// opposite orders, pinning stale data until eviction. Dropping the entry
+// (and bumping the generation, which fences in-flight miss fills) makes
+// the next Get re-read whatever the base settled on.
 func (c *Cache) Put(key string, data []byte) error {
 	if err := c.base.Put(key, data); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.gen++
-	gen := c.gen
-	_, cached := c.entries[key]
-	c.mu.Unlock()
-	if cached {
-		c.insert(key, data, gen)
-	}
+	c.drop(key)
 	return nil
 }
 
@@ -192,6 +193,45 @@ func (c *Cache) GetRange(key string, off, n int64) ([]byte, error) {
 		return data[off:end], nil
 	}
 	return GetRange(c.base, key, off, n)
+}
+
+// GetBatch implements BatchReader: cached objects are served without
+// touching the base, and the misses go down in one batch — on a Tiered
+// base that overlaps the per-level fetches — then fill the cache under
+// the same generation fence as single-object misses.
+func (c *Cache) GetBatch(keys []string) ([][]byte, []error) {
+	out := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	var missKeys []string
+	var missIdx []int
+	var missGen []uint64
+	for i, k := range keys {
+		if err := ValidateKey(k); err != nil {
+			errs[i] = err
+			continue
+		}
+		data, ok, gen := c.lookup(k)
+		if ok {
+			out[i] = data
+			continue
+		}
+		missKeys = append(missKeys, k)
+		missIdx = append(missIdx, i)
+		missGen = append(missGen, gen)
+	}
+	if len(missKeys) == 0 {
+		return out, errs
+	}
+	datas, merrs := GetBatch(c.base, missKeys)
+	for j, i := range missIdx {
+		if merrs[j] != nil {
+			errs[i] = merrs[j]
+			continue
+		}
+		out[i] = datas[j]
+		c.insert(missKeys[j], datas[j], missGen[j])
+	}
+	return out, errs
 }
 
 // List implements Backend.

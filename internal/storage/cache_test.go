@@ -3,6 +3,8 @@ package storage
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -99,6 +101,104 @@ func TestCacheGetRange(t *testing.T) {
 	}
 	if _, err := GetRange(c, "k", -1, 4); err == nil {
 		t.Errorf("negative offset accepted")
+	}
+}
+
+// TestCacheConcurrentGetStress hammers the cache from many goroutines —
+// the parallel restore engine's access pattern — mixing hits, miss fills,
+// range reads, overwrites, and deletes, under a budget small enough to
+// force constant eviction. Each key's value is a pure function of the
+// key, so any successful read has exactly one correct answer whatever
+// the interleaving. Run with -race (the CI race job does).
+func TestCacheConcurrentGetStress(t *testing.T) {
+	base := NewMem()
+	valueOf := func(k int) []byte {
+		return bytes.Repeat([]byte{byte(k + 1)}, 64)
+	}
+	const keys = 16
+	for k := 0; k < keys; k++ {
+		if err := base.Put(fmt.Sprintf("k%02d", k), valueOf(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCache(base, 6*64) // holds 6 of 16 objects: eviction is constant
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := (g*7 + i) % keys
+				key := fmt.Sprintf("k%02d", k)
+				switch (g + i) % 5 {
+				case 0: // overwrite with the same canonical value
+					if err := c.Put(key, valueOf(k)); err != nil {
+						errCh <- err
+						return
+					}
+				case 1: // delete then restore
+					c.Delete(key)
+					if err := c.Put(key, valueOf(k)); err != nil {
+						errCh <- err
+						return
+					}
+				case 2: // range read
+					got, err := c.GetRange(key, 8, 16)
+					if err == nil && !bytes.Equal(got, valueOf(k)[8:24]) {
+						errCh <- fmt.Errorf("range of %s: %v", key, got)
+						return
+					}
+				default: // plain read
+					got, err := c.Get(key)
+					if err == nil && !bytes.Equal(got, valueOf(k)) {
+						errCh <- fmt.Errorf("read of %s returned wrong bytes", key)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// The budget invariant survived the storm.
+	if st := c.Stats(); st.Bytes > 6*64 {
+		t.Errorf("cache exceeded its budget: %+v", st)
+	}
+	// Every key still reads correctly once the writers are gone.
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%02d", k)
+		if got, err := c.Get(key); err != nil || !bytes.Equal(got, valueOf(k)) {
+			t.Errorf("post-stress read of %s: %v", key, err)
+		}
+	}
+}
+
+func TestCacheGetBatch(t *testing.T) {
+	base := NewMem()
+	c := NewCache(base, 1<<20)
+	for _, k := range []string{"a", "b", "c"} {
+		base.Put(k, []byte("val-"+k))
+	}
+	c.Get("b") // pre-warm one key
+	out, errs := c.GetBatch([]string{"a", "b", "c", "missing"})
+	for i, k := range []string{"a", "b", "c"} {
+		if errs[i] != nil || string(out[i]) != "val-"+k {
+			t.Errorf("batch[%d]: %q, %v", i, out[i], errs[i])
+		}
+	}
+	if !errors.Is(errs[3], ErrNotFound) {
+		t.Errorf("missing key error: %v", errs[3])
+	}
+	// The batch fill means later singleton Gets are hits.
+	st := c.Stats()
+	c.Get("a")
+	c.Get("c")
+	if after := c.Stats(); after.Hits != st.Hits+2 {
+		t.Errorf("batch did not fill the cache: %+v -> %+v", st, after)
 	}
 }
 

@@ -1,9 +1,11 @@
 package storage
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // ErrChunkNotFound is returned by ChunkStore.Get for unknown addresses.
@@ -12,15 +14,25 @@ var ErrChunkNotFound = errors.New("storage: chunk not found")
 // ChunkStore is a content-addressed blob store on any Backend: chunks are
 // stored under <first2>/<hash>. Identical content is stored once, which is
 // what makes incremental checkpoint chains and chunked snapshots cheap when
-// content repeats between saves.
+// content repeats between saves. All methods are safe for concurrent use
+// when the backend is.
 type ChunkStore struct {
 	b Backend
+
+	// verified remembers addresses whose resident bytes this process has
+	// already read and matched against the address (Ingest's dedup
+	// verification or a content-checked Get). It bounds verification cost
+	// to one read per address per process: without it a long run would
+	// re-read every recurring chunk on every save — on a tiered backend,
+	// at cold-device cost once the chunk demotes.
+	mu       sync.Mutex
+	verified map[string]bool
 }
 
 // NewChunkStore returns a chunk store on b. Namespace the backend with
 // WithPrefix when chunks share it with other objects.
 func NewChunkStore(b Backend) *ChunkStore {
-	return &ChunkStore{b: b}
+	return &ChunkStore{b: b, verified: make(map[string]bool)}
 }
 
 // OpenChunkStore creates (if needed) and opens a filesystem chunk store
@@ -51,21 +63,63 @@ func (cs *ChunkStore) Put(data []byte) (string, error) {
 }
 
 // Ingest stores data and additionally reports how many bytes were newly
-// written — 0 on a dedup hit. The write pipeline uses this to account true
-// storage traffic under deduplication.
+// written — 0 on a verified dedup hit. The write pipeline uses this to
+// account true storage traffic under deduplication.
+//
+// A dedup hit is verified, not trusted: a Stat-only check would keep
+// whatever bytes sit at the address — a chunk corrupted since an earlier
+// save, or a torn foreign write — and silently drop the good data being
+// ingested. The resident copy is size-checked and then compared; on any
+// mismatch the good bytes are rewritten, repairing the store.
 func (cs *ChunkStore) Ingest(data []byte) (addr string, written int, err error) {
-	addr = Hash(data)
+	return cs.IngestAddressed(Hash(data), data)
+}
+
+// IngestAddressed is Ingest for callers that already computed data's
+// content address — the save pipeline hashes each chunk once to pin it
+// and hands the address down. addr must equal Hash(data); a wrong
+// address corrupts the store's content addressing.
+func (cs *ChunkStore) IngestAddressed(addr string, data []byte) (_ string, written int, err error) {
 	key, err := cs.key(addr)
 	if err != nil {
 		return "", 0, err
 	}
-	if _, err := cs.b.Stat(key); err == nil {
-		return addr, 0, nil // dedup hit
+	if info, serr := cs.b.Stat(key); serr == nil {
+		if cs.isVerified(addr) && info.Size == int64(len(data)) {
+			return addr, 0, nil // dedup hit, bytes already verified this process
+		}
+		if info.Size == int64(len(data)) {
+			if existing, gerr := cs.b.Get(key); gerr == nil && bytes.Equal(existing, data) {
+				cs.markVerified(addr)
+				return addr, 0, nil // verified dedup hit
+			}
+		}
+		// Resident copy truncated, corrupt, or unreadable: fall through and
+		// overwrite it with the bytes we know hash to this address.
 	}
 	if err := cs.b.Put(key, data); err != nil {
 		return "", 0, err
 	}
+	cs.markVerified(addr)
 	return addr, len(data), nil
+}
+
+func (cs *ChunkStore) isVerified(addr string) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.verified[addr]
+}
+
+func (cs *ChunkStore) markVerified(addr string) {
+	cs.mu.Lock()
+	cs.verified[addr] = true
+	cs.mu.Unlock()
+}
+
+func (cs *ChunkStore) unmarkVerified(addr string) {
+	cs.mu.Lock()
+	delete(cs.verified, addr)
+	cs.mu.Unlock()
 }
 
 // Get retrieves the chunk at addr, verifying its content against the
@@ -85,6 +139,7 @@ func (cs *ChunkStore) Get(addr string) ([]byte, error) {
 	if Hash(data) != addr {
 		return nil, fmt.Errorf("storage: chunk %s corrupt in backend", addr)
 	}
+	cs.markVerified(addr)
 	return data, nil
 }
 
@@ -115,6 +170,45 @@ func (cs *ChunkStore) List() ([]string, error) {
 	return addrs, nil
 }
 
+// GetBatch fetches several chunks at once, each content-verified against
+// its address. It rides the backend's BatchReader fast path when one
+// exists, so a tiered store overlaps its per-level fetches. Results are
+// positional: out[i] (or errs[i]) corresponds to addrs[i].
+func (cs *ChunkStore) GetBatch(addrs []string) (out [][]byte, errs []error) {
+	out = make([][]byte, len(addrs))
+	errs = make([]error, len(addrs))
+	keys := make([]string, len(addrs))
+	for i, addr := range addrs {
+		k, err := cs.key(addr)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		keys[i] = k
+	}
+	datas, gerrs := GetBatch(cs.b, keys)
+	for i := range addrs {
+		if errs[i] != nil {
+			continue
+		}
+		if gerrs[i] != nil {
+			if errors.Is(gerrs[i], ErrNotFound) {
+				errs[i] = fmt.Errorf("%w: %s", ErrChunkNotFound, addrs[i])
+			} else {
+				errs[i] = fmt.Errorf("storage: read chunk: %w", gerrs[i])
+			}
+			continue
+		}
+		if Hash(datas[i]) != addrs[i] {
+			errs[i] = fmt.Errorf("storage: chunk %s corrupt in backend", addrs[i])
+			continue
+		}
+		cs.markVerified(addrs[i])
+		out[i] = datas[i]
+	}
+	return out, errs
+}
+
 // GC deletes every chunk whose address is not in keep. It returns the
 // number of chunks removed and bytes reclaimed.
 func (cs *ChunkStore) GC(keep map[string]bool) (removed int, reclaimed int64, err error) {
@@ -122,8 +216,18 @@ func (cs *ChunkStore) GC(keep map[string]bool) (removed int, reclaimed int64, er
 	if err != nil {
 		return 0, 0, err
 	}
+	return cs.Sweep(addrs, keep, nil)
+}
+
+// Sweep deletes the chunks in addrs whose address is not in keep and not
+// excused by skip, a nil-able predicate re-evaluated immediately before
+// each delete. Callers that must order their chunk inventory against
+// other state reads — the checkpoint engine lists chunks before scanning
+// manifests and passes its live pin table as skip — list first and sweep
+// after; GC is the list-then-sweep convenience.
+func (cs *ChunkStore) Sweep(addrs []string, keep map[string]bool, skip func(addr string) bool) (removed int, reclaimed int64, err error) {
 	for _, addr := range addrs {
-		if keep[addr] {
+		if keep[addr] || (skip != nil && skip(addr)) {
 			continue
 		}
 		key, kerr := cs.key(addr)
@@ -136,6 +240,7 @@ func (cs *ChunkStore) GC(keep map[string]bool) (removed int, reclaimed int64, er
 		if derr := cs.b.Delete(key); derr != nil && !errors.Is(derr, ErrNotFound) {
 			return removed, reclaimed, fmt.Errorf("storage: gc remove: %w", derr)
 		}
+		cs.unmarkVerified(addr)
 		removed++
 	}
 	return removed, reclaimed, nil

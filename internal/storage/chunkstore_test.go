@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestChunkStoreIngestRepairsCorruptDedupHit plants wrong bytes at a
+// chunk's address and re-ingests the good content: the dedup hit must
+// verify the resident copy and rewrite it instead of silently keeping
+// the corruption and dropping the good data.
+func TestChunkStoreIngestRepairsCorruptDedupHit(t *testing.T) {
+	mem := NewMem()
+	cs := NewChunkStore(mem)
+	data := []byte("the canonical chunk content for this address")
+	addr := Hash(data)
+	key := addr[:2] + "/" + addr
+
+	// Same-length corruption: the size check alone cannot catch it.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if err := mem.Put(key, bad); err != nil {
+		t.Fatal(err)
+	}
+	got, written, err := cs.Ingest(data)
+	if err != nil || got != addr {
+		t.Fatalf("Ingest over corrupt copy: addr=%q err=%v", got, err)
+	}
+	if written != len(data) {
+		t.Errorf("corrupt dedup hit reported %d bytes written, want %d (rewrite)", written, len(data))
+	}
+	if back, err := cs.Get(addr); err != nil || !bytes.Equal(back, data) {
+		t.Errorf("chunk not repaired: %q, %v", back, err)
+	}
+
+	// Truncated copy: caught by the size check, also rewritten.
+	if err := mem.Put(key, data[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, written, err = cs.Ingest(data); err != nil || written != len(data) {
+		t.Fatalf("Ingest over truncated copy: written=%d err=%v", written, err)
+	}
+	if back, err := cs.Get(addr); err != nil || !bytes.Equal(back, data) {
+		t.Errorf("truncated chunk not repaired: %q, %v", back, err)
+	}
+
+	// A healthy resident copy is still a zero-write dedup hit.
+	if _, written, err = cs.Ingest(data); err != nil || written != 0 {
+		t.Errorf("verified dedup hit: written=%d err=%v, want 0, nil", written, err)
+	}
+}
+
+func TestChunkStoreGetBatch(t *testing.T) {
+	cs := NewChunkStore(NewMem())
+	var addrs []string
+	var want [][]byte
+	for i := 0; i < 5; i++ {
+		data := []byte(fmt.Sprintf("chunk-%d", i))
+		addr, err := cs.Put(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+		want = append(want, data)
+	}
+	// Mix in a missing address and a malformed one.
+	missing := Hash([]byte("never stored"))
+	batch := append(append([]string(nil), addrs...), missing, "not-an-address")
+	out, errs := cs.GetBatch(batch)
+	for i := range addrs {
+		if errs[i] != nil || !bytes.Equal(out[i], want[i]) {
+			t.Errorf("batch[%d]: %q, %v", i, out[i], errs[i])
+		}
+	}
+	if !errors.Is(errs[5], ErrChunkNotFound) {
+		t.Errorf("missing chunk error: %v", errs[5])
+	}
+	if errs[6] == nil {
+		t.Errorf("malformed address accepted in batch")
+	}
+}
+
+// TestChunkStoreSweepHonorsInventory checks Sweep only touches the listed
+// inventory: a chunk ingested after the listing survives even though it
+// is not in keep — the ordering contract the engine's pinned GC relies
+// on for chunks racing the inventory scan.
+func TestChunkStoreSweepHonorsInventory(t *testing.T) {
+	cs := NewChunkStore(NewMem())
+	old, err := cs.Put([]byte("doomed orphan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inventory, err := cs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := cs.Put([]byte("ingested after the listing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A live skip predicate excuses a listed orphan (the engine passes its
+	// pin table here)…
+	removed, _, err := cs.Sweep(inventory, map[string]bool{}, func(addr string) bool { return addr == old })
+	if err != nil || removed != 0 {
+		t.Fatalf("skipped sweep: removed=%d err=%v, want 0", removed, err)
+	}
+	if !cs.Has(old) {
+		t.Fatalf("skip predicate ignored")
+	}
+	// …and without it the listed orphan goes while later ingests survive.
+	removed, _, err = cs.Sweep(inventory, map[string]bool{}, nil)
+	if err != nil || removed != 1 {
+		t.Fatalf("sweep: removed=%d err=%v, want 1", removed, err)
+	}
+	if cs.Has(old) {
+		t.Errorf("listed orphan survived the sweep")
+	}
+	if !cs.Has(late) {
+		t.Errorf("chunk ingested after the inventory was swept")
+	}
+}

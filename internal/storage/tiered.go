@@ -173,6 +173,74 @@ func (t *Tiered) GetRange(key string, off, n int64) ([]byte, error) {
 	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 }
 
+// GetBatch implements BatchReader: every level attempts the whole batch
+// in its own goroutine, so a batch that spans the hierarchy overlaps its
+// cold fetches with the warm ones instead of paying them in sequence —
+// the restore engine's chunk prefetch rides this. Because a key normally
+// resides on exactly one level, each object is still read once, with no
+// residency probing; only a mid-migration duplicate is read twice, and
+// the warmest copy wins, matching Get's read-through order. Results are
+// positional; keys no level holds report ErrNotFound.
+func (t *Tiered) GetBatch(keys []string) ([][]byte, []error) {
+	out := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	perLevel := make([][][]byte, len(t.levels))
+	perLevelErr := make([][]error, len(t.levels))
+	var wg sync.WaitGroup
+	for lv := range t.levels {
+		perLevel[lv] = make([][]byte, len(keys))
+		perLevelErr[lv] = make([]error, len(keys))
+		wg.Add(1)
+		go func(lv int) {
+			defer wg.Done()
+			for i, k := range keys {
+				if err := ValidateKey(k); err != nil {
+					perLevelErr[lv][i] = err
+					continue
+				}
+				data, err := t.levels[lv].Backend.Get(k)
+				if err == nil {
+					perLevel[lv][i] = data
+				} else if !errors.Is(err, ErrNotFound) {
+					perLevelErr[lv][i] = err
+				}
+			}
+		}(lv)
+	}
+	wg.Wait()
+	for i := range keys {
+		found := false
+		for lv := range t.levels {
+			if perLevel[lv][i] != nil {
+				t.hit(lv)
+				out[i] = perLevel[lv][i]
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		for lv := range t.levels {
+			if perLevelErr[lv][i] != nil {
+				errs[i] = perLevelErr[lv][i]
+				break
+			}
+		}
+		if errs[i] == nil {
+			// No level answered, but the concurrent probes are not one
+			// consistent snapshot: a copy-verify-delete move can slip an
+			// object between the cold probe (too early) and the hot probe
+			// (too late). The sequential read-through is immune — the hot
+			// probe strictly precedes the cold one while a move's copy
+			// strictly precedes its delete — so retry through it before
+			// reporting ErrNotFound (Get also does the hit/miss counting).
+			out[i], errs[i] = t.Get(keys[i])
+		}
+	}
+	return out, errs
+}
+
 // List implements Backend: the sorted union of every level's keys.
 func (t *Tiered) List(prefix string) ([]string, error) {
 	seen := make(map[string]bool)

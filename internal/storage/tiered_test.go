@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -192,5 +193,53 @@ func TestTieredDirLayout(t *testing.T) {
 	}
 	if _, err := NewTieredDir(dir, nil); err == nil {
 		t.Errorf("empty level list accepted")
+	}
+}
+
+// TestTieredGetBatch spreads objects across both levels and batch-reads
+// them: every key must come back from its resident level (hit counters
+// prove both level goroutines served), missing keys must report
+// ErrNotFound positionally, and a duplicate residency must resolve to
+// the warmest copy.
+func TestTieredGetBatch(t *testing.T) {
+	hot, cold := NewMem(), NewMem()
+	tb, err := NewTiered(Level{Name: "hot", Backend: hot}, Level{Name: "cold", Backend: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := tb.Put(fmt.Sprintf("h%d", i), []byte(fmt.Sprintf("hot-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := cold.Put(fmt.Sprintf("c%d", i), []byte(fmt.Sprintf("cold-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One key resident on both levels: the warm copy must win.
+	hot.Put("dup", []byte("warm"))
+	cold.Put("dup", []byte("stale"))
+
+	keys := []string{"h0", "c0", "h1", "c1", "h2", "c2", "h3", "c3", "dup", "absent"}
+	out, errs := tb.GetBatch(keys)
+	for i, k := range keys[:8] {
+		want := "hot-" + k[1:]
+		if k[0] == 'c' {
+			want = "cold-" + k[1:]
+		}
+		if errs[i] != nil || string(out[i]) != want {
+			t.Errorf("batch[%d] %s: %q, %v", i, k, out[i], errs[i])
+		}
+	}
+	if string(out[8]) != "warm" {
+		t.Errorf("duplicate residency served the cold copy: %q", out[8])
+	}
+	if !errors.Is(errs[9], ErrNotFound) {
+		t.Errorf("absent key error: %v", errs[9])
+	}
+	st := tb.Stats()
+	if st.Hits[0] < 5 || st.Hits[1] < 4 || st.Misses != 1 {
+		t.Errorf("hit accounting after batch: %+v", st)
 	}
 }

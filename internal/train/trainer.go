@@ -457,12 +457,20 @@ func (t *Trainer) Restore(st *core.TrainingState) error {
 // configured manager's directory. It returns core.ErrNoCheckpoint when
 // nothing usable exists (caller starts fresh).
 func ResumeLatest(cfg Config, dir string) (*Trainer, core.LoadReport, error) {
+	return ResumeLatestOptions(cfg, dir, core.RestoreOptions{})
+}
+
+// ResumeLatestOptions is ResumeLatest through the parallel restore engine:
+// opts sizes the chunk fetch+decompress worker pool and the chain
+// prefetch window (see core.RestoreOptions). The restored trainer state
+// is bitwise-identical to a serial resume's.
+func ResumeLatestOptions(cfg Config, dir string, opts core.RestoreOptions) (*Trainer, core.LoadReport, error) {
 	t, err := New(cfg)
 	if err != nil {
 		return nil, core.LoadReport{}, err
 	}
 	live := cfg.Meta()
-	st, report, err := core.LoadLatest(dir, &live)
+	st, report, err := core.LoadLatestOptions(dir, &live, opts)
 	if err != nil {
 		return nil, report, err
 	}
