@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-json fmt vet check experiments
+.PHONY: build test test-race bench bench-json bench-save fmt vet check experiments
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,17 @@ bench:
 # across PRs (see cmd/benchjson). Two steps, not a pipe, so a failing
 # benchmark fails the target instead of writing a truncated JSON.
 bench-json:
-	$(GO) test -bench=. -benchmem -run '^$$' . > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR3.json < bench.out
+	$(GO) test -bench=. -benchmem -run '^$$' . ./internal/storage > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_PR4.json < bench.out
 	@rm -f bench.out
-	@echo wrote BENCH_PR3.json
+	@echo wrote BENCH_PR4.json
+
+# Quick save-path benchmark: the T6 experiment table plus the
+# BenchmarkTable6SavePath metrics (stall speedup, bytes written,
+# allocs/op for the pooled pipeline).
+bench-save:
+	$(GO) run ./cmd/experiments -run T6 -quick
+	$(GO) test -bench 'Table6SavePath' -benchmem -run '^$$' .
 
 fmt:
 	gofmt -l -w .

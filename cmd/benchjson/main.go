@@ -21,11 +21,19 @@ import (
 )
 
 // BenchResult is one benchmark line: its name, iteration count, and every
-// value/unit metric pair (ns/op, B/op, allocs/op, custom metrics).
+// value/unit metric pair (ns/op, B/op, allocs/op, custom metrics). The
+// cost-per-op columns that the perf trajectory tracks across PRs —
+// wall time, allocations, heap bytes, and the pipeline's bytes-written
+// metric — are promoted to top-level fields so downstream tooling does
+// not need to know the Go unit strings; every pair also stays in Metrics.
 type BenchResult struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name         string             `json:"name"`
+	Iterations   int64              `json:"iterations"`
+	NsPerOp      float64            `json:"ns_per_op,omitempty"`
+	AllocsPerOp  float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp   float64            `json:"bytes_per_op,omitempty"`
+	WrittenPerOp float64            `json:"bytes_written_per_op,omitempty"`
+	Metrics      map[string]float64 `json:"metrics"`
 }
 
 // Output is the whole document.
@@ -54,6 +62,16 @@ func parseBenchLine(line string) (BenchResult, bool) {
 			return BenchResult{}, false
 		}
 		res.Metrics[fields[i+1]] = val
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		case "B/op":
+			res.BytesPerOp = val
+		case "bytes-written/op":
+			res.WrittenPerOp = val
+		}
 	}
 	return res, true
 }

@@ -22,3 +22,26 @@ func TestParseBenchLine(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBenchLinePromotedColumns(t *testing.T) {
+	res, ok := parseBenchLine("BenchmarkTable6SavePath-8 \t 5 \t 231209450 ns/op\t 6205 bytes-written/op\t 5.2 stall-speedup-x\t 98505348 B/op\t 24964 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if res.NsPerOp != 231209450 {
+		t.Errorf("NsPerOp = %v", res.NsPerOp)
+	}
+	if res.AllocsPerOp != 24964 {
+		t.Errorf("AllocsPerOp = %v", res.AllocsPerOp)
+	}
+	if res.BytesPerOp != 98505348 {
+		t.Errorf("BytesPerOp = %v", res.BytesPerOp)
+	}
+	if res.WrittenPerOp != 6205 {
+		t.Errorf("WrittenPerOp = %v", res.WrittenPerOp)
+	}
+	// Promotion must not remove the pairs from the generic metric map.
+	if res.Metrics["bytes-written/op"] != 6205 || res.Metrics["stall-speedup-x"] != 5.2 {
+		t.Errorf("metrics map lost pairs: %v", res.Metrics)
+	}
+}

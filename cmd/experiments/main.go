@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments                 # run everything at default scale
-//	experiments -run F4         # run one experiment (T1..T5, F1..F6, A1, A2)
+//	experiments -run F4         # run one experiment (T1..T6, F1..F6, A1, A2)
 //	experiments -quick          # reduced scale for smoke runs
 package main
 
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiment to run: all, T1..T5, F1..F6, A1, A2")
+	runFlag := flag.String("run", "all", "experiment to run: all, T1..T6, F1..F6, A1, A2")
 	quick := flag.Bool("quick", false, "reduced scale (CI-friendly)")
 	flag.Parse()
 
@@ -100,6 +100,19 @@ func main() {
 			fail("T5", err)
 		}
 		fmt.Println(harness.T5Table(rows))
+	}
+
+	if run("T6") {
+		ranAny = true
+		steps := 16
+		if *quick {
+			steps = 6
+		}
+		rows, err := harness.RunT6SavePath(steps)
+		if err != nil {
+			fail("T6", err)
+		}
+		fmt.Println(harness.T6Table(rows))
 	}
 
 	if run("F1") {
@@ -215,7 +228,7 @@ func main() {
 	}
 
 	if !ranAny {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, T1..T5, F1..F6, A1, A2)\n", *runFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, T1..T6, F1..F6, A1, A2)\n", *runFlag)
 		os.Exit(2)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))

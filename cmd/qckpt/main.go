@@ -225,6 +225,18 @@ func cmdShow(path string) error {
 	}
 	fmt.Printf("kind:    %s\nseq:     %d\nstep:    %d\n", h.Kind, h.Seq, h.Step)
 	fmt.Printf("payload: %x\n", h.PayloadHash[:16])
+	if h.Kind.Chunked() {
+		if _, manifest, err := core.ReadSnapshotFile(path); err == nil {
+			if sum, err := core.SummarizeChunkManifest(manifest); err == nil {
+				version := "v1 bare-flate"
+				if sum.Framed {
+					version = "v2 adaptive-framed"
+				}
+				fmt.Printf("chunks:  %d (%d distinct, %s, %d body bytes)\n",
+					sum.Chunks, sum.Distinct, version, sum.RawLen)
+			}
+		}
+	}
 	if h.Kind.Base() == core.KindDelta {
 		fmt.Printf("base:    %x\n", h.BaseHash[:16])
 		fmt.Println("(delta snapshot: run `qckpt latest <dir>` to resolve its chain)")

@@ -54,6 +54,7 @@ func main() {
 		async    = flag.Bool("async", false, "write checkpoints asynchronously")
 		workers  = flag.Int("workers", 1, "checkpoint write workers (chunked pipeline)")
 		chunkKB  = flag.Int("chunk", 0, "chunk checkpoints into KB-sized deduplicated pieces (0 = monolithic)")
+		fullIng  = flag.Bool("full-ingest", false, "disable the incremental dirty-chunk save path (hash/compress every chunk every save)")
 		tiers    = flag.String("tiers", "", "tiered checkpoint placement preset: device levels hot-to-cold joined by '+' (e.g. nvme+object, nvme+nfs+object); empty disables tiering")
 		keepHot  = flag.Int("keep-hot", 2, "anchor chains kept on the hot tier before demotion (with -tiers)")
 		restoreW = flag.Int("restore-workers", 1, "parallel chunk-restore workers for -resume (1 = serial, ≤0 = one per CPU)")
@@ -78,6 +79,7 @@ func main() {
 		opt := core.Options{
 			Dir: *ckptDir, Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
 			Async: *async, Workers: *workers, ChunkBytes: *chunkKB << 10,
+			FullIngest: *fullIng,
 		}
 		if *tiers != "" {
 			// Tiered preset: hot level at the checkpoint dir, colder
@@ -141,6 +143,15 @@ func main() {
 	}
 	fmt.Printf("done: best loss %.6f, wall %v, %d checkpoints written\n",
 		tr.BestLoss(), time.Since(start).Round(time.Millisecond), tr.Checkpoints())
+	if mgr != nil {
+		if err := mgr.Barrier(); err != nil { // flush async writes so the counters are final
+			fatal(err)
+		}
+		if st := mgr.Stats(); st.Chunks > 0 {
+			fmt.Printf("chunk pipeline: %d chunks (%d clean, %d dedup, %d raw-framed), %d bytes written\n",
+				st.Chunks, st.CleanChunks, st.DedupHits, st.RawChunks, st.BytesWritten)
+		}
+	}
 }
 
 func buildConfig(taskName string, qubits, layers, qaoaP, shots int, lr float64, optName string, seed uint64, pairs, batch int, grouped, realQPU bool) (train.Config, error) {

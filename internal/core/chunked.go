@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -9,7 +10,8 @@ import (
 )
 
 // Chunked snapshots split the body (payload or delta bytes) into fixed-size
-// chunks, compress each chunk independently, and store the compressed
+// chunks, frame each chunk independently (compressed, or raw when the
+// adaptive probe finds the bytes incompressible), and store the framed
 // chunks content-addressed in the backend's chunk store under
 // ChunkPrefix/. The snapshot file itself shrinks to a manifest naming the
 // chunk addresses in order; it is committed with the same atomic Put as a
@@ -19,15 +21,21 @@ import (
 //
 // Dedup falls out of content addressing: between consecutive snapshots of
 // a slowly moving training state most chunks are byte-identical (for delta
-// bodies, mostly-zero), so re-saving them is a Stat, not a write.
+// bodies, mostly-zero), so re-saving them is a Stat, not a write — and the
+// incremental save engine (DESIGN.md §9) skips even that for chunks whose
+// bytes match the retained previous body.
 //
 // Manifest body format (this body is itself flate-compressed and
 // integrity-protected by the snapshot file framing):
 //
-//	QCKPT-CHUNKS1\n
+//	QCKPT-CHUNKS2\n
 //	<rawLen>\n          total body length in bytes before chunking
 //	<addr>\n            one 64-hex chunk address per line, in order
 //	...
+//
+// Version 2 chunks are self-framed (see the chunk frame format below);
+// version 1 manifests — whose chunks are bare flate streams — are still
+// read, so histories written before the framing change stay recoverable.
 
 // ChunkPrefix is the key namespace inside a Manager's backend that holds
 // the content-addressed chunks of chunked snapshots.
@@ -39,43 +47,148 @@ const ChunkPrefix = "chunks"
 // drifting state deduplicates most of its chunks between saves.
 const DefaultChunkBytes = 256 << 10
 
-const chunkManifestMagic = "QCKPT-CHUNKS1"
+const (
+	chunkManifestMagic   = "QCKPT-CHUNKS2"
+	chunkManifestMagicV1 = "QCKPT-CHUNKS1"
+)
+
+// Chunk frame format — the bytes actually stored in the chunk store for a
+// version-2 manifest's chunks:
+//
+//	flag    uint8     0 = raw body, 1 = flate-compressed body
+//	rawLen  uint32 LE chunk length before framing
+//	body    [..]byte  raw bytes (flag 0) or flate stream (flag 1)
+//
+// The flag is what makes per-chunk compression adaptive: appendChunkFrame
+// probes a sample of the chunk and stores incompressible chunks raw,
+// skipping flate entirely on data that would not shrink (dense float
+// mantissas compress to ≳97% of their size while burning the stall
+// budget). The recorded rawLen lets the restore path preallocate each
+// chunk's output exactly instead of growing through io.ReadAll.
+const (
+	chunkFrameRaw    = 0x00
+	chunkFrameFlate  = 0x01
+	chunkFrameHeader = 5
+)
+
+// chunkProbeBytes is the sample size of the adaptive-compression probe;
+// chunks at most twice this size skip the probe and compress outright
+// (with a raw fallback if flate failed to shrink them).
+const chunkProbeBytes = 4 << 10
+
+// chunkProbeMinSaving is the fraction a probe sample must shrink by for
+// the chunk to be worth compressing.
+const chunkProbeMinSaving = 1.0 / 32
+
+// appendChunkFrame appends the frame of piece to dst. The encoding is
+// deterministic (pooled flate writers reset to a pristine state, and the
+// probe decision depends only on the bytes), so identical pieces frame to
+// identical bytes and content-addressed dedup is preserved.
+func appendChunkFrame(dst, piece []byte) ([]byte, error) {
+	head := len(dst)
+	dst = append(dst, chunkFrameFlate)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(piece)))
+	if len(piece) > 2*chunkProbeBytes {
+		sp := getScratch()
+		sample, err := compressAppend((*sp)[:0], piece[:chunkProbeBytes])
+		*sp = sample
+		compressible := err == nil &&
+			float64(len(sample)) <= float64(chunkProbeBytes)*(1-chunkProbeMinSaving)
+		putScratch(sp)
+		if err != nil {
+			return nil, err
+		}
+		if !compressible {
+			dst[head] = chunkFrameRaw
+			return append(dst, piece...), nil
+		}
+	}
+	bodyStart := len(dst)
+	dst, err := compressAppend(dst, piece)
+	if err != nil {
+		return nil, err
+	}
+	if len(dst)-bodyStart >= len(piece) {
+		// The probe passed (or was skipped) but the whole chunk still
+		// failed to shrink: store raw so a frame never exceeds the chunk
+		// by more than its 5-byte header.
+		dst = dst[:bodyStart]
+		dst[head] = chunkFrameRaw
+		dst = append(dst, piece...)
+	}
+	return dst, nil
+}
+
+// decodeChunkFrame reverses appendChunkFrame, preallocating the output
+// from the recorded raw length. The returned slice aliases frame for raw
+// chunks, so callers must not retain it past the frame's lifetime.
+func decodeChunkFrame(frame []byte) ([]byte, error) {
+	if len(frame) < chunkFrameHeader {
+		return nil, fmt.Errorf("%w: chunk frame too short (%d bytes)", ErrCorrupt, len(frame))
+	}
+	rawLen := int(binary.LittleEndian.Uint32(frame[1:]))
+	body := frame[chunkFrameHeader:]
+	switch frame[0] {
+	case chunkFrameRaw:
+		if len(body) != rawLen {
+			return nil, fmt.Errorf("%w: raw chunk %d bytes, frame says %d", ErrCorrupt, len(body), rawLen)
+		}
+		return body, nil
+	case chunkFrameFlate:
+		return DecompressBody(body, rawLen)
+	}
+	return nil, fmt.Errorf("%w: unknown chunk frame flag %#x", ErrCorrupt, frame[0])
+}
 
 // encodeChunkManifest renders the manifest body for a chunked snapshot.
 func encodeChunkManifest(rawLen int, addrs []string) []byte {
-	var b strings.Builder
-	b.Grow(len(chunkManifestMagic) + 16 + 65*len(addrs))
-	b.WriteString(chunkManifestMagic)
-	b.WriteByte('\n')
-	b.WriteString(strconv.Itoa(rawLen))
-	b.WriteByte('\n')
-	for _, a := range addrs {
-		b.WriteString(a)
-		b.WriteByte('\n')
-	}
-	return []byte(b.String())
+	return appendChunkManifest(make([]byte, 0, len(chunkManifestMagic)+16+65*len(addrs)), rawLen, addrs)
 }
 
-// decodeChunkManifest parses a manifest body.
-func decodeChunkManifest(data []byte) (rawLen int, addrs []string, err error) {
+// appendChunkManifest is the append-style form the save path runs on
+// pooled scratch.
+func appendChunkManifest(dst []byte, rawLen int, addrs []string) []byte {
+	dst = append(dst, chunkManifestMagic...)
+	dst = append(dst, '\n')
+	dst = strconv.AppendInt(dst, int64(rawLen), 10)
+	dst = append(dst, '\n')
+	for _, a := range addrs {
+		dst = append(dst, a...)
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// decodeChunkManifest parses a manifest body of either version. framed
+// reports whether the referenced chunks carry the version-2 self-framing
+// (false for legacy bare-flate chunks).
+func decodeChunkManifest(data []byte) (rawLen int, addrs []string, framed bool, err error) {
 	lines := strings.Split(string(data), "\n")
-	if len(lines) < 2 || lines[0] != chunkManifestMagic {
-		return 0, nil, fmt.Errorf("%w: bad chunk manifest header", ErrCorrupt)
+	if len(lines) < 2 {
+		return 0, nil, false, fmt.Errorf("%w: bad chunk manifest header", ErrCorrupt)
+	}
+	switch lines[0] {
+	case chunkManifestMagic:
+		framed = true
+	case chunkManifestMagicV1:
+		framed = false
+	default:
+		return 0, nil, false, fmt.Errorf("%w: bad chunk manifest header", ErrCorrupt)
 	}
 	rawLen, err = strconv.Atoi(lines[1])
 	if err != nil || rawLen < 0 {
-		return 0, nil, fmt.Errorf("%w: bad chunk manifest length %q", ErrCorrupt, lines[1])
+		return 0, nil, false, fmt.Errorf("%w: bad chunk manifest length %q", ErrCorrupt, lines[1])
 	}
 	for _, line := range lines[2:] {
 		if line == "" {
 			continue
 		}
 		if len(line) != 64 {
-			return 0, nil, fmt.Errorf("%w: malformed chunk address %q", ErrCorrupt, line)
+			return 0, nil, false, fmt.Errorf("%w: malformed chunk address %q", ErrCorrupt, line)
 		}
 		addrs = append(addrs, line)
 	}
-	return rawLen, addrs, nil
+	return rawLen, addrs, framed, nil
 }
 
 // splitChunks cuts body into size-byte chunks (the last may be shorter). A
@@ -99,20 +212,20 @@ func splitChunks(body []byte, size int) [][]byte {
 // serially; assembleChunksOptions (restore.go) is the engine-selecting
 // form the recovery path uses.
 func assembleChunks(cs *storage.ChunkStore, manifest []byte) ([]byte, error) {
-	rawLen, addrs, err := decodeChunkManifest(manifest)
+	rawLen, addrs, framed, err := decodeChunkManifest(manifest)
 	if err != nil {
 		return nil, err
 	}
-	return assembleAddrs(cs, rawLen, addrs)
+	return assembleAddrs(cs, rawLen, addrs, framed)
 }
 
 // assembleAddrs is the serial assembly path: each chunk is fetched
-// (content-verified by the store), decompressed, and concatenated in
-// manifest order.
-func assembleAddrs(cs *storage.ChunkStore, rawLen int, addrs []string) ([]byte, error) {
+// (content-verified by the store), unframed, and concatenated in manifest
+// order.
+func assembleAddrs(cs *storage.ChunkStore, rawLen int, addrs []string, framed bool) ([]byte, error) {
 	body := make([]byte, 0, rawLen)
 	for _, addr := range addrs {
-		raw, err := fetchChunk(cs, addr)
+		raw, err := fetchChunk(cs, addr, framed)
 		if err != nil {
 			return nil, err
 		}
@@ -122,6 +235,29 @@ func assembleAddrs(cs *storage.ChunkStore, rawLen int, addrs []string) ([]byte, 
 		return nil, fmt.Errorf("%w: assembled %d bytes, manifest says %d", ErrCorrupt, len(body), rawLen)
 	}
 	return body, nil
+}
+
+// ChunkManifestSummary describes a chunked snapshot's manifest for
+// inspection tools (qckpt show).
+type ChunkManifestSummary struct {
+	RawLen   int  // body bytes before chunking
+	Chunks   int  // manifest entries, in order
+	Distinct int  // distinct chunk addresses (repeats are stored once)
+	Framed   bool // version-2 self-framed chunks (adaptive raw/flate)
+}
+
+// SummarizeChunkManifest parses the manifest body of a chunked snapshot —
+// the body ReadSnapshotFile returns for the chunked kinds.
+func SummarizeChunkManifest(manifest []byte) (ChunkManifestSummary, error) {
+	rawLen, addrs, framed, err := decodeChunkManifest(manifest)
+	if err != nil {
+		return ChunkManifestSummary{}, err
+	}
+	distinct := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		distinct[a] = true
+	}
+	return ChunkManifestSummary{RawLen: rawLen, Chunks: len(addrs), Distinct: len(distinct), Framed: framed}, nil
 }
 
 // chunkReferences collects every chunk address referenced by the snapshot
@@ -156,7 +292,7 @@ func chunkReferences(b storage.Backend) (map[string]bool, error) {
 		if err != nil {
 			continue
 		}
-		_, addrs, err := decodeChunkManifest(body)
+		_, addrs, _, err := decodeChunkManifest(body)
 		if err != nil {
 			continue
 		}

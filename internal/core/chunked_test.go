@@ -155,7 +155,7 @@ func TestManagerChunkedCrashFallback(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, addrs, err := decodeChunkManifest(manifest)
+		_, addrs, _, err := decodeChunkManifest(manifest)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +189,7 @@ func TestManagerChunkedCrashFallback(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, addrs, err := decodeChunkManifest(manifest)
+		_, addrs, _, err := decodeChunkManifest(manifest)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -378,15 +378,25 @@ func TestChunkManifestRoundTrip(t *testing.T) {
 		strings.Repeat("cd", 32),
 	}
 	m := encodeChunkManifest(12345, addrs)
-	rawLen, got, err := decodeChunkManifest(m)
+	rawLen, got, framed, err := decodeChunkManifest(m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rawLen != 12345 || len(got) != 2 || got[0] != addrs[0] || got[1] != addrs[1] {
 		t.Errorf("round trip: %d %v", rawLen, got)
 	}
+	if !framed {
+		t.Errorf("current-version manifest decoded as unframed")
+	}
+	// Legacy v1 manifests decode with framed=false so their bare-flate
+	// chunks are inflated without frame parsing.
+	v1 := []byte("QCKPT-CHUNKS1\n77\n" + addrs[0] + "\n")
+	rawLen, got, framed, err = decodeChunkManifest(v1)
+	if err != nil || rawLen != 77 || len(got) != 1 || framed {
+		t.Errorf("v1 manifest: %d %v framed=%v err=%v", rawLen, got, framed, err)
+	}
 	for _, bad := range [][]byte{nil, []byte("garbage"), []byte("QCKPT-CHUNKS1\n-1\n"), []byte("QCKPT-CHUNKS1\n10\nshortaddr\n")} {
-		if _, _, err := decodeChunkManifest(bad); err == nil {
+		if _, _, _, err := decodeChunkManifest(bad); err == nil {
 			t.Errorf("decodeChunkManifest(%q) accepted", bad)
 		}
 	}

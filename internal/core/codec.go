@@ -36,11 +36,19 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-func appendSection(buf []byte, tag byte, payload []byte) []byte {
+// beginSection writes the tag and a length placeholder and returns the
+// section's start offset; endSection backfills the length and appends the
+// CRC. Writing section payloads directly into the destination (instead of
+// building them in per-section scratch and copying) is what keeps
+// AppendPayload allocation-free on a buffer with enough capacity.
+func beginSection(buf []byte, tag byte) ([]byte, int) {
 	start := len(buf)
-	buf = append(buf, tag)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = append(buf, payload...)
+	buf = append(buf, tag, 0, 0, 0, 0)
+	return buf, start
+}
+
+func endSection(buf []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(buf[start+1:], uint32(len(buf)-start-5))
 	crc := crc32.Checksum(buf[start:], castagnoli)
 	return binary.LittleEndian.AppendUint32(buf, crc)
 }
@@ -57,57 +65,83 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// payloadSizeHint is the capacity that lets AppendPayload run without
+// growing its destination.
+func payloadSizeHint(s *TrainingState) int {
+	return s.Breakdown().Total + numSections*9 + 64
+}
+
 // EncodePayload serializes the state into the canonical payload form
 // (uncompressed; compression and framing happen at the snapshot layer).
 func EncodePayload(s *TrainingState) ([]byte, error) {
+	return AppendPayload(make([]byte, 0, payloadSizeHint(s)), s)
+}
+
+// AppendPayload appends the canonical payload encoding of s to buf and
+// returns the extended slice. It allocates nothing when buf has
+// payloadSizeHint spare capacity — the save path's pooled buffers do —
+// and produces bytes identical to EncodePayload's.
+func AppendPayload(buf []byte, s *TrainingState) ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, s.Breakdown().Total+numSections*9+64)
 
 	// Counters section also carries step/epoch.
-	sec := make([]byte, 0, 8*7)
-	sec = binary.LittleEndian.AppendUint64(sec, s.Step)
-	sec = binary.LittleEndian.AppendUint64(sec, s.Epoch)
-	sec = binary.LittleEndian.AppendUint64(sec, uint64(s.Counters.QPUClockNS))
-	sec = binary.LittleEndian.AppendUint64(sec, s.Counters.TotalShots)
-	sec = binary.LittleEndian.AppendUint64(sec, s.Counters.WastedShots)
-	sec = binary.LittleEndian.AppendUint64(sec, s.Counters.Jobs)
-	sec = binary.LittleEndian.AppendUint64(sec, s.Counters.Preemptions)
-	buf = appendSection(buf, secCounters, sec)
+	buf, start := beginSection(buf, secCounters)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Step)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Counters.QPUClockNS))
+	buf = binary.LittleEndian.AppendUint64(buf, s.Counters.TotalShots)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Counters.WastedShots)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Counters.Jobs)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Counters.Preemptions)
+	buf = endSection(buf, start)
 
-	buf = appendSection(buf, secParams, appendF64s(nil, s.Params))
-	buf = appendSection(buf, secOptimizer, s.Optimizer)
-	buf = appendSection(buf, secRNG, s.RNG)
+	buf, start = beginSection(buf, secParams)
+	buf = appendF64s(buf, s.Params)
+	buf = endSection(buf, start)
 
-	sec = make([]byte, 0, 4+4*len(s.DataPerm))
-	sec = binary.LittleEndian.AppendUint32(sec, s.DataPos)
+	buf, start = beginSection(buf, secOptimizer)
+	buf = append(buf, s.Optimizer...)
+	buf = endSection(buf, start)
+
+	buf, start = beginSection(buf, secRNG)
+	buf = append(buf, s.RNG...)
+	buf = endSection(buf, start)
+
+	buf, start = beginSection(buf, secCursor)
+	buf = binary.LittleEndian.AppendUint32(buf, s.DataPos)
 	for _, v := range s.DataPerm {
-		sec = binary.LittleEndian.AppendUint32(sec, v)
+		buf = binary.LittleEndian.AppendUint32(buf, v)
 	}
-	buf = appendSection(buf, secCursor, sec)
+	buf = endSection(buf, start)
 
-	sec = make([]byte, 0, 8+8*len(s.BestParams))
-	sec = binary.LittleEndian.AppendUint64(sec, math.Float64bits(s.BestLoss))
-	sec = appendF64s(sec, s.BestParams)
-	buf = appendSection(buf, secBest, sec)
+	buf, start = beginSection(buf, secBest)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.BestLoss))
+	buf = appendF64s(buf, s.BestParams)
+	buf = endSection(buf, start)
 
-	sec = make([]byte, 0, 64)
-	sec = binary.LittleEndian.AppendUint32(sec, s.Meta.FormatVersion)
-	sec = appendString(sec, s.Meta.CircuitFP)
-	sec = appendString(sec, s.Meta.ProblemFP)
-	sec = appendString(sec, s.Meta.OptimizerName)
-	sec = appendString(sec, s.Meta.Extra)
-	sec = binary.LittleEndian.AppendUint64(sec, uint64(s.Meta.CreatedUnixNano))
-	buf = appendSection(buf, secMeta, sec)
+	buf, start = beginSection(buf, secMeta)
+	buf = binary.LittleEndian.AppendUint32(buf, s.Meta.FormatVersion)
+	buf = appendString(buf, s.Meta.CircuitFP)
+	buf = appendString(buf, s.Meta.ProblemFP)
+	buf = appendString(buf, s.Meta.OptimizerName)
+	buf = appendString(buf, s.Meta.Extra)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Meta.CreatedUnixNano))
+	buf = endSection(buf, start)
 
 	// Variable-size sections go last in the canonical order: when the loss
 	// history or the gradient accumulator grows between snapshots, only the
 	// bytes after the growth point lose XOR alignment with the delta base.
 	// Placing them at the tail keeps the fixed-size sections (params,
 	// optimizer moments, RNG) aligned, which is most of the payload.
-	buf = appendSection(buf, secGradAccum, s.GradAccum)
-	buf = appendSection(buf, secLossHist, appendF64s(nil, s.LossHistory))
+	buf, start = beginSection(buf, secGradAccum)
+	buf = append(buf, s.GradAccum...)
+	buf = endSection(buf, start)
+
+	buf, start = beginSection(buf, secLossHist)
+	buf = appendF64s(buf, s.LossHistory)
+	buf = endSection(buf, start)
 
 	return buf, nil
 }

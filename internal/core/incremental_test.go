@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestIncrementalResaveWritesNoChunkBytes is the regression bar for the
+// dirty-chunk engine: re-saving an unchanged state writes zero new chunk
+// bytes — every chunk is recognized clean and only the (small) manifest
+// reaches the backend.
+func TestIncrementalResaveWritesNoChunkBytes(t *testing.T) {
+	mem := storage.NewMem()
+	mgr, err := NewManager(Options{
+		Backend: mem, Strategy: StrategyFull, ChunkBytes: 1 << 10, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := bigSeqStates(1)[0]
+	if _, err := mgr.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	before := mgr.Stats()
+	res, err := mgr.Save(st) // byte-identical payload, new sequence number
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := mgr.Stats()
+	if got := after.ChunkBytes - before.ChunkBytes; got != 0 {
+		t.Errorf("unchanged re-save wrote %d chunk bytes, want 0", got)
+	}
+	perSave := after.Chunks - before.Chunks
+	if clean := after.CleanChunks - before.CleanChunks; clean != perSave || perSave == 0 {
+		t.Errorf("re-save: %d of %d chunks clean, want all", clean, perSave)
+	}
+	// The only traffic is the manifest file itself.
+	if wrote := after.BytesWritten - before.BytesWritten; wrote != int64(res.FileBytes) || wrote == 0 {
+		t.Errorf("re-save wrote %d bytes, manifest is %d", wrote, res.FileBytes)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadLatestBackend(mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(st) {
+		t.Errorf("restore after clean re-save not bitwise-identical")
+	}
+}
+
+// TestIncrementalMatchesFullIngest drives the same state stream through
+// the incremental engine and the full-ingest pipeline and demands
+// identical results everywhere it counts: bitwise-identical restores and
+// a byte-identical chunk namespace (clean-chunk reuse must reproduce
+// exactly the addresses a full ingest would have computed).
+func TestIncrementalMatchesFullIngest(t *testing.T) {
+	states := bigSeqStates(8)
+	run := func(fullIngest bool) (*storage.Mem, *TrainingState, Stats) {
+		mem := storage.NewMem()
+		mgr, err := NewManager(Options{
+			Backend: mem, Strategy: StrategyDelta, AnchorEvery: 3,
+			ChunkBytes: 1 << 10, Workers: 2, FullIngest: fullIngest,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range states {
+			if _, err := mgr.Save(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mgr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := LoadLatestBackend(mem, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mem, got, mgr.Stats()
+	}
+	memFull, gotFull, statsFull := run(true)
+	memIncr, gotIncr, statsIncr := run(false)
+	if !gotFull.Equal(states[7]) || !gotIncr.Equal(states[7]) {
+		t.Fatal("restore not bitwise-identical to the saved state")
+	}
+	if !gotFull.Equal(gotIncr) {
+		t.Fatal("incremental and full-ingest restores diverge")
+	}
+	chunksOf := func(m *storage.Mem) []string {
+		cs := storage.NewChunkStore(storage.WithPrefix(m, ChunkPrefix))
+		addrs, err := cs.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return addrs
+	}
+	if a, b := chunksOf(memFull), chunksOf(memIncr); !reflect.DeepEqual(a, b) {
+		t.Errorf("chunk namespaces diverge: full-ingest %d addrs, incremental %d", len(a), len(b))
+	}
+	if statsIncr.CleanChunks == 0 {
+		t.Errorf("incremental run recognized no clean chunks: %+v", statsIncr)
+	}
+	if statsFull.CleanChunks != 0 {
+		t.Errorf("full-ingest run claims clean chunks: %+v", statsFull)
+	}
+	if statsIncr.BytesWritten > statsFull.BytesWritten {
+		t.Errorf("incremental wrote more (%d) than full ingest (%d)",
+			statsIncr.BytesWritten, statsFull.BytesWritten)
+	}
+}
+
+// TestIncrementalAdaptiveRawChunks feeds the pipeline a state whose bulk
+// is incompressible and checks the adaptive probe stores those chunks raw
+// while recovery stays bitwise-exact.
+func TestIncrementalAdaptiveRawChunks(t *testing.T) {
+	st := NewTrainingState()
+	st.Optimizer = make([]byte, 128<<10)
+	rand.New(rand.NewSource(3)).Read(st.Optimizer)
+	st.Meta = Meta{FormatVersion: FormatVersion, CircuitFP: "c", ProblemFP: "p", OptimizerName: "adam"}
+	mem := storage.NewMem()
+	mgr, err := NewManager(Options{
+		Backend: mem, Strategy: StrategyFull, ChunkBytes: 16 << 10, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := mgr.Stats()
+	if stats.RawChunks == 0 {
+		t.Errorf("no raw chunks for incompressible state: %+v", stats)
+	}
+	got, _, err := LoadLatestBackend(mem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(st) {
+		t.Errorf("raw-chunk restore not bitwise-identical")
+	}
+}
+
+// TestLegacyChunkManifestReadable writes a version-1 manifest over
+// bare-flate (unframed) chunks — the pre-framing on-disk layout — and
+// checks recovery still restores it bitwise.
+func TestLegacyChunkManifestReadable(t *testing.T) {
+	mem := storage.NewMem()
+	st := bigSeqStates(1)[0]
+	payload, err := EncodePayload(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := storage.NewChunkStore(storage.WithPrefix(mem, ChunkPrefix))
+	manifest := []byte(chunkManifestMagicV1 + "\n")
+	manifest = append(manifest, []byte(strconv.Itoa(len(payload)))...)
+	manifest = append(manifest, '\n')
+	for _, piece := range splitChunks(payload, 1<<10) {
+		comp, err := compress(piece)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := cs.Put(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manifest = append(manifest, addr...)
+		manifest = append(manifest, '\n')
+	}
+	h := Header{Kind: KindFullChunked, Seq: 0, Step: st.Step, PayloadHash: PayloadHash(payload)}
+	data, err := EncodeSnapshotFile(h, manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Put(snapshotName(0, KindFull), data); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []RestoreOptions{{}, {Workers: 4}} {
+		got, _, err := LoadLatestBackendOptions(mem, nil, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", opts.Workers, err)
+		}
+		if !got.Equal(st) {
+			t.Errorf("workers=%d: legacy restore not bitwise-identical", opts.Workers)
+		}
+	}
+}

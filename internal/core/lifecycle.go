@@ -120,7 +120,7 @@ func loadChainRefs(b storage.Backend, chains []chainGroup) {
 			if err != nil {
 				continue
 			}
-			_, addrs, err := decodeChunkManifest(body)
+			_, addrs, _, err := decodeChunkManifest(body)
 			if err != nil {
 				continue
 			}

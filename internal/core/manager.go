@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -79,6 +81,14 @@ type Options struct {
 	// LifecyclePolicy) down the tier hierarchy at save/GC time. Requires
 	// Tiers (or a Backend that is a *storage.Tiered).
 	Lifecycle LifecyclePolicy
+	// FullIngest disables the incremental dirty-chunk save path: every
+	// chunk is framed, hashed and offered to the chunk store on every
+	// save, instead of chunks unchanged since the previous committed
+	// manifest being recognized by a word-wise compare and reusing their
+	// prior addresses outright. Kept as the comparison contender for the
+	// T6 benchmark and as an escape hatch; ignored for monolithic
+	// snapshots.
+	FullIngest bool
 }
 
 func (o Options) withDefaults() Options {
@@ -112,9 +122,11 @@ type Stats struct {
 	WriteTime    time.Duration
 	EncodeTime   time.Duration
 	// Chunked-pipeline counters (zero for monolithic snapshots).
-	Chunks     int // chunks referenced by written snapshots
-	DedupHits  int // chunks skipped because identical content was present
-	ChunkBytes int64
+	Chunks      int // chunks referenced by written snapshots
+	DedupHits   int // chunks skipped because identical content was present
+	CleanChunks int // chunks reused by the dirty-chunk compare (no hash, compress or Stat)
+	RawChunks   int // distinct chunks stored uncompressed by the adaptive probe
+	ChunkBytes  int64
 	// Lifecycle counters (zero without a tiered backend + policy).
 	Migrated      int   // objects demoted down the tier hierarchy
 	MigratedBytes int64 // bytes copied down by migrations
@@ -125,12 +137,16 @@ type Stats struct {
 // pipeline, retention and recovery. A Manager is driven by a single
 // trainer goroutine; the pipeline runs internally.
 //
-// Write path topology: Save encodes synchronously, then either persists
-// inline (sync mode) or enqueues the snapshot to a sequencer goroutine
-// (async mode) that commits snapshots strictly in sequence order — a delta
-// is never durable before its base. In chunked mode the persisting
-// goroutine fans the snapshot's chunks out to a pool of Options.Workers
-// writers and commits the manifest only after all chunks are stored.
+// Write path topology: Save encodes synchronously into pooled buffers
+// (the payload hash runs on a background goroutine from that moment),
+// then either persists inline (sync mode) or enqueues the snapshot to a
+// sequencer goroutine (async mode) that commits snapshots strictly in
+// sequence order — a delta is never durable before its base. In chunked
+// mode the persisting goroutine compares the body word-wise against the
+// retained previous body, reuses the addresses of unchanged chunks, fans
+// only the dirty chunks out to a pool of Options.Workers writers, and
+// commits the manifest only after all referenced chunks are stored
+// (DESIGN.md §9).
 type Manager struct {
 	opt     Options
 	backend storage.Backend
@@ -139,11 +155,26 @@ type Manager struct {
 
 	mu          sync.Mutex
 	seq         uint64
-	lastPayload []byte // base for the next delta
+	lastPayload *refBuf      // base for the next delta (pooled, refcounted)
+	lastHash    *payloadHash // lastPayload's hash; spares deltas a second full-payload SHA-256
 	sinceAnchor int
 	savedAt     map[uint64]time.Time // save clock for the lifecycle age rule
 	stats       Stats
 	asyncErr    error
+
+	// Incremental-save state, owned by whichever goroutine runs persist —
+	// the sequencer in async mode, the trainer inline otherwise; persists
+	// are strictly serialized, so none of it is guarded by mu. prevBody is
+	// the previously committed chunked body and prevAddrs its per-chunk
+	// frame addresses: a new body's chunk whose bytes match the same
+	// boundary slice of prevBody reuses prevAddrs[i] with no hashing,
+	// compression or store traffic (DESIGN.md §9). addrsSpare and
+	// pinScratch are double-buffered scratch so steady-state saves reuse
+	// their slice capacity.
+	prevBody   *refBuf
+	prevAddrs  []string
+	addrsSpare []string
+	pinScratch []string
 
 	// pins holds the chunk addresses of saves whose manifests have not
 	// committed yet (refcounted: concurrent saves may share content).
@@ -174,8 +205,40 @@ type Manager struct {
 
 type writeJob struct {
 	name string
-	h    Header
-	body []byte
+	h    Header  // PayloadHash is zero; persist fills it from hash
+	body *refBuf // holds one reference, released by the persist caller
+	hash *payloadHash
+}
+
+// payloadHash carries a payload's SHA-256 computed on a background
+// goroutine. The hash is the single largest synchronous cost of a save
+// (60% of the incremental stall under profile), and nothing needs it
+// until the snapshot file header is encoded — after the chunk compare and
+// dispatch — so it overlaps with all of that. get is safe for concurrent
+// use (the persist path and the next delta save's base-hash lookup can
+// race).
+type payloadHash struct {
+	once sync.Once
+	ch   chan [32]byte
+	val  [32]byte
+}
+
+// startPayloadHash hashes p.b on its own goroutine, holding a reference
+// so buffer recycling cannot race the read.
+func startPayloadHash(p *refBuf) *payloadHash {
+	p.retain()
+	a := &payloadHash{ch: make(chan [32]byte, 1)}
+	go func() {
+		a.ch <- PayloadHash(p.b)
+		p.release()
+	}()
+	return a
+}
+
+// get blocks until the hash is ready.
+func (a *payloadHash) get() [32]byte {
+	a.once.Do(func() { a.val = <-a.ch })
+	return a.val
 }
 
 // NewManager opens the backend (creating the checkpoint directory for the
@@ -265,6 +328,7 @@ func (m *Manager) runSequencer() {
 		start := time.Now()
 		n, err := m.persist(job)
 		dur := time.Since(start)
+		job.body.release()
 		m.mu.Lock()
 		if err != nil && m.asyncErr == nil {
 			m.asyncErr = err
@@ -295,53 +359,138 @@ func (m *Manager) dispatch(wg *sync.WaitGroup, fn func()) {
 }
 
 // persist writes one snapshot through the backend and returns the bytes
-// newly written (dedup hits count zero).
+// newly written (dedup hits and clean-chunk reuse count zero). The caller
+// keeps job.body alive until persist returns and releases it afterwards.
 func (m *Manager) persist(job writeJob) (int, error) {
 	if m.chunks == nil {
-		data, err := EncodeSnapshotFile(job.h, job.body)
+		job.h.PayloadHash = job.hash.get()
+		sp := getScratch()
+		data, err := appendSnapshotFile((*sp)[:0], job.h, job.body.b)
+		if err == nil {
+			err = m.backend.Put(job.name, data)
+		}
+		n := len(data)
+		if data != nil {
+			*sp = data
+		}
+		putScratch(sp)
 		if err != nil {
 			return 0, err
 		}
-		if err := m.backend.Put(job.name, data); err != nil {
-			return 0, err
-		}
-		return len(data), nil
+		return n, nil
 	}
 	return m.persistChunked(job)
 }
 
-// persistChunked splits the body into chunks, compresses and stores them
-// concurrently on the worker pool, then commits the manifest. Chunks are
-// durable before the manifest that references them, so a crash can orphan
-// chunks but never dangle a manifest.
+// chunkKeySeed keys the intra-save duplicate-collapse map. The collapse
+// only needs a cheap process-local discriminator (collisions fall back to
+// a byte compare), so it uses maphash instead of burning a second SHA-256
+// pass over every chunk — the one content hash per chunk is of the framed
+// bytes, threaded through IngestAddressed.
+var chunkKeySeed = maphash.MakeSeed()
+
+// persistChunked runs the incremental chunked save: the body is split on
+// the same fixed boundaries as every save before it, chunks whose bytes
+// match the retained previous body are recognized with a word-wise
+// compare and reuse their prior addresses outright, and only dirty chunks
+// are framed (adaptive raw/flate), hashed once, and offered to the chunk
+// store concurrently on the worker pool. The manifest commits only after
+// every referenced chunk is durable, so a crash can orphan chunks but
+// never dangle a manifest. At steady state with few dirty bytes, the work
+// is O(dirty bytes) plus one memcmp pass — no hashing, compression or
+// backend Stat for the clean remainder.
+//
+// Clean-chunk reuse is sound because the previous manifest is always the
+// newest committed snapshot: retention GC never deletes it (it only
+// removes snapshots strictly older than a kept anchor), so every chunk it
+// references is in any concurrent collection's keep-set. The reused
+// addresses are pinned across the commit anyway — the same protocol dirty
+// chunks follow — so the argument does not depend on that invariant
+// alone.
 func (m *Manager) persistChunked(job writeJob) (int, error) {
-	pieces := splitChunks(job.body, m.opt.ChunkBytes)
-	// Collapse identical pieces before dispatch: delta bodies are mostly
-	// zero runs, so one save usually repeats the same chunk many times.
-	// Writing each distinct piece once keeps concurrent workers from racing
-	// Ingest's exists-check on their own duplicates (harmless for the
-	// stored data, but it would double-write and skew the dedup stats).
+	body := job.body.b
+	pieces := splitChunks(body, m.opt.ChunkBytes)
+	incremental := !m.opt.FullIngest
+	// prevChunk returns the previous body's chunk i without materializing a
+	// [][]byte per save: the compare below runs inside the stall window, so
+	// it indexes the retained body by offset (ok=false when the previous
+	// body has no complete counterpart chunk there).
+	var prevB []byte
+	if incremental && m.prevBody != nil {
+		prevB = m.prevBody.b
+	}
+	prevChunk := func(i int) ([]byte, bool) {
+		start := i * m.opt.ChunkBytes
+		if prevB == nil || start >= len(prevB) || i >= len(m.prevAddrs) {
+			return nil, false
+		}
+		end := min(start+m.opt.ChunkBytes, len(prevB))
+		return prevB[start:end], true
+	}
+
 	type result struct {
 		addr    string
 		pinned  string // chunk address pinned against concurrent GC
 		written int
+		raw     bool
 		err     error
 	}
-	pieceKey := make([]string, len(pieces))
-	results := make(map[string]*result, len(pieces))
+	// group collapses identical dirty pieces before dispatch: delta bodies
+	// are mostly zero runs, so one save usually repeats the same chunk many
+	// times. Framing each distinct piece once keeps concurrent workers from
+	// racing Ingest's exists-check on their own duplicates (harmless for
+	// the stored data, but it would double-write and skew the dedup stats).
+	type group struct {
+		piece []byte
+		res   *result
+	}
+	// addrs double-buffers against prevAddrs; every index is written below —
+	// clean chunks at compare time, dirty chunks after the workers finish.
+	addrs := m.addrsSpare
+	if cap(addrs) < len(pieces) {
+		addrs = make([]string, len(pieces))
+	} else {
+		addrs = addrs[:len(pieces)]
+	}
+	results := make([]*result, len(pieces))
+	groups := make(map[uint64][]*group, len(pieces))
+	clean := 0
+	cleanPins := m.pinScratch[:0]
 	var wg sync.WaitGroup
 	for i, piece := range pieces {
-		key := storage.Hash(piece)
-		pieceKey[i] = key
-		if _, seen := results[key]; seen {
+		if prev, ok := prevChunk(i); ok && bytes.Equal(piece, prev) {
+			// Unchanged since the previous committed manifest (bytes.Equal
+			// covers length, so a shorter tail chunk never matches a longer
+			// predecessor): reuse its address, pinned like any other chunk
+			// until our commit.
+			addrs[i] = m.prevAddrs[i]
+			m.pinChunk(addrs[i])
+			cleanPins = append(cleanPins, addrs[i])
+			clean++
 			continue
 		}
-		r := &result{}
-		results[key] = r
+		key := maphash.Bytes(chunkKeySeed, piece)
+		var g *group
+		for _, cand := range groups[key] {
+			if bytes.Equal(cand.piece, piece) {
+				g = cand
+				break
+			}
+		}
+		if g != nil {
+			results[i] = g.res
+			continue
+		}
+		g = &group{piece: piece, res: &result{}}
+		groups[key] = append(groups[key], g)
+		results[i] = g.res
+		r := g.res
 		piece := piece
 		m.dispatch(&wg, func() {
-			comp, err := compress(piece)
+			sp := getScratch()
+			frame, err := appendChunkFrame((*sp)[:0], piece)
 			if err != nil {
+				putScratch(sp)
 				r.err = err
 				return
 			}
@@ -349,10 +498,15 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 			// re-checks live pins immediately before each delete, so the
 			// pin shields this chunk — written or dedup-hit, even an
 			// orphan of a deleted manifest — until our manifest commits.
-			// The address doubles as Ingest's, so each chunk hashes once.
-			r.pinned = storage.Hash(comp)
-			m.pinChunk(r.pinned)
-			r.addr, r.written, r.err = m.chunks.IngestAddressed(r.pinned, comp)
+			// The frame's content hash is computed exactly once here and
+			// threaded through as the chunk address.
+			addr := storage.Hash(frame)
+			r.pinned = addr
+			m.pinChunk(addr)
+			r.raw = frame[0] == chunkFrameRaw
+			r.addr, r.written, r.err = m.chunks.IngestAddressed(addr, frame)
+			*sp = frame
+			putScratch(sp)
 		})
 	}
 	wg.Wait()
@@ -361,38 +515,79 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	// manifest or the still-held pins — or on abort, where no manifest
 	// will ever reference the chunks and plain release is safe. unpinAll
 	// is idempotent; the defer covers every abort path.
+	unpinned := false
 	unpinAll := func() {
-		for _, r := range results {
-			if r.pinned != "" {
-				m.unpinChunk(r.pinned)
-				r.pinned = ""
+		if unpinned {
+			return
+		}
+		unpinned = true
+		for _, a := range cleanPins {
+			m.unpinChunk(a)
+		}
+		for _, gs := range groups {
+			for _, g := range gs {
+				if g.res.pinned != "" {
+					m.unpinChunk(g.res.pinned)
+					g.res.pinned = ""
+				}
 			}
 		}
 	}
 	defer unpinAll()
-	total, dedup := 0, len(pieces)-len(results)
-	for _, r := range results {
-		if r.err != nil {
-			return 0, fmt.Errorf("core: write chunk: %w", r.err)
-		}
-		total += r.written
-		if r.written == 0 {
-			dedup++
+	defer func() { m.pinScratch = cleanPins[:0] }()
+
+	total, distinct, ingestHits, raws := 0, 0, 0, 0
+	for _, gs := range groups {
+		for _, g := range gs {
+			distinct++
+			if g.res.err != nil {
+				return 0, fmt.Errorf("core: write chunk: %w", g.res.err)
+			}
+			total += g.res.written
+			if g.res.written == 0 {
+				ingestHits++
+			}
+			if g.res.raw {
+				raws++
+			}
 		}
 	}
-	addrs := make([]string, len(pieces))
-	for i, key := range pieceKey {
-		addrs[i] = results[key].addr
+	// Dedup hits: intra-save duplicates collapsed before dispatch, plus
+	// store-level hits on distinct pieces. Clean chunks are counted apart —
+	// they never reached the store at all.
+	dedup := (len(pieces) - clean - distinct) + ingestHits
+
+	for i, r := range results {
+		if r != nil {
+			addrs[i] = r.addr
+		}
 	}
 	h := job.h
 	h.Kind = h.Kind.chunkedVariant()
-	manifest := encodeChunkManifest(len(job.body), addrs)
-	data, err := EncodeSnapshotFile(h, manifest)
-	if err != nil {
-		return 0, err
+	// Join the background payload hash only now: it has been running since
+	// the moment the payload was encoded, concurrent with the compare and
+	// the chunk workers above.
+	h.PayloadHash = job.hash.get()
+	msp := getScratch()
+	manifest := appendChunkManifest((*msp)[:0], len(body), addrs)
+	fsp := getScratch()
+	data, err := appendSnapshotFile((*fsp)[:0], h, manifest)
+	fileBytes := len(data)
+	if err == nil {
+		err = m.backend.Put(job.name, data)
 	}
-	if err := m.backend.Put(job.name, data); err != nil {
-		return 0, err // the deferred unpinAll releases; no manifest exists to dangle
+	*msp = manifest
+	putScratch(msp)
+	if data != nil {
+		*fsp = data
+	}
+	putScratch(fsp)
+	if err != nil {
+		// The deferred unpinAll releases; no manifest exists to dangle. The
+		// retained previous body stays valid — its manifest is still the
+		// newest committed one.
+		m.addrsSpare = addrs[:0]
+		return 0, err
 	}
 	// Release pins under the gcGate read side, which forces the release to
 	// land either before a collection's manifest scan (the committed
@@ -402,12 +597,26 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	m.gcGate.RLock()
 	unpinAll()
 	m.gcGate.RUnlock()
+	// Adopt this body as the next save's dirty-compare base, double-
+	// buffering the address slice so steady-state saves allocate neither.
+	if incremental {
+		job.body.retain()
+		old := m.prevBody
+		m.prevBody = job.body
+		m.addrsSpare = m.prevAddrs[:0]
+		m.prevAddrs = addrs
+		old.release()
+	} else {
+		m.addrsSpare = addrs[:0]
+	}
 	m.mu.Lock()
 	m.stats.Chunks += len(pieces)
 	m.stats.DedupHits += dedup
+	m.stats.CleanChunks += clean
+	m.stats.RawChunks += raws
 	m.stats.ChunkBytes += int64(total)
 	m.mu.Unlock()
-	return total + len(data), nil
+	return total + fileBytes, nil
 }
 
 // pinChunk marks addr as belonging to an in-flight save.
@@ -545,29 +754,45 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 	}
 	m.mu.Unlock()
 
+	// Encode into a pooled buffer: at steady state the synchronous stage
+	// reuses the capacity of a payload retired two saves ago instead of
+	// allocating afresh (see pool.go for the ownership rules).
 	encStart := time.Now()
-	payload, err := EncodePayload(state)
+	payload := getBody(payloadSizeHint(state))
+	encoded, err := AppendPayload(payload.b, state)
 	if err != nil {
+		payload.release()
 		return SaveResult{}, err
 	}
+	payload.b = encoded
+	// The payload hash overlaps everything up to the snapshot header
+	// encode: delta encode, the dirty-chunk compare, chunk framing.
+	hash := startPayloadHash(payload)
 	encDur := time.Since(encStart)
 
 	m.mu.Lock()
 	kind := KindFull
 	var baseHash [32]byte
-	var body []byte
+	var body *refBuf
 	if m.opt.Strategy == StrategyDelta && m.lastPayload != nil && m.sinceAnchor < m.opt.AnchorEvery-1 {
 		kind = KindDelta
-		baseHash = PayloadHash(m.lastPayload)
-		body = EncodeDelta(m.lastPayload, payload)
+		baseHash = m.lastHash.get()
+		body = getBody(16 + len(payload.b))
+		body.b = AppendDelta(body.b, m.lastPayload.b, payload.b)
 		m.sinceAnchor++
 	} else {
+		// Full snapshots share the payload buffer between the write job and
+		// the retained delta base; the extra reference keeps it alive until
+		// both let go.
 		body = payload
+		payload.retain()
 		m.sinceAnchor = 0
 	}
 	seq := m.seq
 	m.seq++
+	m.lastPayload.release()
 	m.lastPayload = payload
+	m.lastHash = hash
 	if m.opt.Lifecycle.MaxHotAge > 0 {
 		// The save clock only feeds the lifecycle age rule; without it the
 		// map would grow one entry per save for the run's lifetime.
@@ -584,26 +809,28 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 	m.mu.Unlock()
 
 	h := Header{
-		Kind:        kind,
-		Seq:         seq,
-		Step:        state.Step,
-		BaseHash:    baseHash,
-		PayloadHash: PayloadHash(payload),
+		Kind:     kind,
+		Seq:      seq,
+		Step:     state.Step,
+		BaseHash: baseHash,
+		// PayloadHash is filled by persist from the in-flight hash, as late
+		// as the write path allows.
 	}
 	name := snapshotName(seq, kind)
 	res := SaveResult{
 		Kind: kind, Seq: seq, Step: state.Step, Path: m.resultPath(name),
-		PayloadBytes: len(payload), Encode: encDur,
+		PayloadBytes: len(payload.b), Encode: encDur,
 	}
 
 	if async {
 		m.pending.Add(1)
-		m.jobs <- writeJob{name: name, h: h, body: body}
+		m.jobs <- writeJob{name: name, h: h, body: body, hash: hash}
 		return res, nil
 	}
 
 	wStart := time.Now()
-	n, err := m.persist(writeJob{name: name, h: h, body: body})
+	n, err := m.persist(writeJob{name: name, h: h, body: body, hash: hash})
+	body.release()
 	res.Write = time.Since(wStart)
 	res.FileBytes = n
 	if err != nil {
@@ -652,10 +879,19 @@ func (m *Manager) Close() error {
 		close(tasks)
 		m.workers.Wait()
 	}
+	// The pipeline is quiesced and closed refuses further saves, so the
+	// retained codec buffers can go back to their pool.
 	m.mu.Lock()
 	err := m.asyncErr
 	m.asyncErr = nil
+	lp := m.lastPayload
+	m.lastPayload = nil
+	m.lastHash = nil
 	m.mu.Unlock()
+	lp.release()
+	m.prevBody.release()
+	m.prevBody = nil
+	m.prevAddrs = nil
 	return err
 }
 

@@ -65,26 +65,30 @@ func (o RestoreOptions) window() int {
 // manifest under opt: serially for the zero value, through the parallel
 // engine otherwise. Both paths return bitwise-identical bodies.
 func assembleChunksOptions(cs *storage.ChunkStore, manifest []byte, opt RestoreOptions) ([]byte, error) {
-	rawLen, addrs, err := decodeChunkManifest(manifest)
+	rawLen, addrs, framed, err := decodeChunkManifest(manifest)
 	if err != nil {
 		return nil, err
 	}
 	if !opt.parallel() || len(addrs) < 2 {
-		return assembleAddrs(cs, rawLen, addrs)
+		return assembleAddrs(cs, rawLen, addrs, framed)
 	}
-	return assembleAddrsParallel(cs, rawLen, addrs, opt)
+	return assembleAddrsParallel(cs, rawLen, addrs, framed, opt)
 }
 
 // fetchChunk is the unit of restore work: one content-verified chunk read
-// plus its decompression. Both failure modes wrap ErrCorrupt so recovery
-// falls back to an older snapshot instead of treating the directory as
-// unreadable.
-func fetchChunk(cs *storage.ChunkStore, addr string) ([]byte, error) {
-	comp, err := cs.Get(addr)
+// plus its unframing (raw copy-through or exact-size decompression; bare
+// flate for legacy unframed chunks). Both failure modes wrap ErrCorrupt
+// so recovery falls back to an older snapshot instead of treating the
+// directory as unreadable.
+func fetchChunk(cs *storage.ChunkStore, addr string, framed bool) ([]byte, error) {
+	frame, err := cs.Get(addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: chunk %.12s…: %v", ErrCorrupt, addr, err)
 	}
-	return decompress(comp)
+	if !framed {
+		return decompress(frame)
+	}
+	return decodeChunkFrame(frame)
 }
 
 // chunkSlot carries one chunk's result from a worker to the committer.
@@ -96,7 +100,7 @@ type chunkSlot struct {
 
 // assembleAddrsParallel is the concurrent engine behind
 // assembleChunksOptions (see the package comment above for invariants).
-func assembleAddrsParallel(cs *storage.ChunkStore, rawLen int, addrs []string, opt RestoreOptions) ([]byte, error) {
+func assembleAddrsParallel(cs *storage.ChunkStore, rawLen int, addrs []string, framed bool, opt RestoreOptions) ([]byte, error) {
 	workers := opt.Workers
 	if workers > len(addrs) {
 		workers = len(addrs)
@@ -171,10 +175,10 @@ func assembleAddrsParallel(cs *storage.ChunkStore, rawLen int, addrs []string, o
 				default:
 				}
 				if sh := memo[addrs[i]]; sh != nil {
-					sh.once.Do(func() { sh.raw, sh.err = fetchChunk(cs, addrs[i]) })
+					sh.once.Do(func() { sh.raw, sh.err = fetchChunk(cs, addrs[i], framed) })
 					slots[i].raw, slots[i].err = sh.raw, sh.err
 				} else {
-					slots[i].raw, slots[i].err = fetchChunk(cs, addrs[i])
+					slots[i].raw, slots[i].err = fetchChunk(cs, addrs[i], framed)
 				}
 				close(slots[i].done)
 			}
@@ -255,7 +259,7 @@ func (v *snapshotView) warm(key string) {
 	if err != nil || !h.Kind.Chunked() {
 		return
 	}
-	_, addrs, err := decodeChunkManifest(body)
+	_, addrs, _, err := decodeChunkManifest(body)
 	if err != nil {
 		return
 	}

@@ -20,11 +20,11 @@ func buildChunkedBody(t *testing.T, cs *storage.ChunkStore, body []byte, chunkBy
 	pieces := splitChunks(body, chunkBytes)
 	addrs := make([]string, len(pieces))
 	for i, piece := range pieces {
-		comp, err := compress(piece)
+		frame, err := appendChunkFrame(nil, piece)
 		if err != nil {
 			t.Fatal(err)
 		}
-		addr, err := cs.Put(comp)
+		addr, err := cs.Put(frame)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func TestParallelRestoreCorruptChunk(t *testing.T) {
 	cs := storage.NewChunkStore(mem)
 	body := restoreTestBody(64 << 10)
 	manifest := buildChunkedBody(t, cs, body, 1<<10)
-	_, addrs, err := decodeChunkManifest(manifest)
+	_, addrs, _, err := decodeChunkManifest(manifest)
 	if err != nil {
 		t.Fatal(err)
 	}

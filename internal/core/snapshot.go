@@ -117,29 +117,16 @@ var ErrCorrupt = errors.New("core: snapshot corrupt")
 // compress well at any level.
 const CompressionLevel = flate.BestSpeed
 
+// compress flate-compresses data through the pooled writer (pool.go).
 func compress(data []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, CompressionLevel)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := w.Write(data); err != nil {
-		return nil, err
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return compressAppend(make([]byte, 0, len(data)/2+64), data)
 }
 
+// decompress inflates a body of unknown raw size; callers that know the
+// raw length (chunk frames, manifests' rawLen) use DecompressBody with a
+// hint for exact preallocation.
 func decompress(data []byte) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(data))
-	defer r.Close()
-	out, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
-	}
-	return out, nil
+	return DecompressBody(data, -1)
 }
 
 // EncodeSnapshotFile builds the on-disk byte image of a snapshot. For
@@ -147,19 +134,27 @@ func decompress(data []byte) ([]byte, error) {
 // bytes and payloadHash must be the hash of the payload the delta
 // reconstructs.
 func EncodeSnapshotFile(h Header, body []byte) ([]byte, error) {
-	comp, err := compress(body)
-	if err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 0, headerSize+len(comp)+32)
+	return appendSnapshotFile(make([]byte, 0, headerSize+len(body)/2+96), h, body)
+}
+
+// appendSnapshotFile appends the snapshot file image to buf, compressing
+// the body directly into it — the allocation-free form the save path runs
+// on pooled scratch. buf must be empty (length zero; capacity is reused),
+// because the whole-file hash covers everything in it.
+func appendSnapshotFile(buf []byte, h Header, body []byte) ([]byte, error) {
 	buf = append(buf, magic[:]...)
 	buf = append(buf, byte(h.Kind))
 	buf = binary.LittleEndian.AppendUint64(buf, h.Seq)
 	buf = binary.LittleEndian.AppendUint64(buf, h.Step)
 	buf = append(buf, h.BaseHash[:]...)
 	buf = append(buf, h.PayloadHash[:]...)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(comp)))
-	buf = append(buf, comp...)
+	lenOff := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf, err := compressAppend(buf, body)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint64(buf[lenOff:], uint64(len(buf)-lenOff-8))
 	sum := sha256.Sum256(buf)
 	buf = append(buf, sum[:]...)
 	return buf, nil

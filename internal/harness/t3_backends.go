@@ -21,7 +21,7 @@ type T3Row struct {
 	Snapshots  int
 	MeanSave   time.Duration // mean foreground Save latency
 	BytesTotal int64         // bytes that reached the backend (dedup-adjusted)
-	DedupPct   float64       // percent of chunks skipped as duplicates
+	DedupPct   float64       // percent of chunks skipped (store dedup + clean-chunk reuse)
 	Modeled    time.Duration // device-model time (latency-modeled tiers only)
 	Recovery   time.Duration // LoadLatest wall time at the end of the run
 }
@@ -154,7 +154,10 @@ func runT3Spec(spec t3Spec, steps int) (T3Row, error) {
 		Recovery:   recovery,
 	}
 	if stats.Chunks > 0 {
-		row.DedupPct = 100 * float64(stats.DedupHits) / float64(stats.Chunks)
+		// Chunks that never had to be written: content-addressed dedup hits
+		// plus chunks the incremental engine recognized clean against the
+		// retained previous body (PR 4 routes most former dedup hits there).
+		row.DedupPct = 100 * float64(stats.DedupHits+stats.CleanChunks) / float64(stats.Chunks)
 	}
 	if tier != nil {
 		row.Modeled = tier.Stats().Modeled

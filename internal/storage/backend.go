@@ -45,7 +45,9 @@ type Backend interface {
 	// Capabilities reports the backend's guarantees.
 	Capabilities() Capabilities
 	// Put stores data under key, creating intermediate namespaces as needed
-	// and overwriting any existing object.
+	// and overwriting any existing object. Implementations must not retain
+	// data after returning: the checkpoint pipeline recycles its buffers
+	// through pools the moment Put comes back.
 	Put(key string, data []byte) error
 	// Get retrieves the object at key, or ErrNotFound.
 	Get(key string) ([]byte, error)

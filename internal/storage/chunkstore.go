@@ -57,6 +57,14 @@ func (cs *ChunkStore) key(addr string) (string, error) {
 
 // Put stores data and returns its content address. Re-putting identical
 // content is a no-op returning the same address.
+//
+// Hash-once contract: Put → Ingest → IngestAddressed computes data's
+// SHA-256 exactly once, at the outermost entry point that does not
+// already have it. Callers that computed the address for their own
+// purposes (the save pipeline hashes each framed chunk once to pin it
+// against GC) must use IngestAddressed so the hash is threaded through
+// instead of recomputed — BenchmarkIngestAddressed measures what the
+// second pass would cost.
 func (cs *ChunkStore) Put(data []byte) (string, error) {
 	addr, _, err := cs.Ingest(data)
 	return addr, err

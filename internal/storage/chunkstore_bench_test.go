@@ -1,0 +1,54 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ingest benchmarks quantify the hash-once contract: Ingest hashes
+// its input to derive the address, while IngestAddressed receives the
+// address a caller already computed (the save pipeline hashes each framed
+// chunk once to pin it against GC and threads the same digest through).
+// The delta between the two is the SHA-256 pass the old double-hash path
+// paid per chunk per save.
+
+func benchChunk(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*131) ^ byte(i>>7)
+	}
+	return data
+}
+
+func BenchmarkIngest(b *testing.B) {
+	for _, size := range []int{8 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			cs := NewChunkStore(NewMem())
+			data := benchChunk(size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cs.Ingest(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIngestAddressed(b *testing.B) {
+	for _, size := range []int{8 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			cs := NewChunkStore(NewMem())
+			data := benchChunk(size)
+			addr := Hash(data)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cs.IngestAddressed(addr, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -98,6 +98,31 @@ func TestBackendPutGetRoundTrip(t *testing.T) {
 	})
 }
 
+// TestBackendPutDoesNotRetainInput enforces the Backend.Put contract the
+// pooled save pipeline depends on: the stored object must not alias the
+// caller's slice, which is recycled scratch that gets overwritten the
+// moment Put returns. A backend that kept the slice would pass every
+// other conformance case and then corrupt checkpoints under load.
+func TestBackendPutDoesNotRetainInput(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		data := bytes.Repeat([]byte{0x5A}, 1024)
+		want := append([]byte(nil), data...)
+		if err := b.Put("retain-probe", data); err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			data[i] = 0xFF // simulate pool reuse of the caller's buffer
+		}
+		got, err := b.Get("retain-probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("backend retained the caller's Put slice (stored bytes changed after the caller reused its buffer)")
+		}
+	})
+}
+
 func TestBackendOverwrite(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, b Backend) {
 		if err := b.Put("k", []byte("v1")); err != nil {
