@@ -2,7 +2,18 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-json bench-save fmt vet check experiments
+# The benchmark JSON written by bench-json. Defaults to this PR's
+# committed snapshot; CI overrides it (BENCH_OUT=bench-latest.json) so
+# the workflow never needs editing when the PR number advances.
+BENCH_OUT ?= BENCH_PR5.json
+# Allowed ns/op and allocs/op growth (percent) before bench-gate fails.
+BENCH_TOLERANCE ?= 20
+# The package set every bench target runs: the harness tables plus the
+# storage microbenchmarks. bench and bench-json MUST agree on this list,
+# or the committed JSON and the interactive numbers drift apart.
+BENCH_PKGS = . ./internal/storage
+
+.PHONY: build test test-race bench bench-json bench-gate bench-save fmt vet check experiments
 
 build:
 	$(GO) build ./...
@@ -11,22 +22,40 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent machinery (save pipeline,
-# parallel restore engine, cache, tiered batch reads). CI runs this as
-# its own job.
+# multi-job service, sharded chunk store, parallel restore engine, cache,
+# tiered batch reads). CI runs this as its own job.
 test-race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' $(BENCH_PKGS)
 
 # Machine-readable benchmark metrics for tracking the perf trajectory
 # across PRs (see cmd/benchjson). Two steps, not a pipe, so a failing
-# benchmark fails the target instead of writing a truncated JSON.
+# benchmark fails the target instead of writing a truncated JSON. Each
+# benchmark runs BENCH_COUNT times and benchjson keeps the per-benchmark
+# minimum of the cost columns, so the committed numbers (and the gate
+# below) measure the code, not scheduler noise.
+BENCH_COUNT ?= 3
 bench-json:
-	$(GO) test -bench=. -benchmem -run '^$$' . ./internal/storage > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_PR4.json < bench.out
+	$(GO) test -bench=. -benchmem -count=$(BENCH_COUNT) -run '^$$' $(BENCH_PKGS) > bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) < bench.out
 	@rm -f bench.out
-	@echo wrote BENCH_PR4.json
+	@echo wrote $(BENCH_OUT)
+
+# Perf-regression gate: compare $(BENCH_OUT) against the newest committed
+# baseline (the highest-numbered BENCH_PR*.json that is not the output
+# itself) and fail when any benchmark's ns/op or allocs/op regressed more
+# than $(BENCH_TOLERANCE)%, or when a baseline benchmark disappeared.
+# allocs/op is hardware-independent; ns/op assumes the baseline was
+# generated on comparable hardware (regenerate the committed baseline
+# with `make bench-json` when the reference machine changes — the
+# min-of-$(BENCH_COUNT) merge keeps run-to-run noise out of it).
+bench-gate:
+	@base=$$(ls BENCH_PR*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -V | tail -n 1); \
+	if [ -z "$$base" ]; then echo "bench-gate: no committed baseline, nothing to compare"; exit 0; fi; \
+	echo "bench-gate: $(BENCH_OUT) vs $$base (tolerance $(BENCH_TOLERANCE)%)"; \
+	$(GO) run ./cmd/benchjson -compare -tolerance $(BENCH_TOLERANCE) "$$base" "$(BENCH_OUT)"
 
 # Quick save-path benchmark: the T6 experiment table plus the
 # BenchmarkTable6SavePath metrics (stall speedup, bytes written,

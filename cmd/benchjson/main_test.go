@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	res, ok := parseBenchLine("BenchmarkCheckpointSaveChunked-8   \t 1264\t    934591 ns/op\t  91.23 dedup-%\t 2048 B/op\t 31 allocs/op")
@@ -43,5 +49,144 @@ func TestParseBenchLinePromotedColumns(t *testing.T) {
 	// Promotion must not remove the pairs from the generic metric map.
 	if res.Metrics["bytes-written/op"] != 6205 || res.Metrics["stall-speedup-x"] != 5.2 {
 		t.Errorf("metrics map lost pairs: %v", res.Metrics)
+	}
+}
+
+func TestMergeResultsKeepsMinimumCosts(t *testing.T) {
+	parse := func(line string) BenchResult {
+		r, ok := parseBenchLine(line)
+		if !ok {
+			t.Fatalf("line not parsed: %q", line)
+		}
+		return r
+	}
+	rows := []BenchResult{
+		parse("BenchmarkSave-8 100 2000 ns/op 90.0 dedup-% 512 B/op 40 allocs/op"),
+		parse("BenchmarkOther-8 10 700 ns/op"),
+		parse("BenchmarkSave-8 100 1500 ns/op 92.0 dedup-% 600 B/op 30 allocs/op"),
+		parse("BenchmarkSave-8 100 1800 ns/op 91.0 dedup-% 480 B/op 35 allocs/op"),
+	}
+	merged := mergeResults(rows)
+	if len(merged) != 2 {
+		t.Fatalf("merged to %d rows, want 2", len(merged))
+	}
+	if merged[0].Name != "BenchmarkSave-8" || merged[1].Name != "BenchmarkOther-8" {
+		t.Fatalf("order lost: %v, %v", merged[0].Name, merged[1].Name)
+	}
+	r := merged[0]
+	// Cost columns: minimum across the three runs, independently.
+	if r.NsPerOp != 1500 || r.AllocsPerOp != 30 || r.BytesPerOp != 480 {
+		t.Errorf("cost minima = ns %v, allocs %v, B %v", r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if r.Metrics["ns/op"] != 1500 || r.Metrics["B/op"] != 480 {
+		t.Errorf("metrics map diverged from promoted columns: %v", r.Metrics)
+	}
+	// Non-cost metrics follow the fastest run, not the min.
+	if r.Metrics["dedup-%"] != 92.0 {
+		t.Errorf("dedup-%% = %v, want the fastest run's 92.0", r.Metrics["dedup-%"])
+	}
+	// A single-run benchmark passes through untouched.
+	if merged[1].NsPerOp != 700 {
+		t.Errorf("single-run row changed: %v", merged[1])
+	}
+}
+
+// gateDoc builds a baseline-style document for the compare tests.
+func gateDoc(results ...BenchResult) Output {
+	return Output{Goos: "linux", Benchmarks: results}
+}
+
+func bench(name string, ns, allocs float64) BenchResult {
+	return BenchResult{Name: name, Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 50), bench("BenchmarkRestore-8", 2000, 10))
+	cur := gateDoc(
+		bench("BenchmarkSave-8", 1150, 55),    // +15% ns, +10% allocs: inside 20%
+		bench("BenchmarkRestore-8", 1500, 10), // improvement
+		bench("BenchmarkNew-8", 99, 9),        // new benchmark: allowed
+	)
+	report, failures := compareDocs(old, cur, 20)
+	if failures != 0 {
+		t.Fatalf("within-tolerance run failed the gate: %v", report)
+	}
+	summary := report[len(report)-1]
+	if !strings.Contains(summary, "compared 2 benchmark(s), 1 new, 0 violation(s)") {
+		t.Errorf("summary = %q", summary)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 50))
+	cur := gateDoc(bench("BenchmarkSave-8", 1300, 50)) // +30% ns/op
+	report, failures := compareDocs(old, cur, 20)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (%v)", failures, report)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "REGRESSED BenchmarkSave-8 ns/op") {
+		t.Errorf("report missing the ns/op regression: %v", report)
+	}
+
+	// allocs/op is gated independently of ns/op.
+	cur = gateDoc(bench("BenchmarkSave-8", 1000, 75)) // +50% allocs/op
+	_, failures = compareDocs(old, cur, 20)
+	if failures != 1 {
+		t.Errorf("alloc regression not caught (failures = %d)", failures)
+	}
+
+	// A looser tolerance admits the same delta.
+	if _, failures = compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1300, 50)), 50); failures != 0 {
+		t.Errorf("30%% growth failed a 50%% gate")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 50), bench("BenchmarkGone-8", 10, 1))
+	cur := gateDoc(bench("BenchmarkSave-8", 1000, 50))
+	report, failures := compareDocs(old, cur, 20)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (%v)", failures, report)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "MISSING  BenchmarkGone-8") {
+		t.Errorf("report missing the dropped benchmark: %v", report)
+	}
+}
+
+func TestCompareSkipsZeroBaselines(t *testing.T) {
+	// A baseline without -benchmem columns (allocs 0) must not divide by
+	// zero or flag every new allocs value as a regression.
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 0))
+	cur := gateDoc(bench("BenchmarkSave-8", 1000, 40))
+	if _, failures := compareDocs(old, cur, 20); failures != 0 {
+		t.Error("zero baseline treated as a regression")
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc Output) string {
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := write("old.json", gateDoc(bench("BenchmarkSave-8", 1000, 50)))
+	goodPath := write("good.json", gateDoc(bench("BenchmarkSave-8", 1100, 50)))
+	badPath := write("bad.json", gateDoc(bench("BenchmarkSave-8", 5000, 50)))
+	if code := runCompare(oldPath, goodPath, 20); code != 0 {
+		t.Errorf("good run exit code = %d", code)
+	}
+	if code := runCompare(oldPath, badPath, 20); code == 0 {
+		t.Error("5x regression passed the gate")
+	}
+	if code := runCompare(filepath.Join(dir, "absent.json"), goodPath, 20); code == 0 {
+		t.Error("missing baseline file passed the gate")
 	}
 }

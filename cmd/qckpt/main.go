@@ -11,15 +11,22 @@
 //	qckpt [flags] latest <dir>     print the state the recovery path would restore
 //	qckpt [flags] restore <dir>    restore through the parallel streaming engine
 //	                               (-workers, -prefetch) and report the wall time
-//	qckpt [flags] gc <dir>         collect orphaned chunks (bytes reclaimed)
+//	qckpt [flags] gc <dir>         collect orphaned chunks (bytes reclaimed);
+//	                               keeps chunks referenced by ANY job of a
+//	                               multi-tenant store
 //	qckpt [flags] compact <dir>    rewrite the newest state as one full snapshot
 //	                               and delete the rest
+//	qckpt jobs <dir>               list a multi-tenant store's jobs (snapshot
+//	                               counts, newest step per job)
 //	qckpt -levels ... tiers <dir>  per-level occupancy and modeled placement cost
 //	qckpt -levels ... migrate <dir> demote anchor chains that left the hot set
 //	qckpt diff <fileA> <fileB>     compare two full snapshots' states
 //
 // Flags:
 //
+//	-job <id>                      scope ls/verify/latest/restore to one job of
+//	                               a multi-tenant store (manifests under
+//	                               jobs/<id>/, chunk reads hit the shared store)
 //	-tier nvme|nfs|object          project directory reads through a modeled
 //	                               storage tier and report the virtual I/O
 //	                               cost the command would have paid there
@@ -59,6 +66,9 @@ var (
 	// flags for the restore subcommand.
 	restoreWorkers  int
 	restorePrefetch int
+	// jobID is the -job flag: scope directory commands to one tenant of a
+	// multi-tenant store.
+	jobID string
 )
 
 func main() {
@@ -67,6 +77,7 @@ func main() {
 	flag.IntVar(&keepChains, "keep", 1, "anchor chains kept on the hot level by migrate")
 	flag.IntVar(&restoreWorkers, "workers", 0, "restore: parallel chunk workers (0 = one per CPU, 1 = serial)")
 	flag.IntVar(&restorePrefetch, "prefetch", 0, "restore: chunks fetched ahead of the reassembly frontier (0 = 2×workers)")
+	flag.StringVar(&jobID, "job", "", "scope the command to one job of a multi-tenant store (jobs/<id>/ manifests, shared chunks)")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		usage()
@@ -88,6 +99,8 @@ func main() {
 		err = cmdGc(arg)
 	case "compact":
 		err = cmdCompact(arg)
+	case "jobs":
+		err = cmdJobs(arg)
 	case "tiers":
 		err = cmdTiers(arg)
 	case "migrate":
@@ -107,13 +120,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qckpt [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|tiers|migrate} <dir> | qckpt show <file> | qckpt diff <a> <b>")
+	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt show <file> | qckpt diff <a> <b>")
 	os.Exit(2)
 }
 
 // openDir opens a checkpoint directory as a storage backend — plain local
-// files, a -tier device model, or a -levels tiered layout — plus a
-// reporter that prints the modeled I/O the command paid.
+// files, a -tier device model, or a -levels tiered layout, optionally
+// scoped to one -job of a multi-tenant store — plus a reporter that
+// prints the modeled I/O the command paid.
 func openDir(dir string) (storage.Backend, func(), error) {
 	if _, err := os.Stat(dir); err != nil {
 		return nil, nil, err
@@ -126,27 +140,52 @@ func openDir(dir string) (storage.Backend, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return tb, func() { reportLevels(tb) }, nil
+		b, err := scopeJob(tb)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, func() { reportLevels(tb) }, nil
 	}
 	b, err := storage.NewLocal(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	if tierName == "" {
-		return b, func() {}, nil
+		scoped, err := scopeJob(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return scoped, func() {}, nil
 	}
 	dev, err := storage.DeviceByName(tierName)
 	if err != nil {
 		return nil, nil, err
 	}
 	t := storage.NewTier(b, dev)
-	return t, func() { reportTier(t) }, nil
+	scoped, err := scopeJob(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return scoped, func() { reportTier(t) }, nil
+}
+
+// scopeJob narrows a store backend to the -job namespace when set.
+func scopeJob(b storage.Backend) (storage.Backend, error) {
+	if jobID == "" {
+		return b, nil
+	}
+	return core.JobBackend(b, jobID)
 }
 
 // openTieredDir opens the directory as a tiered layout, requiring -levels.
+// The tiers/migrate commands operate on the whole store, so -job does not
+// apply.
 func openTieredDir(dir string) (*storage.Tiered, error) {
 	if levelsFlag == "" {
 		return nil, errors.New("requires -levels (e.g. -levels nvme,object)")
+	}
+	if jobID != "" {
+		return nil, errors.New("tiers/migrate are store-wide; drop -job")
 	}
 	b, _, err := openDir(dir)
 	if err != nil {
@@ -302,6 +341,12 @@ func cmdRestore(dir string) error {
 }
 
 func cmdGc(dir string) error {
+	// GC liveness spans every tenant: the keep-set must union all job
+	// namespaces, so a job-scoped view would under-count references and
+	// delete other tenants' chunks.
+	if jobID != "" {
+		return errors.New("gc is store-wide (chunks are shared across jobs); drop -job")
+	}
 	b, report, err := openDir(dir)
 	if err != nil {
 		return err
@@ -315,7 +360,54 @@ func cmdGc(dir string) error {
 	return nil
 }
 
+// cmdJobs lists the tenants of a multi-tenant store: snapshot count and
+// newest step per job namespace.
+func cmdJobs(dir string) error {
+	if jobID != "" {
+		return errors.New("jobs lists all tenants; drop -job")
+	}
+	b, report, err := openDir(dir)
+	if err != nil {
+		return err
+	}
+	svc, err := core.NewService(core.ServiceOptions{Backend: b})
+	if err != nil {
+		return err
+	}
+	ids, err := svc.Jobs()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-10s %-10s %-10s\n", "JOB", "SNAPSHOTS", "NEWEST-SEQ", "NEWEST-STEP")
+	for _, id := range ids {
+		view, err := svc.JobView(id)
+		if err != nil {
+			return err
+		}
+		headers, _, err := core.ListSnapshotsBackend(view)
+		if err != nil {
+			return err
+		}
+		if len(headers) == 0 {
+			fmt.Printf("%-16s %-10d %-10s %-10s\n", id, 0, "-", "-")
+			continue
+		}
+		fmt.Printf("%-16s %-10d %-10d %-10d\n", id, len(headers), headers[0].Seq, headers[0].Step)
+	}
+	if len(ids) == 0 {
+		fmt.Println("(no job namespaces; single-tenant store?)")
+	}
+	report()
+	return nil
+}
+
 func cmdCompact(dir string) error {
+	// Compact's trailing orphan collection computes liveness from the
+	// backend it is handed; a job-scoped view would hide the other
+	// tenants' references.
+	if jobID != "" {
+		return errors.New("compact is store-wide; drop -job")
+	}
 	b, report, err := openDir(dir)
 	if err != nil {
 		return err

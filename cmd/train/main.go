@@ -10,6 +10,7 @@
 //	train -task vqe -qubits 4 -layers 2 -steps 50 -ckpt /tmp/run3 -async -workers 4 -chunk 64
 //	train -task vqe -qubits 4 -layers 2 -steps 80 -ckpt /tmp/run4 -chunk 64 -tiers nvme+object -keep-hot 2
 //	train -task vqe -qubits 4 -layers 2 -steps 100 -ckpt /tmp/run1 -resume -restore-workers 0
+//	train -task vqe -qubits 4 -layers 2 -steps 40 -ckpt /tmp/fleet -chunk 64 -jobs 8
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/circuit"
@@ -58,8 +60,33 @@ func main() {
 		tiers    = flag.String("tiers", "", "tiered checkpoint placement preset: device levels hot-to-cold joined by '+' (e.g. nvme+object, nvme+nfs+object); empty disables tiering")
 		keepHot  = flag.Int("keep-hot", 2, "anchor chains kept on the hot tier before demotion (with -tiers)")
 		restoreW = flag.Int("restore-workers", 1, "parallel chunk-restore workers for -resume (1 = serial, ≤0 = one per CPU)")
+		jobsN    = flag.Int("jobs", 1, "concurrent training jobs checkpointing into ONE multi-tenant store under -ckpt (cross-job chunk dedup; job j trains with seed+j)")
 	)
 	flag.Parse()
+
+	if *jobsN > 1 {
+		if *ckptDir == "" {
+			fatal(errors.New("-jobs requires -ckpt (the shared store root)"))
+		}
+		if *tiers != "" {
+			fatal(errors.New("-jobs and -tiers are mutually exclusive (tier the store root with qckpt instead)"))
+		}
+		if *mtbf > 0 {
+			fatal(errors.New("-jobs and -mtbf are mutually exclusive (failure injection drives a single job's crash/resume contract)"))
+		}
+		fleet := fleetFlags{
+			jobs: *jobsN, task: *taskName, qubits: *qubits, layers: *layers, qaoaP: *qaoaP,
+			steps: *steps, shots: *shots, lr: *lr, opt: *optName, seed: *seed,
+			pairs: *pairs, batch: *batch, grouped: *grouped, realQPU: *realQPU,
+			ckptDir: *ckptDir, resume: *resume, interval: *interval, units: *units,
+			async: *async, workers: *workers, chunkKB: *chunkKB, fullIngest: *fullIng,
+			restoreW: *restoreW,
+		}
+		if err := runJobs(fleet); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg, err := buildConfig(*taskName, *qubits, *layers, *qaoaP, *shots, *lr, *optName, *seed, *pairs, *batch, *grouped, *realQPU)
 	if err != nil {
@@ -225,6 +252,161 @@ func buildConfig(taskName string, qubits, layers, qaoaP, shots int, lr float64, 
 		return cfg, fmt.Errorf("unknown task %q", taskName)
 	}
 	return cfg, nil
+}
+
+// fleetFlags carries the flag values of a -jobs run.
+type fleetFlags struct {
+	jobs                                        int
+	task                                        string
+	qubits, layers, qaoaP, steps, shots         int
+	lr                                          float64
+	opt                                         string
+	seed                                        uint64
+	pairs, batch                                int
+	grouped, realQPU                            bool
+	ckptDir                                     string
+	resume                                      bool
+	interval, units, workers, chunkKB, restoreW int
+	async, fullIngest                           bool
+}
+
+// runJobs drives N concurrent training jobs into one multi-tenant
+// checkpoint store: every job gets its own manifest namespace
+// (jobs/job<i>/) and Manager, all sharing a single sharded chunk store —
+// so replicas that agree on most of their state pay for it once. Job i
+// trains with seed+i; the summary reports per-job results plus the
+// fleet-wide dedup accounting.
+func runJobs(f fleetFlags) error {
+	svc, err := core.NewService(core.ServiceOptions{Dir: f.ckptDir})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	type jobResult struct {
+		id          string
+		steps       uint64
+		bestLoss    float64
+		checkpoints int
+		stats       core.Stats
+		wall        time.Duration
+		resumedAt   uint64
+		err         error
+	}
+	results := make([]jobResult, f.jobs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for j := 0; j < f.jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			id := fmt.Sprintf("job%02d", j)
+			res := jobResult{id: id}
+			defer func() { results[j] = res }()
+			cfg, err := buildConfig(f.task, f.qubits, f.layers, f.qaoaP, f.shots, f.lr, f.opt,
+				f.seed+uint64(j), f.pairs, f.batch, f.grouped, f.realQPU)
+			if err != nil {
+				res.err = err
+				return
+			}
+			mgr, err := svc.OpenJob(id, core.Options{
+				Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
+				Async: f.async, Workers: f.workers, ChunkBytes: f.chunkKB << 10,
+				FullIngest: f.fullIngest,
+			})
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer mgr.Close()
+			cfg.Manager = mgr
+			cfg.Policy = core.Policy{EverySteps: f.interval, EveryUnits: f.units}
+
+			var tr *train.Trainer
+			if f.resume {
+				view, verr := svc.JobView(id)
+				if verr != nil {
+					res.err = verr
+					return
+				}
+				ropts := core.RestoreOptions{Workers: f.restoreW}
+				if f.restoreW <= 0 {
+					ropts = core.DefaultRestoreOptions()
+				}
+				var report core.LoadReport
+				tr, report, err = train.ResumeLatestBackendOptions(cfg, view, ropts)
+				if err != nil {
+					res.err = err
+					return
+				}
+				res.resumedAt = report.Step
+			} else {
+				tr, err = train.New(cfg)
+				if err != nil {
+					res.err = err
+					return
+				}
+			}
+			jobStart := time.Now()
+			for int(tr.Step()) < f.steps {
+				if err := tr.RunStep(); err != nil {
+					if errors.Is(err, qpu.ErrPreempted) {
+						continue
+					}
+					res.err = err
+					return
+				}
+			}
+			if err := mgr.Barrier(); err != nil {
+				res.err = err
+				return
+			}
+			res.steps = tr.Step()
+			res.bestLoss = tr.BestLoss()
+			res.checkpoints = tr.Checkpoints()
+			res.stats = mgr.Stats()
+			res.wall = time.Since(jobStart)
+		}(j)
+	}
+	wg.Wait()
+
+	fmt.Printf("fleet: %d jobs, task=%s, store=%s\n", f.jobs, f.task, f.ckptDir)
+	var agg core.Stats
+	failed := 0
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Printf("  %s  FAILED: %v\n", r.id, r.err)
+			continue
+		}
+		resumed := ""
+		if f.resume {
+			resumed = fmt.Sprintf(" (resumed at step %d)", r.resumedAt)
+		}
+		fmt.Printf("  %s  steps %d  best loss %.6f  ckpts %d  wrote %d B  wall %v%s\n",
+			r.id, r.steps, r.bestLoss, r.checkpoints, r.stats.BytesWritten,
+			r.wall.Round(time.Millisecond), resumed)
+		agg.BytesWritten += r.stats.BytesWritten
+		agg.Chunks += r.stats.Chunks
+		agg.DedupHits += r.stats.DedupHits
+		agg.CleanChunks += r.stats.CleanChunks
+		agg.Snapshots += r.stats.Snapshots
+	}
+	if agg.Chunks > 0 {
+		var resident string
+		if storeBytes, err := svc.ChunkStore().TotalBytes(); err == nil {
+			resident = fmt.Sprintf("%d B resident in the shared store", storeBytes)
+		} else {
+			resident = fmt.Sprintf("store size unavailable: %v", err)
+		}
+		fmt.Printf("fleet chunk pipeline: %d snapshots, %d chunks (%d clean, %d dedup), %d B written, %s\n",
+			agg.Snapshots, agg.Chunks, agg.CleanChunks, agg.DedupHits, agg.BytesWritten, resident)
+	}
+	fmt.Printf("fleet done in %v\n", time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, f.jobs)
+	}
+	return nil
 }
 
 func fatal(err error) {

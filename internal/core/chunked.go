@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -276,6 +277,14 @@ func chunkReferences(b storage.Backend) (map[string]bool, error) {
 		}
 		buf, err := storage.GetRange(b, key, 0, headerSize)
 		if err != nil {
+			// A manifest deleted between the List and this read — another
+			// job's retention GC racing a fleet-wide keep-set scan — is not
+			// an error: a deleted manifest's chunks are exactly the ones a
+			// collection may drop (and chunks shared with live manifests are
+			// kept by those manifests' own entries).
+			if errors.Is(err, storage.ErrNotFound) {
+				continue
+			}
 			return nil, err
 		}
 		if h, err := parseHeaderBytes(buf); err != nil || !h.Kind.Chunked() {
@@ -286,6 +295,9 @@ func chunkReferences(b storage.Backend) (map[string]bool, error) {
 		}
 		data, err := b.Get(key)
 		if err != nil {
+			if errors.Is(err, storage.ErrNotFound) {
+				continue
+			}
 			return nil, err
 		}
 		_, body, err := DecodeSnapshotFile(data)
@@ -303,17 +315,43 @@ func chunkReferences(b storage.Backend) (map[string]bool, error) {
 	return keep, nil
 }
 
+// allChunkReferences is the tenant-complete keep-set: chunk references
+// from b's root manifest namespace plus every job namespace under
+// JobPrefix. Every offline GC path uses it, so collecting a multi-tenant
+// store's root can never sweep chunks that only a job still references.
+func allChunkReferences(b storage.Backend) (map[string]bool, error) {
+	keep, err := chunkReferences(b)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := jobIDs(b)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		refs, err := chunkReferences(storage.WithPrefix(b, jobKeyPrefix(id)))
+		if err != nil {
+			return nil, err
+		}
+		for a := range refs {
+			keep[a] = true
+		}
+	}
+	return keep, nil
+}
+
 // CollectOrphanChunks deletes every chunk in b's chunk namespace that no
-// readable manifest references, reporting how many chunks and bytes were
-// reclaimed. It is the shared tail of Compact and the `qckpt gc`
-// subcommand; on a Tiered backend the keep-set spans every level and
+// readable manifest references — in the root namespace or in any job
+// namespace of a multi-tenant store — reporting how many chunks and
+// bytes were reclaimed. It is the shared tail of Compact and the `qckpt
+// gc` subcommand; on a Tiered backend the keep-set spans every level and
 // orphans are collected wherever they live. It must not run concurrently
 // with a live writer on the same backend — a chunked save's chunks are
 // durable before the manifest that references them, so a mid-flight save
-// looks like orphans. Against a live Manager use Manager.CollectOrphans,
-// whose pin protocol makes that interleaving safe.
+// looks like orphans. Against a live Manager or Service use their
+// CollectOrphans, whose pin protocol makes that interleaving safe.
 func CollectOrphanChunks(b storage.Backend) (removed int, reclaimed int64, err error) {
-	keep, err := chunkReferences(b)
+	keep, err := allChunkReferences(b)
 	if err != nil {
 		return 0, 0, err
 	}

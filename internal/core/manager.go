@@ -152,6 +152,13 @@ type Manager struct {
 	backend storage.Backend
 	tiered  *storage.Tiered     // non-nil iff the backend is tiered
 	chunks  *storage.ChunkStore // non-nil iff ChunkBytes > 0
+	jobID   string              // non-empty iff opened through a Service
+
+	// shared is the chunk machinery — store, pin table, GC gate, keep-set
+	// scanner. A standalone manager owns a private instance; managers
+	// opened through a Service all hold the service's instance, which is
+	// what makes cross-job dedup and orphan collection agree on liveness.
+	shared *sharedChunks
 
 	mu          sync.Mutex
 	seq         uint64
@@ -176,31 +183,17 @@ type Manager struct {
 	addrsSpare []string
 	pinScratch []string
 
-	// pins holds the chunk addresses of saves whose manifests have not
-	// committed yet (refcounted: concurrent saves may share content).
-	// Chunks are durable before the manifest that references them, so
-	// without pinning a concurrent orphan-chunk GC would see a mid-flight
-	// save's chunks as garbage and delete them out from under the manifest
-	// about to commit. Guarded by pinMu, not mu: pins are touched from
-	// chunk-write workers while mu serializes trainer-side state.
-	pinMu sync.Mutex
-	pins  map[string]int
-
-	// gcGate closes the last hole pins alone cannot: a manifest that
-	// commits after GC scanned manifests but whose pins release before GC
-	// sweeps would dangle. Saves release their pins under the read side
-	// (after the manifest commit); CollectOrphans holds the write side
-	// across manifest scan + sweep, so a release lands either before the
-	// scan (the manifest is in the keep-set) or after the sweep (the pins
-	// were live at every delete-time check).
-	gcGate sync.RWMutex
-
 	jobs      chan writeJob // async sequencer queue
 	sequencer sync.WaitGroup
 	tasks     chan func() // chunk-write worker pool (nil unless chunked with Workers > 1)
 	workers   sync.WaitGroup
 	pending   sync.WaitGroup // one count per queued async write
 	closed    bool
+	// drained turns true only after Close has quiesced the pipeline —
+	// closed alone flips at the START of Close, while queued async saves
+	// may still be committing manifests. A Service must not reopen the
+	// job's namespace before that drain completes.
+	drained bool
 }
 
 type writeJob struct {
@@ -272,7 +265,15 @@ func NewManager(opt Options) (*Manager, error) {
 			return nil, fmt.Errorf("core: create checkpoint dir: %w", err)
 		}
 	}
-	m := &Manager{opt: opt, backend: backend, savedAt: make(map[uint64]time.Time), pins: make(map[string]int)}
+	return newManager(opt, backend, nil, "")
+}
+
+// newManager wires a Manager over an already-resolved backend. shared,
+// when non-nil, is the service-level chunk machinery the manager joins
+// (one chunk store, pin table and GC gate for every job of a Service)
+// instead of creating its own; jobID tags the manager for reporting.
+func newManager(opt Options, backend storage.Backend, shared *sharedChunks, jobID string) (*Manager, error) {
+	m := &Manager{opt: opt, backend: backend, jobID: jobID, savedAt: make(map[uint64]time.Time)}
 	m.tiered, _ = backend.(*storage.Tiered)
 	if opt.Lifecycle.enabled() {
 		if m.tiered == nil {
@@ -284,8 +285,12 @@ func NewManager(opt Options) (*Manager, error) {
 			}
 		}
 	}
+	m.shared = shared
+	if m.shared == nil {
+		m.shared = ownedSharedChunks(backend)
+	}
 	if opt.ChunkBytes > 0 {
-		m.chunks = storage.NewChunkStore(storage.WithPrefix(backend, ChunkPrefix))
+		m.chunks = m.shared.store
 	}
 	// Continue the sequence after any snapshots already in the backend,
 	// so a restarted incarnation never overwrites its predecessor's files
@@ -464,7 +469,7 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 			// predecessor): reuse its address, pinned like any other chunk
 			// until our commit.
 			addrs[i] = m.prevAddrs[i]
-			m.pinChunk(addrs[i])
+			m.shared.pins.pin(addrs[i])
 			cleanPins = append(cleanPins, addrs[i])
 			clean++
 			continue
@@ -502,7 +507,7 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 			// threaded through as the chunk address.
 			addr := storage.Hash(frame)
 			r.pinned = addr
-			m.pinChunk(addr)
+			m.shared.pins.pin(addr)
 			r.raw = frame[0] == chunkFrameRaw
 			r.addr, r.written, r.err = m.chunks.IngestAddressed(addr, frame)
 			*sp = frame
@@ -522,12 +527,12 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 		}
 		unpinned = true
 		for _, a := range cleanPins {
-			m.unpinChunk(a)
+			m.shared.pins.unpin(a)
 		}
 		for _, gs := range groups {
 			for _, g := range gs {
 				if g.res.pinned != "" {
-					m.unpinChunk(g.res.pinned)
+					m.shared.pins.unpin(g.res.pinned)
 					g.res.pinned = ""
 				}
 			}
@@ -594,9 +599,9 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	// manifest is then in its keep-set) or after its sweep (the pins were
 	// still live at every delete check). The gate is held only for this
 	// instant — not the manifest write or the chunk writes above.
-	m.gcGate.RLock()
+	m.shared.gcGate.RLock()
 	unpinAll()
-	m.gcGate.RUnlock()
+	m.shared.gcGate.RUnlock()
 	// Adopt this body as the next save's dirty-compare base, double-
 	// buffering the address slice so steady-state saves allocate neither.
 	if incremental {
@@ -619,79 +624,22 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	return total + fileBytes, nil
 }
 
-// pinChunk marks addr as belonging to an in-flight save.
-func (m *Manager) pinChunk(addr string) {
-	m.pinMu.Lock()
-	m.pins[addr]++
-	m.pinMu.Unlock()
-}
-
-// unpinChunk releases one reference to addr.
-func (m *Manager) unpinChunk(addr string) {
-	m.pinMu.Lock()
-	if m.pins[addr] > 1 {
-		m.pins[addr]--
-	} else {
-		delete(m.pins, addr)
-	}
-	m.pinMu.Unlock()
-}
-
 // pinnedChunks snapshots the in-flight chunk addresses for GC exclusion.
+// With a shared store the snapshot spans every manager pinning into it.
 func (m *Manager) pinnedChunks() map[string]bool {
-	m.pinMu.Lock()
-	defer m.pinMu.Unlock()
-	out := make(map[string]bool, len(m.pins))
-	for a := range m.pins {
-		out[a] = true
-	}
-	return out
+	return m.shared.pins.snapshot()
 }
 
-// chunkPinned reports whether addr is pinned right now — the sweep's
-// delete-time check, which catches pins taken after the snapshot (a save
-// dedup-hitting an old orphan while a collection is in progress).
-func (m *Manager) chunkPinned(addr string) bool {
-	m.pinMu.Lock()
-	defer m.pinMu.Unlock()
-	return m.pins[addr] > 0
-}
-
-// CollectOrphans removes unreferenced chunks from the manager's backend
-// while honoring the pins of saves still in flight, so it is safe to call
-// concurrently with async chunked saves — unlike the package-level
-// CollectOrphanChunks, which must only run against a quiescent backend.
-// Retention GC uses the same path internally.
-//
-// Safety argument, combining the pin protocol with the gcGate: (1) the
-// chunk inventory is listed first, so chunks ingested after it are never
-// swept; (2) a save pins every chunk before touching the store (write or
-// dedup hit alike) and the sweep re-checks live pins immediately before
-// each delete, so a pin held across the sweep always protects its chunk;
-// (3) pins are released under the gate's read side while the manifest
-// scan + sweep run under the write side, so a release lands either
-// before the scan — the committed manifest is then in the keep-set — or
-// after the sweep, where (2) already protected the chunk. Together: no
-// chunk a committing save references is ever swept, including old orphan
-// chunks revived by a dedup hit mid-collection (if the sweep deleted the
-// chunk before the save's Stat, the dedup check misses and the save
-// rewrites the chunk instead).
+// CollectOrphans removes unreferenced chunks from the manager's chunk
+// store while honoring the pins of saves still in flight, so it is safe
+// to call concurrently with async chunked saves — unlike the
+// package-level CollectOrphanChunks, which must only run against a
+// quiescent backend. Retention GC uses the same path internally. For a
+// manager opened through a Service the store, pins and keep-set are the
+// service-wide ones, so the collection keeps every chunk any job still
+// references (see sharedChunks.collectOrphans for the safety argument).
 func (m *Manager) CollectOrphans() (removed int, reclaimed int64, err error) {
-	cs := storage.NewChunkStore(storage.WithPrefix(m.backend, ChunkPrefix))
-	addrs, err := cs.List()
-	if err != nil {
-		return 0, 0, err
-	}
-	m.gcGate.Lock()
-	defer m.gcGate.Unlock()
-	keep, err := chunkReferences(m.backend)
-	if err != nil {
-		return 0, 0, err
-	}
-	for a := range m.pinnedChunks() {
-		keep[a] = true
-	}
-	return cs.Sweep(addrs, keep, m.chunkPinned)
+	return m.shared.collectOrphans()
 }
 
 // snapshotKeyPrefix prefixes every snapshot object key; scans list by it
@@ -845,8 +793,26 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 	return res, nil
 }
 
-// Backend returns the backend snapshots are persisted to.
+// Backend returns the backend snapshots are persisted to. For a manager
+// opened through a Service this is the job's view of the shared store, so
+// recovery entry points (LoadLatestBackend and friends) work against it
+// directly.
 func (m *Manager) Backend() storage.Backend { return m.backend }
+
+// JobID returns the service job ID, or "" for a standalone manager.
+func (m *Manager) JobID() string { return m.jobID }
+
+// isClosed reports whether Close has RUN TO COMPLETION — pipeline
+// drained, last manifest committed. A Service uses it to let a closed
+// job be reopened; checking `closed` alone would admit a successor while
+// the predecessor's queued async saves are still writing into the same
+// namespace (the successor scans the namespace for its starting sequence
+// number, so a still-draining writer could collide with it).
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed && m.drained
+}
 
 // Barrier waits for all queued async writes and returns the first error.
 // It is a no-op in synchronous mode.
@@ -880,8 +846,10 @@ func (m *Manager) Close() error {
 		m.workers.Wait()
 	}
 	// The pipeline is quiesced and closed refuses further saves, so the
-	// retained codec buffers can go back to their pool.
+	// retained codec buffers can go back to their pool and the manifest
+	// namespace is safe to hand to a successor (drained).
 	m.mu.Lock()
+	m.drained = true
 	err := m.asyncErr
 	m.asyncErr = nil
 	lp := m.lastPayload
@@ -956,6 +924,6 @@ func (m *Manager) gc() {
 		}
 	}
 	if deleted && m.chunks != nil {
-		m.CollectOrphans()
+		m.shared.collectOrphansIfIdle()
 	}
 }

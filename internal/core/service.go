@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// A Service is the multi-tenant checkpoint layer: N concurrent training
+// jobs checkpoint into ONE store, each under its own manifest namespace
+// (jobs/<id>/ckpt-…) while all of them share a single content-addressed,
+// sharded chunk store (chunks/…). Identical chunks written by different
+// jobs — replicas of a fine-tuning sweep, ensemble members, restarted
+// incarnations — are stored once, and the shared pin table plus keep-set
+// scanner keep garbage collection correct across tenants: a chunk is live
+// while ANY job's manifests or in-flight saves reference it.
+//
+// Store layout:
+//
+//	jobs/<id>/ckpt-000000000042-full.qckpt   per-job snapshot manifests
+//	chunks/<first2>/<hash>                   shared deduplicated chunks
+//
+// Each job is driven by its own Manager (one trainer goroutine per job,
+// as always); the Service only wires them onto the shared machinery and
+// offers the service-wide operations (job discovery, cross-job GC).
+// OpenJob, Jobs, CollectOrphans and Close are safe to call concurrently.
+type Service struct {
+	backend storage.Backend
+	shared  *sharedChunks
+
+	mu     sync.Mutex
+	open   map[string]*Manager
+	closed bool
+}
+
+// ServiceOptions configures a Service.
+type ServiceOptions struct {
+	// Dir roots the service at a local filesystem directory (created if
+	// missing). Required when Backend is nil.
+	Dir string
+	// Backend overrides where the service persists; any storage.Backend
+	// works, including a storage.Tiered hierarchy.
+	Backend storage.Backend
+	// ChunkShards is the lock-stripe count of the shared chunk store
+	// (default storage.DefaultChunkShards). More shards admit more
+	// concurrent per-chunk operations before two jobs contend on a mutex.
+	ChunkShards int
+}
+
+// JobPrefix is the key namespace holding per-job snapshot manifests.
+const JobPrefix = "jobs"
+
+// NewService opens (or creates) a multi-tenant checkpoint store.
+func NewService(opt ServiceOptions) (*Service, error) {
+	backend := opt.Backend
+	if backend == nil {
+		if opt.Dir == "" {
+			return nil, errors.New("core: service directory required")
+		}
+		var err error
+		backend, err = storage.NewLocal(opt.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("core: create service dir: %w", err)
+		}
+	}
+	s := &Service{backend: backend, open: make(map[string]*Manager)}
+	s.shared = &sharedChunks{
+		store: storage.NewShardedChunkStore(storage.WithPrefix(backend, ChunkPrefix), opt.ChunkShards),
+		refs:  s.allReferences,
+	}
+	return s, nil
+}
+
+// validateJobID accepts job IDs that form exactly one key segment — no
+// separators that would let one job's namespace alias another's or escape
+// jobs/ entirely.
+func validateJobID(id string) error {
+	if id == "" {
+		return errors.New("core: empty job ID")
+	}
+	if strings.ContainsAny(id, "/\\") {
+		return fmt.Errorf("core: job ID %q must not contain path separators", id)
+	}
+	if err := storage.ValidateKey(JobPrefix + "/" + id); err != nil {
+		return fmt.Errorf("core: invalid job ID %q: %w", id, err)
+	}
+	return nil
+}
+
+// jobKeyPrefix is the manifest namespace of one job.
+func jobKeyPrefix(id string) string { return JobPrefix + "/" + id }
+
+// OpenJob opens (or creates) the job's namespace and returns its Manager,
+// wired onto the service's shared chunk store and pin table. The returned
+// Manager behaves exactly like a standalone one — strategies, chunking,
+// async pipeline, retention — except that chunked saves dedup against
+// every tenant's chunks and GC honors every tenant's references.
+//
+// opt.Backend, opt.Dir, opt.Tiers and opt.Lifecycle must be unset: where
+// the data lives (and how it migrates) is decided by the service, not per
+// job. A job can be open at most once per Service at a time — two live
+// managers on one namespace would race the snapshot sequence — but may be
+// reopened after its Manager is closed.
+func (s *Service) OpenJob(jobID string, opt Options) (*Manager, error) {
+	if err := validateJobID(jobID); err != nil {
+		return nil, err
+	}
+	if opt.Backend != nil || opt.Dir != "" || len(opt.Tiers) > 0 {
+		return nil, errors.New("core: job Options must not set Backend, Dir or Tiers (the service owns placement)")
+	}
+	if opt.Lifecycle.enabled() {
+		return nil, errors.New("core: per-job Lifecycle is not supported; tier the service backend instead")
+	}
+	if opt.Retain < 0 {
+		return nil, fmt.Errorf("core: negative retention %d", opt.Retain)
+	}
+	if opt.ChunkBytes < 0 {
+		return nil, fmt.Errorf("core: negative chunk size %d", opt.ChunkBytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("core: service closed")
+	}
+	if prev, ok := s.open[jobID]; ok && !prev.isClosed() {
+		return nil, fmt.Errorf("core: job %q already open", jobID)
+	}
+	m, err := newManager(opt.withDefaults(), newJobView(s.backend, jobID), s.shared, jobID)
+	if err != nil {
+		return nil, err
+	}
+	s.open[jobID] = m
+	return m, nil
+}
+
+// Jobs lists the job IDs present in the store — every namespace holding
+// at least one object, whether or not it is open in this process.
+func (s *Service) Jobs() ([]string, error) { return jobIDs(s.backend) }
+
+// jobIDs discovers the job namespaces present in a backend.
+func jobIDs(b storage.Backend) ([]string, error) {
+	keys, err := b.List(JobPrefix + "/")
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var ids []string
+	for _, k := range keys {
+		rest := strings.TrimPrefix(k, JobPrefix+"/")
+		id, _, ok := strings.Cut(rest, "/")
+		if !ok || id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// JobView returns a read view of one job scoped like its Manager's
+// backend: snapshot keys under jobs/<id>/, the shared chunk namespace at
+// the store root. Every core read path (LoadLatestBackend, VerifyBackend,
+// ListSnapshotsBackend) works unchanged against it, so a job can be
+// inspected or restored without opening a Manager.
+func (s *Service) JobView(jobID string) (storage.Backend, error) {
+	return JobBackend(s.backend, jobID)
+}
+
+// JobBackend is JobView for callers holding only the store's backend —
+// inspection tools scoping a command to one tenant of a multi-tenant
+// directory without constructing a Service.
+func JobBackend(base storage.Backend, jobID string) (storage.Backend, error) {
+	if err := validateJobID(jobID); err != nil {
+		return nil, err
+	}
+	return newJobView(base, jobID), nil
+}
+
+// Backend returns the backend the service persists to.
+func (s *Service) Backend() storage.Backend { return s.backend }
+
+// ChunkStore returns the shared sharded chunk store.
+func (s *Service) ChunkStore() *storage.ShardedChunkStore { return s.shared.store }
+
+// CollectOrphans removes chunks no tenant references: the keep-set unions
+// every job's manifests (open or not) plus any root-namespace manifests,
+// and in-flight saves of every open job are shielded by the shared pin
+// table. Safe to run concurrently with saves on any job.
+func (s *Service) CollectOrphans() (removed int, reclaimed int64, err error) {
+	return s.shared.collectOrphans()
+}
+
+// allReferences is the service keep-set scanner: chunk references from
+// every job namespace in the backend, plus the root namespace so a store
+// that also carries standalone-manager history keeps it alive.
+func (s *Service) allReferences() (map[string]bool, error) {
+	return allChunkReferences(s.backend)
+}
+
+// Close closes every open job's Manager (flushing their async pipelines)
+// and refuses further OpenJob calls. It returns the first close error.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	managers := make([]*Manager, 0, len(s.open))
+	for _, m := range s.open {
+		managers = append(managers, m)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, m := range managers {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// jobView presents one job's slice of a multi-tenant store as a
+// self-contained checkpoint backend: keys under the chunk namespace pass
+// through to the store root (where all tenants' chunks live), every other
+// key — snapshot manifests, foremost — resolves under jobs/<id>/. The
+// composition is what lets Manager and every recovery entry point treat a
+// job exactly like a private store while physically sharing chunks.
+type jobView struct {
+	job  storage.Backend // WithPrefix(base, jobs/<id>)
+	base storage.Backend
+}
+
+func newJobView(base storage.Backend, jobID string) *jobView {
+	return &jobView{job: storage.WithPrefix(base, jobKeyPrefix(jobID)), base: base}
+}
+
+// chunkNamespace is the key prefix routed to the shared store root.
+const chunkNamespace = ChunkPrefix + "/"
+
+func (v *jobView) route(key string) storage.Backend {
+	if strings.HasPrefix(key, chunkNamespace) {
+		return v.base
+	}
+	return v.job
+}
+
+func (v *jobView) Name() string                       { return v.base.Name() }
+func (v *jobView) Capabilities() storage.Capabilities { return v.base.Capabilities() }
+
+func (v *jobView) Put(key string, data []byte) error { return v.route(key).Put(key, data) }
+func (v *jobView) Get(key string) ([]byte, error)    { return v.route(key).Get(key) }
+func (v *jobView) Delete(key string) error           { return v.route(key).Delete(key) }
+func (v *jobView) Stat(key string) (storage.ObjectInfo, error) {
+	return v.route(key).Stat(key)
+}
+
+// GetRange implements storage.RangeReader via the routed backend's own
+// fast path when it has one.
+func (v *jobView) GetRange(key string, off, n int64) ([]byte, error) {
+	return storage.GetRange(v.route(key), key, off, n)
+}
+
+// GetBatch implements storage.BatchReader: keys are partitioned by route
+// and each partition rides its backend's batch fast path, so a parallel
+// restore against a tiered service store keeps its per-level overlap.
+func (v *jobView) GetBatch(keys []string) ([][]byte, []error) {
+	out := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	var chunkKeys, jobKeys []string
+	var chunkIdx, jobIdx []int
+	for i, k := range keys {
+		if strings.HasPrefix(k, chunkNamespace) {
+			chunkKeys = append(chunkKeys, k)
+			chunkIdx = append(chunkIdx, i)
+		} else {
+			jobKeys = append(jobKeys, k)
+			jobIdx = append(jobIdx, i)
+		}
+	}
+	if len(chunkKeys) > 0 {
+		datas, berrs := storage.GetBatch(v.base, chunkKeys)
+		for j, i := range chunkIdx {
+			out[i], errs[i] = datas[j], berrs[j]
+		}
+	}
+	if len(jobKeys) > 0 {
+		datas, berrs := storage.GetBatch(v.job, jobKeys)
+		for j, i := range jobIdx {
+			out[i], errs[i] = datas[j], berrs[j]
+		}
+	}
+	return out, errs
+}
+
+// List merges the job's own keys with the chunk namespace's, restricting
+// each side to the slice of the prefix it can match.
+func (v *jobView) List(prefix string) ([]string, error) {
+	var out []string
+	if !strings.HasPrefix(prefix, chunkNamespace) {
+		keys, err := v.job.List(prefix)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			// The job namespace holds no chunks (the manager's store writes
+			// at the root); filter defensively so the view stays unambiguous
+			// even over foreign layouts.
+			if !strings.HasPrefix(k, chunkNamespace) {
+				out = append(out, k)
+			}
+		}
+	}
+	// The chunk side matches when one of prefix/chunkNamespace extends the
+	// other ("" ⊂ "chunks/" ⊂ "chunks/ab/…").
+	var eff string
+	switch {
+	case strings.HasPrefix(prefix, chunkNamespace):
+		eff = prefix
+	case strings.HasPrefix(chunkNamespace, prefix):
+		eff = chunkNamespace
+	default:
+		sort.Strings(out)
+		return out, nil
+	}
+	chunkKeys, err := v.base.List(eff)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range chunkKeys {
+		if strings.HasPrefix(k, chunkNamespace) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package harness
+
+import "testing"
+
+// TestT7SharedStoreDedupsAcrossJobs locks the multi-tenant acceptance
+// invariants at a CI-friendly scale: every job restores its own state
+// bitwise in both modes, and the shared store's fleet-wide byte traffic
+// beats isolated stores (the common base is written once, not once per
+// job) whenever there is more than one tenant.
+func TestT7SharedStoreDedupsAcrossJobs(t *testing.T) {
+	rows, err := RunT7MultiJob([]int{1, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byKey := map[string]T7Row{}
+	for _, r := range rows {
+		if !r.Bitwise {
+			t.Errorf("%s/%d jobs: restore not bitwise", r.Mode, r.Jobs)
+		}
+		byKey[r.Mode+string(rune('0'+r.Jobs))] = r
+	}
+	iso, sh := byKey["isolated4"], byKey["shared4"]
+	if sh.TotalBytes >= iso.TotalBytes {
+		t.Errorf("shared store wrote %d B, isolated %d B — cross-job dedup missing",
+			sh.TotalBytes, iso.TotalBytes)
+	}
+	if sh.StoreBytes >= iso.StoreBytes {
+		t.Errorf("shared store holds %d B resident, isolated %d B", sh.StoreBytes, iso.StoreBytes)
+	}
+	if sh.DedupPct <= iso.DedupPct {
+		t.Errorf("shared dedup %.1f%% not above isolated %.1f%%", sh.DedupPct, iso.DedupPct)
+	}
+	// At a single job the two modes are the same pipeline over different
+	// plumbing: byte traffic must agree.
+	iso1, sh1 := byKey["isolated1"], byKey["shared1"]
+	if iso1.TotalBytes == 0 || sh1.TotalBytes == 0 {
+		t.Fatal("single-job rows wrote nothing")
+	}
+	if sh1.TotalBytes != iso1.TotalBytes {
+		t.Errorf("single-job byte traffic diverged: shared %d B vs isolated %d B",
+			sh1.TotalBytes, iso1.TotalBytes)
+	}
+}

@@ -8,31 +8,76 @@ import (
 	"sync"
 )
 
-// ErrChunkNotFound is returned by ChunkStore.Get for unknown addresses.
+// ErrChunkNotFound is returned by ShardedChunkStore.Get for unknown
+// addresses.
 var ErrChunkNotFound = errors.New("storage: chunk not found")
 
-// ChunkStore is a content-addressed blob store on any Backend: chunks are
-// stored under <first2>/<hash>. Identical content is stored once, which is
-// what makes incremental checkpoint chains and chunked snapshots cheap when
-// content repeats between saves. All methods are safe for concurrent use
-// when the backend is.
-type ChunkStore struct {
-	b Backend
+// DefaultChunkShards is the shard count NewChunkStore uses: enough stripes
+// that a full trainer fleet (the T7 workload tops out at 16 concurrent
+// jobs) rarely collides on one mutex, small enough that the per-shard maps
+// stay cache-friendly.
+const DefaultChunkShards = 32
 
-	// verified remembers addresses whose resident bytes this process has
-	// already read and matched against the address (Ingest's dedup
-	// verification or a content-checked Get). It bounds verification cost
-	// to one read per address per process: without it a long run would
-	// re-read every recurring chunk on every save — on a tiered backend,
-	// at cold-device cost once the chunk demotes.
+// maxChunkShards bounds the shard count to the address space of the
+// routing prefix (the first two hex digits select the shard, so more than
+// 256 shards would leave some permanently empty).
+const maxChunkShards = 256
+
+// ShardedChunkStore is a content-addressed blob store on any Backend:
+// chunks are stored under <first2>/<hash>. Identical content is stored
+// once, which is what makes incremental checkpoint chains and chunked
+// snapshots cheap when content repeats between saves — including across
+// tenants: several checkpoint managers (one per training job) can ingest
+// into the same store concurrently and share every repeated chunk.
+//
+// The store is partitioned into shards by the same leading hash byte that
+// fans chunks out on disk. Each shard has its own mutex and verification
+// cache, so concurrent Ingest/Get traffic from different jobs serializes
+// only when two operations land on the same shard — with the default
+// shard count that is a 1-in-32 collision, not a global lock. All methods
+// are safe for concurrent use when the backend is.
+type ShardedChunkStore struct {
+	b      Backend
+	shards []chunkShard
+}
+
+// ChunkStore is the historical name for ShardedChunkStore; single-tenant
+// callers that never think about shard counts use it with NewChunkStore.
+type ChunkStore = ShardedChunkStore
+
+// chunkShard is one lock stripe: a mutex plus the verification cache for
+// the addresses routed to it. verified remembers addresses whose resident
+// bytes this process has already read and matched against the address
+// (Ingest's dedup verification or a content-checked Get). It bounds
+// verification cost to one read per address per process: without it a
+// long run would re-read every recurring chunk on every save — on a
+// tiered backend, at cold-device cost once the chunk demotes.
+type chunkShard struct {
 	mu       sync.Mutex
 	verified map[string]bool
 }
 
-// NewChunkStore returns a chunk store on b. Namespace the backend with
-// WithPrefix when chunks share it with other objects.
+// NewShardedChunkStore returns a chunk store on b partitioned into the
+// given number of lock stripes (clamped to [1, 256]; values ≤ 0 select
+// DefaultChunkShards). Namespace the backend with WithPrefix when chunks
+// share it with other objects.
+func NewShardedChunkStore(b Backend, shards int) *ShardedChunkStore {
+	if shards <= 0 {
+		shards = DefaultChunkShards
+	}
+	if shards > maxChunkShards {
+		shards = maxChunkShards
+	}
+	cs := &ShardedChunkStore{b: b, shards: make([]chunkShard, shards)}
+	for i := range cs.shards {
+		cs.shards[i].verified = make(map[string]bool)
+	}
+	return cs
+}
+
+// NewChunkStore returns a chunk store on b with the default shard count.
 func NewChunkStore(b Backend) *ChunkStore {
-	return &ChunkStore{b: b, verified: make(map[string]bool)}
+	return NewShardedChunkStore(b, DefaultChunkShards)
 }
 
 // OpenChunkStore creates (if needed) and opens a filesystem chunk store
@@ -46,9 +91,51 @@ func OpenChunkStore(dir string) (*ChunkStore, error) {
 }
 
 // Backend returns the underlying backend.
-func (cs *ChunkStore) Backend() Backend { return cs.b }
+func (cs *ShardedChunkStore) Backend() Backend { return cs.b }
 
-func (cs *ChunkStore) key(addr string) (string, error) {
+// Shards returns the lock-stripe count.
+func (cs *ShardedChunkStore) Shards() int { return len(cs.shards) }
+
+// hexNibble decodes one lowercase-hex digit; ok=false otherwise.
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// ShardIndex maps a chunk address to a shard index in [0, n): the first
+// two hex digits — the address's on-disk fan-out prefix — reduced modulo
+// n. Malformed or short addresses map to 0 (harmless: routing only needs
+// to be deterministic, and key() rejects them before any backend
+// traffic). This is THE striping rule: the chunk store's lock shards and
+// the checkpoint engine's pin-table stripes both route through it, so a
+// chunk's store shard and pin stripe stay aligned by construction.
+func ShardIndex(addr string, n int) int {
+	if len(addr) < 2 || n <= 1 {
+		return 0
+	}
+	hi, ok1 := hexNibble(addr[0])
+	lo, ok2 := hexNibble(addr[1])
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return int(hi<<4|lo) % n
+}
+
+// ShardOf maps a chunk address to this store's shard index.
+func (cs *ShardedChunkStore) ShardOf(addr string) int {
+	return ShardIndex(addr, len(cs.shards))
+}
+
+func (cs *ShardedChunkStore) shard(addr string) *chunkShard {
+	return &cs.shards[cs.ShardOf(addr)]
+}
+
+func (cs *ShardedChunkStore) key(addr string) (string, error) {
 	if len(addr) != 64 || strings.ContainsAny(addr, "/\\.") {
 		return "", fmt.Errorf("storage: malformed chunk address %q", addr)
 	}
@@ -65,7 +152,7 @@ func (cs *ChunkStore) key(addr string) (string, error) {
 // against GC) must use IngestAddressed so the hash is threaded through
 // instead of recomputed — BenchmarkIngestAddressed measures what the
 // second pass would cost.
-func (cs *ChunkStore) Put(data []byte) (string, error) {
+func (cs *ShardedChunkStore) Put(data []byte) (string, error) {
 	addr, _, err := cs.Ingest(data)
 	return addr, err
 }
@@ -79,7 +166,7 @@ func (cs *ChunkStore) Put(data []byte) (string, error) {
 // save, or a torn foreign write — and silently drop the good data being
 // ingested. The resident copy is size-checked and then compared; on any
 // mismatch the good bytes are rewritten, repairing the store.
-func (cs *ChunkStore) Ingest(data []byte) (addr string, written int, err error) {
+func (cs *ShardedChunkStore) Ingest(data []byte) (addr string, written int, err error) {
 	return cs.IngestAddressed(Hash(data), data)
 }
 
@@ -87,7 +174,7 @@ func (cs *ChunkStore) Ingest(data []byte) (addr string, written int, err error) 
 // content address — the save pipeline hashes each chunk once to pin it
 // and hands the address down. addr must equal Hash(data); a wrong
 // address corrupts the store's content addressing.
-func (cs *ChunkStore) IngestAddressed(addr string, data []byte) (_ string, written int, err error) {
+func (cs *ShardedChunkStore) IngestAddressed(addr string, data []byte) (_ string, written int, err error) {
 	key, err := cs.key(addr)
 	if err != nil {
 		return "", 0, err
@@ -112,27 +199,30 @@ func (cs *ChunkStore) IngestAddressed(addr string, data []byte) (_ string, writt
 	return addr, len(data), nil
 }
 
-func (cs *ChunkStore) isVerified(addr string) bool {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return cs.verified[addr]
+func (cs *ShardedChunkStore) isVerified(addr string) bool {
+	s := cs.shard(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verified[addr]
 }
 
-func (cs *ChunkStore) markVerified(addr string) {
-	cs.mu.Lock()
-	cs.verified[addr] = true
-	cs.mu.Unlock()
+func (cs *ShardedChunkStore) markVerified(addr string) {
+	s := cs.shard(addr)
+	s.mu.Lock()
+	s.verified[addr] = true
+	s.mu.Unlock()
 }
 
-func (cs *ChunkStore) unmarkVerified(addr string) {
-	cs.mu.Lock()
-	delete(cs.verified, addr)
-	cs.mu.Unlock()
+func (cs *ShardedChunkStore) unmarkVerified(addr string) {
+	s := cs.shard(addr)
+	s.mu.Lock()
+	delete(s.verified, addr)
+	s.mu.Unlock()
 }
 
 // Get retrieves the chunk at addr, verifying its content against the
 // address (detects backend corruption).
-func (cs *ChunkStore) Get(addr string) ([]byte, error) {
+func (cs *ShardedChunkStore) Get(addr string) ([]byte, error) {
 	key, err := cs.key(addr)
 	if err != nil {
 		return nil, err
@@ -152,7 +242,7 @@ func (cs *ChunkStore) Get(addr string) ([]byte, error) {
 }
 
 // Has reports whether addr is present.
-func (cs *ChunkStore) Has(addr string) bool {
+func (cs *ShardedChunkStore) Has(addr string) bool {
 	key, err := cs.key(addr)
 	if err != nil {
 		return false
@@ -162,7 +252,7 @@ func (cs *ChunkStore) Has(addr string) bool {
 }
 
 // List returns all stored addresses, sorted.
-func (cs *ChunkStore) List() ([]string, error) {
+func (cs *ShardedChunkStore) List() ([]string, error) {
 	keys, err := cs.b.List("")
 	if err != nil {
 		return nil, err
@@ -182,7 +272,7 @@ func (cs *ChunkStore) List() ([]string, error) {
 // its address. It rides the backend's BatchReader fast path when one
 // exists, so a tiered store overlaps its per-level fetches. Results are
 // positional: out[i] (or errs[i]) corresponds to addrs[i].
-func (cs *ChunkStore) GetBatch(addrs []string) (out [][]byte, errs []error) {
+func (cs *ShardedChunkStore) GetBatch(addrs []string) (out [][]byte, errs []error) {
 	out = make([][]byte, len(addrs))
 	errs = make([]error, len(addrs))
 	keys := make([]string, len(addrs))
@@ -219,7 +309,7 @@ func (cs *ChunkStore) GetBatch(addrs []string) (out [][]byte, errs []error) {
 
 // GC deletes every chunk whose address is not in keep. It returns the
 // number of chunks removed and bytes reclaimed.
-func (cs *ChunkStore) GC(keep map[string]bool) (removed int, reclaimed int64, err error) {
+func (cs *ShardedChunkStore) GC(keep map[string]bool) (removed int, reclaimed int64, err error) {
 	addrs, err := cs.List()
 	if err != nil {
 		return 0, 0, err
@@ -233,7 +323,7 @@ func (cs *ChunkStore) GC(keep map[string]bool) (removed int, reclaimed int64, er
 // other state reads — the checkpoint engine lists chunks before scanning
 // manifests and passes its live pin table as skip — list first and sweep
 // after; GC is the list-then-sweep convenience.
-func (cs *ChunkStore) Sweep(addrs []string, keep map[string]bool, skip func(addr string) bool) (removed int, reclaimed int64, err error) {
+func (cs *ShardedChunkStore) Sweep(addrs []string, keep map[string]bool, skip func(addr string) bool) (removed int, reclaimed int64, err error) {
 	for _, addr := range addrs {
 		if keep[addr] || (skip != nil && skip(addr)) {
 			continue
@@ -255,7 +345,7 @@ func (cs *ChunkStore) Sweep(addrs []string, keep map[string]bool, skip func(addr
 }
 
 // TotalBytes returns the summed size of all chunks.
-func (cs *ChunkStore) TotalBytes() (int64, error) {
+func (cs *ShardedChunkStore) TotalBytes() (int64, error) {
 	addrs, err := cs.List()
 	if err != nil {
 		return 0, err

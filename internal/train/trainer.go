@@ -13,6 +13,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/qpu"
 	"repro/internal/rng"
+	"repro/internal/storage"
 )
 
 // Config describes a training run. The same Config (and the same failure
@@ -471,6 +472,26 @@ func ResumeLatestOptions(cfg Config, dir string, opts core.RestoreOptions) (*Tra
 	}
 	live := cfg.Meta()
 	st, report, err := core.LoadLatestOptions(dir, &live, opts)
+	if err != nil {
+		return nil, report, err
+	}
+	if err := t.Restore(st); err != nil {
+		return nil, report, err
+	}
+	return t, report, nil
+}
+
+// ResumeLatestBackendOptions is ResumeLatestOptions against a storage
+// backend instead of a directory — e.g. one job's view of a multi-tenant
+// checkpoint Service (core.Service.JobView), where each job resumes its
+// own manifest namespace while chunk reads hit the shared store.
+func ResumeLatestBackendOptions(cfg Config, b storage.Backend, opts core.RestoreOptions) (*Trainer, core.LoadReport, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, core.LoadReport{}, err
+	}
+	live := cfg.Meta()
+	st, report, err := core.LoadLatestBackendOptions(b, &live, opts)
 	if err != nil {
 		return nil, report, err
 	}
