@@ -13,7 +13,7 @@ BENCH_TOLERANCE ?= 20
 # or the committed JSON and the interactive numbers drift apart.
 BENCH_PKGS = . ./internal/storage
 
-.PHONY: build test test-race bench bench-json bench-gate bench-save fmt vet check experiments
+.PHONY: build test test-race test-net bench bench-json bench-gate bench-save fmt vet check experiments
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,15 @@ test:
 # tiered batch reads). CI runs this as its own job.
 test-race:
 	$(GO) test -race ./...
+
+# Network integration test: builds the real qckpt and train binaries,
+# starts `qckpt serve` on an ephemeral port, trains/resumes/fleets
+# against it over HTTP, then verifies and restores the store the server
+# left behind. Gated behind QCKPT_NET_TEST=1 (it shells out to go build
+# and binds a TCP socket), so plain `make test` never touches the
+# network. CI runs this as its own job.
+test-net:
+	QCKPT_NET_TEST=1 $(GO) test ./cmd/qckpt -run TestNetServeTrainRestore -v -count=1 -timeout 5m
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' $(BENCH_PKGS)

@@ -154,9 +154,13 @@ var gateMetrics = []struct {
 // compareDocs gates newDoc against oldDoc: every baseline benchmark must
 // still exist, and its gate metrics must not exceed the baseline by more
 // than tolerancePct percent. A zero baseline value is skipped (nothing
-// meaningful to ratio against). It returns the human-readable report and
-// the number of violations.
-func compareDocs(oldDoc, newDoc Output, tolerancePct float64) (report []string, failures int) {
+// meaningful to ratio against) — which is also what keeps the gate
+// tolerant of new metric columns: units outside gateMetrics (the network
+// benchmark's wire-bytes/op, wire-reduction-x, …) ride along in Metrics
+// and are never compared. It returns the human-readable report, the
+// names of baseline benchmarks absent from the new results, and the
+// number of violations.
+func compareDocs(oldDoc, newDoc Output, tolerancePct float64) (report, missing []string, failures int) {
 	newByName := make(map[string]BenchResult, len(newDoc.Benchmarks))
 	for _, r := range newDoc.Benchmarks {
 		newByName[r.Name] = r
@@ -167,6 +171,7 @@ func compareDocs(oldDoc, newDoc Output, tolerancePct float64) (report []string, 
 		cur, ok := newByName[old.Name]
 		if !ok {
 			failures++
+			missing = append(missing, old.Name)
 			report = append(report, fmt.Sprintf("MISSING  %s: in baseline but not in new results", old.Name))
 			continue
 		}
@@ -186,7 +191,19 @@ func compareDocs(oldDoc, newDoc Output, tolerancePct float64) (report []string, 
 	}
 	report = append(report, fmt.Sprintf("compared %d benchmark(s), %d new, %d violation(s) at %.0f%% tolerance",
 		len(oldDoc.Benchmarks), added, failures, tolerancePct))
-	return report, failures
+	return report, missing, failures
+}
+
+// gateFailure renders the fatal stderr line of a failed gate. A dropped
+// benchmark is the sneakiest failure mode (it hides its own regression
+// forever), so its name goes into the error itself, not just the report.
+func gateFailure(newPath, oldPath string, missing []string) string {
+	msg := fmt.Sprintf("benchjson: perf gate FAILED (%s vs %s)", newPath, oldPath)
+	if len(missing) > 0 {
+		msg += fmt.Sprintf(": baseline benchmark(s) missing from %s: %s",
+			newPath, strings.Join(missing, ", "))
+	}
+	return msg
 }
 
 // loadDoc reads one benchjson document from disk.
@@ -215,12 +232,12 @@ func runCompare(oldPath, newPath string, tolerancePct float64) int {
 		fmt.Fprintf(os.Stderr, "benchjson: new results: %v\n", err)
 		return 1
 	}
-	report, failures := compareDocs(oldDoc, newDoc, tolerancePct)
+	report, missing, failures := compareDocs(oldDoc, newDoc, tolerancePct)
 	for _, line := range report {
 		fmt.Println(line)
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: perf gate FAILED (%s vs %s)\n", newPath, oldPath)
+		fmt.Fprintln(os.Stderr, gateFailure(newPath, oldPath, missing))
 		return 1
 	}
 	return 0

@@ -108,7 +108,7 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 		bench("BenchmarkRestore-8", 1500, 10), // improvement
 		bench("BenchmarkNew-8", 99, 9),        // new benchmark: allowed
 	)
-	report, failures := compareDocs(old, cur, 20)
+	report, _, failures := compareDocs(old, cur, 20)
 	if failures != 0 {
 		t.Fatalf("within-tolerance run failed the gate: %v", report)
 	}
@@ -121,7 +121,7 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 func TestCompareDetectsRegression(t *testing.T) {
 	old := gateDoc(bench("BenchmarkSave-8", 1000, 50))
 	cur := gateDoc(bench("BenchmarkSave-8", 1300, 50)) // +30% ns/op
-	report, failures := compareDocs(old, cur, 20)
+	report, _, failures := compareDocs(old, cur, 20)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1 (%v)", failures, report)
 	}
@@ -131,13 +131,13 @@ func TestCompareDetectsRegression(t *testing.T) {
 
 	// allocs/op is gated independently of ns/op.
 	cur = gateDoc(bench("BenchmarkSave-8", 1000, 75)) // +50% allocs/op
-	_, failures = compareDocs(old, cur, 20)
+	_, _, failures = compareDocs(old, cur, 20)
 	if failures != 1 {
 		t.Errorf("alloc regression not caught (failures = %d)", failures)
 	}
 
 	// A looser tolerance admits the same delta.
-	if _, failures = compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1300, 50)), 50); failures != 0 {
+	if _, _, failures = compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1300, 50)), 50); failures != 0 {
 		t.Errorf("30%% growth failed a 50%% gate")
 	}
 }
@@ -145,12 +145,52 @@ func TestCompareDetectsRegression(t *testing.T) {
 func TestCompareMissingBenchmarkFails(t *testing.T) {
 	old := gateDoc(bench("BenchmarkSave-8", 1000, 50), bench("BenchmarkGone-8", 10, 1))
 	cur := gateDoc(bench("BenchmarkSave-8", 1000, 50))
-	report, failures := compareDocs(old, cur, 20)
+	report, missing, failures := compareDocs(old, cur, 20)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1 (%v)", failures, report)
 	}
 	if !strings.Contains(strings.Join(report, "\n"), "MISSING  BenchmarkGone-8") {
 		t.Errorf("report missing the dropped benchmark: %v", report)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkGone-8" {
+		t.Errorf("missing list = %v, want [BenchmarkGone-8]", missing)
+	}
+	// The fatal error itself names the dropped benchmark — CI shows
+	// stderr even when the report scrolls away.
+	errLine := gateFailure("new.json", "old.json", missing)
+	if !strings.Contains(errLine, "BenchmarkGone-8") {
+		t.Errorf("gate error does not name the missing benchmark: %q", errLine)
+	}
+}
+
+func TestCompareToleratesNetworkColumns(t *testing.T) {
+	// The T8 network benchmark adds metric columns no baseline has
+	// (wire-bytes/op, wire-reduction-x, has-hit-%, net-stall-µs). They
+	// must flow into the document untouched and never trip the gate.
+	line := "BenchmarkTable8Network-8 \t 2 \t 512000000 ns/op\t 14210 net-stall-µs\t 722022 wire-bytes/op\t 17.4 wire-reduction-x\t 12.5 has-hit-%\t 2048 B/op\t 31 allocs/op"
+	cur, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("network benchmark line not parsed")
+	}
+	for _, unit := range []string{"net-stall-µs", "wire-bytes/op", "wire-reduction-x", "has-hit-%"} {
+		if _, ok := cur.Metrics[unit]; !ok {
+			t.Errorf("metric %s lost in parsing: %v", unit, cur.Metrics)
+		}
+	}
+	// Baseline predates T8 entirely: the new benchmark and its columns
+	// are additions, not violations.
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 50))
+	report, missing, failures := compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1000, 50), cur), 20)
+	if failures != 0 || len(missing) != 0 {
+		t.Fatalf("new network columns tripped the gate: %v", report)
+	}
+	// Baseline that HAS the columns but with different values: still not
+	// gated — only ns/op and allocs/op are cost-gated.
+	older := cur
+	older.Metrics = map[string]float64{"ns/op": cur.NsPerOp, "allocs/op": cur.AllocsPerOp, "wire-bytes/op": 1}
+	_, _, failures = compareDocs(gateDoc(older), gateDoc(cur), 20)
+	if failures != 0 {
+		t.Error("wire-bytes/op growth tripped the ns/allocs gate")
 	}
 }
 
@@ -159,7 +199,7 @@ func TestCompareSkipsZeroBaselines(t *testing.T) {
 	// zero or flag every new allocs value as a regression.
 	old := gateDoc(bench("BenchmarkSave-8", 1000, 0))
 	cur := gateDoc(bench("BenchmarkSave-8", 1000, 40))
-	if _, failures := compareDocs(old, cur, 20); failures != 0 {
+	if _, _, failures := compareDocs(old, cur, 20); failures != 0 {
 		t.Error("zero baseline treated as a regression")
 	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments                 # run everything at default scale
-//	experiments -run F4         # run one experiment (T1..T7, F1..F6, A1, A2)
+//	experiments -run F4         # run one experiment (T1..T8, F1..F6, A1, A2)
 //	experiments -quick          # reduced scale for smoke runs
 package main
 
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiment to run: all, T1..T7, F1..F6, A1, A2")
+	runFlag := flag.String("run", "all", "experiment to run: all, T1..T8, F1..F6, A1, A2")
 	quick := flag.Bool("quick", false, "reduced scale (CI-friendly)")
 	flag.Parse()
 
@@ -126,6 +126,19 @@ func main() {
 			fail("T7", err)
 		}
 		fmt.Println(harness.T7Table(rows))
+	}
+
+	if run("T8") {
+		ranAny = true
+		clientCounts, steps := []int{1, 4, 8}, 6
+		if *quick {
+			clientCounts, steps = []int{1, 4}, 4
+		}
+		rows, err := harness.RunT8Network(clientCounts, steps)
+		if err != nil {
+			fail("T8", err)
+		}
+		fmt.Println(harness.T8Table(rows))
 	}
 
 	if run("F1") {
@@ -241,7 +254,7 @@ func main() {
 	}
 
 	if !ranAny {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, T1..T7, F1..F6, A1, A2)\n", *runFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, T1..T8, F1..F6, A1, A2)\n", *runFlag)
 		os.Exit(2)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))

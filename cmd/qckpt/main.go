@@ -18,6 +18,9 @@
 //	                               and delete the rest
 //	qckpt jobs <dir>               list a multi-tenant store's jobs (snapshot
 //	                               counts, newest step per job)
+//	qckpt [flags] serve <dir>      serve the store over the qckpt wire protocol
+//	                               (-addr, -inflight, -lease); remote trainers
+//	                               connect with `train -remote http://host:port`
 //	qckpt -levels ... tiers <dir>  per-level occupancy and modeled placement cost
 //	qckpt -levels ... migrate <dir> demote anchor chains that left the hot set
 //	qckpt diff <fileA> <fileB>     compare two full snapshots' states
@@ -69,6 +72,10 @@ var (
 	// jobID is the -job flag: scope directory commands to one tenant of a
 	// multi-tenant store.
 	jobID string
+	// serveAddr, maxInflight and leaseTTL configure the serve subcommand.
+	serveAddr   string
+	maxInflight int
+	leaseTTL    time.Duration
 )
 
 func main() {
@@ -78,6 +85,9 @@ func main() {
 	flag.IntVar(&restoreWorkers, "workers", 0, "restore: parallel chunk workers (0 = one per CPU, 1 = serial)")
 	flag.IntVar(&restorePrefetch, "prefetch", 0, "restore: chunks fetched ahead of the reassembly frontier (0 = 2×workers)")
 	flag.StringVar(&jobID, "job", "", "scope the command to one job of a multi-tenant store (jobs/<id>/ manifests, shared chunks)")
+	flag.StringVar(&serveAddr, "addr", "127.0.0.1:7723", "serve: listen address (use :0 for an ephemeral port, printed on stdout)")
+	flag.IntVar(&maxInflight, "inflight", 0, "serve: max in-flight ingests per tenant (0 = default, negative disables admission control)")
+	flag.DurationVar(&leaseTTL, "lease", 0, "serve: upload lease TTL protecting uncommitted chunks from GC (0 = default 5m)")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		usage()
@@ -101,6 +111,8 @@ func main() {
 		err = cmdCompact(arg)
 	case "jobs":
 		err = cmdJobs(arg)
+	case "serve":
+		err = cmdServe(arg)
 	case "tiers":
 		err = cmdTiers(arg)
 	case "migrate":
@@ -120,7 +132,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt show <file> | qckpt diff <a> <b>")
+	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt [-addr a] [-inflight n] [-lease d] serve <dir> | qckpt show <file> | qckpt diff <a> <b>")
 	os.Exit(2)
 }
 

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestNetServeTrainRestore is the network integration test behind
+// `make test-net`: it builds the real qckpt and train binaries, starts
+// `qckpt serve` on an ephemeral port, trains against it over HTTP
+// (single job, resume, then a small fleet), shuts the server down, and
+// verifies + restores the store it left behind. Gated on QCKPT_NET_TEST=1
+// because it shells out to `go build` and binds a TCP socket — CI runs it
+// as its own job; plain `go test ./...` skips it.
+func TestNetServeTrainRestore(t *testing.T) {
+	if os.Getenv("QCKPT_NET_TEST") != "1" {
+		t.Skip("set QCKPT_NET_TEST=1 to run the network integration test")
+	}
+
+	bin := t.TempDir()
+	qckptBin := filepath.Join(bin, "qckpt")
+	trainBin := filepath.Join(bin, "train")
+	for target, pkg := range map[string]string{qckptBin: ".", trainBin: "../train"} {
+		out, err := exec.Command("go", "build", "-o", target, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	store := filepath.Join(t.TempDir(), "store")
+	srv := exec.Command(qckptBin, "-addr", "127.0.0.1:0", "serve", store)
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatalf("start serve: %v", err)
+	}
+	defer srv.Process.Kill()
+
+	// The serve banner is printed first, so the chosen port is always
+	// readable before any request lands.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("serve printed no banner: %v", sc.Err())
+	}
+	banner := sc.Text()
+	m := regexp.MustCompile(`listening on (http://\S+)`).FindStringSubmatch(banner)
+	if m == nil {
+		t.Fatalf("no listen URL in serve banner %q", banner)
+	}
+	url := m[1]
+	go func() { // drain so the server never blocks on a full stdout pipe
+		for sc.Scan() {
+		}
+	}()
+
+	trainArgs := func(extra ...string) []string {
+		return append([]string{
+			"-task", "vqe", "-qubits", "4", "-layers", "2",
+			"-chunk", "8", "-workers", "2", "-remote", url,
+		}, extra...)
+	}
+	run := func(label string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(trainBin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", label, err, out)
+		}
+		return string(out)
+	}
+
+	// Save over the wire, then resume over the wire from where it stopped.
+	out := run("train", trainArgs("-steps", "8")...)
+	if !strings.Contains(out, "manifest commit(s)") {
+		t.Errorf("train printed no server summary:\n%s", out)
+	}
+	out = run("train -resume", trainArgs("-steps", "14", "-resume")...)
+	if !strings.Contains(out, "resumed") {
+		t.Errorf("resume over the network did not report a restore:\n%s", out)
+	}
+	// A small fleet shares the server's chunk plane (tenant = job id).
+	run("train -jobs", trainArgs("-steps", "4", "-jobs", "3")...)
+
+	// Graceful shutdown, then audit the store the server left on disk:
+	// every manifest must verify and the newest snapshot must restore.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal serve: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain within 10s of SIGTERM")
+	}
+
+	if err := cmdVerify(store); err != nil {
+		t.Errorf("verify store after serve: %v", err)
+	}
+	if err := cmdRestore(store); err != nil {
+		t.Errorf("restore from store after serve: %v", err)
+	}
+	defer func() { jobID = "" }()
+	for j := 0; j < 3; j++ {
+		jobID = fmt.Sprintf("job%02d", j)
+		if err := cmdVerify(store); err != nil {
+			t.Errorf("verify -job %s: %v", jobID, err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// cmdServe runs the networked checkpoint service over a local store
+// directory: one core.Service (shared sharded chunk store, per-job
+// manifest namespaces) exposed on the qckpt wire protocol, so remote
+// trainers (`train -remote URL`) save and restore through it. The
+// resolved listen address is printed first — with -addr :0 scripts can
+// read the chosen port from stdout.
+func cmdServe(dir string) error {
+	if jobID != "" {
+		return fmt.Errorf("serve is store-wide; drop -job")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	backend, err := storage.NewLocal(dir)
+	if err != nil {
+		return err
+	}
+	svc, err := core.NewService(core.ServiceOptions{Backend: backend})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ttl := leaseTTL
+	if ttl <= 0 {
+		ttl = api.DefaultLeaseTTL
+	}
+	local := api.NewLocal(svc, api.NewLeases(ttl))
+	handler := server.New(local, server.Options{MaxInflightPerTenant: maxInflight})
+
+	ln, err := net.Listen("tcp", serveAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("qckpt serve: listening on http://%s (store %s, lease TTL %v)\n",
+		ln.Addr(), dir, ttl)
+
+	httpSrv := &http.Server{Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("qckpt serve: %v — draining\n", s)
+		httpSrv.Close()
+		<-errCh
+		st := local.Stats()
+		fmt.Printf("served %s, ingested %d chunk(s) (%d dedup hit(s), %s offered → %s written), %d manifest commit(s)\n",
+			humanBytes(st.BytesServed), st.ChunksIngested, st.ChunkDedupHits,
+			humanBytes(st.ChunkBytesOffered), humanBytes(st.ChunkBytesWritten), st.ManifestsCommitted)
+		return nil
+	}
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

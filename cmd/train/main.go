@@ -11,6 +11,7 @@
 //	train -task vqe -qubits 4 -layers 2 -steps 80 -ckpt /tmp/run4 -chunk 64 -tiers nvme+object -keep-hot 2
 //	train -task vqe -qubits 4 -layers 2 -steps 100 -ckpt /tmp/run1 -resume -restore-workers 0
 //	train -task vqe -qubits 4 -layers 2 -steps 40 -ckpt /tmp/fleet -chunk 64 -jobs 8
+//	train -task vqe -qubits 4 -layers 2 -steps 40 -remote http://127.0.0.1:7723 -chunk 64 -jobs 4
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/observable"
 	"repro/internal/qpu"
+	"repro/internal/remote"
 	"repro/internal/rng"
 	"repro/internal/storage"
 	"repro/internal/train"
@@ -35,38 +37,48 @@ import (
 
 func main() {
 	var (
-		taskName = flag.String("task", "vqe", "training task: vqe, maxcut, unitary, classify")
-		qubits   = flag.Int("qubits", 4, "qubit count")
-		layers   = flag.Int("layers", 2, "ansatz layers (vqe/unitary/classify)")
-		qaoaP    = flag.Int("p", 2, "QAOA depth (maxcut)")
-		steps    = flag.Int("steps", 50, "optimizer steps to reach")
-		shots    = flag.Int("shots", 128, "shots per evaluation batch")
-		lr       = flag.Float64("lr", 0.1, "learning rate")
-		optName  = flag.String("optimizer", "adam", "optimizer: sgd, momentum, adagrad, rmsprop, adam")
-		seed     = flag.Uint64("seed", 1, "master RNG seed")
-		pairs    = flag.Int("pairs", 12, "dataset size (unitary/classify)")
-		batch    = flag.Int("batch", 4, "minibatch size (unitary/classify)")
-		ckptDir  = flag.String("ckpt", "", "checkpoint directory (empty disables checkpointing)")
-		resume   = flag.Bool("resume", false, "resume from the newest checkpoint in -ckpt")
-		interval = flag.Int("interval", 1, "checkpoint every N steps (0 disables the step trigger)")
-		units    = flag.Int("units", 0, "checkpoint every N gradient work units (sub-step; 0 disables)")
-		grouped  = flag.Bool("grouped", false, "use measurement grouping (vqe/maxcut)")
-		mtbf     = flag.Duration("mtbf", 0, "inject Poisson session failures with this MTBF (0 disables)")
-		realQPU  = flag.Bool("qpu-latency", false, "model realistic QPU latencies (default: latency-free)")
-		async    = flag.Bool("async", false, "write checkpoints asynchronously")
-		workers  = flag.Int("workers", 1, "checkpoint write workers (chunked pipeline)")
-		chunkKB  = flag.Int("chunk", 0, "chunk checkpoints into KB-sized deduplicated pieces (0 = monolithic)")
-		fullIng  = flag.Bool("full-ingest", false, "disable the incremental dirty-chunk save path (hash/compress every chunk every save)")
-		tiers    = flag.String("tiers", "", "tiered checkpoint placement preset: device levels hot-to-cold joined by '+' (e.g. nvme+object, nvme+nfs+object); empty disables tiering")
-		keepHot  = flag.Int("keep-hot", 2, "anchor chains kept on the hot tier before demotion (with -tiers)")
-		restoreW = flag.Int("restore-workers", 1, "parallel chunk-restore workers for -resume (1 = serial, ≤0 = one per CPU)")
-		jobsN    = flag.Int("jobs", 1, "concurrent training jobs checkpointing into ONE multi-tenant store under -ckpt (cross-job chunk dedup; job j trains with seed+j)")
+		taskName  = flag.String("task", "vqe", "training task: vqe, maxcut, unitary, classify")
+		qubits    = flag.Int("qubits", 4, "qubit count")
+		layers    = flag.Int("layers", 2, "ansatz layers (vqe/unitary/classify)")
+		qaoaP     = flag.Int("p", 2, "QAOA depth (maxcut)")
+		steps     = flag.Int("steps", 50, "optimizer steps to reach")
+		shots     = flag.Int("shots", 128, "shots per evaluation batch")
+		lr        = flag.Float64("lr", 0.1, "learning rate")
+		optName   = flag.String("optimizer", "adam", "optimizer: sgd, momentum, adagrad, rmsprop, adam")
+		seed      = flag.Uint64("seed", 1, "master RNG seed")
+		pairs     = flag.Int("pairs", 12, "dataset size (unitary/classify)")
+		batch     = flag.Int("batch", 4, "minibatch size (unitary/classify)")
+		ckptDir   = flag.String("ckpt", "", "checkpoint directory (empty disables checkpointing)")
+		resume    = flag.Bool("resume", false, "resume from the newest checkpoint in -ckpt")
+		interval  = flag.Int("interval", 1, "checkpoint every N steps (0 disables the step trigger)")
+		units     = flag.Int("units", 0, "checkpoint every N gradient work units (sub-step; 0 disables)")
+		grouped   = flag.Bool("grouped", false, "use measurement grouping (vqe/maxcut)")
+		mtbf      = flag.Duration("mtbf", 0, "inject Poisson session failures with this MTBF (0 disables)")
+		realQPU   = flag.Bool("qpu-latency", false, "model realistic QPU latencies (default: latency-free)")
+		async     = flag.Bool("async", false, "write checkpoints asynchronously")
+		workers   = flag.Int("workers", 1, "checkpoint write workers (chunked pipeline)")
+		chunkKB   = flag.Int("chunk", 0, "chunk checkpoints into KB-sized deduplicated pieces (0 = monolithic)")
+		fullIng   = flag.Bool("full-ingest", false, "disable the incremental dirty-chunk save path (hash/compress every chunk every save)")
+		tiers     = flag.String("tiers", "", "tiered checkpoint placement preset: device levels hot-to-cold joined by '+' (e.g. nvme+object, nvme+nfs+object); empty disables tiering")
+		keepHot   = flag.Int("keep-hot", 2, "anchor chains kept on the hot tier before demotion (with -tiers)")
+		restoreW  = flag.Int("restore-workers", 1, "parallel chunk-restore workers for -resume (1 = serial, ≤0 = one per CPU)")
+		jobsN     = flag.Int("jobs", 1, "concurrent training jobs checkpointing into ONE multi-tenant store under -ckpt (cross-job chunk dedup; job j trains with seed+j)")
+		remoteURL = flag.String("remote", "", "checkpoint to a qckpt server at this URL (e.g. http://host:7723; see `qckpt serve`) instead of a local -ckpt directory")
 	)
 	flag.Parse()
 
+	if *remoteURL != "" {
+		if *ckptDir != "" {
+			fatal(errors.New("-remote and -ckpt are mutually exclusive (the server owns the store)"))
+		}
+		if *tiers != "" {
+			fatal(errors.New("-remote and -tiers are mutually exclusive (tier the store server-side)"))
+		}
+	}
+
 	if *jobsN > 1 {
-		if *ckptDir == "" {
-			fatal(errors.New("-jobs requires -ckpt (the shared store root)"))
+		if *ckptDir == "" && *remoteURL == "" {
+			fatal(errors.New("-jobs requires -ckpt (the shared store root) or -remote (a qckpt server)"))
 		}
 		if *tiers != "" {
 			fatal(errors.New("-jobs and -tiers are mutually exclusive (tier the store root with qckpt instead)"))
@@ -80,7 +92,7 @@ func main() {
 			pairs: *pairs, batch: *batch, grouped: *grouped, realQPU: *realQPU,
 			ckptDir: *ckptDir, resume: *resume, interval: *interval, units: *units,
 			async: *async, workers: *workers, chunkKB: *chunkKB, fullIngest: *fullIng,
-			restoreW: *restoreW,
+			restoreW: *restoreW, remote: *remoteURL,
 		}
 		if err := runJobs(fleet); err != nil {
 			fatal(err)
@@ -101,12 +113,24 @@ func main() {
 		cfg.Failures = sched
 	}
 
+	var remoteClient *remote.Client
+	if *remoteURL != "" {
+		remoteClient, err = remote.Dial(*remoteURL, remote.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer remoteClient.Close()
+	}
+
 	var mgr *core.Manager
-	if *ckptDir != "" {
+	if *ckptDir != "" || remoteClient != nil {
 		opt := core.Options{
 			Dir: *ckptDir, Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
 			Async: *async, Workers: *workers, ChunkBytes: *chunkKB << 10,
 			FullIngest: *fullIng,
+		}
+		if remoteClient != nil {
+			opt.Backend = remoteClient
 		}
 		if *tiers != "" {
 			// Tiered preset: hot level at the checkpoint dir, colder
@@ -130,15 +154,19 @@ func main() {
 
 	var tr *train.Trainer
 	if *resume {
-		if *ckptDir == "" {
-			fatal(errors.New("-resume requires -ckpt"))
+		if *ckptDir == "" && remoteClient == nil {
+			fatal(errors.New("-resume requires -ckpt or -remote"))
 		}
 		ropts := core.RestoreOptions{Workers: *restoreW}
 		if *restoreW <= 0 {
 			ropts = core.DefaultRestoreOptions()
 		}
 		var report core.LoadReport
-		tr, report, err = train.ResumeLatestOptions(cfg, *ckptDir, ropts)
+		if remoteClient != nil {
+			tr, report, err = train.ResumeLatestBackendOptions(cfg, remoteClient, ropts)
+		} else {
+			tr, report, err = train.ResumeLatestOptions(cfg, *ckptDir, ropts)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -177,6 +205,12 @@ func main() {
 		if st := mgr.Stats(); st.Chunks > 0 {
 			fmt.Printf("chunk pipeline: %d chunks (%d clean, %d dedup, %d raw-framed), %d bytes written\n",
 				st.Chunks, st.CleanChunks, st.DedupHits, st.RawChunks, st.BytesWritten)
+		}
+		if remoteClient != nil {
+			if st, serr := remoteClient.Stats(); serr == nil {
+				fmt.Printf("server: %d chunk upload(s) (%d dedup hit(s)), %d B offered, %d B written, %d manifest commit(s)\n",
+					st.ChunksIngested, st.ChunkDedupHits, st.ChunkBytesOffered, st.ChunkBytesWritten, st.ManifestsCommitted)
+			}
 		}
 	}
 }
@@ -268,6 +302,7 @@ type fleetFlags struct {
 	resume                                      bool
 	interval, units, workers, chunkKB, restoreW int
 	async, fullIngest                           bool
+	remote                                      string
 }
 
 // runJobs drives N concurrent training jobs into one multi-tenant
@@ -277,11 +312,15 @@ type fleetFlags struct {
 // trains with seed+i; the summary reports per-job results plus the
 // fleet-wide dedup accounting.
 func runJobs(f fleetFlags) error {
-	svc, err := core.NewService(core.ServiceOptions{Dir: f.ckptDir})
-	if err != nil {
-		return err
+	var svc *core.Service
+	if f.remote == "" {
+		s, err := core.NewService(core.ServiceOptions{Dir: f.ckptDir})
+		if err != nil {
+			return err
+		}
+		svc = s
+		defer svc.Close()
 	}
-	defer svc.Close()
 
 	type jobResult struct {
 		id          string
@@ -309,11 +348,34 @@ func runJobs(f fleetFlags) error {
 				res.err = err
 				return
 			}
-			mgr, err := svc.OpenJob(id, core.Options{
+			jobOpt := core.Options{
 				Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
 				Async: f.async, Workers: f.workers, ChunkBytes: f.chunkKB << 10,
 				FullIngest: f.fullIngest,
-			})
+			}
+			var mgr *core.Manager
+			var view storage.Backend
+			if f.remote != "" {
+				// Each job dials its own connection (tenant = job id, so the
+				// server's admission control sees jobs independently) and
+				// scopes its manifests under jobs/<id>/ — the same namespace
+				// a local fleet uses, shared chunk plane included.
+				client, derr := remote.Dial(f.remote, remote.Options{Tenant: id})
+				if derr != nil {
+					res.err = derr
+					return
+				}
+				defer client.Close()
+				view, err = core.JobBackend(client, id)
+				if err != nil {
+					res.err = err
+					return
+				}
+				jobOpt.Backend = view
+				mgr, err = core.NewManager(jobOpt)
+			} else {
+				mgr, err = svc.OpenJob(id, jobOpt)
+			}
 			if err != nil {
 				res.err = err
 				return
@@ -324,10 +386,13 @@ func runJobs(f fleetFlags) error {
 
 			var tr *train.Trainer
 			if f.resume {
-				view, verr := svc.JobView(id)
-				if verr != nil {
-					res.err = verr
-					return
+				if view == nil {
+					var verr error
+					view, verr = svc.JobView(id)
+					if verr != nil {
+						res.err = verr
+						return
+					}
 				}
 				ropts := core.RestoreOptions{Workers: f.restoreW}
 				if f.restoreW <= 0 {
@@ -370,7 +435,11 @@ func runJobs(f fleetFlags) error {
 	}
 	wg.Wait()
 
-	fmt.Printf("fleet: %d jobs, task=%s, store=%s\n", f.jobs, f.task, f.ckptDir)
+	store := f.ckptDir
+	if f.remote != "" {
+		store = f.remote
+	}
+	fmt.Printf("fleet: %d jobs, task=%s, store=%s\n", f.jobs, f.task, store)
 	var agg core.Stats
 	failed := 0
 	for _, r := range results {
@@ -393,11 +462,17 @@ func runJobs(f fleetFlags) error {
 		agg.Snapshots += r.stats.Snapshots
 	}
 	if agg.Chunks > 0 {
-		var resident string
-		if storeBytes, err := svc.ChunkStore().TotalBytes(); err == nil {
-			resident = fmt.Sprintf("%d B resident in the shared store", storeBytes)
-		} else {
-			resident = fmt.Sprintf("store size unavailable: %v", err)
+		resident := "store size unavailable"
+		if svc != nil {
+			if storeBytes, err := svc.ChunkStore().TotalBytes(); err == nil {
+				resident = fmt.Sprintf("%d B resident in the shared store", storeBytes)
+			}
+		} else if client, err := remote.Dial(f.remote, remote.Options{Tenant: "fleet-stats"}); err == nil {
+			if st, serr := client.Stats(); serr == nil {
+				resident = fmt.Sprintf("%d B written server-side (%d dedup hit(s) at the server)",
+					st.ChunkBytesWritten, st.ChunkDedupHits)
+			}
+			client.Close()
 		}
 		fmt.Printf("fleet chunk pipeline: %d snapshots, %d chunks (%d clean, %d dedup), %d B written, %s\n",
 			agg.Snapshots, agg.Chunks, agg.CleanChunks, agg.DedupHits, agg.BytesWritten, resident)

@@ -1,0 +1,134 @@
+// Package api is the transport-agnostic surface of a checkpoint service:
+// the operations a remote client needs to save, restore, and garbage-
+// collect through a qckpt store, extracted from core.Service so the HTTP
+// server (internal/server) and any future transport speak to one
+// interface instead of reaching into the engine.
+//
+// The surface is deliberately sessionless. Snapshot sequencing, delta
+// chains and retention stay in the client's core.Manager — the server
+// never opens jobs on a client's behalf — so the protocol reduces to an
+// object plane (manifests and listings), a chunk plane (the address-first
+// dedup handshake plus verified ingest), and service-wide operations
+// (job discovery, orphan collection). Uploaded-but-uncommitted chunks are
+// protected from GC by time-bounded leases instead of per-connection
+// state: a client that dies mid-upload simply lets its leases lapse, and
+// the next collection reaps what it left behind.
+package api
+
+import (
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Caps describes the service's backing store to clients: the remote
+// backend proxies these as its own storage.Capabilities.
+type Caps struct {
+	// Name of the backing store ("local", "mem", "tiered", …).
+	Name string `json:"name"`
+	// Atomic, Persistent, Modeled mirror storage.Capabilities.
+	Atomic     bool `json:"atomic"`
+	Persistent bool `json:"persistent"`
+	Modeled    bool `json:"modeled"`
+}
+
+// Stats are the service-side counters the T8 harness and operators read:
+// how much the address-first handshake saved, and how much traffic the
+// object plane carried.
+type Stats struct {
+	// HasQueries and HasHits count address-existence probes; a hit is a
+	// chunk the client never had to upload.
+	HasQueries int64 `json:"has_queries"`
+	HasHits    int64 `json:"has_hits"`
+	// ChunksIngested counts chunk uploads that reached the store;
+	// ChunkDedupHits are uploads resolved against a resident copy with no
+	// new bytes written. ChunkBytesOffered is the payload of every upload,
+	// ChunkBytesWritten only what actually hit the store.
+	ChunksIngested    int64 `json:"chunks_ingested"`
+	ChunkDedupHits    int64 `json:"chunk_dedup_hits"`
+	ChunkBytesOffered int64 `json:"chunk_bytes_offered"`
+	ChunkBytesWritten int64 `json:"chunk_bytes_written"`
+	// ManifestsCommitted and ManifestBytes count object-plane commits.
+	ManifestsCommitted int64 `json:"manifests_committed"`
+	ManifestBytes      int64 `json:"manifest_bytes"`
+	// BytesServed is the payload of every read (Get, range, batch).
+	BytesServed int64 `json:"bytes_served"`
+	// ActiveLeases is the number of unexpired upload leases.
+	ActiveLeases int `json:"active_leases"`
+	// Throttled counts requests refused with 429 by admission control.
+	// Filled by the transport layer; a Local service reports 0.
+	Throttled int64 `json:"throttled"`
+}
+
+// Service is the transport-agnostic checkpoint service. All methods are
+// safe for concurrent use. Key and range semantics are exactly the
+// storage.Backend contract (ErrNotFound for absent keys, ValidateKey
+// rules, sorted listings, positional batch results), so a transport can
+// re-expose the service as a Backend without translation.
+type Service interface {
+	// Caps reports the backing store's identity and guarantees.
+	Caps() Caps
+
+	// CommitManifest atomically commits an object — a snapshot manifest,
+	// or any other non-chunk object — at key. Commits are NOT idempotent
+	// from the transport's point of view: a client must never blindly
+	// resend one (see the remote client's verify-then-retry protocol).
+	CommitManifest(key string, data []byte) error
+	// GetObject, GetObjectRange, GetObjects, StatObject, ListObjects and
+	// DeleteObject are the Backend read/delete plane over the store root.
+	GetObject(key string) ([]byte, error)
+	GetObjectRange(key string, off, n int64) ([]byte, error)
+	GetObjects(keys []string) ([][]byte, []error)
+	StatObject(key string) (storage.ObjectInfo, error)
+	ListObjects(prefix string) ([]string, error)
+	DeleteObject(key string) error
+
+	// HasAddresses is the address-first dedup round: for each chunk key,
+	// report whether its bytes are already resident. Every address probed
+	// is lease-pinned whatever the answer, so a hit the client is about to
+	// reference in a manifest cannot be collected out from under it.
+	HasAddresses(keys []string) ([]bool, error)
+	// IngestChunk stores a chunk upload at key after verifying the payload
+	// hashes to the key's address, lease-pinning the address. It returns
+	// the bytes newly written — 0 on a server-side dedup hit. Idempotent:
+	// re-uploading identical content is always safe.
+	IngestChunk(key string, data []byte) (written int, err error)
+
+	// Jobs lists the job namespaces present in the store.
+	Jobs() ([]string, error)
+	// CollectOrphans removes chunks no manifest references and no lease or
+	// local pin protects.
+	CollectOrphans() (removed int, reclaimed int64, err error)
+	// Stats snapshots the service counters.
+	Stats() Stats
+}
+
+// ChunkKeyAddr recognizes content-addressed chunk keys by shape — a final
+// segment of 64 lowercase-hex characters fanned out under its own first
+// two characters ("…/ab/ab12…ef") — and returns the embedded address.
+// This is the routing rule the remote client and server share: keys of
+// this shape ride the idempotent chunk plane, everything else is an
+// object commit.
+func ChunkKeyAddr(key string) (addr string, ok bool) {
+	i := strings.LastIndexByte(key, '/')
+	if i < 0 {
+		return "", false
+	}
+	last := key[i+1:]
+	if len(last) != 64 {
+		return "", false
+	}
+	for j := 0; j < len(last); j++ {
+		c := last[j]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", false
+		}
+	}
+	rest := key[:i]
+	j := strings.LastIndexByte(rest, '/')
+	fan := rest[j+1:]
+	if fan != last[:2] {
+		return "", false
+	}
+	return last, true
+}

@@ -1,0 +1,253 @@
+package api
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func newLocal(t *testing.T) (*Local, *core.Service, *storage.Mem) {
+	t.Helper()
+	mem := storage.NewMem()
+	svc, err := core.NewService(core.ServiceOptions{Backend: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return NewLocal(svc, NewLeases(time.Minute)), svc, mem
+}
+
+func chunkKey(addr string) string {
+	return core.ChunkPrefix + "/" + addr[:2] + "/" + addr
+}
+
+func TestChunkKeyAddr(t *testing.T) {
+	addr := storage.Hash([]byte("x"))
+	cases := []struct {
+		key string
+		ok  bool
+	}{
+		{chunkKey(addr), true},
+		{addr[:2] + "/" + addr, true},                // chunk store at the root
+		{"ns/chunks/" + addr[:2] + "/" + addr, true}, // nested namespace
+		{"jobs/a/ckpt-000000000001-full.qckpt", false},
+		{addr, false},                             // no fan-out segment
+		{"zz/" + addr, false},                     // fan-out mismatch
+		{addr[:2] + "/" + addr[:63] + "G", false}, // not hex
+	}
+	for _, c := range cases {
+		got, ok := ChunkKeyAddr(c.key)
+		if ok != c.ok {
+			t.Errorf("ChunkKeyAddr(%q) ok=%v, want %v", c.key, ok, c.ok)
+		}
+		if ok && got != addr {
+			t.Errorf("ChunkKeyAddr(%q) = %q", c.key, got)
+		}
+	}
+}
+
+// TestIngestHasDedup drives the address-first handshake end to end: a
+// miss, an upload, then hits from both the has round and a re-upload.
+func TestIngestHasDedup(t *testing.T) {
+	l, svc, _ := newLocal(t)
+	data := []byte("the chunk payload")
+	addr := storage.Hash(data)
+	key := chunkKey(addr)
+
+	have, err := l.HasAddresses([]string{key})
+	if err != nil || have[0] {
+		t.Fatalf("fresh store has chunk: %v %v", have, err)
+	}
+	written, err := l.IngestChunk(key, data)
+	if err != nil || written != len(data) {
+		t.Fatalf("first ingest: written=%d err=%v", written, err)
+	}
+	written, err = l.IngestChunk(key, data)
+	if err != nil || written != 0 {
+		t.Fatalf("re-ingest not deduped: written=%d err=%v", written, err)
+	}
+	have, err = l.HasAddresses([]string{key})
+	if err != nil || !have[0] {
+		t.Fatalf("has after ingest: %v %v", have, err)
+	}
+	if !svc.ChunkStore().Has(addr) {
+		t.Fatal("chunk not visible in the service store")
+	}
+	st := l.Stats()
+	if st.ChunksIngested != 2 || st.ChunkDedupHits != 1 || st.ChunkBytesWritten != int64(len(data)) {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HasQueries != 2 || st.HasHits != 1 {
+		t.Errorf("has stats = %+v", st)
+	}
+}
+
+// TestIngestRejectsCorruptUpload: a payload that does not hash to its
+// key's address — truncated or corrupted in transit — is refused and
+// nothing is stored.
+func TestIngestRejectsCorruptUpload(t *testing.T) {
+	l, svc, _ := newLocal(t)
+	data := []byte("the chunk payload")
+	addr := storage.Hash(data)
+	if _, err := l.IngestChunk(chunkKey(addr), data[:len(data)-3]); err == nil {
+		t.Fatal("truncated upload accepted")
+	}
+	if svc.ChunkStore().Has(addr) {
+		t.Fatal("corrupt upload reached the store")
+	}
+	if _, err := l.IngestChunk("not/a/chunk", data); err == nil {
+		t.Fatal("non-chunk key accepted by chunk plane")
+	}
+}
+
+// TestLeasesProtectUncommittedUploads is the orphan-reap contract: an
+// uploaded chunk with no manifest survives collection while its lease is
+// live and is reaped after the lease expires — the killed-mid-upload
+// client story.
+func TestLeasesProtectUncommittedUploads(t *testing.T) {
+	l, _, _ := newLocal(t)
+	data := []byte("orphan-to-be")
+	addr := storage.Hash(data)
+	if _, err := l.IngestChunk(chunkKey(addr), data); err != nil {
+		t.Fatal(err)
+	}
+	if removed, _, err := l.CollectOrphans(); err != nil || removed != 0 {
+		t.Fatalf("leased chunk collected: removed=%d err=%v", removed, err)
+	}
+	// The client dies; the lease lapses.
+	l.Leases().SetClock(func() time.Time { return time.Now().Add(2 * time.Minute) })
+	removed, _, err := l.CollectOrphans()
+	if err != nil || removed != 1 {
+		t.Fatalf("expired orphan not reaped: removed=%d err=%v", removed, err)
+	}
+	if l.Stats().ActiveLeases != 0 {
+		t.Errorf("leases survived expiry: %d", l.Stats().ActiveLeases)
+	}
+}
+
+// TestCommittedManifestOutlivesLease: once a manifest references the
+// chunk, lease expiry no longer matters.
+func TestCommittedManifestOutlivesLease(t *testing.T) {
+	l, svc, _ := newLocal(t)
+
+	// Save through a real manager so the manifest format is authentic.
+	m, err := svc.OpenJob("j", core.Options{Strategy: core.StrategyFull, ChunkBytes: 1 << 10, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewTrainingState()
+	st.Params = make([]float64, 2048)
+	st.Meta = core.Meta{FormatVersion: core.FormatVersion, CircuitFP: "x", ProblemFP: "x", OptimizerName: "adam"}
+	if _, err := m.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l.Leases().SetClock(func() time.Time { return time.Now().Add(time.Hour) })
+	if removed, _, err := l.CollectOrphans(); err != nil || removed != 0 {
+		t.Fatalf("referenced chunks collected after lease expiry: removed=%d err=%v", removed, err)
+	}
+}
+
+// TestForeignNamespaceIngest covers chunk-shaped keys outside the
+// canonical chunks/ namespace: dedup still works, resident corruption is
+// repaired.
+func TestForeignNamespaceIngest(t *testing.T) {
+	l, _, mem := newLocal(t)
+	data := []byte("foreign chunk")
+	addr := storage.Hash(data)
+	key := addr[:2] + "/" + addr
+
+	if w, err := l.IngestChunk(key, data); err != nil || w != len(data) {
+		t.Fatalf("foreign ingest: %d %v", w, err)
+	}
+	if w, err := l.IngestChunk(key, data); err != nil || w != 0 {
+		t.Fatalf("foreign dedup: %d %v", w, err)
+	}
+	// Corrupt the resident copy in place, same-size so only a byte
+	// compare can notice. A fresh Local (empty verified cache, as after a
+	// server restart) must detect the mismatch and rewrite the good bytes.
+	if err := mem.Put(key, bytes.ToUpper(data)); err != nil {
+		t.Fatal(err)
+	}
+	l2 := NewLocal(mustService(t, mem), NewLeases(time.Minute))
+	if w, err := l2.IngestChunk(key, data); err != nil || w != len(data) {
+		t.Fatalf("corrupt resident not repaired: %d %v", w, err)
+	}
+	got, err := mem.Get(key)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("store still corrupt: %q %v", got, err)
+	}
+}
+
+func mustService(t *testing.T, b storage.Backend) *core.Service {
+	t.Helper()
+	svc, err := core.NewService(core.ServiceOptions{Backend: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// TestObjectPlaneMatchesBackendContract spot-checks the object plane's
+// error mapping (the conformance suite exercises it exhaustively through
+// the remote client).
+func TestObjectPlaneMatchesBackendContract(t *testing.T) {
+	l, _, _ := newLocal(t)
+	if err := l.CommitManifest("jobs/j/ckpt-000000000001-full.qckpt", []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.GetObject("absent"); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("GetObject(absent) = %v", err)
+	}
+	if err := l.CommitManifest("../escape", []byte("m")); err == nil {
+		t.Error("malformed manifest key accepted")
+	}
+	keys, err := l.ListObjects("jobs/")
+	if err != nil || len(keys) != 1 {
+		t.Errorf("ListObjects = %v, %v", keys, err)
+	}
+	jobs, err := l.Jobs()
+	if err != nil || len(jobs) != 1 || jobs[0] != "j" {
+		t.Errorf("Jobs = %v, %v", jobs, err)
+	}
+}
+
+// TestBatchFraming round-trips the binary batch records.
+func TestBatchFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatchRecord(&buf, BatchStatusOK, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBatchRecord(&buf, BatchStatusNotFound, []byte("missing: k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBatchRecord(&buf, BatchStatusOK, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, p, err := ReadBatchRecord(&buf)
+	if err != nil || st != BatchStatusOK || string(p) != "payload" {
+		t.Fatalf("record 1: %d %q %v", st, p, err)
+	}
+	st, p, err = ReadBatchRecord(&buf)
+	if err != nil || st != BatchStatusNotFound || string(p) != "missing: k" {
+		t.Fatalf("record 2: %d %q %v", st, p, err)
+	}
+	st, p, err = ReadBatchRecord(&buf)
+	if err != nil || st != BatchStatusOK || len(p) != 0 {
+		t.Fatalf("record 3: %d %q %v", st, p, err)
+	}
+	// Truncated stream surfaces an error, not a short record.
+	buf.Reset()
+	buf.Write([]byte{BatchStatusOK, 0, 0, 0, 10, 'x'})
+	if _, _, err := ReadBatchRecord(&buf); err == nil {
+		t.Fatal("truncated record read silently")
+	}
+}

@@ -1,0 +1,244 @@
+package api
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Local implements Service directly over a core.Service: the in-process
+// end of the wire. Its lease table is registered as a PinSource with the
+// service, so both explicit CollectOrphans calls and any server-side
+// job's retention GC honor remote uploads still in flight.
+type Local struct {
+	svc     *core.Service
+	backend storage.Backend
+	leases  *Leases
+
+	// verified caches byte-verified non-canonical chunk keys, mirroring
+	// the chunk store's per-shard cache for the canonical namespace, so a
+	// dedup hit costs one resident read per key per process instead of
+	// one per upload.
+	verMu    sync.Mutex
+	verified map[string]bool
+
+	hasQueries     atomic.Int64
+	hasHits        atomic.Int64
+	chunksIngested atomic.Int64
+	chunkDedup     atomic.Int64
+	chunkOffered   atomic.Int64
+	chunkWritten   atomic.Int64
+	manifests      atomic.Int64
+	manifestBytes  atomic.Int64
+	bytesServed    atomic.Int64
+}
+
+// NewLocal wraps svc as a transport-agnostic Service whose upload leases
+// shield in-flight remote saves from the service's GC.
+func NewLocal(svc *core.Service, leases *Leases) *Local {
+	if leases == nil {
+		leases = NewLeases(0)
+	}
+	l := &Local{
+		svc:      svc,
+		backend:  svc.Backend(),
+		leases:   leases,
+		verified: make(map[string]bool),
+	}
+	svc.RegisterPinSource(leases)
+	return l
+}
+
+// Leases exposes the lease table (tests drive its clock).
+func (l *Local) Leases() *Leases { return l.leases }
+
+// Caps implements Service.
+func (l *Local) Caps() Caps {
+	c := l.backend.Capabilities()
+	return Caps{
+		Name:       l.backend.Name(),
+		Atomic:     c.Atomic,
+		Persistent: c.Persistent,
+		Modeled:    c.Modeled,
+	}
+}
+
+// CommitManifest implements Service.
+func (l *Local) CommitManifest(key string, data []byte) error {
+	if err := storage.ValidateKey(key); err != nil {
+		return err
+	}
+	if err := l.backend.Put(key, data); err != nil {
+		return err
+	}
+	l.manifests.Add(1)
+	l.manifestBytes.Add(int64(len(data)))
+	return nil
+}
+
+// GetObject implements Service.
+func (l *Local) GetObject(key string) ([]byte, error) {
+	data, err := l.backend.Get(key)
+	if err == nil {
+		l.bytesServed.Add(int64(len(data)))
+	}
+	return data, err
+}
+
+// GetObjectRange implements Service.
+func (l *Local) GetObjectRange(key string, off, n int64) ([]byte, error) {
+	data, err := storage.GetRange(l.backend, key, off, n)
+	if err == nil {
+		l.bytesServed.Add(int64(len(data)))
+	}
+	return data, err
+}
+
+// GetObjects implements Service.
+func (l *Local) GetObjects(keys []string) ([][]byte, []error) {
+	out, errs := storage.GetBatch(l.backend, keys)
+	var served int64
+	for i := range out {
+		if errs[i] == nil {
+			served += int64(len(out[i]))
+		}
+	}
+	l.bytesServed.Add(served)
+	return out, errs
+}
+
+// StatObject implements Service.
+func (l *Local) StatObject(key string) (storage.ObjectInfo, error) {
+	return l.backend.Stat(key)
+}
+
+// ListObjects implements Service.
+func (l *Local) ListObjects(prefix string) ([]string, error) {
+	return l.backend.List(prefix)
+}
+
+// DeleteObject implements Service.
+func (l *Local) DeleteObject(key string) error {
+	return l.backend.Delete(key)
+}
+
+// HasAddresses implements Service. The lease is taken before the
+// existence check, mirroring the local pin-before-Stat protocol: once the
+// server has answered "have it", the client will reference the chunk in
+// a manifest without uploading, so the chunk must already be protected
+// when the answer leaves.
+func (l *Local) HasAddresses(keys []string) ([]bool, error) {
+	have := make([]bool, len(keys))
+	for i, key := range keys {
+		addr, ok := ChunkKeyAddr(key)
+		if !ok {
+			return nil, fmt.Errorf("api: %q is not a chunk key", key)
+		}
+		l.leases.Touch(addr)
+		l.hasQueries.Add(1)
+		if l.isCanonical(key, addr) {
+			have[i] = l.svc.ChunkStore().Has(addr)
+		} else {
+			_, err := l.backend.Stat(key)
+			have[i] = err == nil
+		}
+		if have[i] {
+			l.hasHits.Add(1)
+		}
+	}
+	return have, nil
+}
+
+// IngestChunk implements Service: hash-verify, lease, dedup, store.
+func (l *Local) IngestChunk(key string, data []byte) (int, error) {
+	addr, ok := ChunkKeyAddr(key)
+	if !ok {
+		return 0, fmt.Errorf("api: %q is not a chunk key", key)
+	}
+	if got := storage.Hash(data); got != addr {
+		return 0, fmt.Errorf("api: chunk upload for %s hashes to %s (corrupt or truncated in transit)", addr, got)
+	}
+	l.leases.Touch(addr)
+	l.chunksIngested.Add(1)
+	l.chunkOffered.Add(int64(len(data)))
+	var written int
+	var err error
+	if l.isCanonical(key, addr) {
+		_, written, err = l.svc.ChunkStore().IngestAddressed(addr, data)
+	} else {
+		written, err = l.ingestForeign(key, data)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if written == 0 {
+		l.chunkDedup.Add(1)
+	}
+	l.chunkWritten.Add(int64(written))
+	return written, nil
+}
+
+// isCanonical reports whether key addresses the service's shared chunk
+// store ("chunks/ab/<addr>"), whose sharded dedup cache we then reuse.
+func (l *Local) isCanonical(key, addr string) bool {
+	return key == core.ChunkPrefix+"/"+addr[:2]+"/"+addr
+}
+
+// ingestForeign is the dedup protocol for chunk-shaped keys outside the
+// canonical namespace (a client running a chunk store under its own
+// prefix): verified-compare against the resident copy, rewrite on any
+// mismatch. The incoming bytes are already hash-verified.
+func (l *Local) ingestForeign(key string, data []byte) (int, error) {
+	if info, err := l.backend.Stat(key); err == nil && info.Size == int64(len(data)) {
+		l.verMu.Lock()
+		ok := l.verified[key]
+		l.verMu.Unlock()
+		if ok {
+			return 0, nil
+		}
+		if existing, err := l.backend.Get(key); err == nil && bytes.Equal(existing, data) {
+			l.markForeignVerified(key)
+			return 0, nil
+		}
+	}
+	if err := l.backend.Put(key, data); err != nil {
+		return 0, err
+	}
+	l.markForeignVerified(key)
+	return len(data), nil
+}
+
+func (l *Local) markForeignVerified(key string) {
+	l.verMu.Lock()
+	l.verified[key] = true
+	l.verMu.Unlock()
+}
+
+// Jobs implements Service.
+func (l *Local) Jobs() ([]string, error) { return l.svc.Jobs() }
+
+// CollectOrphans implements Service: the service-wide collection, which
+// honors every tenant's manifests, local pins, and this table's leases.
+func (l *Local) CollectOrphans() (int, int64, error) {
+	return l.svc.CollectOrphans()
+}
+
+// Stats implements Service.
+func (l *Local) Stats() Stats {
+	return Stats{
+		HasQueries:         l.hasQueries.Load(),
+		HasHits:            l.hasHits.Load(),
+		ChunksIngested:     l.chunksIngested.Load(),
+		ChunkDedupHits:     l.chunkDedup.Load(),
+		ChunkBytesOffered:  l.chunkOffered.Load(),
+		ChunkBytesWritten:  l.chunkWritten.Load(),
+		ManifestsCommitted: l.manifests.Load(),
+		ManifestBytes:      l.manifestBytes.Load(),
+		BytesServed:        l.bytesServed.Load(),
+		ActiveLeases:       l.leases.Active(),
+	}
+}

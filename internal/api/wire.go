@@ -1,0 +1,122 @@
+package api
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol v1 (DESIGN.md §11). Paths, headers and body shapes are
+// shared by internal/server and internal/remote so the two cannot drift.
+const (
+	// PathObjects prefixes the object plane: GET/HEAD/PUT/DELETE
+	// /v1/o/<key>, with ?off=&n= selecting a range read on GET.
+	PathObjects = "/v1/o/"
+	// PathChunks prefixes chunk uploads: PUT /v1/c/<key>.
+	PathChunks = "/v1/c/"
+	// PathHas is the address-first dedup round: POST {keys} → {have}.
+	PathHas = "/v1/has"
+	// PathBatch is the multi-get fan-in: POST {keys} → binary records.
+	PathBatch = "/v1/batch"
+	// PathList lists keys: GET /v1/list?prefix=.
+	PathList = "/v1/list"
+	// PathCaps, PathStats, PathJobs and PathGC are service-wide.
+	PathCaps  = "/v1/caps"
+	PathStats = "/v1/stats"
+	PathJobs  = "/v1/jobs"
+	PathGC    = "/v1/gc"
+)
+
+// TenantHeader names the client's admission-control tenant; absent means
+// DefaultTenant. One tenant's saturation throttles only that tenant.
+const TenantHeader = "Qckpt-Tenant"
+
+// DefaultTenant buckets clients that do not identify themselves.
+const DefaultTenant = "default"
+
+// Error codes carried in ErrorBody.Code; the client maps them back to
+// sentinel errors (CodeNotFound → storage.ErrNotFound).
+const (
+	CodeNotFound   = "not_found"
+	CodeBadRequest = "bad_request"
+	CodeThrottled  = "throttled"
+	CodeInternal   = "internal"
+)
+
+// ErrorBody is the JSON error envelope of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// KeysRequest is the body of PathHas and PathBatch.
+type KeysRequest struct {
+	Keys []string `json:"keys"`
+}
+
+// HasResponse answers PathHas positionally: Have[i] corresponds to
+// request Keys[i].
+type HasResponse struct {
+	Have []bool `json:"have"`
+}
+
+// IngestResponse answers a chunk upload with the bytes newly written —
+// 0 announces a server-side dedup hit.
+type IngestResponse struct {
+	Written int `json:"written"`
+}
+
+// ListResponse answers PathList and PathJobs.
+type ListResponse struct {
+	Keys []string `json:"keys"`
+}
+
+// GCResponse answers PathGC.
+type GCResponse struct {
+	Removed   int   `json:"removed"`
+	Reclaimed int64 `json:"reclaimed"`
+}
+
+// Batch framing: PathBatch responds with one binary record per requested
+// key, in request order — a status byte, a big-endian uint32 payload
+// length, then the payload (object bytes on StatusOK, an error message
+// otherwise). Binary framing keeps bulk restores at wire size; a JSON
+// body would base64-inflate every chunk by a third.
+const (
+	BatchStatusOK       = 0
+	BatchStatusNotFound = 1
+	BatchStatusError    = 2
+)
+
+// maxBatchRecord bounds a single decoded record (1 GiB) so a corrupt or
+// hostile length prefix cannot ask the reader to allocate arbitrarily.
+const maxBatchRecord = 1 << 30
+
+// WriteBatchRecord frames one batch result onto w.
+func WriteBatchRecord(w io.Writer, status byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = status
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadBatchRecord decodes one batch record from r.
+func ReadBatchRecord(r io.Reader) (status byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxBatchRecord {
+		return 0, nil, fmt.Errorf("api: batch record of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("api: truncated batch record: %w", err)
+	}
+	return hdr[0], payload, nil
+}

@@ -638,7 +638,15 @@ func (m *Manager) pinnedChunks() map[string]bool {
 // manager opened through a Service the store, pins and keep-set are the
 // service-wide ones, so the collection keeps every chunk any job still
 // references (see sharedChunks.collectOrphans for the safety argument).
+//
+// When the backend has an authoritative collector of its own — a remote
+// store shared by clients this process cannot see — the collection is
+// delegated there: a local sweep would honor only this process's pins and
+// could reap another client's uncommitted chunks.
 func (m *Manager) CollectOrphans() (removed int, reclaimed int64, err error) {
+	if removed, reclaimed, ok, err := storage.TryCollectOrphans(m.backend); ok {
+		return removed, reclaimed, err
+	}
 	return m.shared.collectOrphans()
 }
 
@@ -924,6 +932,11 @@ func (m *Manager) gc() {
 		}
 	}
 	if deleted && m.chunks != nil {
-		m.shared.collectOrphansIfIdle()
+		// Retention-triggered collection is best-effort; a backend with an
+		// authoritative collector (remote store) runs it where every
+		// client's pins are visible.
+		if _, _, ok, _ := storage.TryCollectOrphans(m.backend); !ok {
+			m.shared.collectOrphansIfIdle()
+		}
 	}
 }

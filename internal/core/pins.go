@@ -89,6 +89,23 @@ func (t *pinTable) addTo(keep map[string]bool) {
 	}
 }
 
+// A PinSource contributes external pins to orphan collection: chunk
+// addresses that must survive a sweep even though no committed manifest
+// references them yet and no local save holds them in the pin table. The
+// network server registers its upload-lease table as a PinSource so a
+// remote client's chunks — durable on the server before the manifest that
+// will reference them commits, exactly like a local save's, but pinned by
+// a process the server cannot see into — are shielded until the lease
+// expires. Implementations must be safe for concurrent use.
+type PinSource interface {
+	// Pinned reports whether addr is currently pinned — the sweep's
+	// delete-time check.
+	Pinned(addr string) bool
+	// AddTo adds every currently pinned address to keep — the keep-set
+	// snapshot taken before the sweep.
+	AddTo(keep map[string]bool)
+}
+
 // sharedChunks is the chunk machinery a Manager writes through: the
 // content-addressed store, the pin table shielding in-flight saves from
 // GC, the gate ordering pin release against collections, and the scanner
@@ -125,6 +142,36 @@ type sharedChunks struct {
 	// collection already running, or the next retention event, picks up
 	// the garbage).
 	collecting sync.Mutex
+
+	// sources are external pin providers (the server's upload-lease
+	// table); their pins join the keep-set and the delete-time skip check
+	// alongside the local pin table's.
+	sourceMu sync.RWMutex
+	sources  []PinSource
+}
+
+// registerPinSource adds an external pin provider consulted by every
+// subsequent collection.
+func (sc *sharedChunks) registerPinSource(ps PinSource) {
+	sc.sourceMu.Lock()
+	sc.sources = append(sc.sources, ps)
+	sc.sourceMu.Unlock()
+}
+
+// pinnedAnywhere is the sweep's delete-time check: the local pin table or
+// any registered source.
+func (sc *sharedChunks) pinnedAnywhere(addr string) bool {
+	if sc.pins.pinned(addr) {
+		return true
+	}
+	sc.sourceMu.RLock()
+	defer sc.sourceMu.RUnlock()
+	for _, ps := range sc.sources {
+		if ps.Pinned(addr) {
+			return true
+		}
+	}
+	return false
 }
 
 // ownedSharedChunks builds the single-tenant instance: chunks under
@@ -132,11 +179,18 @@ type sharedChunks struct {
 // tenant-complete (root manifests plus any jobs/ namespaces) — a
 // standalone Manager pointed at a multi-tenant store root must never
 // treat other tenants' chunks as orphans just because its own manifests
-// don't reference them.
+// don't reference them. For the same reason a Manager handed one job's
+// view of a multi-tenant store scans the view's base: the view hides the
+// other jobs/ namespaces, but their manifests still reference chunks in
+// the shared namespace the sweep walks.
 func ownedSharedChunks(backend storage.Backend) *sharedChunks {
+	scanRoot := backend
+	if v, ok := backend.(*jobView); ok {
+		scanRoot = v.base
+	}
 	return &sharedChunks{
 		store: storage.NewChunkStore(storage.WithPrefix(backend, ChunkPrefix)),
-		refs:  func() (map[string]bool, error) { return allChunkReferences(backend) },
+		refs:  func() (map[string]bool, error) { return allChunkReferences(scanRoot) },
 	}
 }
 
@@ -187,5 +241,10 @@ func (sc *sharedChunks) collectLocked() (removed int, reclaimed int64, err error
 		return 0, 0, err
 	}
 	sc.pins.addTo(keep)
-	return sc.store.Sweep(addrs, keep, sc.pins.pinned)
+	sc.sourceMu.RLock()
+	for _, ps := range sc.sources {
+		ps.AddTo(keep)
+	}
+	sc.sourceMu.RUnlock()
+	return sc.store.Sweep(addrs, keep, sc.pinnedAnywhere)
 }

@@ -195,6 +195,15 @@ func (s *Service) CollectOrphans() (removed int, reclaimed int64, err error) {
 	return s.shared.collectOrphans()
 }
 
+// RegisterPinSource adds an external pin provider to orphan collection:
+// every address it reports pinned joins the keep-set and survives the
+// sweep. The network server registers its upload-lease table here so
+// remote clients' uploaded-but-uncommitted chunks are shielded exactly
+// like local in-flight saves' pins.
+func (s *Service) RegisterPinSource(ps PinSource) {
+	s.shared.registerPinSource(ps)
+}
+
 // allReferences is the service keep-set scanner: chunk references from
 // every job namespace in the backend, plus the root namespace so a store
 // that also carries standalone-manager history keeps it alive.
@@ -260,6 +269,19 @@ func (v *jobView) Stat(key string) (storage.ObjectInfo, error) {
 // fast path when it has one.
 func (v *jobView) GetRange(key string, off, n int64) ([]byte, error) {
 	return storage.GetRange(v.route(key), key, off, n)
+}
+
+// IngestKeyed forwards addressed chunk ingests to the routed backend, so
+// a Manager writing through a job view of a remote store still hands the
+// dedup decision to the server (ok=false over plain backends).
+func (v *jobView) IngestKeyed(key, addr string, data []byte) (int, bool, error) {
+	return storage.TryIngestKeyed(v.route(key), key, addr, data)
+}
+
+// CollectOrphans forwards to the base store's authoritative collector
+// when it has one; ok=false otherwise (the caller sweeps locally).
+func (v *jobView) CollectOrphans() (int, int64, bool, error) {
+	return storage.TryCollectOrphans(v.base)
 }
 
 // GetBatch implements storage.BatchReader: keys are partitioned by route

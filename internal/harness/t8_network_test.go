@@ -1,0 +1,40 @@
+package harness
+
+import "testing"
+
+// TestT8NetworkDedupKeepsSharedBytesOffTheWire locks the networked
+// service's acceptance invariants at CI scale: every client restores
+// bitwise through the wire, and for a multi-client fleet saving a
+// mostly-shared state the upstream wire traffic is far below the raw
+// snapshot bytes — the address-first handshake working across tenants.
+func TestT8NetworkDedupKeepsSharedBytesOffTheWire(t *testing.T) {
+	rows, err := RunT8Network([]int{1, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Bitwise {
+			t.Errorf("%d clients: restore over the wire not bitwise", r.Clients)
+		}
+		if r.WireBytes <= 0 || r.RawBytes <= 0 {
+			t.Errorf("%d clients: empty byte accounting: %+v", r.Clients, r)
+		}
+	}
+	fleet := rows[1]
+	if fleet.Clients != 4 {
+		t.Fatalf("second row has %d clients, want 4", fleet.Clients)
+	}
+	// 4 clients × 4 saves of a shared base: after the first save primes
+	// the store, the handshake must keep nearly everything off the wire.
+	if fleet.WireBytes >= fleet.RawBytes/2 {
+		t.Errorf("wire bytes %d not ≪ raw bytes %d — dedup handshake not saving traffic",
+			fleet.WireBytes, fleet.RawBytes)
+	}
+	// The store holds one copy of the shared base, not one per client.
+	if fleet.StoreBytes >= fleet.RawBytes/2 {
+		t.Errorf("store holds %d B for %d B raw — cross-tenant dedup missing", fleet.StoreBytes, fleet.RawBytes)
+	}
+}

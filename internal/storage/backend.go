@@ -415,6 +415,16 @@ func (p *prefixed) GetBatch(keys []string) ([][]byte, []error) {
 	return GetBatch(p.base, full)
 }
 
+// IngestKeyed forwards an addressed ingest into the namespaced base, so a
+// chunk store mounted at "chunks/" still reaches a base backend that owns
+// the dedup decision (ok=false when the base is a plain backend).
+func (p *prefixed) IngestKeyed(key, addr string, data []byte) (int, bool, error) {
+	if err := ValidateKey(key); err != nil {
+		return 0, false, err
+	}
+	return TryIngestKeyed(p.base, p.prefix+key, addr, data)
+}
+
 func (p *prefixed) List(prefix string) ([]string, error) {
 	keys, err := p.base.List(p.prefix + prefix)
 	if err != nil {

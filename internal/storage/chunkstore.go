@@ -170,6 +170,34 @@ func (cs *ShardedChunkStore) Ingest(data []byte) (addr string, written int, err 
 	return cs.IngestAddressed(Hash(data), data)
 }
 
+// AddressedIngester is an optional Backend extension that moves the
+// content-addressed ingest decision — "do you already have these bytes?"
+// — into the backend itself. A remote backend implements it to run the
+// address-first dedup handshake server-side: one existence probe, then an
+// upload only on a miss, with the server (not this process) owning
+// verification of the resident copy. Composite backends forward the call
+// toward their base and report ok=false when the routed base is a plain
+// backend, in which case the chunk store falls back to its local
+// Stat/compare/Put protocol.
+type AddressedIngester interface {
+	// IngestKeyed stores data — whose content address is addr — at key iff
+	// the key is absent, returning the bytes newly written (0 on a dedup
+	// hit). ok=false means the backend cannot take over the ingest and the
+	// caller must run the generic protocol itself.
+	IngestKeyed(key, addr string, data []byte) (written int, ok bool, err error)
+}
+
+// TryIngestKeyed delegates an addressed ingest to b when it implements
+// AddressedIngester, and reports ok=false otherwise. Composite backends
+// use it to forward toward their base without having to know whether the
+// base participates.
+func TryIngestKeyed(b Backend, key, addr string, data []byte) (written int, ok bool, err error) {
+	if ai, is := b.(AddressedIngester); is {
+		return ai.IngestKeyed(key, addr, data)
+	}
+	return 0, false, nil
+}
+
 // IngestAddressed is Ingest for callers that already computed data's
 // content address — the save pipeline hashes each chunk once to pin it
 // and hands the address down. addr must equal Hash(data); a wrong
@@ -178,6 +206,15 @@ func (cs *ShardedChunkStore) IngestAddressed(addr string, data []byte) (_ string
 	key, err := cs.key(addr)
 	if err != nil {
 		return "", 0, err
+	}
+	// A backend that owns the dedup decision (a remote store running the
+	// address-first handshake) takes the ingest whole; its answer is
+	// authoritative, including verification of any resident copy.
+	if w, ok, derr := TryIngestKeyed(cs.b, key, addr, data); ok {
+		if derr != nil {
+			return "", 0, derr
+		}
+		return addr, w, nil
 	}
 	if info, serr := cs.b.Stat(key); serr == nil {
 		if cs.isVerified(addr) && info.Size == int64(len(data)) {
@@ -342,6 +379,26 @@ func (cs *ShardedChunkStore) Sweep(addrs []string, keep map[string]bool, skip fu
 		removed++
 	}
 	return removed, reclaimed, nil
+}
+
+// OrphanCollector is an optional Backend extension for backends whose
+// chunk namespace is shared beyond this process — a remote store serving
+// many clients. Local orphan collection is unsafe there: this process's
+// pin table cannot see other clients' in-flight saves, so the sweep must
+// run where all references and pins are visible (the server). Composite
+// backends forward toward their base; ok=false means the backend has no
+// authoritative collector and the caller may sweep locally.
+type OrphanCollector interface {
+	CollectOrphans() (removed int, reclaimed int64, ok bool, err error)
+}
+
+// TryCollectOrphans delegates orphan collection to b when it implements
+// OrphanCollector, and reports ok=false otherwise.
+func TryCollectOrphans(b Backend) (removed int, reclaimed int64, ok bool, err error) {
+	if oc, is := b.(OrphanCollector); is {
+		return oc.CollectOrphans()
+	}
+	return 0, 0, false, nil
 }
 
 // TotalBytes returns the summed size of all chunks.
