@@ -9,7 +9,9 @@
 // document against the committed baseline and exits non-zero when any
 // benchmark's ns/op or allocs/op regressed beyond the tolerance, or when
 // a baseline benchmark silently disappeared (a dropped benchmark would
-// otherwise hide its own regression forever).
+// otherwise hide its own regression forever). A PR that deliberately
+// retires a benchmark passes -allow-missing: absences are still listed
+// in the report, just not counted as violations.
 //
 // Repeated runs of one benchmark (go test -count=N) are collapsed to a
 // single row keeping the minimum of the cost columns — the noise-robust
@@ -18,7 +20,7 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -count=3 -run '^$' . | benchjson [-o out.json]
-//	benchjson -compare old.json new.json [-tolerance 20]
+//	benchjson -compare old.json new.json [-tolerance 20] [-allow-missing]
 package main
 
 import (
@@ -159,8 +161,10 @@ var gateMetrics = []struct {
 // benchmark's wire-bytes/op, wire-reduction-x, …) ride along in Metrics
 // and are never compared. It returns the human-readable report, the
 // names of baseline benchmarks absent from the new results, and the
-// number of violations.
-func compareDocs(oldDoc, newDoc Output, tolerancePct float64) (report, missing []string, failures int) {
+// number of violations. With allowMissing set, absent baselines are
+// still reported and listed but not counted as violations — the escape
+// hatch for PRs that deliberately retire a benchmark.
+func compareDocs(oldDoc, newDoc Output, tolerancePct float64, allowMissing bool) (report, missing []string, failures int) {
 	newByName := make(map[string]BenchResult, len(newDoc.Benchmarks))
 	for _, r := range newDoc.Benchmarks {
 		newByName[r.Name] = r
@@ -170,9 +174,13 @@ func compareDocs(oldDoc, newDoc Output, tolerancePct float64) (report, missing [
 	for _, old := range oldDoc.Benchmarks {
 		cur, ok := newByName[old.Name]
 		if !ok {
-			failures++
 			missing = append(missing, old.Name)
-			report = append(report, fmt.Sprintf("MISSING  %s: in baseline but not in new results", old.Name))
+			if allowMissing {
+				report = append(report, fmt.Sprintf("MISSING  %s: in baseline but not in new results (allowed)", old.Name))
+			} else {
+				failures++
+				report = append(report, fmt.Sprintf("MISSING  %s: in baseline but not in new results", old.Name))
+			}
 			continue
 		}
 		added--
@@ -221,7 +229,7 @@ func loadDoc(path string) (Output, error) {
 
 // runCompare implements the -compare mode; it returns the process exit
 // code.
-func runCompare(oldPath, newPath string, tolerancePct float64) int {
+func runCompare(oldPath, newPath string, tolerancePct float64, allowMissing bool) int {
 	oldDoc, err := loadDoc(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
@@ -232,7 +240,7 @@ func runCompare(oldPath, newPath string, tolerancePct float64) int {
 		fmt.Fprintf(os.Stderr, "benchjson: new results: %v\n", err)
 		return 1
 	}
-	report, missing, failures := compareDocs(oldDoc, newDoc, tolerancePct)
+	report, missing, failures := compareDocs(oldDoc, newDoc, tolerancePct, allowMissing)
 	for _, line := range report {
 		fmt.Println(line)
 	}
@@ -247,14 +255,15 @@ func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	compare := flag.Bool("compare", false, "gate mode: compare <old.json> <new.json> instead of parsing stdin")
 	tolerance := flag.Float64("tolerance", 20, "compare: allowed ns/op and allocs/op growth in percent")
+	allowMissing := flag.Bool("allow-missing", false, "compare: report baseline benchmarks absent from the new results without failing the gate (for PRs that deliberately retire a benchmark)")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance pct] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tolerance pct] [-allow-missing] old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *allowMissing))
 	}
 
 	doc := Output{}

@@ -108,7 +108,7 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 		bench("BenchmarkRestore-8", 1500, 10), // improvement
 		bench("BenchmarkNew-8", 99, 9),        // new benchmark: allowed
 	)
-	report, _, failures := compareDocs(old, cur, 20)
+	report, _, failures := compareDocs(old, cur, 20, false)
 	if failures != 0 {
 		t.Fatalf("within-tolerance run failed the gate: %v", report)
 	}
@@ -121,7 +121,7 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 func TestCompareDetectsRegression(t *testing.T) {
 	old := gateDoc(bench("BenchmarkSave-8", 1000, 50))
 	cur := gateDoc(bench("BenchmarkSave-8", 1300, 50)) // +30% ns/op
-	report, _, failures := compareDocs(old, cur, 20)
+	report, _, failures := compareDocs(old, cur, 20, false)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1 (%v)", failures, report)
 	}
@@ -131,13 +131,13 @@ func TestCompareDetectsRegression(t *testing.T) {
 
 	// allocs/op is gated independently of ns/op.
 	cur = gateDoc(bench("BenchmarkSave-8", 1000, 75)) // +50% allocs/op
-	_, _, failures = compareDocs(old, cur, 20)
+	_, _, failures = compareDocs(old, cur, 20, false)
 	if failures != 1 {
 		t.Errorf("alloc regression not caught (failures = %d)", failures)
 	}
 
 	// A looser tolerance admits the same delta.
-	if _, _, failures = compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1300, 50)), 50); failures != 0 {
+	if _, _, failures = compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1300, 50)), 50, false); failures != 0 {
 		t.Errorf("30%% growth failed a 50%% gate")
 	}
 }
@@ -145,7 +145,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 func TestCompareMissingBenchmarkFails(t *testing.T) {
 	old := gateDoc(bench("BenchmarkSave-8", 1000, 50), bench("BenchmarkGone-8", 10, 1))
 	cur := gateDoc(bench("BenchmarkSave-8", 1000, 50))
-	report, missing, failures := compareDocs(old, cur, 20)
+	report, missing, failures := compareDocs(old, cur, 20, false)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1 (%v)", failures, report)
 	}
@@ -160,6 +160,51 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	errLine := gateFailure("new.json", "old.json", missing)
 	if !strings.Contains(errLine, "BenchmarkGone-8") {
 		t.Errorf("gate error does not name the missing benchmark: %q", errLine)
+	}
+}
+
+func TestCompareAllowMissingToleratesRetiredBenchmark(t *testing.T) {
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 50), bench("BenchmarkGone-8", 10, 1))
+	cur := gateDoc(bench("BenchmarkSave-8", 1000, 50))
+	report, missing, failures := compareDocs(old, cur, 20, true)
+	if failures != 0 {
+		t.Fatalf("failures = %d with -allow-missing, want 0 (%v)", failures, report)
+	}
+	// The absence is still visible: listed and reported, just not fatal.
+	if len(missing) != 1 || missing[0] != "BenchmarkGone-8" {
+		t.Errorf("missing list = %v, want [BenchmarkGone-8]", missing)
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "MISSING  BenchmarkGone-8") {
+		t.Errorf("report does not mention the retired benchmark: %v", report)
+	}
+	// -allow-missing excuses absences only — a regression elsewhere in the
+	// same run still fails the gate.
+	cur = gateDoc(bench("BenchmarkSave-8", 5000, 50))
+	if _, _, failures := compareDocs(old, cur, 20, true); failures != 1 {
+		t.Errorf("failures = %d, want 1: -allow-missing must not excuse regressions", failures)
+	}
+}
+
+func TestRunCompareAllowMissing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc Output) string {
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := write("old.json", gateDoc(bench("BenchmarkSave-8", 1000, 50), bench("BenchmarkGone-8", 10, 1)))
+	newPath := write("new.json", gateDoc(bench("BenchmarkSave-8", 1000, 50)))
+	if code := runCompare(oldPath, newPath, 20, false); code == 0 {
+		t.Error("dropped benchmark passed the strict gate")
+	}
+	if code := runCompare(oldPath, newPath, 20, true); code != 0 {
+		t.Error("dropped benchmark failed the gate despite -allow-missing")
 	}
 }
 
@@ -180,7 +225,7 @@ func TestCompareToleratesNetworkColumns(t *testing.T) {
 	// Baseline predates T8 entirely: the new benchmark and its columns
 	// are additions, not violations.
 	old := gateDoc(bench("BenchmarkSave-8", 1000, 50))
-	report, missing, failures := compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1000, 50), cur), 20)
+	report, missing, failures := compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1000, 50), cur), 20, false)
 	if failures != 0 || len(missing) != 0 {
 		t.Fatalf("new network columns tripped the gate: %v", report)
 	}
@@ -188,7 +233,7 @@ func TestCompareToleratesNetworkColumns(t *testing.T) {
 	// gated — only ns/op and allocs/op are cost-gated.
 	older := cur
 	older.Metrics = map[string]float64{"ns/op": cur.NsPerOp, "allocs/op": cur.AllocsPerOp, "wire-bytes/op": 1}
-	_, _, failures = compareDocs(gateDoc(older), gateDoc(cur), 20)
+	_, _, failures = compareDocs(gateDoc(older), gateDoc(cur), 20, false)
 	if failures != 0 {
 		t.Error("wire-bytes/op growth tripped the ns/allocs gate")
 	}
@@ -199,7 +244,7 @@ func TestCompareSkipsZeroBaselines(t *testing.T) {
 	// zero or flag every new allocs value as a regression.
 	old := gateDoc(bench("BenchmarkSave-8", 1000, 0))
 	cur := gateDoc(bench("BenchmarkSave-8", 1000, 40))
-	if _, _, failures := compareDocs(old, cur, 20); failures != 0 {
+	if _, _, failures := compareDocs(old, cur, 20, false); failures != 0 {
 		t.Error("zero baseline treated as a regression")
 	}
 }
@@ -220,13 +265,13 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	oldPath := write("old.json", gateDoc(bench("BenchmarkSave-8", 1000, 50)))
 	goodPath := write("good.json", gateDoc(bench("BenchmarkSave-8", 1100, 50)))
 	badPath := write("bad.json", gateDoc(bench("BenchmarkSave-8", 5000, 50)))
-	if code := runCompare(oldPath, goodPath, 20); code != 0 {
+	if code := runCompare(oldPath, goodPath, 20, false); code != 0 {
 		t.Errorf("good run exit code = %d", code)
 	}
-	if code := runCompare(oldPath, badPath, 20); code == 0 {
+	if code := runCompare(oldPath, badPath, 20, false); code == 0 {
 		t.Error("5x regression passed the gate")
 	}
-	if code := runCompare(filepath.Join(dir, "absent.json"), goodPath, 20); code == 0 {
+	if code := runCompare(filepath.Join(dir, "absent.json"), goodPath, 20, false); code == 0 {
 		t.Error("missing baseline file passed the gate")
 	}
 }

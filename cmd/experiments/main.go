@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments                 # run everything at default scale
-//	experiments -run F4         # run one experiment (T1..T8, F1..F6, A1, A2)
+//	experiments -run F4         # run one experiment (T1..T9, F1..F6, A1, A2)
 //	experiments -quick          # reduced scale for smoke runs
 package main
 
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiment to run: all, T1..T8, F1..F6, A1, A2")
+	runFlag := flag.String("run", "all", "experiment to run: all, T1..T9, F1..F6, A1, A2")
 	quick := flag.Bool("quick", false, "reduced scale (CI-friendly)")
 	flag.Parse()
 
@@ -141,6 +141,19 @@ func main() {
 		fmt.Println(harness.T8Table(rows))
 	}
 
+	if run("T9") {
+		ranAny = true
+		restorerCounts, steps := []int{1, 16, 100}, 6
+		if *quick {
+			restorerCounts, steps = []int{1, 16}, 5
+		}
+		rows, err := harness.RunT9GangRestore(restorerCounts, steps)
+		if err != nil {
+			fail("T9", err)
+		}
+		fmt.Println(harness.T9Table(rows))
+	}
+
 	if run("F1") {
 		ranAny = true
 		job := 12 * time.Hour
@@ -254,7 +267,7 @@ func main() {
 	}
 
 	if !ranAny {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, T1..T8, F1..F6, A1, A2)\n", *runFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, T1..T9, F1..F6, A1, A2)\n", *runFlag)
 		os.Exit(2)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))

@@ -19,8 +19,11 @@
 //	qckpt jobs <dir>               list a multi-tenant store's jobs (snapshot
 //	                               counts, newest step per job)
 //	qckpt [flags] serve <dir>      serve the store over the qckpt wire protocol
-//	                               (-addr, -inflight, -lease); remote trainers
-//	                               connect with `train -remote http://host:port`
+//	                               (-addr, -inflight, -lease, -cache); remote
+//	                               trainers connect with `train -remote
+//	                               http://host:port`; -cache MiB bounds the
+//	                               single-flight origin read cache that keeps
+//	                               gang-restores at ~1× cold reads
 //	qckpt -levels ... tiers <dir>  per-level occupancy and modeled placement cost
 //	qckpt -levels ... migrate <dir> demote anchor chains that left the hot set
 //	qckpt diff <fileA> <fileB>     compare two full snapshots' states
@@ -72,10 +75,12 @@ var (
 	// jobID is the -job flag: scope directory commands to one tenant of a
 	// multi-tenant store.
 	jobID string
-	// serveAddr, maxInflight and leaseTTL configure the serve subcommand.
+	// serveAddr, maxInflight, leaseTTL and cacheMiB configure the serve
+	// subcommand.
 	serveAddr   string
 	maxInflight int
 	leaseTTL    time.Duration
+	cacheMiB    int
 )
 
 func main() {
@@ -88,6 +93,7 @@ func main() {
 	flag.StringVar(&serveAddr, "addr", "127.0.0.1:7723", "serve: listen address (use :0 for an ephemeral port, printed on stdout)")
 	flag.IntVar(&maxInflight, "inflight", 0, "serve: max in-flight ingests per tenant (0 = default, negative disables admission control)")
 	flag.DurationVar(&leaseTTL, "lease", 0, "serve: upload lease TTL protecting uncommitted chunks from GC (0 = default 5m)")
+	flag.IntVar(&cacheMiB, "cache", 64, "serve: single-flight origin read cache budget in MiB (0 disables; gang-restores hit the store once per object)")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		usage()
@@ -132,7 +138,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt [-addr a] [-inflight n] [-lease d] serve <dir> | qckpt show <file> | qckpt diff <a> <b>")
+	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt [-addr a] [-inflight n] [-lease d] [-cache mib] serve <dir> | qckpt show <file> | qckpt diff <a> <b>")
 	os.Exit(2)
 }
 

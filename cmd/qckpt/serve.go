@@ -40,15 +40,20 @@ func cmdServe(dir string) error {
 	if ttl <= 0 {
 		ttl = api.DefaultLeaseTTL
 	}
-	local := api.NewLocal(svc, api.NewLeases(ttl))
+	local := api.NewLocalOptions(svc, api.NewLeases(ttl),
+		api.LocalOptions{CacheBytes: int64(cacheMiB) << 20})
 	handler := server.New(local, server.Options{MaxInflightPerTenant: maxInflight})
 
 	ln, err := net.Listen("tcp", serveAddr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("qckpt serve: listening on http://%s (store %s, lease TTL %v)\n",
-		ln.Addr(), dir, ttl)
+	cacheNote := "off"
+	if cacheMiB > 0 {
+		cacheNote = fmt.Sprintf("%d MiB", cacheMiB)
+	}
+	fmt.Printf("qckpt serve: listening on http://%s (store %s, lease TTL %v, origin cache %s)\n",
+		ln.Addr(), dir, ttl, cacheNote)
 
 	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
@@ -67,6 +72,10 @@ func cmdServe(dir string) error {
 		fmt.Printf("served %s, ingested %d chunk(s) (%d dedup hit(s), %s offered → %s written), %d manifest commit(s)\n",
 			humanBytes(st.BytesServed), st.ChunksIngested, st.ChunkDedupHits,
 			humanBytes(st.ChunkBytesOffered), humanBytes(st.ChunkBytesWritten), st.ManifestsCommitted)
+		if st.OriginHits+st.OriginMisses+st.OriginCoalesced > 0 {
+			fmt.Printf("origin cache: %d hit(s), %d miss(es), %d coalesced read(s)\n",
+				st.OriginHits, st.OriginMisses, st.OriginCoalesced)
+		}
 		return nil
 	}
 }

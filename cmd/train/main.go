@@ -12,6 +12,7 @@
 //	train -task vqe -qubits 4 -layers 2 -steps 100 -ckpt /tmp/run1 -resume -restore-workers 0
 //	train -task vqe -qubits 4 -layers 2 -steps 40 -ckpt /tmp/fleet -chunk 64 -jobs 8
 //	train -task vqe -qubits 4 -layers 2 -steps 40 -remote http://127.0.0.1:7723 -chunk 64 -jobs 4
+//	train -task vqe -qubits 4 -layers 2 -steps 40 -remote http://127.0.0.1:7723 -chunk 64 -restorers 16
 package main
 
 import (
@@ -64,8 +65,13 @@ func main() {
 		restoreW  = flag.Int("restore-workers", 1, "parallel chunk-restore workers for -resume (1 = serial, ≤0 = one per CPU)")
 		jobsN     = flag.Int("jobs", 1, "concurrent training jobs checkpointing into ONE multi-tenant store under -ckpt (cross-job chunk dedup; job j trains with seed+j)")
 		remoteURL = flag.String("remote", "", "checkpoint to a qckpt server at this URL (e.g. http://host:7723; see `qckpt serve`) instead of a local -ckpt directory")
+		restorers = flag.Int("restorers", 0, "after training, drill N concurrent restorers against the store and verify every recovery is bitwise (the T9 gang-restore wave; 0 disables)")
 	)
 	flag.Parse()
+
+	if *restorers > 0 && *ckptDir == "" && *remoteURL == "" {
+		fatal(errors.New("-restorers requires -ckpt or -remote (the gang needs a store to restore from)"))
+	}
 
 	if *remoteURL != "" {
 		if *ckptDir != "" {
@@ -85,6 +91,9 @@ func main() {
 		}
 		if *mtbf > 0 {
 			fatal(errors.New("-jobs and -mtbf are mutually exclusive (failure injection drives a single job's crash/resume contract)"))
+		}
+		if *restorers > 0 {
+			fatal(errors.New("-jobs and -restorers are mutually exclusive (drill the gang against a single job's chain)"))
 		}
 		fleet := fleetFlags{
 			jobs: *jobsN, task: *taskName, qubits: *qubits, layers: *layers, qaoaP: *qaoaP,
@@ -213,6 +222,67 @@ func main() {
 			}
 		}
 	}
+	if *restorers > 0 {
+		if mgr == nil {
+			fatal(errors.New("-restorers needs checkpoints to restore (no checkpointing was configured)"))
+		}
+		if err := gangDrill(*restorers, *ckptDir, *remoteURL, *restoreW); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// gangDrill replays the T9 preemption-wave restore: n concurrent
+// restorers each recover the newest checkpoint from the store (each
+// over its own connection when the store is a qckpt server, so the
+// server's single-flight origin cache absorbs the fan-out) and every
+// recovered state must be bitwise-identical to a reference restore.
+func gangDrill(n int, ckptDir, remoteURL string, restoreW int) error {
+	ropts := core.RestoreOptions{Workers: restoreW}
+	if restoreW <= 0 {
+		ropts = core.DefaultRestoreOptions()
+	}
+	load := func(tenant string) (*core.TrainingState, core.LoadReport, error) {
+		if remoteURL != "" {
+			c, err := remote.Dial(remoteURL, remote.Options{Tenant: tenant})
+			if err != nil {
+				return nil, core.LoadReport{}, err
+			}
+			defer c.Close()
+			return core.LoadLatestBackendOptions(c, nil, ropts)
+		}
+		return core.LoadLatestOptions(ckptDir, nil, ropts)
+	}
+	ref, report, err := load("restore-ref")
+	if err != nil {
+		return fmt.Errorf("gang-restore reference: %w", err)
+	}
+	start := time.Now()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			got, _, rerr := load(fmt.Sprintf("restorer%03d", j))
+			if rerr != nil {
+				errs[j] = rerr
+				return
+			}
+			if !got.Equal(ref) {
+				errs[j] = fmt.Errorf("restorer %d: recovered state not bitwise-identical", j)
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("gang-restore drill: %w", err)
+		}
+	}
+	fmt.Printf("gang-restore drill: %d restorers recovered step %d bitwise in %v\n",
+		n, report.Step, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func buildConfig(taskName string, qubits, layers, qaoaP, shots int, lr float64, optName string, seed uint64, pairs, batch int, grouped, realQPU bool) (train.Config, error) {

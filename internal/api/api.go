@@ -53,6 +53,14 @@ type Stats struct {
 	ManifestBytes      int64 `json:"manifest_bytes"`
 	// BytesServed is the payload of every read (Get, range, batch).
 	BytesServed int64 `json:"bytes_served"`
+	// OriginHits, OriginMisses and OriginCoalesced report the server's
+	// single-flight origin read cache (zero when it is disabled): hits
+	// served from memory, misses that paid a backend fetch, and readers
+	// that joined another reader's in-flight fetch — the gang-restore
+	// coalescing win.
+	OriginHits      int64 `json:"origin_hits"`
+	OriginMisses    int64 `json:"origin_misses"`
+	OriginCoalesced int64 `json:"origin_coalesced"`
 	// ActiveLeases is the number of unexpired upload leases.
 	ActiveLeases int `json:"active_leases"`
 	// Throttled counts requests refused with 429 by admission control.

@@ -19,6 +19,13 @@ type Local struct {
 	backend storage.Backend
 	leases  *Leases
 
+	// origin is the single-flight coalescing read cache wrapped around
+	// the backend when LocalOptions.CacheBytes > 0 (l.backend then IS the
+	// coalescer, so every read path coalesces); nil when disabled. Writes
+	// that bypass the wrapper — the canonical chunk store ingest and the
+	// service-wide GC sweep — invalidate through it explicitly.
+	origin *storage.Coalescer
+
 	// verified caches byte-verified non-canonical chunk keys, mirroring
 	// the chunk store's per-shard cache for the canonical namespace, so a
 	// dedup hit costs one resident read per key per process instead of
@@ -37,9 +44,23 @@ type Local struct {
 	bytesServed    atomic.Int64
 }
 
+// LocalOptions tunes a Local beyond the defaults.
+type LocalOptions struct {
+	// CacheBytes bounds the single-flight origin read cache wrapped
+	// around the service backend. With it, N restorers gang-reading one
+	// snapshot chain cost the backend each object roughly once instead of
+	// N times. <= 0 disables the cache (reads pass straight through).
+	CacheBytes int64
+}
+
 // NewLocal wraps svc as a transport-agnostic Service whose upload leases
 // shield in-flight remote saves from the service's GC.
 func NewLocal(svc *core.Service, leases *Leases) *Local {
+	return NewLocalOptions(svc, leases, LocalOptions{})
+}
+
+// NewLocalOptions is NewLocal with explicit options.
+func NewLocalOptions(svc *core.Service, leases *Leases, opts LocalOptions) *Local {
 	if leases == nil {
 		leases = NewLeases(0)
 	}
@@ -48,6 +69,10 @@ func NewLocal(svc *core.Service, leases *Leases) *Local {
 		backend:  svc.Backend(),
 		leases:   leases,
 		verified: make(map[string]bool),
+	}
+	if opts.CacheBytes > 0 {
+		l.origin = storage.NewCoalescer(l.backend, opts.CacheBytes)
+		l.backend = l.origin
 	}
 	svc.RegisterPinSource(leases)
 	return l
@@ -169,6 +194,12 @@ func (l *Local) IngestChunk(key string, data []byte) (int, error) {
 	var err error
 	if l.isCanonical(key, addr) {
 		_, written, err = l.svc.ChunkStore().IngestAddressed(addr, data)
+		if err == nil && written > 0 && l.origin != nil {
+			// The store wrote beneath the origin cache (fresh chunk, or the
+			// repair path rewriting a corrupt resident): evict any cached
+			// copy of the old bytes.
+			l.origin.Invalidate(key)
+		}
 	} else {
 		written, err = l.ingestForeign(key, data)
 	}
@@ -223,13 +254,26 @@ func (l *Local) Jobs() ([]string, error) { return l.svc.Jobs() }
 
 // CollectOrphans implements Service: the service-wide collection, which
 // honors every tenant's manifests, local pins, and this table's leases.
+// The sweep deletes chunks directly through the service, beneath the
+// origin cache, so the whole cache is dropped after a collection.
 func (l *Local) CollectOrphans() (int, int64, error) {
-	return l.svc.CollectOrphans()
+	removed, reclaimed, err := l.svc.CollectOrphans()
+	if removed > 0 && l.origin != nil {
+		l.origin.InvalidateAll()
+	}
+	return removed, reclaimed, err
 }
 
 // Stats implements Service.
 func (l *Local) Stats() Stats {
+	var origin storage.CoalescerStats
+	if l.origin != nil {
+		origin = l.origin.Stats()
+	}
 	return Stats{
+		OriginHits:         origin.Hits,
+		OriginMisses:       origin.Misses,
+		OriginCoalesced:    origin.Coalesced,
 		HasQueries:         l.hasQueries.Load(),
 		HasHits:            l.hasHits.Load(),
 		ChunksIngested:     l.chunksIngested.Load(),

@@ -2,10 +2,8 @@ package harness
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"net/http"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -39,39 +37,6 @@ type T8Row struct {
 	Throttled   int64   // requests refused by admission control
 	Bitwise     bool    // every client restored its state bitwise
 }
-
-// countingTransport counts upstream request-body bytes and downstream
-// response-body bytes as they cross the (loopback) wire.
-type countingTransport struct {
-	base http.RoundTripper
-	sent atomic.Int64
-	recv atomic.Int64
-}
-
-func (ct *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
-	if req.ContentLength > 0 {
-		ct.sent.Add(req.ContentLength)
-	}
-	resp, err := ct.base.RoundTrip(req)
-	if err != nil {
-		return nil, err
-	}
-	resp.Body = &countingBody{rc: resp.Body, n: &ct.recv}
-	return resp, nil
-}
-
-type countingBody struct {
-	rc io.ReadCloser
-	n  *atomic.Int64
-}
-
-func (cb *countingBody) Read(p []byte) (int, error) {
-	n, err := cb.rc.Read(p)
-	cb.n.Add(int64(n))
-	return n, err
-}
-
-func (cb *countingBody) Close() error { return cb.rc.Close() }
 
 // RunT8Network drives clientCounts fleets of remote Managers against one
 // networked checkpoint service over real loopback TCP, steps saves each,
@@ -119,12 +84,13 @@ func t8RunOne(clients, steps int, rawPerSave int64) (T8Row, error) {
 	defer httpSrv.Close()
 	url := "http://" + ln.Addr().String()
 
-	// One pooled transport for the fleet, wrapped in the wire counter.
-	ct := &countingTransport{base: &http.Transport{
+	// One pooled transport for the fleet; traffic accounting comes from
+	// each client's own ClientStats counters.
+	transport := &http.Transport{
 		MaxIdleConns:        128,
 		MaxIdleConnsPerHost: 64,
 		IdleConnTimeout:     30 * time.Second,
-	}}
+	}
 	conns := make([]*remote.Client, clients)
 	defer func() {
 		for _, c := range conns {
@@ -137,7 +103,7 @@ func t8RunOne(clients, steps int, rawPerSave int64) (T8Row, error) {
 		func(j int) (*core.Manager, error) {
 			c, err := remote.Dial(url, remote.Options{
 				Tenant:    fmt.Sprintf("tenant%02d", j),
-				Transport: ct,
+				Transport: transport,
 			})
 			if err != nil {
 				return nil, err
@@ -158,7 +124,12 @@ func t8RunOne(clients, steps int, rawPerSave int64) (T8Row, error) {
 	if err != nil {
 		return T8Row{}, err
 	}
-	wireUp := ct.sent.Load()
+	var wireUp int64
+	for _, c := range conns {
+		if c != nil {
+			wireUp += c.ClientStats().BytesSent
+		}
+	}
 	storeBytes, err := svc.ChunkStore().TotalBytes()
 	if err != nil {
 		return T8Row{}, err

@@ -1,0 +1,50 @@
+package harness
+
+import "testing"
+
+// TestT9GangRestoreCoalescesColdReads locks the gang-restore acceptance
+// invariants at CI scale: every restorer recovers bitwise, the origin
+// cache holds cold-tier chunk reads near 1× the resident chunk bytes
+// however many restorers gang up, and the cache-less contender pays
+// roughly N× — the single-flight win the table exists to demonstrate.
+func TestT9GangRestoreCoalescesColdReads(t *testing.T) {
+	rows, err := RunT9GangRestore([]int{1, 8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Bitwise {
+			t.Errorf("%d restorers: gang restore not bitwise", r.Restorers)
+		}
+		if r.ChunkBytes <= 0 || r.StateBytes <= 0 {
+			t.Errorf("%d restorers: empty accounting: %+v", r.Restorers, r)
+		}
+		// The acceptance bound, at every fleet size: cold chunk reads stay
+		// within 1.2× of the resident chunk bytes.
+		if r.Amp > 1.2 {
+			t.Errorf("%d restorers: cold read amplification %.2f× exceeds 1.2×", r.Restorers, r.Amp)
+		}
+	}
+	gang := rows[1]
+	if gang.Restorers != 8 {
+		t.Fatalf("second row has %d restorers, want 8", gang.Restorers)
+	}
+	// The contender column must show the problem the cache solves: a
+	// cache-less server pays restorer-proportional cold reads (each
+	// restorer pulls the chain once, so ≥ half of N× even with overlap).
+	if gang.AmpNoCache < float64(gang.Restorers)/2 {
+		t.Errorf("no-cache amplification %.2f× for %d restorers — contender unexpectedly cheap",
+			gang.AmpNoCache, gang.Restorers)
+	}
+	if gang.AmpNoCache <= gang.Amp {
+		t.Errorf("origin cache not reducing amplification: %.2f× vs %.2f×", gang.Amp, gang.AmpNoCache)
+	}
+	// Coalesced reads are the single-flight signal: with 8 simultaneous
+	// restorers some reads must have joined an in-flight fetch.
+	if gang.Coalesced == 0 {
+		t.Logf("note: no coalesced reads at %d restorers (all served from cache after first fill)", gang.Restorers)
+	}
+}

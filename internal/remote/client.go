@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -49,6 +50,12 @@ type Options struct {
 	RetryBase time.Duration
 	// Timeout bounds one HTTP request (0 selects DefaultTimeout).
 	Timeout time.Duration
+	// MaxConcurrentReads bounds this client's simultaneous wire reads
+	// (Get, range and batch requests). A gang of restorers sharing one
+	// server each keep their fan-out polite instead of stampeding it with
+	// Workers × restorers sockets. 0 selects DefaultMaxConcurrentReads;
+	// negative disables the bound.
+	MaxConcurrentReads int
 }
 
 const (
@@ -60,7 +67,25 @@ const (
 	DefaultTimeout = 2 * time.Minute
 	// maxHasBatch caps one coalesced /v1/has round.
 	maxHasBatch = 512
+	// DefaultMaxConcurrentReads is the per-client wire read bound.
+	DefaultMaxConcurrentReads = 8
+	// maxBatchWindow caps one /v1/batch request: a restore of a long
+	// chain goes down in windows, so the server streams bounded responses
+	// and the client overlaps parsing with the next window's fetch being
+	// admitted.
+	maxBatchWindow = 256
 )
+
+// ClientStats are this client's own wire counters — what it sent,
+// received, and retried — so harnesses account traffic without a
+// counting RoundTripper. Bytes are request/response payloads (HTTP and
+// TCP framing excluded).
+type ClientStats struct {
+	Requests      int64 `json:"requests"`
+	Retries       int64 `json:"retries"`
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesReceived int64 `json:"bytes_received"`
+}
 
 // Client is a storage.Backend served by a remote qckpt server. It also
 // implements RangeReader, BatchReader, AddressedIngester and
@@ -72,6 +97,14 @@ type Client struct {
 	opt    Options
 	caps   api.Caps
 	haster *hasBatcher
+
+	// readSlots bounds concurrent wire reads (nil = unbounded).
+	readSlots chan struct{}
+
+	requests      atomic.Int64
+	retries       atomic.Int64
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
 }
 
 var (
@@ -114,6 +147,13 @@ func Dial(baseURL string, opt Options) (*Client, error) {
 		base: strings.TrimRight(u.String(), "/"),
 		hc:   &http.Client{Transport: rt, Timeout: opt.Timeout},
 		opt:  opt,
+	}
+	slots := opt.MaxConcurrentReads
+	if slots == 0 {
+		slots = DefaultMaxConcurrentReads
+	}
+	if slots > 0 {
+		c.readSlots = make(chan struct{}, slots)
 	}
 	c.haster = &hasBatcher{send: c.hasRound}
 	status, _, body, err := c.doIdem(http.MethodGet, api.PathCaps, nil, nil)
@@ -165,16 +205,39 @@ func (c *Client) roundTrip(method, pth string, query url.Values, body []byte) (i
 		return 0, nil, nil, err
 	}
 	req.Header.Set(api.TenantHeader, c.opt.Tenant)
+	c.requests.Add(1)
+	c.bytesSent.Add(int64(len(body)))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
+	c.bytesReceived.Add(int64(len(data)))
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("read response: %w", err)
 	}
 	return resp.StatusCode, resp.Header, data, nil
+}
+
+// acquireRead takes a wire read slot (no-op when unbounded); the
+// returned func releases it.
+func (c *Client) acquireRead() func() {
+	if c.readSlots == nil {
+		return func() {}
+	}
+	c.readSlots <- struct{}{}
+	return func() { <-c.readSlots }
+}
+
+// ClientStats snapshots this client's own wire counters.
+func (c *Client) ClientStats() ClientStats {
+	return ClientStats{
+		Requests:      c.requests.Load(),
+		Retries:       c.retries.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		BytesReceived: c.bytesReceived.Load(),
+	}
 }
 
 // retryable reports whether a clean HTTP status is worth another attempt
@@ -222,6 +285,9 @@ func (c *Client) doIdem(method, pth string, query url.Values, body []byte) (int,
 		lastRetry http.Header
 	)
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
 		status, hdr, data, err = c.roundTrip(method, pth, query, body)
 		if err == nil && !retryable(status) {
 			return status, hdr, data, nil
@@ -278,6 +344,9 @@ func (c *Client) Put(key string, data []byte) error {
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
 		status, hdr, body, err := c.roundTrip(http.MethodPut, api.PathObjects+escapeKey(key), nil, data)
 		if err == nil {
 			switch {
@@ -310,6 +379,8 @@ func (c *Client) Get(key string) ([]byte, error) {
 	if err := storage.ValidateKey(key); err != nil {
 		return nil, err
 	}
+	release := c.acquireRead()
+	defer release()
 	status, _, body, err := c.doIdem(http.MethodGet, api.PathObjects+escapeKey(key), nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("remote: get %s: %w", key, err)
@@ -331,6 +402,8 @@ func (c *Client) GetRange(key string, off, n int64) ([]byte, error) {
 	q := url.Values{}
 	q.Set("off", strconv.FormatInt(off, 10))
 	q.Set("n", strconv.FormatInt(n, 10))
+	release := c.acquireRead()
+	defer release()
 	status, _, body, err := c.doIdem(http.MethodGet, api.PathObjects+escapeKey(key), q, nil)
 	if err != nil {
 		return nil, fmt.Errorf("remote: get-range %s: %w", key, err)
@@ -341,18 +414,59 @@ func (c *Client) GetRange(key string, off, n int64) ([]byte, error) {
 	return body, nil
 }
 
-// GetBatch implements storage.BatchReader: one POST streams every object
-// back in order. If the stream breaks mid-response the already-parsed
-// prefix is kept and the remainder falls back to per-key Gets, so a
-// flaky wire degrades to more requests, not wrong results.
+// GetBatch implements storage.BatchReader: POSTs that stream the objects
+// back in order. Repeated keys are requested once and the payload shared
+// across their positions (a delta chain references shared chunks many
+// times), and long requests go down in maxBatchWindow-sized windows so
+// the server streams bounded responses. If a stream breaks mid-response
+// the already-parsed prefix is kept and the remainder falls back to
+// per-key Gets, so a flaky wire degrades to more requests, not wrong
+// results.
 func (c *Client) GetBatch(keys []string) ([][]byte, []error) {
 	out := make([][]byte, len(keys))
 	errs := make([]error, len(keys))
 	if len(keys) == 0 {
 		return out, errs
 	}
+	uniq := keys
+	idx := make([]int, len(keys))
+	seen := make(map[string]int, len(keys))
+	for i, k := range keys {
+		j, ok := seen[k]
+		if !ok {
+			j = len(seen)
+			seen[k] = j
+		}
+		idx[i] = j
+	}
+	if len(seen) < len(keys) {
+		uniq = make([]string, len(seen))
+		for k, j := range seen {
+			uniq[j] = k
+		}
+	}
+	uniqOut := make([][]byte, len(uniq))
+	uniqErrs := make([]error, len(uniq))
+	for start := 0; start < len(uniq); start += maxBatchWindow {
+		end := start + maxBatchWindow
+		if end > len(uniq) {
+			end = len(uniq)
+		}
+		c.batchWindow(uniq[start:end], uniqOut[start:end], uniqErrs[start:end])
+	}
+	for i, j := range idx {
+		out[i], errs[i] = uniqOut[j], uniqErrs[j]
+	}
+	return out, errs
+}
+
+// batchWindow fetches one /v1/batch window into out/errs (parallel to
+// keys).
+func (c *Client) batchWindow(keys []string, out [][]byte, errs []error) {
 	reqBody, _ := json.Marshal(api.KeysRequest{Keys: keys})
+	release := c.acquireRead()
 	status, _, body, err := c.doIdem(http.MethodPost, api.PathBatch, nil, reqBody)
+	release()
 	next := 0
 	if err == nil && status == http.StatusOK {
 		r := bytes.NewReader(body)
@@ -375,7 +489,6 @@ func (c *Client) GetBatch(keys []string) ([][]byte, []error) {
 	for ; next < len(keys); next++ {
 		out[next], errs[next] = c.Get(keys[next])
 	}
-	return out, errs
 }
 
 // Stat implements storage.Backend via HEAD: size from Content-Length,

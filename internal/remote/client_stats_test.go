@@ -1,0 +1,142 @@
+package remote_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/remote"
+	"repro/internal/storage"
+)
+
+// TestClientStatsCountWireTraffic checks the per-client counters: a
+// clean save/read sequence shows its payload bytes in both directions,
+// a request count, and zero retries — so harnesses account traffic
+// without a counting RoundTripper.
+func TestClientStatsCountWireTraffic(t *testing.T) {
+	url, _ := newStack(t)
+	c, err := remote.Dial(url, remote.Options{RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := []byte("twelve bytes")
+	if err := c.Put("obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("obj")
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	st := c.ClientStats()
+	// Dial's caps fetch + Put + Get at minimum.
+	if st.Requests < 3 {
+		t.Errorf("requests = %d, want ≥ 3", st.Requests)
+	}
+	if st.BytesSent < int64(len(payload)) {
+		t.Errorf("bytes sent = %d, want ≥ %d", st.BytesSent, len(payload))
+	}
+	if st.BytesReceived < int64(len(payload)) {
+		t.Errorf("bytes received = %d, want ≥ %d", st.BytesReceived, len(payload))
+	}
+	if st.Retries != 0 {
+		t.Errorf("retries = %d on a clean wire", st.Retries)
+	}
+}
+
+// TestGetBatchDedupsAndWindows pins the client-side batch shape: a
+// request with repeated keys costs one POST and shares the payload, and
+// a request wider than one window goes down in ceil(n/window) POSTs —
+// all positions still correct.
+func TestGetBatchDedupsAndWindows(t *testing.T) {
+	url, _ := newStack(t)
+	c, err := remote.Dial(url, remote.Options{RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// 300 unique keys: more than one 256-key window.
+	const n = 300
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("o/%03d", i)
+		if err := c.Put(keys[i], []byte(keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := c.ClientStats()
+	dup := []string{keys[5], keys[9], keys[5], keys[5], keys[9]}
+	out, errs := c.GetBatch(dup)
+	for i, k := range dup {
+		if errs[i] != nil || string(out[i]) != k {
+			t.Fatalf("dup batch[%d]: %q, %v", i, out[i], errs[i])
+		}
+	}
+	if got := c.ClientStats().Requests - before.Requests; got != 1 {
+		t.Errorf("duplicate-key batch cost %d requests, want 1", got)
+	}
+
+	before = c.ClientStats()
+	out, errs = c.GetBatch(keys)
+	for i, k := range keys {
+		if errs[i] != nil || string(out[i]) != k {
+			t.Fatalf("wide batch[%d]: %q, %v", i, out[i], errs[i])
+		}
+	}
+	if got := c.ClientStats().Requests - before.Requests; got != 2 {
+		t.Errorf("%d-key batch cost %d requests, want 2 windows", n, got)
+	}
+
+	// Absent keys still come back positionally as ErrNotFound.
+	out, errs = c.GetBatch([]string{keys[0], "o/absent", keys[0]})
+	if errs[0] != nil || errs[2] != nil || string(out[0]) != keys[0] || string(out[2]) != keys[0] {
+		t.Errorf("present positions: %q %v / %q %v", out[0], errs[0], out[2], errs[2])
+	}
+	if errs[1] == nil {
+		t.Errorf("absent key served: %q", out[1])
+	}
+}
+
+// TestBoundedReadConcurrency drives overlapping reads through a client
+// capped at one in-flight wire read: everything must still complete
+// correctly (and promptly — a slot leak would deadlock here).
+func TestBoundedReadConcurrency(t *testing.T) {
+	url, _ := newStack(t)
+	c, err := remote.Dial(url, remote.Options{MaxConcurrentReads: 1, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 8; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%8)
+				if got, err := c.Get(key); err != nil || len(got) != 1 {
+					t.Errorf("get %s: %q, %v", key, got, err)
+					return
+				}
+				if _, errs := c.GetBatch([]string{key, fmt.Sprintf("k%d", i%8)}); errs[0] != nil || errs[1] != nil {
+					t.Errorf("batch: %v", errs)
+					return
+				}
+				if got, err := storage.GetRange(c, key, 0, 1); err != nil || len(got) != 1 {
+					t.Errorf("range %s: %q, %v", key, got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

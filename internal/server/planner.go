@@ -1,0 +1,74 @@
+package server
+
+import "sort"
+
+// batchPlan is the server-side shape of one /v1/batch request: the
+// request's keys collapsed to a deduplicated, sorted fetch list plus the
+// mapping back to request positions. Restorers of one gang ask for
+// overlapping — often identical — chunk sequences in manifest order;
+// planning turns each stream into the cheapest store access pattern
+// before it reaches storage.BatchReader:
+//
+//   - Duplicates inside one request are fetched once and scattered to
+//     every position that asked (a delta chain references shared chunks
+//     repeatedly).
+//   - The unique set is sorted. Content-addressed chunk keys sort into
+//     their fan-out directories ("chunks/ab/…"), so a local or tiered
+//     base walks directories sequentially instead of seeking per key,
+//     and Tiered.GetBatch sees each level's keys grouped for one
+//     overlapped per-level fetch.
+//
+// The response still streams records in request order — planning is
+// invisible on the wire.
+type batchPlan struct {
+	// fetch is the deduplicated, sorted key set handed to the service.
+	fetch []string
+	// idx maps each request position to its index in fetch.
+	idx []int
+}
+
+// planBatch builds the plan for one request's key list.
+func planBatch(keys []string) batchPlan {
+	p := batchPlan{idx: make([]int, len(keys))}
+	seen := make(map[string]int, len(keys))
+	for i, k := range keys {
+		j, ok := seen[k]
+		if !ok {
+			j = len(p.fetch)
+			seen[k] = j
+			p.fetch = append(p.fetch, k)
+		}
+		p.idx[i] = j
+	}
+	if sort.StringsAreSorted(p.fetch) {
+		return p // already ordered (the common manifest-order stream)
+	}
+	perm := make([]int, len(p.fetch))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return p.fetch[perm[a]] < p.fetch[perm[b]] })
+	sorted := make([]string, len(p.fetch))
+	inv := make([]int, len(p.fetch))
+	for newPos, old := range perm {
+		sorted[newPos] = p.fetch[old]
+		inv[old] = newPos
+	}
+	p.fetch = sorted
+	for i, j := range p.idx {
+		p.idx[i] = inv[j]
+	}
+	return p
+}
+
+// scatter maps the fetch list's positional results back onto request
+// positions. Result slices are shared, not copied — the batch writer
+// serializes each record before the next read touches them.
+func (p batchPlan) scatter(datas [][]byte, errs []error) ([][]byte, []error) {
+	out := make([][]byte, len(p.idx))
+	outErrs := make([]error, len(p.idx))
+	for i, j := range p.idx {
+		out[i], outErrs[i] = datas[j], errs[j]
+	}
+	return out, outErrs
+}

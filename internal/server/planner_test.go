@@ -1,0 +1,69 @@
+package server
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPlanBatchDedupesAndSorts(t *testing.T) {
+	keys := []string{
+		"chunks/cc/cc03", "chunks/aa/aa01", "chunks/cc/cc03",
+		"ckpt-000002", "chunks/aa/aa01", "chunks/bb/bb02",
+	}
+	p := planBatch(keys)
+	wantFetch := []string{"chunks/aa/aa01", "chunks/bb/bb02", "chunks/cc/cc03", "ckpt-000002"}
+	if !reflect.DeepEqual(p.fetch, wantFetch) {
+		t.Fatalf("fetch = %v, want %v", p.fetch, wantFetch)
+	}
+	// Every request position maps back to its own key.
+	for i, k := range keys {
+		if p.fetch[p.idx[i]] != k {
+			t.Errorf("idx[%d] → %q, want %q", i, p.fetch[p.idx[i]], k)
+		}
+	}
+}
+
+func TestPlanBatchSortedInputKeepsOrder(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+	p := planBatch(keys)
+	if !reflect.DeepEqual(p.fetch, keys) {
+		t.Fatalf("fetch = %v, want %v", p.fetch, keys)
+	}
+	if !reflect.DeepEqual(p.idx, []int{0, 1, 2}) {
+		t.Fatalf("idx = %v", p.idx)
+	}
+}
+
+func TestPlanBatchEmpty(t *testing.T) {
+	p := planBatch(nil)
+	if len(p.fetch) != 0 || len(p.idx) != 0 {
+		t.Fatalf("plan of empty request: %+v", p)
+	}
+	datas, errs := p.scatter(nil, nil)
+	if len(datas) != 0 || len(errs) != 0 {
+		t.Fatalf("scatter of empty plan: %v, %v", datas, errs)
+	}
+}
+
+func TestPlanBatchScatter(t *testing.T) {
+	keys := []string{"b", "a", "b", "c"}
+	p := planBatch(keys) // fetch = [a b c]
+	boom := errors.New("boom")
+	datas := [][]byte{[]byte("va"), []byte("vb"), nil}
+	errs := []error{nil, nil, boom}
+	out, outErrs := p.scatter(datas, errs)
+	want := []string{"vb", "va", "vb", ""}
+	for i := range keys {
+		if string(out[i]) != want[i] {
+			t.Errorf("out[%d] = %q, want %q", i, out[i], want[i])
+		}
+	}
+	if outErrs[0] != nil || outErrs[1] != nil || outErrs[2] != nil || !errors.Is(outErrs[3], boom) {
+		t.Errorf("errs = %v", outErrs)
+	}
+	// The duplicate positions share one fetch result.
+	if &out[0][0] != &out[2][0] {
+		t.Errorf("duplicate keys did not share the fetched bytes")
+	}
+}

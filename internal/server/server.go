@@ -263,13 +263,17 @@ func (s *Server) handleHas(w http.ResponseWriter, r *http.Request) {
 // handleBatch streams one binary record per requested key, in order (see
 // api batch framing). Per-key failures ride inside their records; the
 // HTTP status stays 200 because the batch as a whole only fails per key.
+// The fetch itself runs through the batch planner: duplicates collapse
+// to one store read and the unique set is sorted before it reaches the
+// backend (see batchPlan).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req api.KeysRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "decode request: "+err.Error())
 		return
 	}
-	datas, errs := s.svc.GetObjects(req.Keys)
+	plan := planBatch(req.Keys)
+	datas, errs := plan.scatter(s.svc.GetObjects(plan.fetch))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	for i := range req.Keys {
 		var werr error

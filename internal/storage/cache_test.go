@@ -202,6 +202,129 @@ func TestCacheGetBatch(t *testing.T) {
 	}
 }
 
+// slowReadBase serves Get by snapshotting the inner value FIRST and then
+// blocking until released — the exact shape of the staleness race: a
+// batch miss reads the old bytes from the base, a Put of the same address
+// lands, and only then does the fill reach Cache.insert. The generation
+// fence must discard that fill.
+type slowReadBase struct {
+	Backend
+	snapped chan struct{} // signaled once the old bytes are in hand
+	release chan struct{}
+}
+
+func (s *slowReadBase) Get(key string) ([]byte, error) {
+	data, err := s.Backend.Get(key)
+	if s.snapped != nil {
+		s.snapped <- struct{}{}
+	}
+	<-s.release
+	return data, err
+}
+
+// TestCacheGetBatchRacingPutFencesStaleFill pins the batch-path variant
+// of the racing-Put discipline: a GetBatch miss whose base read completes
+// before a concurrent Put of the same address must not install the
+// pre-Put bytes, or the cache would serve them until eviction.
+func TestCacheGetBatchRacingPutFencesStaleFill(t *testing.T) {
+	inner := NewMem()
+	inner.Put("k", []byte("old"))
+	base := &slowReadBase{
+		Backend: inner,
+		snapped: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	c := NewCache(base, 1<<20)
+
+	var batch [][]byte
+	var errs []error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		batch, errs = c.GetBatch([]string{"k"})
+	}()
+	<-base.snapped                                    // the batch read holds the old bytes at the gate…
+	if err := c.Put("k", []byte("new")); err != nil { // …overwrite beneath it
+		t.Fatal(err)
+	}
+	base.release <- struct{}{}
+	<-done
+
+	// The batch itself may legitimately return the old bytes (its read
+	// linearized before the Put) — the bug would be *retaining* them.
+	if errs[0] != nil || string(batch[0]) != "old" {
+		t.Fatalf("batch read: %q, %v", batch[0], errs[0])
+	}
+	if st := c.Stats(); st.Objects != 0 {
+		t.Errorf("stale batch fill survived the racing Put: %+v", st)
+	}
+	go func() { <-base.snapped; base.release <- struct{}{} }() // the re-read misses and blocks
+	if got, err := c.Get("k"); err != nil || string(got) != "new" {
+		t.Errorf("read after racing Put: %q, %v", got, err)
+	}
+}
+
+// TestCacheGetBatchConcurrentPutStress is the nondeterministic companion:
+// readers hammer GetBatch over a small key set while writers bump each
+// key through a monotonic version sequence. After the storm every key
+// must read back its final version — a pinned stale fill from the batch
+// path would fail here. Run with -race (the CI race job does).
+func TestCacheGetBatchConcurrentPutStress(t *testing.T) {
+	base := NewMem()
+	const keys, versions = 4, 200
+	valueAt := func(k, v int) []byte {
+		return bytes.Repeat([]byte{byte(k*versions+v) % 251}, 64)
+	}
+	keyName := func(k int) string { return fmt.Sprintf("k%02d", k) }
+	for k := 0; k < keys; k++ {
+		if err := base.Put(keyName(k), valueAt(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCache(base, 1<<20)
+	allKeys := make([]string, keys)
+	for k := range allKeys {
+		allKeys[k] = keyName(k)
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ { // one writer per key, versions in order
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for v := 1; v <= versions; v++ {
+				if err := c.Put(keyName(k), valueAt(k, v)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(k)
+	}
+	for r := 0; r < 8; r++ { // batch readers racing the writers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				out, errs := c.GetBatch(allKeys)
+				for j := range out {
+					if errs[j] != nil || len(out[j]) != 64 {
+						t.Errorf("batch[%d]: %d bytes, %v", j, len(out[j]), errs[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// No batch fill may have outlived the Put that superseded it.
+	for k := 0; k < keys; k++ {
+		if got, err := c.Get(keyName(k)); err != nil || !bytes.Equal(got, valueAt(k, versions)) {
+			t.Errorf("post-stress read of %s is not the final version (err %v)", keyName(k), err)
+		}
+	}
+}
+
 func TestCacheOversizedAndDisabled(t *testing.T) {
 	big := bytes.Repeat([]byte{7}, 100)
 	c := NewCache(NewMem(), 10)

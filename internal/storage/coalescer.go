@@ -1,0 +1,426 @@
+package storage
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// Coalescer is the origin read cache of the gang-restore path: a bounded,
+// sharded LRU in front of a Backend whose misses are single-flight — all
+// concurrent readers of one address collapse onto one backend fetch whose
+// result fans out to every waiter. storage.Cache (recovery.go's customer)
+// makes *repeated* reads cheap within one restorer; the Coalescer makes
+// *simultaneous* reads cheap across restorers: when N workers of an
+// elastic job gang-restore the same snapshot chain through one server,
+// the cold tier sees each chunk roughly once instead of N times.
+//
+// The in-flight table is shared by Get, GetBatch, and GetRange, so a
+// batch restore stream joining a singleton fetch (or vice versa) still
+// coalesces. Writes go through to the base and invalidate any cached
+// copy under a per-shard generation fence — the same racing-Put
+// discipline as Cache — so the Coalescer never serves stale objects it
+// created itself. A fetch that fails completes its flight with the error
+// (every waiter gets a clean error, never a hang) and deregisters it, so
+// one failed or abandoned restorer cannot poison the address for the
+// next reader. Every method is safe for concurrent use.
+type Coalescer struct {
+	base     Backend
+	perShard int64
+	shards   []coShard
+}
+
+// CoalescerStats aggregates origin-cache activity across shards.
+type CoalescerStats struct {
+	// Hits are reads served from the cache; Misses paid a base fetch.
+	Hits   int64
+	Misses int64
+	// Coalesced counts readers that joined another reader's in-flight
+	// fetch instead of issuing their own — the gang-restore win: cold
+	// reads saved even before the cache is warm.
+	Coalesced int64
+	Evictions int64
+	Objects   int
+	Bytes     int64
+}
+
+type coShard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+	gen     uint64 // bumped by every Put/Delete; fences in-flight fills
+	flights map[string]*coFlight
+	stats   CoalescerStats
+}
+
+// coFlight is one in-flight base fetch. The leader fills data/err,
+// deregisters the flight, and closes done; waiters block on done and copy
+// the result out. data is private to the coalescer after completion, so
+// waiters' copies never alias caller-visible memory.
+type coFlight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// DefaultCoalescerShards stripes the cache and flight tables: enough
+// lanes that 100 concurrent restorers rarely contend on one mutex, few
+// enough that the per-shard LRU budget stays meaningful.
+const DefaultCoalescerShards = 16
+
+// NewCoalescer wraps base with a single-flight origin cache holding at
+// most maxBytes of object data across DefaultCoalescerShards shards.
+// maxBytes <= 0 caches nothing but still coalesces concurrent fetches.
+func NewCoalescer(base Backend, maxBytes int64) *Coalescer {
+	return NewCoalescerShards(base, maxBytes, DefaultCoalescerShards)
+}
+
+// NewCoalescerShards is NewCoalescer with an explicit shard count
+// (values < 1 select one shard).
+func NewCoalescerShards(base Backend, maxBytes int64, shards int) *Coalescer {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Coalescer{base: base, shards: make([]coShard, shards)}
+	if maxBytes > 0 {
+		c.perShard = maxBytes / int64(shards)
+		if c.perShard < 1 {
+			c.perShard = 1
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].flights = make(map[string]*coFlight)
+	}
+	return c
+}
+
+// Base returns the wrapped backend.
+func (c *Coalescer) Base() Backend { return c.base }
+
+func (c *Coalescer) shard(key string) *coShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Stats sums the per-shard counters.
+func (c *Coalescer) Stats() CoalescerStats {
+	var st CoalescerStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Hits += sh.stats.Hits
+		st.Misses += sh.stats.Misses
+		st.Coalesced += sh.stats.Coalesced
+		st.Evictions += sh.stats.Evictions
+		st.Objects += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// begin classifies one read under the shard lock: a cache hit (hit=true)
+// returns the copied data; otherwise the caller either joins key's
+// in-flight fetch (lead=false) or becomes its leader (lead=true) and must
+// call finish. gen is the shard's write generation at classification, for
+// insert fencing. hit is a separate flag because a cached empty object's
+// copy is indistinguishable from nil data.
+func (c *Coalescer) begin(key string) (data []byte, hit bool, fl *coFlight, gen uint64, lead bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		sh.stats.Hits++
+		sh.lru.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		return append([]byte(nil), ent.data...), true, nil, 0, false
+	}
+	if fl, ok := sh.flights[key]; ok {
+		sh.stats.Coalesced++
+		return nil, false, fl, 0, false
+	}
+	sh.stats.Misses++
+	fl = &coFlight{done: make(chan struct{})}
+	sh.flights[key] = fl
+	return nil, false, fl, sh.gen, true
+}
+
+// finish completes a led flight: record the result, fill the cache (under
+// the generation fence taken at begin), deregister, and release every
+// waiter. The flight keeps a private copy of data, so waiters never see
+// memory the leader's caller can mutate.
+func (c *Coalescer) finish(key string, fl *coFlight, data []byte, err error, gen uint64) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	if err == nil {
+		cp := append([]byte(nil), data...)
+		fl.data = cp
+		sh.insert(key, cp, gen, c.perShard)
+	} else {
+		fl.err = err
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+}
+
+// await blocks on a joined flight and copies its result out.
+func (fl *coFlight) await() ([]byte, error) {
+	<-fl.done
+	if fl.err != nil {
+		return nil, fl.err
+	}
+	return append([]byte(nil), fl.data...), nil
+}
+
+// insert stores data (ownership transferred; already a private copy)
+// under key, evicting LRU entries beyond the shard budget. Called with
+// the shard lock held. Oversized objects and fills superseded by a write
+// (gen moved on) are skipped.
+func (sh *coShard) insert(key string, data []byte, gen uint64, budget int64) {
+	if budget <= 0 || int64(len(data)) > budget || gen != sh.gen {
+		return
+	}
+	if el, ok := sh.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		sh.bytes += int64(len(data)) - int64(len(ent.data))
+		ent.data = data
+		sh.lru.MoveToFront(el)
+	} else {
+		sh.entries[key] = sh.lru.PushFront(&cacheEntry{key: key, data: data})
+		sh.bytes += int64(len(data))
+	}
+	for sh.bytes > budget {
+		back := sh.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		sh.lru.Remove(back)
+		delete(sh.entries, ent.key)
+		sh.bytes -= int64(len(ent.data))
+		sh.stats.Evictions++
+	}
+}
+
+// Invalidate evicts key if cached and fences its in-flight fills — for
+// writers that rewrite an object beneath this wrapper under a path the
+// Backend methods cannot see (the chunk repair path ingesting through the
+// service's own store).
+func (c *Coalescer) Invalidate(key string) { c.drop(key) }
+
+// drop evicts key if cached and fences in-flight fills.
+func (c *Coalescer) drop(key string) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.gen++
+	if el, ok := sh.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
+		sh.bytes -= int64(len(ent.data))
+	}
+}
+
+// InvalidateAll empties the cache and fences every in-flight fill — the
+// hammer for writes that bypass this wrapper, e.g. a GC sweep deleting
+// chunks directly through the service beneath the server's origin cache.
+func (c *Coalescer) InvalidateAll() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.gen++
+		sh.entries = make(map[string]*list.Element)
+		sh.lru = list.New()
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+}
+
+// Name implements Backend.
+func (c *Coalescer) Name() string { return "coalesce+" + c.base.Name() }
+
+// Capabilities implements Backend: coalescing changes no guarantee of the
+// base.
+func (c *Coalescer) Capabilities() Capabilities { return c.base.Capabilities() }
+
+// Get implements Backend: cache hit, joined flight, or led base fetch.
+func (c *Coalescer) Get(key string) ([]byte, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	data, hit, fl, gen, lead := c.begin(key)
+	if hit {
+		return data, nil
+	}
+	if !lead {
+		return fl.await()
+	}
+	data, err := c.base.Get(key)
+	c.finish(key, fl, data, err, gen)
+	return data, err
+}
+
+// GetBatch implements BatchReader. Hits are served from the cache, joins
+// wait on whoever is already fetching, and the remaining misses — the
+// keys this call leads — go down to the base in ONE batch (overlapped
+// per level on a Tiered base), then fan out to every waiter. Duplicate
+// keys within one request coalesce too: the first occurrence leads, the
+// rest join its flight.
+func (c *Coalescer) GetBatch(keys []string) ([][]byte, []error) {
+	out := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	type led struct {
+		idx int
+		fl  *coFlight
+		gen uint64
+	}
+	type joined struct {
+		idx int
+		fl  *coFlight
+	}
+	var leads []led
+	var joins []joined
+	for i, k := range keys {
+		if err := ValidateKey(k); err != nil {
+			errs[i] = err
+			continue
+		}
+		data, hit, fl, gen, lead := c.begin(k)
+		switch {
+		case hit:
+			out[i] = data
+		case lead:
+			leads = append(leads, led{i, fl, gen})
+		default:
+			joins = append(joins, joined{i, fl})
+		}
+	}
+	if len(leads) > 0 {
+		leadKeys := make([]string, len(leads))
+		for j, l := range leads {
+			leadKeys[j] = keys[l.idx]
+		}
+		datas, merrs := GetBatch(c.base, leadKeys)
+		for j, l := range leads {
+			c.finish(leadKeys[j], l.fl, datas[j], merrs[j], l.gen)
+			out[l.idx], errs[l.idx] = datas[j], merrs[j]
+		}
+	}
+	// Waiting strictly after completing every led flight keeps two
+	// batches that lead disjoint halves of each other's key sets from
+	// deadlocking.
+	for _, j := range joins {
+		out[j.idx], errs[j.idx] = j.fl.await()
+	}
+	return out, errs
+}
+
+// GetRange implements RangeReader: cached objects and completed flights
+// are sliced in memory; a cold range probe passes through to the base
+// without caching or leading a flight (a header probe must not pull
+// whole cold objects into the budget), but it does join an in-flight
+// full fetch rather than racing it to the cold tier.
+func (c *Coalescer) GetRange(key string, off, n int64) ([]byte, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	if err := validRange(off, n); err != nil {
+		return nil, err
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.stats.Hits++
+		sh.lru.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		res := sliceRange(data, off, n)
+		sh.mu.Unlock()
+		return res, nil
+	}
+	fl, inFlight := sh.flights[key]
+	if inFlight {
+		sh.stats.Coalesced++
+	}
+	sh.mu.Unlock()
+	if inFlight {
+		data, err := fl.await()
+		if err != nil {
+			return nil, err
+		}
+		return sliceRange(data, off, n), nil
+	}
+	return GetRange(c.base, key, off, n)
+}
+
+// sliceRange copies out the [off, off+n) window of data with past-EOF
+// clamping, matching the GetRange contract.
+func sliceRange(data []byte, off, n int64) []byte {
+	if off >= int64(len(data)) {
+		return nil
+	}
+	end := off + n
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return append([]byte(nil), data[off:end]...)
+}
+
+// Put implements Backend: write-through, invalidating any cached copy
+// and fencing in-flight fills (see Cache.Put for why invalidate, not
+// update-in-place).
+func (c *Coalescer) Put(key string, data []byte) error {
+	if err := c.base.Put(key, data); err != nil {
+		return err
+	}
+	c.drop(key)
+	return nil
+}
+
+// Delete implements Backend, evicting any cached copy first.
+func (c *Coalescer) Delete(key string) error {
+	c.drop(key)
+	return c.base.Delete(key)
+}
+
+// IngestKeyed forwards an addressed ingest to the base (ok=false when the
+// base is a plain backend), invalidating the key when bytes were written:
+// the repair path may rewrite a corrupt resident chunk under its existing
+// address, and a cached copy of the corrupt bytes must not outlive the
+// rewrite.
+func (c *Coalescer) IngestKeyed(key, addr string, data []byte) (int, bool, error) {
+	if err := ValidateKey(key); err != nil {
+		return 0, false, err
+	}
+	written, ok, err := TryIngestKeyed(c.base, key, addr, data)
+	if ok && err == nil && written > 0 {
+		// Bytes actually hit the store: either a fresh chunk (never cached)
+		// or a repair rewrite of a corrupt resident — evict any cached copy
+		// of the old bytes. A dedup hit (written == 0) leaves the verified
+		// resident copy, and the cached copy with it, in place.
+		c.drop(key)
+	}
+	return written, ok, err
+}
+
+// CollectOrphans forwards GC to the base (ok=false when the base cannot
+// collect) and, when a sweep ran, empties the cache: the sweep deletes
+// chunks directly beneath this wrapper.
+func (c *Coalescer) CollectOrphans() (int, int64, bool, error) {
+	removed, reclaimed, ok, err := TryCollectOrphans(c.base)
+	if ok {
+		c.InvalidateAll()
+	}
+	return removed, reclaimed, ok, err
+}
+
+// List implements Backend.
+func (c *Coalescer) List(prefix string) ([]string, error) { return c.base.List(prefix) }
+
+// Stat implements Backend.
+func (c *Coalescer) Stat(key string) (ObjectInfo, error) { return c.base.Stat(key) }

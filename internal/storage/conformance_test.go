@@ -60,6 +60,19 @@ func backendImpls() map[string]storagetest.Maker {
 			}
 			return storage.NewCache(b, 1<<20)
 		},
+		"coalesce-mem": func(t *testing.T) storage.Backend {
+			return storage.NewCoalescer(storage.NewMem(), 1<<20)
+		},
+		"coalesce-tiered": func(t *testing.T) storage.Backend {
+			tb, err := storage.NewTiered(
+				storage.Level{Name: "hot", Backend: storage.NewMem()},
+				storage.Level{Name: "cold", Backend: storage.NewMem()},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return storage.NewCoalescer(tb, 1<<20)
+		},
 		"cache-tiered": func(t *testing.T) storage.Backend {
 			tb, err := storage.NewTiered(
 				storage.Level{Name: "hot", Backend: storage.NewMem()},
