@@ -329,6 +329,46 @@ func BenchmarkTable9GangRestore(b *testing.B) {
 	b.ReportMetric(float64(best.Coalesced), "coalesced-reads")
 }
 
+// BenchmarkTable10QoS regenerates Table 10: a mixed-priority fleet (5
+// quiet sync tenants + 1 async noisy neighbor) over a two-level store
+// with delta tails placed warm, run without and with per-tenant QoS.
+// Metrics: the worst quiet-tenant p99 save stall in each mode (best
+// observed across iterations — the headline fairness comparison), the
+// noisy tenant's throttle count, and the delta-class bytes resident on
+// the warm level (the placement evidence). Fails outright on a lost
+// bitwise restore, a delta chunk landing hot, or a QoS run that never
+// throttled the hog.
+func BenchmarkTable10QoS(b *testing.B) {
+	var noQoS, withQoS harness.T10Row
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunT10QoS(5, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Bitwise {
+				b.Fatalf("%s: a tenant lost bitwise restore", r.Mode)
+			}
+			if r.HotDeltaBytes != 0 {
+				b.Fatalf("%s: %d delta-class bytes leaked onto the hot level", r.Mode, r.HotDeltaBytes)
+			}
+		}
+		if rows[1].Throttled == 0 {
+			b.Fatal("QoS run never throttled the noisy tenant")
+		}
+		if noQoS.Saves == 0 || rows[0].QuietP99 < noQoS.QuietP99 {
+			noQoS = rows[0]
+		}
+		if withQoS.Saves == 0 || rows[1].QuietP99 < withQoS.QuietP99 {
+			withQoS = rows[1]
+		}
+	}
+	b.ReportMetric(float64(noQoS.QuietP99.Microseconds()), "quiet-p99-noqos-µs")
+	b.ReportMetric(float64(withQoS.QuietP99.Microseconds()), "quiet-p99-qos-µs")
+	b.ReportMetric(float64(withQoS.Throttled), "throttled")
+	b.ReportMetric(float64(withQoS.WarmDelta), "warm-delta-bytes")
+}
+
 // BenchmarkFig1WastedWork regenerates Figure 1: expected completion time
 // without checkpointing vs MTBF. Metric: the blow-up factor E[T]/W at
 // MTBF = W/5.

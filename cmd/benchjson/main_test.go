@@ -239,6 +239,42 @@ func TestCompareToleratesNetworkColumns(t *testing.T) {
 	}
 }
 
+func TestCompareToleratesQoSColumns(t *testing.T) {
+	// The T10 QoS benchmark adds metric columns no baseline has
+	// (quiet-p99-noqos-µs, quiet-p99-qos-µs, throttled,
+	// warm-delta-bytes). Like T8's network columns, they must parse into
+	// the document and never trip the gate, whether the baseline predates
+	// the benchmark or carries different values.
+	line := "BenchmarkTable10QoS-8 \t 1 \t 1571000000 ns/op\t 30337 quiet-p99-noqos-µs\t 25707 quiet-p99-qos-µs\t 6 throttled\t 36875 warm-delta-bytes\t 4096 B/op\t 64 allocs/op"
+	cur, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("QoS benchmark line not parsed")
+	}
+	for _, unit := range []string{"quiet-p99-noqos-µs", "quiet-p99-qos-µs", "throttled", "warm-delta-bytes"} {
+		if _, ok := cur.Metrics[unit]; !ok {
+			t.Errorf("metric %s lost in parsing: %v", unit, cur.Metrics)
+		}
+	}
+	// Baseline predates T10: the new benchmark and its columns are
+	// additions, not violations.
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 50))
+	report, missing, failures := compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1000, 50), cur), 20, false)
+	if failures != 0 || len(missing) != 0 {
+		t.Fatalf("new QoS columns tripped the gate: %v", report)
+	}
+	// Baseline that HAS the columns with very different values (p99s and
+	// throttle counts swing with machine load): only ns/op and allocs/op
+	// are cost-gated.
+	older := cur
+	older.Metrics = map[string]float64{
+		"ns/op": cur.NsPerOp, "allocs/op": cur.AllocsPerOp,
+		"quiet-p99-qos-µs": 1, "throttled": 1000,
+	}
+	if _, _, failures = compareDocs(gateDoc(older), gateDoc(cur), 20, false); failures != 0 {
+		t.Error("QoS column drift tripped the ns/allocs gate")
+	}
+}
+
 func TestCompareSkipsZeroBaselines(t *testing.T) {
 	// A baseline without -benchmem columns (allocs 0) must not divide by
 	// zero or flag every new allocs value as a regression.

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	experiments                 # run everything at default scale
-//	experiments -run F4         # run one experiment (T1..T9, F1..F6, A1, A2)
+//	experiments -run F4         # run one experiment (T1..T10, F1..F6, A1, A2)
+//	experiments -run T6,T9,T10  # run a comma-separated subset
 //	experiments -quick          # reduced scale for smoke runs
 package main
 
@@ -20,12 +21,17 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiment to run: all, T1..T9, F1..F6, A1, A2")
+	runFlag := flag.String("run", "all", "experiments to run, comma-separated: all, T1..T10, F1..F6, A1, A2 (e.g. -run T6,T9,T10)")
 	quick := flag.Bool("quick", false, "reduced scale (CI-friendly)")
 	flag.Parse()
 
-	which := strings.ToUpper(*runFlag)
-	run := func(id string) bool { return which == "ALL" || which == id }
+	want := make(map[string]bool)
+	for _, id := range strings.Split(strings.ToUpper(*runFlag), ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	run := func(id string) bool { return want["ALL"] || want[id] }
 	start := time.Now()
 	ranAny := false
 
@@ -154,6 +160,19 @@ func main() {
 		fmt.Println(harness.T9Table(rows))
 	}
 
+	if run("T10") {
+		ranAny = true
+		quietJobs, steps := 15, 24
+		if *quick {
+			quietJobs, steps = 5, 8
+		}
+		rows, err := harness.RunT10QoS(quietJobs, steps)
+		if err != nil {
+			fail("T10", err)
+		}
+		fmt.Println(harness.T10Table(rows))
+	}
+
 	if run("F1") {
 		ranAny = true
 		job := 12 * time.Hour
@@ -267,7 +286,7 @@ func main() {
 	}
 
 	if !ranAny {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, T1..T9, F1..F6, A1, A2)\n", *runFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q (want a comma-separated subset of: all, T1..T10, F1..F6, A1, A2)\n", *runFlag)
 		os.Exit(2)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))

@@ -81,6 +81,12 @@ var (
 	maxInflight int
 	leaseTTL    time.Duration
 	cacheMiB    int
+	// quotaMiB, rateMiB, qosSpec and placeSpec configure serve's
+	// per-tenant QoS and the store's class placement policy.
+	quotaMiB  int
+	rateMiB   int
+	qosSpec   string
+	placeSpec string
 )
 
 func main() {
@@ -94,9 +100,22 @@ func main() {
 	flag.IntVar(&maxInflight, "inflight", 0, "serve: max in-flight ingests per tenant (0 = default, negative disables admission control)")
 	flag.DurationVar(&leaseTTL, "lease", 0, "serve: upload lease TTL protecting uncommitted chunks from GC (0 = default 5m)")
 	flag.IntVar(&cacheMiB, "cache", 64, "serve: single-flight origin read cache budget in MiB (0 disables; gang-restores hit the store once per object)")
+	flag.IntVar(&quotaMiB, "quota", 0, "serve: per-tenant byte quota in MiB (0 = unlimited; retention GC credits deleted history back)")
+	flag.IntVar(&rateMiB, "rate", 0, "serve: per-tenant write rate limit in MiB/s (0 = unlimited)")
+	flag.StringVar(&qosSpec, "qos", "", "serve: per-tenant QoS overrides, comma-separated tenant=quotaMiB:rateMiBs (e.g. noisy=256:4)")
+	flag.StringVar(&placeSpec, "place", "", "serve: class placement policy over -levels, comma-separated class=level for manifest, anchor, delta, archive (e.g. delta=object,archive=object)")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		usage()
+	}
+	for _, a := range flag.Args() {
+		// A path argument starting with "-" is almost always a flag typed
+		// after the subcommand, which flag.Parse treats as positional —
+		// acting on it would create directories literally named "-listen".
+		if err := rejectFlagLikeArg(a); err != nil {
+			fmt.Fprintf(os.Stderr, "qckpt: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	cmd, arg := flag.Arg(0), flag.Arg(1)
 	var err error
@@ -138,8 +157,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt [-addr a] [-inflight n] [-lease d] [-cache mib] serve <dir> | qckpt show <file> | qckpt diff <a> <b>")
+	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt [-addr a] [-inflight n] [-lease d] [-cache mib] [-quota mib] [-rate mibs] [-qos spec] [-place spec] serve <dir> | qckpt show <file> | qckpt diff <a> <b>")
 	os.Exit(2)
+}
+
+// rejectFlagLikeArg refuses positional arguments that look like flags.
+// Go's flag package stops parsing at the first positional, so in
+// `qckpt serve store -listen :8080` the "-listen" arrives as a path —
+// and the serve path would mkdir it verbatim.
+func rejectFlagLikeArg(arg string) error {
+	if strings.HasPrefix(arg, "-") {
+		return fmt.Errorf("argument %q looks like a flag; flags must come before the subcommand (qckpt [flags] <cmd> <dir>)", arg)
+	}
+	return nil
 }
 
 // openDir opens a checkpoint directory as a storage backend — plain local

@@ -240,3 +240,42 @@ func TestCmdRestoreParallel(t *testing.T) {
 		t.Errorf("restore: %v", err)
 	}
 }
+
+func TestRejectFlagLikeArg(t *testing.T) {
+	for _, arg := range []string{"-listen", "--addr", "-"} {
+		if err := rejectFlagLikeArg(arg); err == nil {
+			t.Errorf("flag-like argument %q accepted as a path", arg)
+		}
+	}
+	for _, arg := range []string{"store", "./dir", "serve", "a-b"} {
+		if err := rejectFlagLikeArg(arg); err != nil {
+			t.Errorf("argument %q rejected: %v", arg, err)
+		}
+	}
+}
+
+func TestParsePlacementAndQoS(t *testing.T) {
+	pol, err := parsePlacement("delta=object,archive=object")
+	if err != nil || pol.Delta != "object" || pol.Archive != "object" || pol.Manifest != "" {
+		t.Fatalf("parsePlacement: %+v, %v", pol, err)
+	}
+	if _, err := parsePlacement("chunk=object"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := parsePlacement("delta"); err == nil {
+		t.Error("malformed entry accepted")
+	}
+	cfg, err := parseQoS(256, 8, "noisy=64:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.QuotaBytes != 256<<20 || cfg.Default.RateBytesPerSec != 8<<20 {
+		t.Errorf("default limits: %+v", cfg.Default)
+	}
+	if lim := cfg.Tenants["noisy"]; lim.QuotaBytes != 64<<20 || lim.RateBytesPerSec != 2<<20 {
+		t.Errorf("override limits: %+v", lim)
+	}
+	if _, err := parseQoS(0, 0, "bad"); err == nil {
+		t.Error("malformed QoS spec accepted")
+	}
+}

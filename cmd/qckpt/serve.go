@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"repro/internal/api"
@@ -27,11 +29,32 @@ func cmdServe(dir string) error {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return err
 	}
-	backend, err := storage.NewLocal(dir)
+	var backend storage.Backend
+	if levelsFlag != "" {
+		tb, err := storage.NewTieredDir(dir, strings.Split(levelsFlag, ","))
+		if err != nil {
+			return err
+		}
+		backend = tb
+	} else {
+		b, err := storage.NewLocal(dir)
+		if err != nil {
+			return err
+		}
+		backend = b
+	}
+	placement, err := parsePlacement(placeSpec)
 	if err != nil {
 		return err
 	}
-	svc, err := core.NewService(core.ServiceOptions{Backend: backend})
+	if placement != (storage.PlacementPolicy{}) && levelsFlag == "" {
+		return fmt.Errorf("-place needs a tiered store; add -levels")
+	}
+	qos, err := parseQoS(quotaMiB, rateMiB, qosSpec)
+	if err != nil {
+		return err
+	}
+	svc, err := core.NewService(core.ServiceOptions{Backend: backend, Placement: placement, QoS: qos})
 	if err != nil {
 		return err
 	}
@@ -52,8 +75,13 @@ func cmdServe(dir string) error {
 	if cacheMiB > 0 {
 		cacheNote = fmt.Sprintf("%d MiB", cacheMiB)
 	}
-	fmt.Printf("qckpt serve: listening on http://%s (store %s, lease TTL %v, origin cache %s)\n",
-		ln.Addr(), dir, ttl, cacheNote)
+	qosNote := "off"
+	if qos.Default != (core.TenantQoS{}) || len(qos.Tenants) > 0 {
+		qosNote = fmt.Sprintf("quota %d MiB, rate %d MiB/s, %d override(s)",
+			quotaMiB, rateMiB, len(qos.Tenants))
+	}
+	fmt.Printf("qckpt serve: listening on http://%s (store %s, lease TTL %v, origin cache %s, QoS %s)\n",
+		ln.Addr(), dir, ttl, cacheNote, qosNote)
 
 	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
@@ -78,6 +106,70 @@ func cmdServe(dir string) error {
 		}
 		return nil
 	}
+}
+
+// parsePlacement turns "delta=object,archive=object" into a placement
+// policy; level names must match the -levels device names.
+func parsePlacement(spec string) (storage.PlacementPolicy, error) {
+	var pol storage.PlacementPolicy
+	if spec == "" {
+		return pol, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		class, level, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || level == "" {
+			return pol, fmt.Errorf("malformed placement %q (want class=level)", part)
+		}
+		switch class {
+		case "manifest":
+			pol.Manifest = level
+		case "anchor":
+			pol.Anchor = level
+		case "delta":
+			pol.Delta = level
+		case "archive":
+			pol.Archive = level
+		default:
+			return pol, fmt.Errorf("unknown placement class %q (want manifest, anchor, delta or archive)", class)
+		}
+	}
+	return pol, nil
+}
+
+// parseQoS builds the service QoS table: -quota/-rate set every tenant's
+// default limits, -qos entries override per tenant.
+func parseQoS(quotaMiB, rateMiB int, spec string) (core.QoSConfig, error) {
+	cfg := core.QoSConfig{Default: core.TenantQoS{
+		QuotaBytes:      int64(quotaMiB) << 20,
+		RateBytesPerSec: int64(rateMiB) << 20,
+	}}
+	if spec == "" {
+		return cfg, nil
+	}
+	cfg.Tenants = make(map[string]core.TenantQoS)
+	for _, part := range strings.Split(spec, ",") {
+		id, lim, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" {
+			return cfg, fmt.Errorf("malformed QoS entry %q (want tenant=quotaMiB:rateMiBs)", part)
+		}
+		qs, rs, ok := strings.Cut(lim, ":")
+		if !ok {
+			return cfg, fmt.Errorf("malformed QoS limits %q (want quotaMiB:rateMiBs)", lim)
+		}
+		q, err := strconv.Atoi(qs)
+		if err != nil || q < 0 {
+			return cfg, fmt.Errorf("bad quota in %q", part)
+		}
+		r, err := strconv.Atoi(rs)
+		if err != nil || r < 0 {
+			return cfg, fmt.Errorf("bad rate in %q", part)
+		}
+		cfg.Tenants[id] = core.TenantQoS{
+			QuotaBytes:      int64(q) << 20,
+			RateBytesPerSec: int64(r) << 20,
+		}
+	}
+	return cfg, nil
 }
 
 func humanBytes(n int64) string {

@@ -66,8 +66,18 @@ func main() {
 		jobsN     = flag.Int("jobs", 1, "concurrent training jobs checkpointing into ONE multi-tenant store under -ckpt (cross-job chunk dedup; job j trains with seed+j)")
 		remoteURL = flag.String("remote", "", "checkpoint to a qckpt server at this URL (e.g. http://host:7723; see `qckpt serve`) instead of a local -ckpt directory")
 		restorers = flag.Int("restorers", 0, "after training, drill N concurrent restorers against the store and verify every recovery is bitwise (the T9 gang-restore wave; 0 disables)")
+		quotaMiB  = flag.Int("quota", 0, "fleet: per-job byte quota in MiB on the local multi-tenant store (0 = unlimited)")
+		rateMiB   = flag.Int("rate", 0, "fleet: per-job checkpoint write rate limit in MiB/s on the local multi-tenant store (0 = unlimited)")
 	)
 	flag.Parse()
+
+	if err := checkFlagLikeArgs(flag.Args(), *ckptDir); err != nil {
+		fatal(err)
+	}
+
+	if (*quotaMiB > 0 || *rateMiB > 0) && (*jobsN <= 1 || *remoteURL != "") {
+		fatal(errors.New("-quota/-rate apply to the local fleet store; they need -jobs N -ckpt dir (remote stores are limited server-side via qckpt serve)"))
+	}
 
 	if *restorers > 0 && *ckptDir == "" && *remoteURL == "" {
 		fatal(errors.New("-restorers requires -ckpt or -remote (the gang needs a store to restore from)"))
@@ -102,6 +112,7 @@ func main() {
 			ckptDir: *ckptDir, resume: *resume, interval: *interval, units: *units,
 			async: *async, workers: *workers, chunkKB: *chunkKB, fullIngest: *fullIng,
 			restoreW: *restoreW, remote: *remoteURL,
+			quotaMiB: *quotaMiB, rateMiB: *rateMiB,
 		}
 		if err := runJobs(fleet); err != nil {
 			fatal(err)
@@ -358,6 +369,23 @@ func buildConfig(taskName string, qubits, layers, qaoaP, shots int, lr float64, 
 	return cfg, nil
 }
 
+// checkFlagLikeArgs refuses arguments that look like flags. flag.Parse
+// stops at the first positional argument, so a flag typed after one
+// ("train steps 40 -ckpt d") or a flag swallowed as another flag's value
+// ("-ckpt -listen") arrives looking like a path — and acting on it would
+// create a directory literally named "-listen".
+func checkFlagLikeArgs(positionals []string, ckptDir string) error {
+	for _, a := range positionals {
+		if strings.HasPrefix(a, "-") {
+			return fmt.Errorf("argument %q looks like a flag; train takes flags only (check the flag order)", a)
+		}
+	}
+	if strings.HasPrefix(ckptDir, "-") {
+		return fmt.Errorf("-ckpt %q looks like a flag, not a directory (did -ckpt swallow the next flag?)", ckptDir)
+	}
+	return nil
+}
+
 // fleetFlags carries the flag values of a -jobs run.
 type fleetFlags struct {
 	jobs                                        int
@@ -373,6 +401,7 @@ type fleetFlags struct {
 	interval, units, workers, chunkKB, restoreW int
 	async, fullIngest                           bool
 	remote                                      string
+	quotaMiB, rateMiB                           int
 }
 
 // runJobs drives N concurrent training jobs into one multi-tenant
@@ -384,7 +413,13 @@ type fleetFlags struct {
 func runJobs(f fleetFlags) error {
 	var svc *core.Service
 	if f.remote == "" {
-		s, err := core.NewService(core.ServiceOptions{Dir: f.ckptDir})
+		s, err := core.NewService(core.ServiceOptions{
+			Dir: f.ckptDir,
+			QoS: core.QoSConfig{Default: core.TenantQoS{
+				QuotaBytes:      int64(f.quotaMiB) << 20,
+				RateBytesPerSec: int64(f.rateMiB) << 20,
+			}},
+		})
 		if err != nil {
 			return err
 		}

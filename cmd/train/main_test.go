@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckFlagLikeArgs(t *testing.T) {
+	cases := []struct {
+		name        string
+		positionals []string
+		ckptDir     string
+		wantErr     string
+	}{
+		{name: "clean", positionals: nil, ckptDir: "/tmp/ckpt"},
+		{name: "flag after positional", positionals: []string{"steps", "-ckpt"}, wantErr: "-ckpt"},
+		{name: "ckpt swallowed a flag", ckptDir: "-listen", wantErr: "-listen"},
+		{name: "relative dirs fine", ckptDir: "./ckpt", positionals: nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkFlagLikeArgs(tc.positionals, tc.ckptDir)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}

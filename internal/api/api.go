@@ -17,6 +17,7 @@ package api
 
 import (
 	"strings"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -66,6 +67,43 @@ type Stats struct {
 	// Throttled counts requests refused with 429 by admission control.
 	// Filled by the transport layer; a Local service reports 0.
 	Throttled int64 `json:"throttled"`
+	// Tenants maps tenant ID to its QoS usage; nil when the service has
+	// no per-tenant QoS configured.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+	// Levels reports the tiered store's resident occupancy per level,
+	// broken down by write class — the "did the delta tail land warm?"
+	// evidence. Empty for untiered stores.
+	Levels []LevelStats `json:"levels,omitempty"`
+}
+
+// LevelStats is one tier level's resident footprint as served by
+// /v1/stats.
+type LevelStats struct {
+	Name    string       `json:"name"`
+	Objects int          `json:"objects"`
+	Bytes   int64        `json:"bytes"`
+	ByClass []ClassStats `json:"by_class,omitempty"`
+}
+
+// ClassStats is one write class's share of a level.
+type ClassStats struct {
+	Class   string `json:"class"`
+	Objects int    `json:"objects"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// TenantStats is one tenant's QoS accounting as served by /v1/stats.
+type TenantStats struct {
+	// QuotaBytes and RateBytesPerSec echo the tenant's configured limits
+	// (0 = unlimited).
+	QuotaBytes      int64 `json:"quota_bytes,omitempty"`
+	RateBytesPerSec int64 `json:"rate_bytes_per_sec,omitempty"`
+	// ChargedBytes is the tenant's current footprint against its quota.
+	ChargedBytes int64 `json:"charged_bytes"`
+	// Throttled counts QoS throttle events (local pacing sleeps and
+	// server 429s); ThrottleMs is the total delay imposed.
+	Throttled  int64 `json:"throttled"`
+	ThrottleMs int64 `json:"throttle_ms"`
 }
 
 // Service is the transport-agnostic checkpoint service. All methods are
@@ -109,6 +147,25 @@ type Service interface {
 	CollectOrphans() (removed int, reclaimed int64, err error)
 	// Stats snapshots the service counters.
 	Stats() Stats
+}
+
+// ClassedService is the optional Service extension for class-tagged
+// writes: CommitManifestClass and IngestChunkClass behave exactly like
+// their plain forms but thread a storage.WriteClass into the store so a
+// tiered backend can place the write by role. Transports probe for it
+// and fall back to the plain methods (class dropped) when absent.
+type ClassedService interface {
+	CommitManifestClass(key string, data []byte, class storage.WriteClass) error
+	IngestChunkClass(key string, data []byte, class storage.WriteClass) (written int, err error)
+}
+
+// QoSService is the optional Service extension for per-tenant admission:
+// Admit is consulted before accepting n bytes from tenant (refusals name
+// a retry delay and a reason, "quota" or "rate"); Charge bills bytes that
+// actually landed. A service without QoS simply doesn't implement it.
+type QoSService interface {
+	QoSAdmit(tenant string, n int64) (retryAfter time.Duration, reason string, ok bool)
+	QoSCharge(tenant string, n int64)
 }
 
 // ChunkKeyAddr recognizes content-addressed chunk keys by shape — a final

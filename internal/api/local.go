@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/storage"
@@ -94,10 +95,17 @@ func (l *Local) Caps() Caps {
 
 // CommitManifest implements Service.
 func (l *Local) CommitManifest(key string, data []byte) error {
+	return l.CommitManifestClass(key, data, storage.ClassDefault)
+}
+
+// CommitManifestClass implements ClassedService: the commit carries the
+// client's write class down to the store, so a remote job's manifests
+// land where the service's placement policy says manifests go.
+func (l *Local) CommitManifestClass(key string, data []byte, class storage.WriteClass) error {
 	if err := storage.ValidateKey(key); err != nil {
 		return err
 	}
-	if err := l.backend.Put(key, data); err != nil {
+	if err := storage.PutClass(l.backend, key, data, class); err != nil {
 		return err
 	}
 	l.manifests.Add(1)
@@ -180,6 +188,12 @@ func (l *Local) HasAddresses(keys []string) ([]bool, error) {
 
 // IngestChunk implements Service: hash-verify, lease, dedup, store.
 func (l *Local) IngestChunk(key string, data []byte) (int, error) {
+	return l.IngestChunkClass(key, data, storage.ClassDefault)
+}
+
+// IngestChunkClass implements ClassedService: IngestChunk with the write
+// class threaded through to the chunk store's placement.
+func (l *Local) IngestChunkClass(key string, data []byte, class storage.WriteClass) (int, error) {
 	addr, ok := ChunkKeyAddr(key)
 	if !ok {
 		return 0, fmt.Errorf("api: %q is not a chunk key", key)
@@ -193,7 +207,7 @@ func (l *Local) IngestChunk(key string, data []byte) (int, error) {
 	var written int
 	var err error
 	if l.isCanonical(key, addr) {
-		_, written, err = l.svc.ChunkStore().IngestAddressed(addr, data)
+		_, written, err = l.svc.ChunkStore().IngestAddressedClass(addr, data, class)
 		if err == nil && written > 0 && l.origin != nil {
 			// The store wrote beneath the origin cache (fresh chunk, or the
 			// repair path rewriting a corrupt resident): evict any cached
@@ -201,7 +215,7 @@ func (l *Local) IngestChunk(key string, data []byte) (int, error) {
 			l.origin.Invalidate(key)
 		}
 	} else {
-		written, err = l.ingestForeign(key, data)
+		written, err = l.ingestForeign(key, data, class)
 	}
 	if err != nil {
 		return 0, err
@@ -223,7 +237,7 @@ func (l *Local) isCanonical(key, addr string) bool {
 // canonical namespace (a client running a chunk store under its own
 // prefix): verified-compare against the resident copy, rewrite on any
 // mismatch. The incoming bytes are already hash-verified.
-func (l *Local) ingestForeign(key string, data []byte) (int, error) {
+func (l *Local) ingestForeign(key string, data []byte, class storage.WriteClass) (int, error) {
 	if info, err := l.backend.Stat(key); err == nil && info.Size == int64(len(data)) {
 		l.verMu.Lock()
 		ok := l.verified[key]
@@ -236,7 +250,7 @@ func (l *Local) ingestForeign(key string, data []byte) (int, error) {
 			return 0, nil
 		}
 	}
-	if err := l.backend.Put(key, data); err != nil {
+	if err := storage.PutClass(l.backend, key, data, class); err != nil {
 		return 0, err
 	}
 	l.markForeignVerified(key)
@@ -248,6 +262,15 @@ func (l *Local) markForeignVerified(key string) {
 	l.verified[key] = true
 	l.verMu.Unlock()
 }
+
+// QoSAdmit implements QoSService by delegating to the core service's
+// per-tenant table; always admits when the service has no QoS.
+func (l *Local) QoSAdmit(tenant string, n int64) (time.Duration, string, bool) {
+	return l.svc.QoSAdmit(tenant, n)
+}
+
+// QoSCharge implements QoSService.
+func (l *Local) QoSCharge(tenant string, n int64) { l.svc.QoSCharge(tenant, n) }
 
 // Jobs implements Service.
 func (l *Local) Jobs() ([]string, error) { return l.svc.Jobs() }
@@ -270,7 +293,34 @@ func (l *Local) Stats() Stats {
 	if l.origin != nil {
 		origin = l.origin.Stats()
 	}
+	var tenants map[string]TenantStats
+	if usage := l.svc.QoSUsage(); len(usage) > 0 {
+		tenants = make(map[string]TenantStats, len(usage))
+		for id, u := range usage {
+			tenants[id] = TenantStats{
+				QuotaBytes:      u.QuotaBytes,
+				RateBytesPerSec: u.RateBytesPerSec,
+				ChargedBytes:    u.ChargedBytes,
+				Throttled:       u.Throttled,
+				ThrottleMs:      u.ThrottleWait.Milliseconds(),
+			}
+		}
+	}
+	var levels []LevelStats
+	if tb, ok := l.svc.Backend().(*storage.Tiered); ok {
+		if occ, err := tb.Occupancy(); err == nil {
+			for _, lv := range occ {
+				ls := LevelStats{Name: lv.Name, Objects: lv.Objects, Bytes: lv.Bytes}
+				for _, c := range lv.ByClass {
+					ls.ByClass = append(ls.ByClass, ClassStats{Class: c.Class, Objects: c.Objects, Bytes: c.Bytes})
+				}
+				levels = append(levels, ls)
+			}
+		}
+	}
 	return Stats{
+		Tenants:            tenants,
+		Levels:             levels,
 		OriginHits:         origin.Hits,
 		OriginMisses:       origin.Misses,
 		OriginCoalesced:    origin.Coalesced,

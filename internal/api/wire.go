@@ -31,6 +31,12 @@ const (
 // DefaultTenant. One tenant's saturation throttles only that tenant.
 const TenantHeader = "Qckpt-Tenant"
 
+// ClassHeader carries the write class of a PUT (storage.WriteClass by
+// name: "manifest", "anchor", "delta", "archive"); absent means default.
+// The server threads it into the store so a tiered service backend can
+// place remote writes exactly like local ones.
+const ClassHeader = "Qckpt-Class"
+
 // DefaultTenant buckets clients that do not identify themselves.
 const DefaultTenant = "default"
 

@@ -57,7 +57,7 @@ func ArchiveBackend(src storage.Backend, cs *storage.ChunkStore, manifestPath st
 				return archived, err
 			}
 		}
-		addr, err := cs.Put(data)
+		addr, err := cs.PutClass(data, storage.ClassArchive)
 		if err != nil {
 			return archived, err
 		}

@@ -51,7 +51,7 @@ func CompactBackend(b storage.Backend, deleteOld bool) (newKey string, removed i
 	if err != nil {
 		return "", 0, err
 	}
-	if err := b.Put(newKey, data); err != nil {
+	if err := storage.PutClass(b, newKey, data, storage.ClassManifest); err != nil {
 		return "", 0, err
 	}
 	// Paranoia: verify the fresh anchor before deleting anything.

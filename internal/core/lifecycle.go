@@ -274,13 +274,3 @@ func (m *Manager) ageOf(seq uint64) (time.Duration, bool) {
 	}
 	return time.Since(t), true
 }
-
-// maybeMigrate runs the lifecycle engine after a successful save/GC when a
-// policy is configured. Like retention GC it is best-effort: placement is
-// an optimization and must never fail a save.
-func (m *Manager) maybeMigrate() {
-	if m.tiered == nil || !m.opt.Lifecycle.enabled() {
-		return
-	}
-	m.Migrate()
-}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/storage"
@@ -78,9 +79,17 @@ type Options struct {
 	// hierarchy. Mutually exclusive with Backend.
 	Tiers []storage.Level
 	// Lifecycle demotes anchor chains that leave the hot set (see
-	// LifecyclePolicy) down the tier hierarchy at save/GC time. Requires
-	// Tiers (or a Backend that is a *storage.Tiered).
+	// LifecyclePolicy) down the tier hierarchy. Requires Tiers (or a
+	// Backend that is a *storage.Tiered). Migration runs on a background
+	// scheduler that paces itself and yields to foreground save traffic;
+	// Close flushes one final synchronous pass.
 	Lifecycle LifecyclePolicy
+	// Placement maps write classes to tier levels (see
+	// storage.PlacementPolicy): manifests and anchor chunks pinned hot,
+	// delta tails straight to warm, archives cold. The zero value keeps
+	// the classic write-to-hot rule. Requires Tiers (or a Backend that is
+	// a *storage.Tiered).
+	Placement storage.PlacementPolicy
 	// FullIngest disables the incremental dirty-chunk save path: every
 	// chunk is framed, hashed and offered to the chunk store on every
 	// save, instead of chunks unchanged since the previous committed
@@ -182,6 +191,18 @@ type Manager struct {
 	prevAddrs  []string
 	addrsSpare []string
 	pinScratch []string
+
+	// qos, when non-nil, is the per-tenant QoS handle a Service wired in:
+	// saves are charged against the tenant's byte quota and paced by its
+	// token bucket after each persist.
+	qos *tenantQoS
+
+	// Background migration scheduler state (see scheduler.go). The
+	// channels are nil unless Lifecycle is enabled.
+	migrateKick chan struct{}
+	migrateStop chan struct{}
+	migrateDone sync.WaitGroup
+	activityNs  atomic.Int64 // UnixNano of the last foreground save activity
 
 	jobs      chan writeJob // async sequencer queue
 	sequencer sync.WaitGroup
@@ -285,6 +306,14 @@ func newManager(opt Options, backend storage.Backend, shared *sharedChunks, jobI
 			}
 		}
 	}
+	if opt.Placement != (storage.PlacementPolicy{}) {
+		if m.tiered == nil {
+			return nil, errors.New("core: Placement requires a tiered backend (set Tiers)")
+		}
+		if err := m.tiered.SetPlacement(opt.Placement); err != nil {
+			return nil, err
+		}
+	}
 	m.shared = shared
 	if m.shared == nil {
 		m.shared = ownedSharedChunks(backend)
@@ -321,6 +350,9 @@ func newManager(opt Options, backend storage.Backend, shared *sharedChunks, jobI
 		m.sequencer.Add(1)
 		go m.runSequencer()
 	}
+	if opt.Lifecycle.enabled() {
+		m.startMigrator()
+	}
 	return m, nil
 }
 
@@ -330,9 +362,11 @@ func newManager(opt Options, backend storage.Backend, shared *sharedChunks, jobI
 func (m *Manager) runSequencer() {
 	defer m.sequencer.Done()
 	for job := range m.jobs {
+		m.markActivity()
 		start := time.Now()
 		n, err := m.persist(job)
 		dur := time.Since(start)
+		m.markActivity()
 		job.body.release()
 		m.mu.Lock()
 		if err != nil && m.asyncErr == nil {
@@ -342,8 +376,9 @@ func (m *Manager) runSequencer() {
 		m.stats.WriteTime += dur
 		m.mu.Unlock()
 		if err == nil {
+			m.chargeQoS(n)
 			m.gc()
-			m.maybeMigrate()
+			m.kickMigrate()
 		}
 		m.pending.Done()
 	}
@@ -372,7 +407,7 @@ func (m *Manager) persist(job writeJob) (int, error) {
 		sp := getScratch()
 		data, err := appendSnapshotFile((*sp)[:0], job.h, job.body.b)
 		if err == nil {
-			err = m.backend.Put(job.name, data)
+			err = storage.PutClass(m.backend, job.name, data, storage.ClassManifest)
 		}
 		n := len(data)
 		if data != nil {
@@ -416,6 +451,14 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	body := job.body.b
 	pieces := splitChunks(body, m.opt.ChunkBytes)
 	incremental := !m.opt.FullIngest
+	// The write class rides every chunk of this snapshot down to the
+	// placement policy: anchor chunks are the base every restore replays
+	// from, delta chunks are tail segments only an exact-step restore
+	// reads — the policy may send the latter straight to warm.
+	chunkClass := storage.ClassDeltaChunk
+	if job.h.Kind.Base() == KindFull {
+		chunkClass = storage.ClassAnchorChunk
+	}
 	// prevChunk returns the previous body's chunk i without materializing a
 	// [][]byte per save: the compare below runs inside the stall window, so
 	// it indexes the retained body by offset (ok=false when the previous
@@ -509,7 +552,7 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 			r.pinned = addr
 			m.shared.pins.pin(addr)
 			r.raw = frame[0] == chunkFrameRaw
-			r.addr, r.written, r.err = m.chunks.IngestAddressed(addr, frame)
+			r.addr, r.written, r.err = m.chunks.IngestAddressedClass(addr, frame, chunkClass)
 			*sp = frame
 			putScratch(sp)
 		})
@@ -579,7 +622,7 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	data, err := appendSnapshotFile((*fsp)[:0], h, manifest)
 	fileBytes := len(data)
 	if err == nil {
-		err = m.backend.Put(job.name, data)
+		err = storage.PutClass(m.backend, job.name, data, storage.ClassManifest)
 	}
 	*msp = manifest
 	putScratch(msp)
@@ -709,6 +752,13 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 		return SaveResult{}, fmt.Errorf("core: async checkpoint failed earlier: %w", err)
 	}
 	m.mu.Unlock()
+	m.markActivity()
+	// Quota is a soft ceiling checked at save admission: bytes already
+	// charged to the tenant (GC credits them back) must leave room for
+	// something — the save's true footprint is only known after dedup.
+	if err := m.qos.checkQuota(); err != nil {
+		return SaveResult{}, err
+	}
 
 	// Encode into a pooled buffer: at steady state the synchronous stage
 	// reuses the capacity of a payload retired two saves ago instead of
@@ -787,6 +837,7 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 	wStart := time.Now()
 	n, err := m.persist(writeJob{name: name, h: h, body: body, hash: hash})
 	body.release()
+	m.markActivity()
 	res.Write = time.Since(wStart)
 	res.FileBytes = n
 	if err != nil {
@@ -796,8 +847,9 @@ func (m *Manager) Save(state *TrainingState) (SaveResult, error) {
 	m.stats.BytesWritten += int64(n)
 	m.stats.WriteTime += res.Write
 	m.mu.Unlock()
+	m.chargeQoS(n)
 	m.gc()
-	m.maybeMigrate()
+	m.kickMigrate()
 	return res, nil
 }
 
@@ -852,6 +904,15 @@ func (m *Manager) Close() error {
 	if tasks != nil {
 		close(tasks)
 		m.workers.Wait()
+	}
+	// Stop the background migration scheduler, then run one final
+	// synchronous pass: anything the scheduler did not get to while
+	// yielding to foreground saves is settled before the store is handed
+	// off. Best-effort like every migration — placement must not fail a
+	// close.
+	m.stopMigrator()
+	if m.opt.Lifecycle.enabled() && m.tiered != nil {
+		m.Migrate()
 	}
 	// The pipeline is quiesced and closed refuses further saves, so the
 	// retained codec buffers can go back to their pool and the manifest
@@ -923,8 +984,17 @@ func (m *Manager) gc() {
 	deleted := false
 	for _, f := range files {
 		if f.seq < cutoff {
+			// With QoS active the tenant gets the manifest's bytes back:
+			// Stat before delete is the only moment the size is known.
+			var credit int64
+			if m.qos != nil {
+				if info, err := m.backend.Stat(f.name); err == nil {
+					credit = info.Size
+				}
+			}
 			if m.backend.Delete(f.name) == nil {
 				deleted = true
+				m.qos.creditQuota(credit)
 				m.mu.Lock()
 				delete(m.savedAt, f.seq)
 				m.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -31,6 +32,7 @@ import (
 type Service struct {
 	backend storage.Backend
 	shared  *sharedChunks
+	qos     *qosTable
 
 	mu     sync.Mutex
 	open   map[string]*Manager
@@ -49,6 +51,14 @@ type ServiceOptions struct {
 	// (default storage.DefaultChunkShards). More shards admit more
 	// concurrent per-chunk operations before two jobs contend on a mutex.
 	ChunkShards int
+	// Placement maps write classes to tier levels of the service backend
+	// (which must then be a *storage.Tiered). Zero value: every write
+	// lands on the hot level, as before.
+	Placement storage.PlacementPolicy
+	// QoS sets per-tenant byte quotas and write-rate limits. Zero value:
+	// no limits. Each job opened on the service is one tenant; the
+	// network server maps its tenant header onto the same table.
+	QoS QoSConfig
 }
 
 // JobPrefix is the key namespace holding per-job snapshot manifests.
@@ -67,7 +77,16 @@ func NewService(opt ServiceOptions) (*Service, error) {
 			return nil, fmt.Errorf("core: create service dir: %w", err)
 		}
 	}
-	s := &Service{backend: backend, open: make(map[string]*Manager)}
+	if opt.Placement != (storage.PlacementPolicy{}) {
+		tb, ok := backend.(*storage.Tiered)
+		if !ok {
+			return nil, errors.New("core: Placement requires a tiered service backend")
+		}
+		if err := tb.SetPlacement(opt.Placement); err != nil {
+			return nil, err
+		}
+	}
+	s := &Service{backend: backend, open: make(map[string]*Manager), qos: newQoSTable(opt.QoS)}
 	s.shared = &sharedChunks{
 		store: storage.NewShardedChunkStore(storage.WithPrefix(backend, ChunkPrefix), opt.ChunkShards),
 		refs:  s.allReferences,
@@ -133,6 +152,10 @@ func (s *Service) OpenJob(jobID string, opt Options) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The job is its own tenant: saves check its quota and pay its rate
+	// debt in its own save path. Wired before the manager is handed out,
+	// so every save it ever runs is accounted.
+	m.qos = s.qos.tenant(jobID)
 	s.open[jobID] = m
 	return m, nil
 }
@@ -204,6 +227,40 @@ func (s *Service) RegisterPinSource(ps PinSource) {
 	s.shared.registerPinSource(ps)
 }
 
+// QoSAdmit is the network server's admission check: would tenant's next
+// n bytes exceed its quota or rate? Non-blocking — on refusal it returns
+// a suggested retry delay and the limiting dimension ("quota" or
+// "rate"), which the server converts into 429 + Retry-After. Always
+// admits when QoS is disabled.
+func (s *Service) QoSAdmit(tenant string, n int64) (retryAfter time.Duration, reason string, ok bool) {
+	if s.qos == nil {
+		return 0, "", true
+	}
+	return s.qos.tenant(tenant).admitOrRetry(n)
+}
+
+// QoSCharge bills n stored bytes to tenant's quota — the server calls it
+// after an ingest actually lands (dedup hits are free).
+func (s *Service) QoSCharge(tenant string, n int64) {
+	if s.qos == nil || n <= 0 {
+		return
+	}
+	s.qos.tenant(tenant).chargeQuota(n)
+}
+
+// QoSCredit hands n bytes back to tenant's quota (retention deletes on
+// behalf of a remote tenant).
+func (s *Service) QoSCredit(tenant string, n int64) {
+	if s.qos == nil || n <= 0 {
+		return
+	}
+	s.qos.tenant(tenant).creditQuota(n)
+}
+
+// QoSUsage snapshots every known tenant's QoS counters; nil when QoS is
+// disabled.
+func (s *Service) QoSUsage() map[string]TenantUsage { return s.qos.usage() }
+
 // allReferences is the service keep-set scanner: chunk references from
 // every job namespace in the backend, plus the root namespace so a store
 // that also carries standalone-manager history keeps it alive.
@@ -259,8 +316,15 @@ func (v *jobView) Name() string                       { return v.base.Name() }
 func (v *jobView) Capabilities() storage.Capabilities { return v.base.Capabilities() }
 
 func (v *jobView) Put(key string, data []byte) error { return v.route(key).Put(key, data) }
-func (v *jobView) Get(key string) ([]byte, error)    { return v.route(key).Get(key) }
-func (v *jobView) Delete(key string) error           { return v.route(key).Delete(key) }
+
+// PutClass forwards classed writes so placement survives the view: a
+// job's manifests still land where the service's policy says manifests
+// go, not wherever the prefix wrapper's plain Put would.
+func (v *jobView) PutClass(key string, data []byte, class storage.WriteClass) error {
+	return storage.PutClass(v.route(key), key, data, class)
+}
+func (v *jobView) Get(key string) ([]byte, error) { return v.route(key).Get(key) }
+func (v *jobView) Delete(key string) error        { return v.route(key).Delete(key) }
 func (v *jobView) Stat(key string) (storage.ObjectInfo, error) {
 	return v.route(key).Stat(key)
 }
@@ -276,6 +340,11 @@ func (v *jobView) GetRange(key string, off, n int64) ([]byte, error) {
 // dedup decision to the server (ok=false over plain backends).
 func (v *jobView) IngestKeyed(key, addr string, data []byte) (int, bool, error) {
 	return storage.TryIngestKeyed(v.route(key), key, addr, data)
+}
+
+// IngestKeyedClass is IngestKeyed with the write class attached.
+func (v *jobView) IngestKeyedClass(key, addr string, data []byte, class storage.WriteClass) (int, bool, error) {
+	return storage.TryIngestKeyedClass(v.route(key), key, addr, data, class)
 }
 
 // CollectOrphans forwards to the base store's authoritative collector

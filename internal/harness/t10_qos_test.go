@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestT10QoS runs the mixed fleet at reduced scale and checks the
+// mechanics the table depends on — restores, placement, throttling —
+// without asserting on timing comparisons, which are load-dependent.
+func TestT10QoS(t *testing.T) {
+	rows, err := RunT10QoS(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Bitwise {
+			t.Errorf("%s: a tenant failed bitwise restore", r.Mode)
+		}
+		if r.NoisySaves < t10NoisyFloor {
+			t.Errorf("%s: noisy tenant only saved %d times", r.Mode, r.NoisySaves)
+		}
+		// Placement: the quiet tenants' delta tails must land on the warm
+		// level, never the hot one.
+		if r.WarmDelta == 0 {
+			t.Errorf("%s: no delta-class bytes on the warm level", r.Mode)
+		}
+		if r.HotDeltaBytes != 0 {
+			t.Errorf("%s: %d delta-class bytes leaked onto the hot level", r.Mode, r.HotDeltaBytes)
+		}
+		if r.HotBytes == 0 {
+			t.Errorf("%s: hot level is empty — manifests and anchors should live there", r.Mode)
+		}
+	}
+	if rows[0].Mode != "no-qos" || rows[1].Mode != "qos" {
+		t.Fatalf("modes = %q, %q", rows[0].Mode, rows[1].Mode)
+	}
+	if rows[0].Throttled != 0 {
+		t.Errorf("no-qos run throttled %d times", rows[0].Throttled)
+	}
+	if rows[1].Throttled == 0 {
+		t.Error("qos run never throttled the noisy tenant")
+	}
+	if rows[1].ThrottleWait == 0 {
+		t.Error("qos run reports zero throttle wait")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	samples := []time.Duration{ms(5), ms(1), ms(3), ms(2), ms(4)}
+	if got := percentile(samples, 0.5); got != ms(3) {
+		t.Errorf("p50 = %v, want 3ms", got)
+	}
+	if got := percentile(samples, 0.99); got != ms(5) {
+		t.Errorf("p99 = %v, want 5ms", got)
+	}
+	if samples[0] != ms(5) {
+		t.Error("percentile mutated its input")
+	}
+}

@@ -192,6 +192,13 @@ func (c *Client) Capabilities() storage.Capabilities {
 // fully read body. A non-nil error means the exchange itself failed —
 // the server may or may not have applied the request.
 func (c *Client) roundTrip(method, pth string, query url.Values, body []byte) (int, http.Header, []byte, error) {
+	return c.roundTripClass(method, pth, query, body, storage.ClassDefault)
+}
+
+// roundTripClass is roundTrip with the write class riding as a header on
+// classed PUTs, so the server's placement policy sees remote writes with
+// the same fidelity as local ones.
+func (c *Client) roundTripClass(method, pth string, query url.Values, body []byte, class storage.WriteClass) (int, http.Header, []byte, error) {
 	u := c.base + pth
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -205,6 +212,9 @@ func (c *Client) roundTrip(method, pth string, query url.Values, body []byte) (i
 		return 0, nil, nil, err
 	}
 	req.Header.Set(api.TenantHeader, c.opt.Tenant)
+	if class != storage.ClassDefault {
+		req.Header.Set(api.ClassHeader, class.String())
+	}
 	c.requests.Add(1)
 	c.bytesSent.Add(int64(len(body)))
 	resp, err := c.hc.Do(req)
@@ -277,6 +287,11 @@ func (c *Client) backoff(attempt int, hdr http.Header) {
 // and retryable statuses are re-attempted, anything else is returned for
 // the caller to map.
 func (c *Client) doIdem(method, pth string, query url.Values, body []byte) (int, http.Header, []byte, error) {
+	return c.doIdemClass(method, pth, query, body, storage.ClassDefault)
+}
+
+// doIdemClass is doIdem carrying a write class.
+func (c *Client) doIdemClass(method, pth string, query url.Values, body []byte, class storage.WriteClass) (int, http.Header, []byte, error) {
 	var (
 		status    int
 		hdr       http.Header
@@ -288,7 +303,7 @@ func (c *Client) doIdem(method, pth string, query url.Values, body []byte) (int,
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
-		status, hdr, data, err = c.roundTrip(method, pth, query, body)
+		status, hdr, data, err = c.roundTripClass(method, pth, query, body, class)
 		if err == nil && !retryable(status) {
 			return status, hdr, data, nil
 		}
@@ -339,6 +354,12 @@ func escapeKey(key string) string {
 // ambiguous, so the client reads the key back and re-sends only when the
 // stored bytes don't match what it meant to write.
 func (c *Client) Put(key string, data []byte) error {
+	return c.PutClass(key, data, storage.ClassDefault)
+}
+
+// PutClass implements storage.ClassWriter: Put with the write class sent
+// as a header, same verify-then-retry protocol.
+func (c *Client) PutClass(key string, data []byte, class storage.WriteClass) error {
 	if err := storage.ValidateKey(key); err != nil {
 		return err
 	}
@@ -347,7 +368,7 @@ func (c *Client) Put(key string, data []byte) error {
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
-		status, hdr, body, err := c.roundTrip(http.MethodPut, api.PathObjects+escapeKey(key), nil, data)
+		status, hdr, body, err := c.roundTripClass(http.MethodPut, api.PathObjects+escapeKey(key), nil, data, class)
 		if err == nil {
 			switch {
 			case status == http.StatusNoContent || status == http.StatusOK:
@@ -555,6 +576,13 @@ func (c *Client) Delete(key string) error {
 // the chunk store's dedup decision to the server, which sees every
 // tenant's chunks — that is the entire point of the protocol.
 func (c *Client) IngestKeyed(key, addr string, data []byte) (int, bool, error) {
+	return c.IngestKeyedClass(key, addr, data, storage.ClassDefault)
+}
+
+// IngestKeyedClass implements storage.KeyedClassIngester: the same dedup
+// handshake with the write class riding the upload leg (the probe leg
+// carries no class — a hit stays wherever it already lives).
+func (c *Client) IngestKeyedClass(key, addr string, data []byte, class storage.WriteClass) (int, bool, error) {
 	if err := storage.ValidateKey(key); err != nil {
 		return 0, false, err
 	}
@@ -565,7 +593,7 @@ func (c *Client) IngestKeyed(key, addr string, data []byte) (int, bool, error) {
 	if have {
 		return 0, true, nil
 	}
-	status, _, body, err := c.doIdem(http.MethodPut, api.PathChunks+escapeKey(key), nil, data)
+	status, _, body, err := c.doIdemClass(http.MethodPut, api.PathChunks+escapeKey(key), nil, data, class)
 	if err != nil {
 		return 0, true, fmt.Errorf("remote: ingest %s: %w", key, err)
 	}

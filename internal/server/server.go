@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/storage"
@@ -145,6 +146,54 @@ func (s *Server) admitIngest(w http.ResponseWriter, r *http.Request) (release fu
 		return nil, false
 	}
 	return func() { s.admit.release(tenant) }, true
+}
+
+// admitQoS consults the service's per-tenant QoS table (when it has one)
+// for n incoming bytes — quota headroom and write-rate tokens. On
+// refusal it writes 429 with a Retry-After derived from the limiter's
+// own arithmetic (bucket refill time for "rate", GC cadence for
+// "quota") and returns false. Runs after the in-flight bound, so both
+// rejections ride the same admission path.
+func (s *Server) admitQoS(w http.ResponseWriter, r *http.Request, n int64) bool {
+	qs, ok := s.svc.(api.QoSService)
+	if !ok {
+		return true
+	}
+	if n < 0 {
+		n = 0 // chunked transfer encoding: length unknown, admit and charge on landing
+	}
+	tenant := tenantOf(r)
+	retry, reason, ok := qs.QoSAdmit(tenant, n)
+	if ok {
+		return true
+	}
+	s.throttled.Add(1)
+	secs := int((retry + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErr(w, http.StatusTooManyRequests, api.CodeThrottled,
+		fmt.Sprintf("tenant %q over its %s limit", tenant, reason))
+	return false
+}
+
+// chargeQoS bills bytes that actually landed to the tenant's quota.
+func (s *Server) chargeQoS(r *http.Request, n int64) {
+	if qs, ok := s.svc.(api.QoSService); ok && n > 0 {
+		qs.QoSCharge(tenantOf(r), n)
+	}
+}
+
+// classOf parses the write-class header; unknown names are a client bug
+// worth a 400, not a silent fall-through to default placement.
+func classOf(w http.ResponseWriter, r *http.Request) (storage.WriteClass, bool) {
+	class, err := storage.ParseWriteClass(r.Header.Get(api.ClassHeader))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return storage.ClassDefault, false
+	}
+	return class, true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -301,15 +350,29 @@ func (s *Server) handleChunkPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if !s.admitQoS(w, r, r.ContentLength) {
+		return
+	}
+	class, ok := classOf(w, r)
+	if !ok {
+		return
+	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	written, err := s.svc.IngestChunk(key, body)
+	var written int
+	var err error
+	if cs, ok := s.svc.(api.ClassedService); ok {
+		written, err = cs.IngestChunkClass(key, body, class)
+	} else {
+		written, err = s.svc.IngestChunk(key, body)
+	}
 	if err != nil {
 		writeMappedErr(w, err)
 		return
 	}
+	s.chargeQoS(r, int64(written))
 	writeJSON(w, api.IngestResponse{Written: written})
 }
 
@@ -323,14 +386,28 @@ func (s *Server) handleObjectPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if !s.admitQoS(w, r, r.ContentLength) {
+		return
+	}
+	class, ok := classOf(w, r)
+	if !ok {
+		return
+	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	if err := s.svc.CommitManifest(key, body); err != nil {
+	var err error
+	if cs, ok := s.svc.(api.ClassedService); ok {
+		err = cs.CommitManifestClass(key, body, class)
+	} else {
+		err = s.svc.CommitManifest(key, body)
+	}
+	if err != nil {
 		writeMappedErr(w, err)
 		return
 	}
+	s.chargeQoS(r, int64(len(body)))
 	w.WriteHeader(http.StatusNoContent)
 }
 

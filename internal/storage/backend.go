@@ -393,6 +393,16 @@ func (p *prefixed) Put(key string, data []byte) error {
 	return p.base.Put(p.prefix+key, data)
 }
 
+// PutClass forwards a classed write into the namespaced base, so class
+// tags survive the "chunks/" and "jobs/<id>/" mounts on the way down to
+// a tiered store that places by class.
+func (p *prefixed) PutClass(key string, data []byte, class WriteClass) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	return PutClass(p.base, p.prefix+key, data, class)
+}
+
 func (p *prefixed) Get(key string) ([]byte, error) {
 	if err := ValidateKey(key); err != nil {
 		return nil, err
@@ -423,6 +433,14 @@ func (p *prefixed) IngestKeyed(key, addr string, data []byte) (int, bool, error)
 		return 0, false, err
 	}
 	return TryIngestKeyed(p.base, p.prefix+key, addr, data)
+}
+
+// IngestKeyedClass forwards a classed addressed ingest into the base.
+func (p *prefixed) IngestKeyedClass(key, addr string, data []byte, class WriteClass) (int, bool, error) {
+	if err := ValidateKey(key); err != nil {
+		return 0, false, err
+	}
+	return TryIngestKeyedClass(p.base, p.prefix+key, addr, data, class)
 }
 
 func (p *prefixed) List(prefix string) ([]string, error) {

@@ -155,6 +155,15 @@ func (c *Cache) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutClass forwards a classed write to the base, invalidating like Put.
+func (c *Cache) PutClass(key string, data []byte, class WriteClass) error {
+	if err := PutClass(c.base, key, data, class); err != nil {
+		return err
+	}
+	c.drop(key)
+	return nil
+}
+
 // Get implements Backend, filling the cache on miss.
 func (c *Cache) Get(key string) ([]byte, error) {
 	if err := ValidateKey(key); err != nil {

@@ -157,6 +157,14 @@ func (cs *ShardedChunkStore) Put(data []byte) (string, error) {
 	return addr, err
 }
 
+// PutClass is Put with a write class attached, for callers without a
+// precomputed address (the archive packer tags its blobs ClassArchive so
+// a placement policy can route them straight to a capacity tier).
+func (cs *ShardedChunkStore) PutClass(data []byte, class WriteClass) (string, error) {
+	addr, _, err := cs.IngestAddressedClass(Hash(data), data, class)
+	return addr, err
+}
+
 // Ingest stores data and additionally reports how many bytes were newly
 // written — 0 on a verified dedup hit. The write pipeline uses this to
 // account true storage traffic under deduplication.
@@ -203,6 +211,16 @@ func TryIngestKeyed(b Backend, key, addr string, data []byte) (written int, ok b
 // and hands the address down. addr must equal Hash(data); a wrong
 // address corrupts the store's content addressing.
 func (cs *ShardedChunkStore) IngestAddressed(addr string, data []byte) (_ string, written int, err error) {
+	return cs.IngestAddressedClass(addr, data, ClassDefault)
+}
+
+// IngestAddressedClass is IngestAddressed with a write class: a miss is
+// written through the backend's ClassWriter (when it has one), so a
+// tiered store places anchor chunks hot and delta tails warm while the
+// dedup protocol stays identical. The class only influences where a
+// *new* chunk lands — a dedup hit leaves the resident copy wherever it
+// lives, whatever class the hit carries.
+func (cs *ShardedChunkStore) IngestAddressedClass(addr string, data []byte, class WriteClass) (_ string, written int, err error) {
 	key, err := cs.key(addr)
 	if err != nil {
 		return "", 0, err
@@ -210,7 +228,7 @@ func (cs *ShardedChunkStore) IngestAddressed(addr string, data []byte) (_ string
 	// A backend that owns the dedup decision (a remote store running the
 	// address-first handshake) takes the ingest whole; its answer is
 	// authoritative, including verification of any resident copy.
-	if w, ok, derr := TryIngestKeyed(cs.b, key, addr, data); ok {
+	if w, ok, derr := TryIngestKeyedClass(cs.b, key, addr, data, class); ok {
 		if derr != nil {
 			return "", 0, derr
 		}
@@ -229,7 +247,7 @@ func (cs *ShardedChunkStore) IngestAddressed(addr string, data []byte) (_ string
 		// Resident copy truncated, corrupt, or unreadable: fall through and
 		// overwrite it with the bytes we know hash to this address.
 	}
-	if err := cs.b.Put(key, data); err != nil {
+	if err := PutClass(cs.b, key, data, class); err != nil {
 		return "", 0, err
 	}
 	cs.markVerified(addr)

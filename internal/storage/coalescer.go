@@ -382,6 +382,15 @@ func (c *Coalescer) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutClass forwards a classed write to the base, invalidating like Put.
+func (c *Coalescer) PutClass(key string, data []byte, class WriteClass) error {
+	if err := PutClass(c.base, key, data, class); err != nil {
+		return err
+	}
+	c.drop(key)
+	return nil
+}
+
 // Delete implements Backend, evicting any cached copy first.
 func (c *Coalescer) Delete(key string) error {
 	c.drop(key)
@@ -403,6 +412,19 @@ func (c *Coalescer) IngestKeyed(key, addr string, data []byte) (int, bool, error
 		// or a repair rewrite of a corrupt resident — evict any cached copy
 		// of the old bytes. A dedup hit (written == 0) leaves the verified
 		// resident copy, and the cached copy with it, in place.
+		c.drop(key)
+	}
+	return written, ok, err
+}
+
+// IngestKeyedClass forwards a classed addressed ingest to the base with
+// the same invalidation rule as IngestKeyed.
+func (c *Coalescer) IngestKeyedClass(key, addr string, data []byte, class WriteClass) (int, bool, error) {
+	if err := ValidateKey(key); err != nil {
+		return 0, false, err
+	}
+	written, ok, err := TryIngestKeyedClass(c.base, key, addr, data, class)
+	if ok && err == nil && written > 0 {
 		c.drop(key)
 	}
 	return written, ok, err

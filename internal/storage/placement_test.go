@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTieredClassPlacement(t *testing.T) {
+	tb := twoLevel(t)
+	if err := tb.SetPlacement(PlacementPolicy{Delta: "cold", Archive: "cold"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.PutClass("m", []byte("manifest"), ClassManifest); err != nil {
+		t.Fatal(err)
+	}
+	if lv, err := tb.Residency("m"); err != nil || lv != 0 {
+		t.Fatalf("manifest residency = %d, %v (want hot)", lv, err)
+	}
+	if err := tb.PutClass("d", []byte("delta"), ClassDeltaChunk); err != nil {
+		t.Fatal(err)
+	}
+	if lv, err := tb.Residency("d"); err != nil || lv != 1 {
+		t.Fatalf("delta residency = %d, %v (want cold)", lv, err)
+	}
+	if got, err := tb.Get("d"); err != nil || string(got) != "delta" {
+		t.Fatalf("read-through of policy-placed delta: %q, %v", got, err)
+	}
+	// Plain Put keeps the default write-to-hot rule even under a policy.
+	if err := tb.Put("p", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if lv, _ := tb.Residency("p"); lv != 0 {
+		t.Errorf("plain Put residency = %d under policy", lv)
+	}
+	// A zero policy restores write-to-hot for every class.
+	if err := tb.SetPlacement(PlacementPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.PutClass("d2", []byte("delta2"), ClassDeltaChunk); err != nil {
+		t.Fatal(err)
+	}
+	if lv, _ := tb.Residency("d2"); lv != 0 {
+		t.Errorf("delta residency = %d after policy reset", lv)
+	}
+}
+
+func TestSetPlacementUnknownLevel(t *testing.T) {
+	tb := twoLevel(t)
+	err := tb.SetPlacement(PlacementPolicy{Delta: "nvme"})
+	if err == nil || !strings.Contains(err.Error(), "nvme") {
+		t.Fatalf("unknown level accepted: %v", err)
+	}
+}
+
+func TestOccupancyByClass(t *testing.T) {
+	tb := twoLevel(t)
+	if err := tb.SetPlacement(PlacementPolicy{Delta: "cold"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.PutClass("m", []byte("manifest!"), ClassManifest); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.PutClass("a", []byte("anchor"), ClassAnchorChunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.PutClass("d", []byte("delta"), ClassDeltaChunk); err != nil {
+		t.Fatal(err)
+	}
+	occ, err := tb.Occupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classBytes := func(lv int, class string) int64 {
+		for _, c := range occ[lv].ByClass {
+			if c.Class == class {
+				return c.Bytes
+			}
+		}
+		return 0
+	}
+	if got := classBytes(0, "manifest"); got != 9 {
+		t.Errorf("hot manifest bytes = %d", got)
+	}
+	if got := classBytes(0, "anchor"); got != 6 {
+		t.Errorf("hot anchor bytes = %d", got)
+	}
+	if got := classBytes(0, "delta"); got != 0 {
+		t.Errorf("delta bytes on hot = %d", got)
+	}
+	if got := classBytes(1, "delta"); got != 5 {
+		t.Errorf("cold delta bytes = %d", got)
+	}
+	// Deleting drops the class attribution with the object.
+	if err := tb.Delete("d"); err != nil {
+		t.Fatal(err)
+	}
+	occ, err = tb.Occupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range occ[1].ByClass {
+		if c.Class == "delta" {
+			t.Errorf("deleted delta still attributed: %+v", c)
+		}
+	}
+}
+
+// TestChunkStoreClassPlacement drives classed ingests through the full
+// mount chain — chunk store → prefixed "chunks/" view → tiered store —
+// and checks the class decides the landing level while dedup semantics
+// are untouched.
+func TestChunkStoreClassPlacement(t *testing.T) {
+	tb := twoLevel(t)
+	if err := tb.SetPlacement(PlacementPolicy{Delta: "cold"}); err != nil {
+		t.Fatal(err)
+	}
+	cs := NewChunkStore(WithPrefix(tb, "chunks"))
+	delta := []byte("delta chunk payload")
+	addr, written, err := cs.IngestAddressedClass(Hash(delta), delta, ClassDeltaChunk)
+	if err != nil || written != len(delta) {
+		t.Fatalf("delta ingest: written=%d err=%v", written, err)
+	}
+	key := "chunks/" + addr[:2] + "/" + addr
+	if lv, err := tb.Residency(key); err != nil || lv != 1 {
+		t.Fatalf("delta chunk residency = %d, %v (want cold)", lv, err)
+	}
+	anchor := []byte("anchor chunk payload")
+	aaddr, _, err := cs.IngestAddressedClass(Hash(anchor), anchor, ClassAnchorChunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	akey := "chunks/" + aaddr[:2] + "/" + aaddr
+	if lv, err := tb.Residency(akey); err != nil || lv != 0 {
+		t.Fatalf("anchor chunk residency = %d, %v (want hot)", lv, err)
+	}
+	// A dedup hit leaves the resident copy where it lives, whatever class
+	// the hit carries.
+	if _, w, err := cs.IngestAddressedClass(Hash(delta), delta, ClassAnchorChunk); err != nil || w != 0 {
+		t.Fatalf("re-ingest: written=%d err=%v", w, err)
+	}
+	if lv, _ := tb.Residency(key); lv != 1 {
+		t.Errorf("dedup hit moved the chunk to level %d", lv)
+	}
+	if got, err := cs.Get(addr); err != nil || !bytes.Equal(got, delta) {
+		t.Fatalf("chunk read-through: %v", err)
+	}
+}
+
+// faultBackend injects failures into a level backend to exercise the
+// torn-move protections of Tiered.Promote/Demote: failPut makes every
+// copy attempt fail, corruptGet returns flipped bytes so the move's
+// read-back verification fails after the copy landed.
+type faultBackend struct {
+	Backend
+	failPut    bool
+	corruptGet bool
+}
+
+var errInjectedPut = errors.New("injected put failure")
+
+func (f *faultBackend) Put(key string, data []byte) error {
+	if f.failPut {
+		return errInjectedPut
+	}
+	return f.Backend.Put(key, data)
+}
+
+func (f *faultBackend) Get(key string) ([]byte, error) {
+	data, err := f.Backend.Get(key)
+	if err == nil && f.corruptGet && len(data) > 0 {
+		data[0] ^= 0xff // Mem.Get returns a copy; the store is untouched
+	}
+	return data, err
+}
+
+func faultedTiered(t *testing.T, hot, cold Backend) *Tiered {
+	t.Helper()
+	tb, err := NewTiered(Level{Name: "hot", Backend: hot}, Level{Name: "cold", Backend: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestDemoteCopyFailureRetainsSource(t *testing.T) {
+	tb := faultedTiered(t, NewMem(), &faultBackend{Backend: NewMem(), failPut: true})
+	if err := tb.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Demote("k", 1); !errors.Is(err, errInjectedPut) {
+		t.Fatalf("Demote error = %v", err)
+	}
+	if lv, err := tb.Residency("k"); err != nil || lv != 0 {
+		t.Fatalf("source residency after failed demote = %d, %v", lv, err)
+	}
+	if got, err := tb.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("source unreadable after failed demote: %q, %v", got, err)
+	}
+	if st := tb.Stats(); st.Demotions != 0 {
+		t.Errorf("failed demote counted: %+v", st)
+	}
+}
+
+func TestDemoteVerifyFailureRetainsSource(t *testing.T) {
+	tb := faultedTiered(t, NewMem(), &faultBackend{Backend: NewMem(), corruptGet: true})
+	if err := tb.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.Demote("k", 1)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("Demote error = %v (want verify failure)", err)
+	}
+	// The copy-verify-delete ordering must leave the hot copy untouched:
+	// the delete half never ran.
+	if lv, err := tb.Residency("k"); err != nil || lv != 0 {
+		t.Fatalf("source residency after failed verify = %d, %v", lv, err)
+	}
+	if got, err := tb.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("source unreadable after failed verify: %q, %v", got, err)
+	}
+	if st := tb.Stats(); st.Demotions != 0 || st.MovedBytes != 0 {
+		t.Errorf("failed demote counted: %+v", st)
+	}
+}
+
+func TestPromoteCopyFailureRetainsSource(t *testing.T) {
+	hot := &faultBackend{Backend: NewMem()}
+	tb := faultedTiered(t, hot, NewMem())
+	if err := tb.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Demote("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	hot.failPut = true
+	if err := tb.Promote("k", 0); !errors.Is(err, errInjectedPut) {
+		t.Fatalf("Promote error = %v", err)
+	}
+	if lv, err := tb.Residency("k"); err != nil || lv != 1 {
+		t.Fatalf("source residency after failed promote = %d, %v", lv, err)
+	}
+	if got, err := tb.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("source unreadable after failed promote: %q, %v", got, err)
+	}
+	if st := tb.Stats(); st.Promotions != 0 {
+		t.Errorf("failed promote counted: %+v", st)
+	}
+}

@@ -92,6 +92,17 @@ func (t *Tier) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutClass forwards a classed write to the base (falling back to plain
+// Put when the base has no placement to apply), charging the modeled
+// write cost on success.
+func (t *Tier) PutClass(key string, data []byte, class WriteClass) error {
+	if err := PutClass(t.base, key, data, class); err != nil {
+		return err
+	}
+	t.charge(t.dev.WriteCost(len(data)), int64(len(data)), 0)
+	return nil
+}
+
 // Get implements Backend, charging the modeled read cost on success.
 func (t *Tier) Get(key string) ([]byte, error) {
 	data, err := t.base.Get(key)

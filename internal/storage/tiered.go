@@ -19,8 +19,10 @@ type Level struct {
 }
 
 // Tiered is a composite Backend over an ordered list of levels. Writes
-// land on the hot (first) level; reads fall through the hierarchy until a
-// level answers, so an object stays readable wherever it lives. Explicit
+// land on the level the placement policy maps their class to — the hot
+// (first) level by default and for every unclassified write; reads fall
+// through the hierarchy until a level answers, so an object stays
+// readable wherever it lives. Explicit
 // Promote/Demote moves (copy, verify, delete) let a lifecycle policy
 // migrate cold history down without ever making it unreadable. List and
 // Delete span every level, so retention GC and chunk collection operate on
@@ -30,6 +32,16 @@ type Tiered struct {
 
 	mu    sync.Mutex
 	stats TieredStats
+
+	// classTarget maps each WriteClass to the level index its writes land
+	// on. All zero (hot) until SetPlacement installs a policy, so plain
+	// Put and unpoliced stores behave exactly as before.
+	classTarget [numWriteClasses]int
+	// classes remembers the class each live key was written as, for
+	// occupancy-by-class accounting. Keys written before the process
+	// started (or through plain Put) report ClassDefault. Entries are
+	// dropped on Delete, so the map tracks live objects, not history.
+	classes map[string]WriteClass
 }
 
 // TieredStats aggregates read-through and migration activity.
@@ -126,9 +138,79 @@ func (t *Tiered) Capabilities() Capabilities {
 	return c
 }
 
-// Put implements Backend: writes always land on the hot level.
+// SetPlacement installs a placement policy, resolving each class's level
+// name against this store's levels. A zero policy restores the default
+// write-to-hot rule. Safe to call on a live store; only subsequent writes
+// are affected (installing a policy never moves resident objects — that
+// is the migration scheduler's job).
+func (t *Tiered) SetPlacement(pol PlacementPolicy) error {
+	var targets [numWriteClasses]int
+	for c := WriteClass(0); c < numWriteClasses; c++ {
+		name := pol.levelFor(c)
+		if name == "" {
+			continue
+		}
+		idx, err := t.LevelIndex(name)
+		if err != nil {
+			return fmt.Errorf("storage: placement for class %s: %w", c, err)
+		}
+		targets[c] = idx
+	}
+	t.mu.Lock()
+	t.classTarget = targets
+	t.mu.Unlock()
+	return nil
+}
+
+// targetFor returns the level index class writes land on.
+func (t *Tiered) targetFor(class WriteClass) int {
+	if class < 0 || class >= numWriteClasses {
+		class = ClassDefault
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.classTarget[class]
+}
+
+// recordClass notes the class key was written as (for occupancy stats).
+// ClassDefault entries are dropped rather than stored: they are the
+// lookup fallback anyway, and most stores never tag at all.
+func (t *Tiered) recordClass(key string, class WriteClass) {
+	t.mu.Lock()
+	if class == ClassDefault {
+		delete(t.classes, key)
+	} else {
+		if t.classes == nil {
+			t.classes = make(map[string]WriteClass)
+		}
+		t.classes[key] = class
+	}
+	t.mu.Unlock()
+}
+
+// classOf returns the recorded class of key (ClassDefault if unknown).
+func (t *Tiered) classOf(key string) WriteClass {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.classes[key]
+}
+
+// Put implements Backend: an unclassified write, placed by the default
+// rule (the hot level unless a policy says otherwise).
 func (t *Tiered) Put(key string, data []byte) error {
-	return t.levels[0].Backend.Put(key, data)
+	return t.PutClass(key, data, ClassDefault)
+}
+
+// PutClass implements ClassWriter: the write lands on the level the
+// placement policy maps its class to — the policy-driven replacement for
+// the old unconditional write-to-hot rule.
+func (t *Tiered) PutClass(key string, data []byte, class WriteClass) error {
+	target := t.targetFor(class)
+	if err := t.levels[target].Backend.Put(key, data); err != nil {
+		return err
+	}
+	t.recordClass(key, class)
+	return nil
 }
 
 // Get implements Backend: read-through from hot to cold, returning the
@@ -281,6 +363,9 @@ func (t *Tiered) Delete(key string) error {
 	if !found {
 		return fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
+	t.mu.Lock()
+	delete(t.classes, key)
+	t.mu.Unlock()
 	return nil
 }
 
@@ -420,14 +505,26 @@ func (t *Tiered) Promote(key string, target int) error {
 	return t.move(key, target)
 }
 
-// LevelOccupancy is one level's resident footprint.
-type LevelOccupancy struct {
-	Name    string
+// ClassOccupancy is one write class's resident footprint on a level.
+type ClassOccupancy struct {
+	Class   string
 	Objects int
 	Bytes   int64
 }
 
-// Occupancy reports each level's resident object count and bytes.
+// LevelOccupancy is one level's resident footprint. ByClass breaks the
+// totals down by the class each object was written as (classes recorded
+// since this Tiered was opened; older objects count as "default").
+type LevelOccupancy struct {
+	Name    string
+	Objects int
+	Bytes   int64
+	ByClass []ClassOccupancy
+}
+
+// Occupancy reports each level's resident object count and bytes, broken
+// down by write class — the "did the delta tail actually land warm?"
+// evidence the QoS harness (Table 10) reports.
 func (t *Tiered) Occupancy() ([]LevelOccupancy, error) {
 	occ := make([]LevelOccupancy, len(t.levels))
 	for i, lv := range t.levels {
@@ -437,6 +534,7 @@ func (t *Tiered) Occupancy() ([]LevelOccupancy, error) {
 			return nil, err
 		}
 		occ[i].Objects = len(keys)
+		var byClass [numWriteClasses]ClassOccupancy
 		for _, k := range keys {
 			info, err := lv.Backend.Stat(k)
 			if err != nil {
@@ -446,6 +544,16 @@ func (t *Tiered) Occupancy() ([]LevelOccupancy, error) {
 				return nil, err
 			}
 			occ[i].Bytes += info.Size
+			c := t.classOf(k)
+			byClass[c].Objects++
+			byClass[c].Bytes += info.Size
+		}
+		for c := WriteClass(0); c < numWriteClasses; c++ {
+			if byClass[c].Objects == 0 {
+				continue
+			}
+			byClass[c].Class = c.String()
+			occ[i].ByClass = append(occ[i].ByClass, byClass[c])
 		}
 	}
 	return occ, nil
