@@ -159,13 +159,20 @@ type ClassedService interface {
 	IngestChunkClass(key string, data []byte, class storage.WriteClass) (written int, err error)
 }
 
-// QoSService is the optional Service extension for per-tenant admission:
-// Admit is consulted before accepting n bytes from tenant (refusals name
-// a retry delay and a reason, "quota" or "rate"); Charge bills bytes that
-// actually landed. A service without QoS simply doesn't implement it.
+// QoSService is the optional Service extension for per-tenant admission
+// and quota accounting: Admit is consulted before accepting n bytes from
+// tenant (refusals name a retry delay and a reason, "quota" or "rate");
+// Charge bills bytes that actually landed; ChargeChunk additionally
+// records the tenant as the canonical chunk's owner so the orphan sweep
+// can credit the bytes back; Credit hands bytes back when the tenant
+// deletes an object (remote retention GC), keeping the quota a measure
+// of footprint rather than lifetime traffic. A service without QoS
+// simply doesn't implement it.
 type QoSService interface {
 	QoSAdmit(tenant string, n int64) (retryAfter time.Duration, reason string, ok bool)
 	QoSCharge(tenant string, n int64)
+	QoSChargeChunk(tenant, addr string, n int64)
+	QoSCredit(tenant string, n int64)
 }
 
 // ChunkKeyAddr recognizes content-addressed chunk keys by shape — a final

@@ -233,6 +233,18 @@ func (l *Local) isCanonical(key, addr string) bool {
 	return key == core.ChunkPrefix+"/"+addr[:2]+"/"+addr
 }
 
+// CanonicalChunkAddr reports whether key addresses the service's shared
+// chunk store and returns the embedded address — the routing rule the
+// server's quota accounting uses to attribute chunk charges to sweepable
+// addresses.
+func CanonicalChunkAddr(key string) (addr string, ok bool) {
+	addr, ok = ChunkKeyAddr(key)
+	if !ok || key != core.ChunkPrefix+"/"+addr[:2]+"/"+addr {
+		return "", false
+	}
+	return addr, true
+}
+
 // ingestForeign is the dedup protocol for chunk-shaped keys outside the
 // canonical namespace (a client running a chunk store under its own
 // prefix): verified-compare against the resident copy, rewrite on any
@@ -271,6 +283,15 @@ func (l *Local) QoSAdmit(tenant string, n int64) (time.Duration, string, bool) {
 
 // QoSCharge implements QoSService.
 func (l *Local) QoSCharge(tenant string, n int64) { l.svc.QoSCharge(tenant, n) }
+
+// QoSChargeChunk implements QoSService: the charge plus chunk-owner
+// bookkeeping, so the service's orphan sweep credits the tenant back.
+func (l *Local) QoSChargeChunk(tenant, addr string, n int64) {
+	l.svc.QoSChargeChunk(tenant, addr, n)
+}
+
+// QoSCredit implements QoSService.
+func (l *Local) QoSCredit(tenant string, n int64) { l.svc.QoSCredit(tenant, n) }
 
 // Jobs implements Service.
 func (l *Local) Jobs() ([]string, error) { return l.svc.Jobs() }

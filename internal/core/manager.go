@@ -637,6 +637,20 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 		m.addrsSpare = addrs[:0]
 		return 0, err
 	}
+	// Chunk ownership for quota accounting: the caller is about to charge
+	// this save's written bytes to the tenant, so record which chunks the
+	// charge covered — when a later collection sweeps one, the tenant
+	// gets its bytes back (creditSwept). Recorded before the pins release
+	// so the entries exist before any sweep could touch the chunks.
+	if m.qos != nil {
+		for _, gs := range groups {
+			for _, g := range gs {
+				if g.res.written > 0 {
+					m.shared.recordChunkCharge(g.res.addr, m.qos, int64(g.res.written))
+				}
+			}
+		}
+	}
 	// Release pins under the gcGate read side, which forces the release to
 	// land either before a collection's manifest scan (the committed
 	// manifest is then in its keep-set) or after its sweep (the pins were

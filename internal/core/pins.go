@@ -148,6 +148,52 @@ type sharedChunks struct {
 	// alongside the local pin table's.
 	sourceMu sync.RWMutex
 	sources  []PinSource
+
+	// owners maps a chunk address to the tenant whose quota was charged
+	// for writing it (the first writer — the same approximation the
+	// charge side uses, DESIGN §13) and the charged byte count, so the
+	// sweep can hand the bytes back when the chunk is collected. Entries
+	// exist only for chunks written while QoS was active in this process;
+	// older chunks credit nobody, matching creditQuota's clamp-at-zero
+	// rule for pre-QoS history.
+	ownerMu sync.Mutex
+	owners  map[string]chunkCharge
+}
+
+// chunkCharge remembers who paid for a chunk's stored bytes.
+type chunkCharge struct {
+	qos   *tenantQoS
+	bytes int64
+}
+
+// recordChunkCharge notes that t was charged n bytes for writing addr.
+// No-op without QoS (nil tenant), so unpoliced stores pay nothing.
+func (sc *sharedChunks) recordChunkCharge(addr string, t *tenantQoS, n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	sc.ownerMu.Lock()
+	if sc.owners == nil {
+		sc.owners = make(map[string]chunkCharge)
+	}
+	sc.owners[addr] = chunkCharge{qos: t, bytes: n}
+	sc.ownerMu.Unlock()
+}
+
+// creditSwept hands a collected chunk's bytes back to the tenant charged
+// for writing it — the sweep-side half of chunk quota accounting. The
+// credit is the charged amount, not the swept size, so charge and credit
+// always cancel exactly.
+func (sc *sharedChunks) creditSwept(addr string, _ int64) {
+	sc.ownerMu.Lock()
+	c, ok := sc.owners[addr]
+	if ok {
+		delete(sc.owners, addr)
+	}
+	sc.ownerMu.Unlock()
+	if ok {
+		c.qos.creditQuota(c.bytes)
+	}
 }
 
 // registerPinSource adds an external pin provider consulted by every
@@ -246,5 +292,5 @@ func (sc *sharedChunks) collectLocked() (removed int, reclaimed int64, err error
 		ps.AddTo(keep)
 	}
 	sc.sourceMu.RUnlock()
-	return sc.store.Sweep(addrs, keep, sc.pinnedAnywhere)
+	return sc.store.Sweep(addrs, keep, sc.pinnedAnywhere, sc.creditSwept)
 }

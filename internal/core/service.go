@@ -248,8 +248,23 @@ func (s *Service) QoSCharge(tenant string, n int64) {
 	s.qos.tenant(tenant).chargeQuota(n)
 }
 
-// QoSCredit hands n bytes back to tenant's quota (retention deletes on
-// behalf of a remote tenant).
+// QoSChargeChunk is QoSCharge for a chunk of the shared store: besides
+// billing the bytes, it records tenant as the chunk's owner so a later
+// orphan sweep credits them back (the server calls it for canonical
+// chunk ingests that actually wrote).
+func (s *Service) QoSChargeChunk(tenant, addr string, n int64) {
+	if s.qos == nil || n <= 0 {
+		return
+	}
+	t := s.qos.tenant(tenant)
+	t.chargeQuota(n)
+	s.shared.recordChunkCharge(addr, t, n)
+}
+
+// QoSCredit hands n bytes back to tenant's quota — the server calls it
+// when a remote tenant's retention GC deletes an object through the
+// DELETE endpoint, so server-side quotas clear as history ages out just
+// like local ones.
 func (s *Service) QoSCredit(tenant string, n int64) {
 	if s.qos == nil || n <= 0 {
 		return

@@ -197,3 +197,145 @@ func TestServerClassHeaderPlacement(t *testing.T) {
 		t.Errorf("hot level shows no manifest bytes (%+v)", st.Levels[0])
 	}
 }
+
+// chargedBytes reads a tenant's ChargedBytes out of /v1/stats.
+func chargedBytes(t *testing.T, ts *httptest.Server, tenant string) int64 {
+	t.Helper()
+	resp, body := doHeadered(t, http.MethodGet, ts.URL+api.PathStats, nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var st api.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Tenants[tenant].ChargedBytes
+}
+
+// TestServerDeleteCreditsQuota proves the DELETE endpoint hands the
+// object's bytes back to the tenant's quota — the path a remote job's
+// retention GC rides, without which ChargedBytes would only ever grow
+// and the tenant would be permanently 429'd once it filled its quota.
+func TestServerDeleteCreditsQuota(t *testing.T) {
+	ts, _ := newQoSServer(t, core.QoSConfig{
+		Tenants: map[string]core.TenantQoS{"aging": {QuotaBytes: 1024}},
+	})
+	hdr := map[string]string{api.TenantHeader: "aging"}
+	payload := bytes.Repeat([]byte("x"), 600)
+
+	resp, _ := doHeadered(t, http.MethodPut, ts.URL+api.PathObjects+"jobs/aging/a", payload, hdr)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	if got := chargedBytes(t, ts, "aging"); got != 600 {
+		t.Fatalf("charged after put = %d, want 600", got)
+	}
+	// A second 600-byte object would exceed the quota…
+	resp, _ = doHeadered(t, http.MethodPut, ts.URL+api.PathObjects+"jobs/aging/b", payload, hdr)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota put: %d", resp.StatusCode)
+	}
+	// …but deleting the first (what retention GC does) clears the way.
+	resp, _ = doHeadered(t, http.MethodDelete, ts.URL+api.PathObjects+"jobs/aging/a", nil, hdr)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	if got := chargedBytes(t, ts, "aging"); got != 0 {
+		t.Fatalf("charged after delete = %d, want 0", got)
+	}
+	resp, _ = doHeadered(t, http.MethodPut, ts.URL+api.PathObjects+"jobs/aging/b", payload, hdr)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("put after credit: %d", resp.StatusCode)
+	}
+}
+
+// TestServerRePutChargesDelta proves manifest PUTs are idempotent for
+// quota accounting: the verify-then-retry protocol may re-send the same
+// manifest after an ambiguous failure, and only growth over the
+// resident copy is charged (shrinkage is credited).
+func TestServerRePutChargesDelta(t *testing.T) {
+	ts, _ := newQoSServer(t, core.QoSConfig{
+		Tenants: map[string]core.TenantQoS{"retry": {QuotaBytes: 10 << 10}},
+	})
+	hdr := map[string]string{api.TenantHeader: "retry"}
+	key := ts.URL + api.PathObjects + "jobs/retry/m"
+
+	payload := bytes.Repeat([]byte("m"), 500)
+	for i := 0; i < 3; i++ { // retried re-sends of one manifest
+		if resp, _ := doHeadered(t, http.MethodPut, key, payload, hdr); resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("put %d: %d", i, resp.StatusCode)
+		}
+	}
+	if got := chargedBytes(t, ts, "retry"); got != 500 {
+		t.Fatalf("charged after re-puts = %d, want 500", got)
+	}
+	// Growing the object charges the delta; shrinking credits it.
+	if resp, _ := doHeadered(t, http.MethodPut, key, bytes.Repeat([]byte("m"), 800), hdr); resp.StatusCode != http.StatusNoContent {
+		t.Fatal("grow put failed")
+	}
+	if got := chargedBytes(t, ts, "retry"); got != 800 {
+		t.Fatalf("charged after grow = %d, want 800", got)
+	}
+	if resp, _ := doHeadered(t, http.MethodPut, key, bytes.Repeat([]byte("m"), 300), hdr); resp.StatusCode != http.StatusNoContent {
+		t.Fatal("shrink put failed")
+	}
+	if got := chargedBytes(t, ts, "retry"); got != 300 {
+		t.Fatalf("charged after shrink = %d, want 300", got)
+	}
+}
+
+// TestServerChunkSweepCreditsQuota proves canonical chunk charges are
+// handed back when the orphan sweep collects the chunk: upload a chunk
+// no manifest references, expire its lease, run GC, and the tenant's
+// ChargedBytes drop back to zero.
+func TestServerChunkSweepCreditsQuota(t *testing.T) {
+	tb, err := storage.NewTiered(
+		storage.Level{Name: "hot", Backend: storage.NewMem()},
+		storage.Level{Name: "warm", Backend: storage.NewMem()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := core.NewService(core.ServiceOptions{
+		Backend: tb,
+		QoS:     core.QoSConfig{Tenants: map[string]core.TenantQoS{"up": {QuotaBytes: 10 << 10}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	leases := api.NewLeases(time.Minute)
+	now := time.Now()
+	leases.SetClock(func() time.Time { return now })
+	ts := httptest.NewServer(New(api.NewLocal(svc, leases), Options{}))
+	t.Cleanup(ts.Close)
+
+	chunk := bytes.Repeat([]byte("c"), 700)
+	addr := storage.Hash(chunk)
+	key := "chunks/" + addr[:2] + "/" + addr
+	resp, body := doHeadered(t, http.MethodPut, ts.URL+api.PathChunks+key, chunk,
+		map[string]string{api.TenantHeader: "up"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk put: %d %s", resp.StatusCode, body)
+	}
+	if got := chargedBytes(t, ts, "up"); got != 700 {
+		t.Fatalf("charged after chunk put = %d, want 700", got)
+	}
+	// Let the upload lease lapse (the client never committed a manifest),
+	// then collect: the orphaned chunk's bytes come back to the tenant.
+	leases.SetClock(func() time.Time { return now.Add(2 * time.Minute) })
+	resp, body = doHeadered(t, http.MethodPost, ts.URL+api.PathGC, nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gc: %d %s", resp.StatusCode, body)
+	}
+	var gc api.GCResponse
+	if err := json.Unmarshal(body, &gc); err != nil {
+		t.Fatal(err)
+	}
+	if gc.Removed != 1 || gc.Reclaimed != 700 {
+		t.Fatalf("gc response = %+v, want 1 chunk / 700 bytes", gc)
+	}
+	if got := chargedBytes(t, ts, "up"); got != 0 {
+		t.Fatalf("charged after sweep = %d, want 0", got)
+	}
+}

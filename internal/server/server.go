@@ -185,6 +185,28 @@ func (s *Server) chargeQoS(r *http.Request, n int64) {
 	}
 }
 
+// chargeQoSChunk is chargeQoS for chunk ingests: canonical chunk-store
+// addresses carry owner bookkeeping, so the orphan sweep credits the
+// bytes back when the chunk ages out of every manifest.
+func (s *Server) chargeQoSChunk(r *http.Request, key string, n int64) {
+	qs, ok := s.svc.(api.QoSService)
+	if !ok || n <= 0 {
+		return
+	}
+	if addr, canonical := api.CanonicalChunkAddr(key); canonical {
+		qs.QoSChargeChunk(tenantOf(r), addr, n)
+		return
+	}
+	qs.QoSCharge(tenantOf(r), n)
+}
+
+// creditQoS hands bytes back to the tenant's quota.
+func (s *Server) creditQoS(r *http.Request, n int64) {
+	if qs, ok := s.svc.(api.QoSService); ok && n > 0 {
+		qs.QoSCredit(tenantOf(r), n)
+	}
+}
+
 // classOf parses the write-class header; unknown names are a client bug
 // worth a 400, not a silent fall-through to default placement.
 func classOf(w http.ResponseWriter, r *http.Request) (storage.WriteClass, bool) {
@@ -372,7 +394,7 @@ func (s *Server) handleChunkPut(w http.ResponseWriter, r *http.Request) {
 		writeMappedErr(w, err)
 		return
 	}
-	s.chargeQoS(r, int64(written))
+	s.chargeQoSChunk(r, key, int64(written))
 	writeJSON(w, api.IngestResponse{Written: written})
 }
 
@@ -397,6 +419,18 @@ func (s *Server) handleObjectPut(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Overwrites charge only the growth over the resident copy: the
+	// remote client's verify-then-retry protocol may legitimately re-send
+	// the same manifest after an ambiguous failure, and a re-PUT must be
+	// idempotent for quota accounting. The Stat happens only with QoS
+	// wired, so unpoliced servers pay nothing extra.
+	var prev int64
+	_, hasQoS := s.svc.(api.QoSService)
+	if hasQoS {
+		if info, err := s.svc.StatObject(key); err == nil {
+			prev = info.Size
+		}
+	}
 	var err error
 	if cs, ok := s.svc.(api.ClassedService); ok {
 		err = cs.CommitManifestClass(key, body, class)
@@ -407,7 +441,11 @@ func (s *Server) handleObjectPut(w http.ResponseWriter, r *http.Request) {
 		writeMappedErr(w, err)
 		return
 	}
-	s.chargeQoS(r, int64(len(body)))
+	if delta := int64(len(body)) - prev; delta > 0 {
+		s.chargeQoS(r, delta)
+	} else if delta < 0 {
+		s.creditQoS(r, -delta)
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -459,9 +497,21 @@ func (s *Server) handleObjectDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// With QoS active the tenant gets the deleted object's bytes back —
+	// this is what keeps "the quota clears as history ages out" true for
+	// remote tenants, whose retention GC deletes through this endpoint.
+	// Stat before delete is the only moment the size is known, mirroring
+	// Manager.gc's Stat-then-delete-then-credit.
+	var credit int64
+	if _, hasQoS := s.svc.(api.QoSService); hasQoS {
+		if info, err := s.svc.StatObject(key); err == nil {
+			credit = info.Size
+		}
+	}
 	if err := s.svc.DeleteObject(key); err != nil {
 		writeMappedErr(w, err)
 		return
 	}
+	s.creditQoS(r, credit)
 	w.WriteHeader(http.StatusNoContent)
 }

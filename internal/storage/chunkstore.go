@@ -369,7 +369,7 @@ func (cs *ShardedChunkStore) GC(keep map[string]bool) (removed int, reclaimed in
 	if err != nil {
 		return 0, 0, err
 	}
-	return cs.Sweep(addrs, keep, nil)
+	return cs.Sweep(addrs, keep, nil, nil)
 }
 
 // Sweep deletes the chunks in addrs whose address is not in keep and not
@@ -377,8 +377,11 @@ func (cs *ShardedChunkStore) GC(keep map[string]bool) (removed int, reclaimed in
 // each delete. Callers that must order their chunk inventory against
 // other state reads — the checkpoint engine lists chunks before scanning
 // manifests and passes its live pin table as skip — list first and sweep
-// after; GC is the list-then-sweep convenience.
-func (cs *ShardedChunkStore) Sweep(addrs []string, keep map[string]bool, skip func(addr string) bool) (removed int, reclaimed int64, err error) {
+// after; GC is the list-then-sweep convenience. onRemoved, also
+// nil-able, observes each collected chunk's address and stored size —
+// the checkpoint engine's quota accounting credits reclaimed bytes back
+// to the tenant charged for writing them.
+func (cs *ShardedChunkStore) Sweep(addrs []string, keep map[string]bool, skip func(addr string) bool, onRemoved func(addr string, size int64)) (removed int, reclaimed int64, err error) {
 	for _, addr := range addrs {
 		if keep[addr] || (skip != nil && skip(addr)) {
 			continue
@@ -387,14 +390,19 @@ func (cs *ShardedChunkStore) Sweep(addrs []string, keep map[string]bool, skip fu
 		if kerr != nil {
 			continue
 		}
+		var size int64
 		if info, serr := cs.b.Stat(key); serr == nil {
-			reclaimed += info.Size
+			size = info.Size
+			reclaimed += size
 		}
 		if derr := cs.b.Delete(key); derr != nil && !errors.Is(derr, ErrNotFound) {
 			return removed, reclaimed, fmt.Errorf("storage: gc remove: %w", derr)
 		}
 		cs.unmarkVerified(addr)
 		removed++
+		if onRemoved != nil {
+			onRemoved(addr, size)
+		}
 	}
 	return removed, reclaimed, nil
 }

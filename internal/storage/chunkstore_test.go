@@ -186,7 +186,7 @@ func TestChunkStoreSweepHonorsInventory(t *testing.T) {
 	}
 	// A live skip predicate excuses a listed orphan (the engine passes its
 	// pin table here)…
-	removed, _, err := cs.Sweep(inventory, map[string]bool{}, func(addr string) bool { return addr == old })
+	removed, _, err := cs.Sweep(inventory, map[string]bool{}, func(addr string) bool { return addr == old }, nil)
 	if err != nil || removed != 0 {
 		t.Fatalf("skipped sweep: removed=%d err=%v, want 0", removed, err)
 	}
@@ -194,7 +194,7 @@ func TestChunkStoreSweepHonorsInventory(t *testing.T) {
 		t.Fatalf("skip predicate ignored")
 	}
 	// …and without it the listed orphan goes while later ingests survive.
-	removed, _, err = cs.Sweep(inventory, map[string]bool{}, nil)
+	removed, _, err = cs.Sweep(inventory, map[string]bool{}, nil, nil)
 	if err != nil || removed != 1 {
 		t.Fatalf("sweep: removed=%d err=%v, want 1", removed, err)
 	}

@@ -248,3 +248,75 @@ func TestPromoteCopyFailureRetainsSource(t *testing.T) {
 		t.Errorf("failed promote counted: %+v", st)
 	}
 }
+
+// TestPutClassSupersedesResidentCopy proves an overwrite routed to a
+// different level than the resident copy removes the old bytes: without
+// that, hot-first read-through would keep serving the superseded copy —
+// the chunk store's corruption repair rewrites a corrupt hot chunk
+// through exactly this path.
+func TestPutClassSupersedesResidentCopy(t *testing.T) {
+	tb := twoLevel(t)
+	if err := tb.Put("k", []byte("old hot bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetPlacement(PlacementPolicy{Delta: "cold"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.PutClass("k", []byte("new cold bytes"), ClassDeltaChunk); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tb.Get("k"); err != nil || string(got) != "new cold bytes" {
+		t.Fatalf("read after rerouted overwrite = %q, %v (stale hot copy wins?)", got, err)
+	}
+	if lv, err := tb.Residency("k"); err != nil || lv != 1 {
+		t.Fatalf("residency = %d, %v (want cold only)", lv, err)
+	}
+	if _, err := tb.Level(0).Backend.Stat("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("hot level still holds superseded copy: %v", err)
+	}
+	// The symmetric direction: overwriting a cold resident with a
+	// hot-routed class drops the cold copy.
+	if err := tb.PutClass("k", []byte("promoted"), ClassManifest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Level(1).Backend.Stat("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cold level still holds superseded copy: %v", err)
+	}
+	if got, err := tb.Get("k"); err != nil || string(got) != "promoted" {
+		t.Fatalf("read after hot overwrite = %q, %v", got, err)
+	}
+}
+
+// TestChunkRepairSupersedesCorruptHotCopy replays the repair
+// fall-through over a tiered store: a corrupt resident chunk on hot is
+// rewritten by IngestAddressedClass with a delta class routed cold, and
+// the corrupt hot copy must not keep winning reads afterwards.
+func TestChunkRepairSupersedesCorruptHotCopy(t *testing.T) {
+	tb := twoLevel(t)
+	if err := tb.SetPlacement(PlacementPolicy{Delta: "cold"}); err != nil {
+		t.Fatal(err)
+	}
+	cs := NewChunkStore(tb)
+	good := []byte("good chunk bytes")
+	addr := Hash(good)
+	key := addr[:2] + "/" + addr
+	// A same-size corrupt copy resident on hot (as if it rotted in place).
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if err := tb.Level(0).Backend.Put(key, bad); err != nil {
+		t.Fatal(err)
+	}
+	_, written, err := cs.IngestAddressedClass(addr, good, ClassDeltaChunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != len(good) {
+		t.Fatalf("repair wrote %d bytes, want %d", written, len(good))
+	}
+	if data, err := cs.Get(addr); err != nil || !bytes.Equal(data, good) {
+		t.Fatalf("post-repair read = %q, %v (corrupt hot copy still wins?)", data, err)
+	}
+	if _, err := tb.Level(0).Backend.Stat(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt hot copy survived the repair: %v", err)
+	}
+}

@@ -209,6 +209,18 @@ func (t *Tiered) PutClass(key string, data []byte, class WriteClass) error {
 	if err := t.levels[target].Backend.Put(key, data); err != nil {
 		return err
 	}
+	// An overwrite whose class routes to a different level than the
+	// resident copy must not leave the old bytes behind: hot-first
+	// read-through would keep serving them over the new write (the
+	// chunk store's corruption repair rewrites a corrupt hot chunk
+	// through exactly this path). Dropping every other copy makes the
+	// write-then-delete ordering the same as a move's copy-verify-delete:
+	// a crash in between leaves at worst a duplicate, never data loss.
+	if len(t.levels) > 1 {
+		if _, err := t.DeleteOutside(key, target); err != nil {
+			return fmt.Errorf("storage: clear superseded copies of %s: %w", key, err)
+		}
+	}
 	t.recordClass(key, class)
 	return nil
 }
