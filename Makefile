@@ -5,13 +5,14 @@ GO ?= go
 # The benchmark JSON written by bench-json. Defaults to this PR's
 # committed snapshot; CI overrides it (BENCH_OUT=bench-latest.json) so
 # the workflow never needs editing when the PR number advances.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 # Allowed ns/op and allocs/op growth (percent) before bench-gate fails.
 BENCH_TOLERANCE ?= 20
 # The package set every bench target runs: the harness tables plus the
-# storage microbenchmarks. bench and bench-json MUST agree on this list,
-# or the committed JSON and the interactive numbers drift apart.
-BENCH_PKGS = . ./internal/storage
+# storage and core microbenchmarks. bench and bench-json MUST agree on
+# this list, or the committed JSON and the interactive numbers drift
+# apart.
+BENCH_PKGS = . ./internal/storage ./internal/core
 
 .PHONY: build test test-race test-net bench bench-json bench-gate bench-save fmt vet check experiments
 

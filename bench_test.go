@@ -369,6 +369,44 @@ func BenchmarkTable10QoS(b *testing.B) {
 	b.ReportMetric(float64(withQoS.WarmDelta), "warm-delta-bytes")
 }
 
+// BenchmarkTable11CDC regenerates Table 11: fixed-offset vs
+// content-defined chunking on the shift-heavy edit stream (a 64-byte
+// splice at the front of a 256 KiB incompressible blob every save).
+// Metrics: steady-state bytes written per save for each chunker, the
+// CDC dedup ratio, and the wire bytes per save over loopback. Fails
+// outright on a lost bitwise restore or if CDC stops beating fixed by
+// the 2x acceptance margin.
+func BenchmarkTable11CDC(b *testing.B) {
+	var fixed, cdc harness.T11Row
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunT11CDC(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Bitwise {
+				b.Fatalf("%s/%s: restore not bitwise", r.Workload, r.Chunker)
+			}
+			if r.Workload != "shift" {
+				continue
+			}
+			if r.Chunker == "fixed" {
+				fixed = r
+			} else {
+				cdc = r
+			}
+		}
+		if cdc.BytesPerSave*2 > fixed.BytesPerSave {
+			b.Fatalf("shift: cdc %d B/save not ≤ half of fixed %d B/save",
+				cdc.BytesPerSave, fixed.BytesPerSave)
+		}
+	}
+	b.ReportMetric(float64(fixed.BytesPerSave), "fixed-bytes/save")
+	b.ReportMetric(float64(cdc.BytesPerSave), "cdc-bytes/save")
+	b.ReportMetric(cdc.DedupRatio, "cdc-dedup-ratio")
+	b.ReportMetric(float64(cdc.WirePerSave), "cdc-wire-bytes/save")
+}
+
 // BenchmarkFig1WastedWork regenerates Figure 1: expected completion time
 // without checkpointing vs MTBF. Metric: the blow-up factor E[T]/W at
 // MTBF = W/5.

@@ -275,6 +275,42 @@ func TestCompareToleratesQoSColumns(t *testing.T) {
 	}
 }
 
+func TestCompareToleratesCDCColumns(t *testing.T) {
+	// The T11 chunker benchmark adds metric columns no baseline has
+	// (fixed-bytes/save, cdc-bytes/save, cdc-dedup-ratio,
+	// cdc-wire-bytes/save). They must parse into the document and never
+	// trip the gate, whether the baseline predates the benchmark or
+	// carries different values.
+	line := "BenchmarkTable11CDC-8 \t 1 \t 445729851 ns/op\t 263994 fixed-bytes/save\t 12695 cdc-bytes/save\t 20.68 cdc-dedup-ratio\t 15456 cdc-wire-bytes/save\t 4096 B/op\t 64 allocs/op"
+	cur, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("CDC benchmark line not parsed")
+	}
+	for _, unit := range []string{"fixed-bytes/save", "cdc-bytes/save", "cdc-dedup-ratio", "cdc-wire-bytes/save"} {
+		if _, ok := cur.Metrics[unit]; !ok {
+			t.Errorf("metric %s lost in parsing: %v", unit, cur.Metrics)
+		}
+	}
+	// Baseline predates T11: the new benchmark and its columns are
+	// additions, not violations.
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 50))
+	report, missing, failures := compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1000, 50), cur), 20, false)
+	if failures != 0 || len(missing) != 0 {
+		t.Fatalf("new CDC columns tripped the gate: %v", report)
+	}
+	// Baseline that HAS the columns with very different values (byte
+	// counts swing with the edit stream): only ns/op and allocs/op are
+	// cost-gated.
+	older := cur
+	older.Metrics = map[string]float64{
+		"ns/op": cur.NsPerOp, "allocs/op": cur.AllocsPerOp,
+		"cdc-bytes/save": 1, "cdc-dedup-ratio": 1000,
+	}
+	if _, _, failures = compareDocs(gateDoc(older), gateDoc(cur), 20, false); failures != 0 {
+		t.Error("CDC column drift tripped the ns/allocs gate")
+	}
+}
+
 func TestCompareSkipsZeroBaselines(t *testing.T) {
 	// A baseline without -benchmem columns (allocs 0) must not divide by
 	// zero or flag every new allocs value as a regression.

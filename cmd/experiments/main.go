@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments                 # run everything at default scale
-//	experiments -run F4         # run one experiment (T1..T10, F1..F6, A1, A2)
+//	experiments -run F4         # run one experiment (T1..T11, F1..F6, A1, A2)
 //	experiments -run T6,T9,T10  # run a comma-separated subset
 //	experiments -quick          # reduced scale for smoke runs
 package main
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiments to run, comma-separated: all, T1..T10, F1..F6, A1, A2 (e.g. -run T6,T9,T10)")
+	runFlag := flag.String("run", "all", "experiments to run, comma-separated: all, T1..T11, F1..F6, A1, A2 (e.g. -run T6,T9,T10)")
 	quick := flag.Bool("quick", false, "reduced scale (CI-friendly)")
 	flag.Parse()
 
@@ -173,6 +173,19 @@ func main() {
 		fmt.Println(harness.T10Table(rows))
 	}
 
+	if run("T11") {
+		ranAny = true
+		steps := 8
+		if *quick {
+			steps = 4
+		}
+		rows, err := harness.RunT11CDC(steps)
+		if err != nil {
+			fail("T11", err)
+		}
+		fmt.Println(harness.T11Table(rows))
+	}
+
 	if run("F1") {
 		ranAny = true
 		job := 12 * time.Hour
@@ -286,7 +299,7 @@ func main() {
 	}
 
 	if !ranAny {
-		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q (want a comma-separated subset of: all, T1..T10, F1..F6, A1, A2)\n", *runFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q (want a comma-separated subset of: all, T1..T11, F1..F6, A1, A2)\n", *runFlag)
 		os.Exit(2)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))

@@ -319,8 +319,15 @@ func cmdShow(path string) error {
 				if sum.Framed {
 					version = "v2 adaptive-framed"
 				}
+				if sum.Chunker != "" {
+					version = "v3 content-defined"
+				}
 				fmt.Printf("chunks:  %d (%d distinct, %s, %d body bytes)\n",
 					sum.Chunks, sum.Distinct, version, sum.RawLen)
+				if sum.Chunker != "" {
+					fmt.Printf("chunker: %s (min %d, avg %d, max %d bytes)\n",
+						sum.Chunker, sum.MinSize, sum.AvgSize, sum.MaxSize)
+				}
 			}
 		}
 	}

@@ -95,7 +95,7 @@ func populateTiered(t *testing.T, dir string, names []string) *storage.Tiered {
 		t.Fatal(err)
 	}
 	m, err := core.NewManager(core.Options{
-		Dir: dir, Tiers: levels, Strategy: core.StrategyDelta, AnchorEvery: 2, ChunkBytes: 256,
+		Dir: dir, Tiers: levels, Strategy: core.StrategyDelta, AnchorEvery: 2, ChunkBytes: core.MinChunkBytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +158,7 @@ func TestCmdTiersMigrateGc(t *testing.T) {
 
 func TestCmdGcReclaimsOrphans(t *testing.T) {
 	dir := t.TempDir()
-	m, err := core.NewManager(core.Options{Dir: dir, Strategy: core.StrategyFull, ChunkBytes: 256})
+	m, err := core.NewManager(core.Options{Dir: dir, Strategy: core.StrategyFull, ChunkBytes: core.MinChunkBytes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestCmdRestoreParallel(t *testing.T) {
 	dir := t.TempDir()
 	m, err := core.NewManager(core.Options{
 		Dir: dir, Strategy: core.StrategyDelta, AnchorEvery: 4,
-		ChunkBytes: 1 << 10, Workers: 2,
+		ChunkBytes: core.MinChunkBytes, Workers: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -277,5 +277,34 @@ func TestParsePlacementAndQoS(t *testing.T) {
 	}
 	if _, err := parseQoS(0, 0, "bad"); err == nil {
 		t.Error("malformed QoS spec accepted")
+	}
+}
+
+func TestCmdShowCDCManifest(t *testing.T) {
+	dir := t.TempDir()
+	m, err := core.NewManager(core.Options{
+		Dir: dir, Strategy: core.StrategyFull,
+		ChunkBytes: core.MinChunkBytes, Chunker: core.ChunkerCDC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := core.NewTrainingState()
+	st.Params = make([]float64, 4096)
+	for i := range st.Params {
+		st.Params[i] = float64(i)
+	}
+	st.Meta = core.Meta{FormatVersion: core.FormatVersion, CircuitFP: "c", ProblemFP: "p", OptimizerName: "adam"}
+	st.BestLoss = math.Inf(1)
+	res, err := m.Save(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdShow(res.Path); err != nil {
+		t.Errorf("show cdc snapshot: %v", err)
+	}
+	if err := cmdVerify(dir); err != nil {
+		t.Errorf("verify cdc store: %v", err)
 	}
 }

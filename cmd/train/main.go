@@ -59,6 +59,7 @@ func main() {
 		async     = flag.Bool("async", false, "write checkpoints asynchronously")
 		workers   = flag.Int("workers", 1, "checkpoint write workers (chunked pipeline)")
 		chunkKB   = flag.Int("chunk", 0, "chunk checkpoints into KB-sized deduplicated pieces (0 = monolithic)")
+		chunker   = flag.String("chunker", "fixed", "chunk boundary policy with -chunk: fixed (offset-based) or cdc (content-defined, shift-resilient; -chunk sets the target average)")
 		fullIng   = flag.Bool("full-ingest", false, "disable the incremental dirty-chunk save path (hash/compress every chunk every save)")
 		tiers     = flag.String("tiers", "", "tiered checkpoint placement preset: device levels hot-to-cold joined by '+' (e.g. nvme+object, nvme+nfs+object); empty disables tiering")
 		keepHot   = flag.Int("keep-hot", 2, "anchor chains kept on the hot tier before demotion (with -tiers)")
@@ -73,6 +74,14 @@ func main() {
 
 	if err := checkFlagLikeArgs(flag.Args(), *ckptDir); err != nil {
 		fatal(err)
+	}
+
+	chunkPolicy, err := parseChunker(*chunker)
+	if err != nil {
+		fatal(err)
+	}
+	if chunkPolicy == core.ChunkerCDC && *chunkKB <= 0 {
+		fatal(errors.New("-chunker cdc requires -chunk KB (the target average chunk size)"))
 	}
 
 	if (*quotaMiB > 0 || *rateMiB > 0) && (*jobsN <= 1 || *remoteURL != "") {
@@ -111,6 +120,7 @@ func main() {
 			pairs: *pairs, batch: *batch, grouped: *grouped, realQPU: *realQPU,
 			ckptDir: *ckptDir, resume: *resume, interval: *interval, units: *units,
 			async: *async, workers: *workers, chunkKB: *chunkKB, fullIngest: *fullIng,
+			chunker:  chunkPolicy,
 			restoreW: *restoreW, remote: *remoteURL,
 			quotaMiB: *quotaMiB, rateMiB: *rateMiB,
 		}
@@ -147,7 +157,7 @@ func main() {
 		opt := core.Options{
 			Dir: *ckptDir, Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
 			Async: *async, Workers: *workers, ChunkBytes: *chunkKB << 10,
-			FullIngest: *fullIng,
+			FullIngest: *fullIng, Chunker: chunkPolicy,
 		}
 		if remoteClient != nil {
 			opt.Backend = remoteClient
@@ -374,6 +384,18 @@ func buildConfig(taskName string, qubits, layers, qaoaP, shots int, lr float64, 
 // ("train steps 40 -ckpt d") or a flag swallowed as another flag's value
 // ("-ckpt -listen") arrives looking like a path — and acting on it would
 // create a directory literally named "-listen".
+// parseChunker maps the -chunker flag onto the core boundary policy.
+func parseChunker(name string) (core.Chunker, error) {
+	switch name {
+	case "fixed", "":
+		return core.ChunkerFixed, nil
+	case "cdc":
+		return core.ChunkerCDC, nil
+	default:
+		return core.ChunkerFixed, fmt.Errorf("unknown -chunker %q (want fixed or cdc)", name)
+	}
+}
+
 func checkFlagLikeArgs(positionals []string, ckptDir string) error {
 	for _, a := range positionals {
 		if strings.HasPrefix(a, "-") {
@@ -400,6 +422,7 @@ type fleetFlags struct {
 	resume                                      bool
 	interval, units, workers, chunkKB, restoreW int
 	async, fullIngest                           bool
+	chunker                                     core.Chunker
 	remote                                      string
 	quotaMiB, rateMiB                           int
 }
@@ -456,7 +479,7 @@ func runJobs(f fleetFlags) error {
 			jobOpt := core.Options{
 				Strategy: core.StrategyDelta, AnchorEvery: 16, Retain: 4,
 				Async: f.async, Workers: f.workers, ChunkBytes: f.chunkKB << 10,
-				FullIngest: f.fullIngest,
+				FullIngest: f.fullIngest, Chunker: f.chunker,
 			}
 			var mgr *core.Manager
 			var view storage.Backend

@@ -135,7 +135,7 @@ func TestCommittedManifestOutlivesLease(t *testing.T) {
 	l, svc, _ := newLocal(t)
 
 	// Save through a real manager so the manifest format is authentic.
-	m, err := svc.OpenJob("j", core.Options{Strategy: core.StrategyFull, ChunkBytes: 1 << 10, Workers: 2})
+	m, err := svc.OpenJob("j", core.Options{Strategy: core.StrategyFull, ChunkBytes: core.MinChunkBytes, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,9 +34,21 @@ import (
 //	<addr>\n            one 64-hex chunk address per line, in order
 //	...
 //
-// Version 2 chunks are self-framed (see the chunk frame format below);
-// version 1 manifests — whose chunks are bare flate streams — are still
-// read, so histories written before the framing change stay recoverable.
+// Version 3 manifests carry one extra line naming the content-defined
+// chunker and its parameters, so the boundaries are reproducible by any
+// process (the params alone determine the cutpoints — see cdc.go):
+//
+//	QCKPT-CHUNKS3\n
+//	<rawLen>\n
+//	<gearID> <min> <avg> <max>\n
+//	<addr>\n
+//	...
+//
+// The chunks themselves are identical self-framed version-2 frames in
+// both: restore, GC and summarization never need the chunker — they walk
+// the address list the same way whatever cut the boundaries. Version 1
+// manifests — whose chunks are bare flate streams — are still read, so
+// histories written before the framing change stay recoverable.
 
 // ChunkPrefix is the key namespace inside a Manager's backend that holds
 // the content-addressed chunks of chunked snapshots.
@@ -48,9 +60,22 @@ const ChunkPrefix = "chunks"
 // drifting state deduplicates most of its chunks between saves.
 const DefaultChunkBytes = 256 << 10
 
+// Bounds on Options.ChunkBytes, enforced by NewManager and
+// Service.OpenJob. Below the floor the 64-hex manifest line per chunk
+// becomes a meaningful fraction of the data itself (at 256-byte chunks
+// the manifest alone is a quarter of the body) and per-chunk framing
+// overhead dominates; above the ceiling a "chunk" is a monolithic
+// snapshot in disguise and dedup granularity is gone. Both are
+// misconfigurations that used to produce silently degenerate manifests.
+const (
+	MinChunkBytes = 4 << 10
+	MaxChunkBytes = 64 << 20
+)
+
 const (
 	chunkManifestMagic   = "QCKPT-CHUNKS2"
 	chunkManifestMagicV1 = "QCKPT-CHUNKS1"
+	chunkManifestMagicV3 = "QCKPT-CHUNKS3"
 )
 
 // Chunk frame format — the bytes actually stored in the chunk store for a
@@ -141,7 +166,8 @@ func decodeChunkFrame(frame []byte) ([]byte, error) {
 	return nil, fmt.Errorf("%w: unknown chunk frame flag %#x", ErrCorrupt, frame[0])
 }
 
-// encodeChunkManifest renders the manifest body for a chunked snapshot.
+// encodeChunkManifest renders the manifest body for a fixed-boundary
+// chunked snapshot.
 func encodeChunkManifest(rawLen int, addrs []string) []byte {
 	return appendChunkManifest(make([]byte, 0, len(chunkManifestMagic)+16+65*len(addrs)), rawLen, addrs)
 }
@@ -160,51 +186,119 @@ func appendChunkManifest(dst []byte, rawLen int, addrs []string) []byte {
 	return dst
 }
 
-// decodeChunkManifest parses a manifest body of either version. framed
-// reports whether the referenced chunks carry the version-2 self-framing
-// (false for legacy bare-flate chunks).
-func decodeChunkManifest(data []byte) (rawLen int, addrs []string, framed bool, err error) {
+// appendChunkManifestCDC renders the version-3 manifest: the CHUNKS2 body
+// plus the chunker parameter line that makes the content-defined
+// boundaries reproducible anywhere.
+func appendChunkManifestCDC(dst []byte, rawLen int, p cdcParams, addrs []string) []byte {
+	dst = append(dst, chunkManifestMagicV3...)
+	dst = append(dst, '\n')
+	dst = strconv.AppendInt(dst, int64(rawLen), 10)
+	dst = append(dst, '\n')
+	dst = append(dst, cdcGearID...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(p.minSize), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(p.normSize), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(p.maxSize), 10)
+	dst = append(dst, '\n')
+	for _, a := range addrs {
+		dst = append(dst, a...)
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// chunkManifestInfo is the parsed form of a chunk manifest body of any
+// version. Restore, GC and summarization read only rawLen/addrs/framed —
+// they are format-agnostic because chunks are self-framed; the chunker
+// fields exist for tooling and for verifying chunking compatibility.
+type chunkManifestInfo struct {
+	rawLen  int
+	addrs   []string
+	framed  bool      // self-framed v2 chunk frames (false = legacy bare flate)
+	cdc     bool      // content-defined boundaries (CHUNKS3)
+	chunker string    // gear/algorithm ID from the params line (CHUNKS3)
+	params  cdcParams // min/norm/max from the params line (CHUNKS3)
+}
+
+// decodeChunkManifest parses a manifest body of any version.
+func decodeChunkManifest(data []byte) (chunkManifestInfo, error) {
+	var info chunkManifestInfo
 	lines := strings.Split(string(data), "\n")
 	if len(lines) < 2 {
-		return 0, nil, false, fmt.Errorf("%w: bad chunk manifest header", ErrCorrupt)
+		return info, fmt.Errorf("%w: bad chunk manifest header", ErrCorrupt)
 	}
 	switch lines[0] {
 	case chunkManifestMagic:
-		framed = true
+		info.framed = true
 	case chunkManifestMagicV1:
-		framed = false
+		info.framed = false
+	case chunkManifestMagicV3:
+		info.framed = true
+		info.cdc = true
 	default:
-		return 0, nil, false, fmt.Errorf("%w: bad chunk manifest header", ErrCorrupt)
+		return info, fmt.Errorf("%w: bad chunk manifest header", ErrCorrupt)
 	}
-	rawLen, err = strconv.Atoi(lines[1])
+	rawLen, err := strconv.Atoi(lines[1])
 	if err != nil || rawLen < 0 {
-		return 0, nil, false, fmt.Errorf("%w: bad chunk manifest length %q", ErrCorrupt, lines[1])
+		return info, fmt.Errorf("%w: bad chunk manifest length %q", ErrCorrupt, lines[1])
 	}
-	for _, line := range lines[2:] {
+	info.rawLen = rawLen
+	rest := lines[2:]
+	if info.cdc {
+		if len(rest) == 0 {
+			return info, fmt.Errorf("%w: CHUNKS3 manifest missing chunker line", ErrCorrupt)
+		}
+		f := strings.Fields(rest[0])
+		if len(f) != 4 {
+			return info, fmt.Errorf("%w: bad chunker line %q", ErrCorrupt, rest[0])
+		}
+		info.chunker = f[0]
+		sizes := [3]int{}
+		for i, s := range f[1:] {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				return info, fmt.Errorf("%w: bad chunker line %q", ErrCorrupt, rest[0])
+			}
+			sizes[i] = v
+		}
+		if sizes[0] > sizes[1] || sizes[1] > sizes[2] {
+			return info, fmt.Errorf("%w: bad chunker bounds %q", ErrCorrupt, rest[0])
+		}
+		info.params = cdcParams{minSize: sizes[0], normSize: sizes[1], maxSize: sizes[2]}
+		rest = rest[1:]
+	}
+	for _, line := range rest {
 		if line == "" {
 			continue
 		}
 		if len(line) != 64 {
-			return 0, nil, false, fmt.Errorf("%w: malformed chunk address %q", ErrCorrupt, line)
+			return info, fmt.Errorf("%w: malformed chunk address %q", ErrCorrupt, line)
 		}
-		addrs = append(addrs, line)
+		info.addrs = append(info.addrs, line)
 	}
-	return rawLen, addrs, framed, nil
+	return info, nil
 }
 
 // splitChunks cuts body into size-byte chunks (the last may be shorter). A
-// zero-length body yields no chunks.
+// zero-length body yields no chunks. The slice is sized exactly and filled
+// by index — the append-grow pattern this replaced re-checked capacity on
+// every chunk of every save (BenchmarkSplitChunks guards the single
+// allocation).
 func splitChunks(body []byte, size int) [][]byte {
 	if size <= 0 {
 		size = DefaultChunkBytes
 	}
-	chunks := make([][]byte, 0, (len(body)+size-1)/size)
-	for off := 0; off < len(body); off += size {
-		end := off + size
-		if end > len(body) {
-			end = len(body)
-		}
-		chunks = append(chunks, body[off:end])
+	n := (len(body) + size - 1) / size
+	if n == 0 {
+		return nil
+	}
+	chunks := make([][]byte, n)
+	for i := range chunks {
+		off := i * size
+		end := min(off+size, len(body))
+		chunks[i] = body[off:end]
 	}
 	return chunks
 }
@@ -213,11 +307,11 @@ func splitChunks(body []byte, size int) [][]byte {
 // serially; assembleChunksOptions (restore.go) is the engine-selecting
 // form the recovery path uses.
 func assembleChunks(cs *storage.ChunkStore, manifest []byte) ([]byte, error) {
-	rawLen, addrs, framed, err := decodeChunkManifest(manifest)
+	info, err := decodeChunkManifest(manifest)
 	if err != nil {
 		return nil, err
 	}
-	return assembleAddrs(cs, rawLen, addrs, framed)
+	return assembleAddrs(cs, info.rawLen, info.addrs, info.framed)
 }
 
 // assembleAddrs is the serial assembly path: each chunk is fetched
@@ -245,20 +339,32 @@ type ChunkManifestSummary struct {
 	Chunks   int  // manifest entries, in order
 	Distinct int  // distinct chunk addresses (repeats are stored once)
 	Framed   bool // version-2 self-framed chunks (adaptive raw/flate)
+	// Content-defined chunking (CHUNKS3 manifests). Chunker is the gear
+	// table / algorithm revision ("" for fixed-size boundaries); the sizes
+	// are the recorded min/average/max bounds.
+	Chunker                   string
+	MinSize, AvgSize, MaxSize int
 }
 
 // SummarizeChunkManifest parses the manifest body of a chunked snapshot —
 // the body ReadSnapshotFile returns for the chunked kinds.
 func SummarizeChunkManifest(manifest []byte) (ChunkManifestSummary, error) {
-	rawLen, addrs, framed, err := decodeChunkManifest(manifest)
+	info, err := decodeChunkManifest(manifest)
 	if err != nil {
 		return ChunkManifestSummary{}, err
 	}
-	distinct := make(map[string]bool, len(addrs))
-	for _, a := range addrs {
+	distinct := make(map[string]bool, len(info.addrs))
+	for _, a := range info.addrs {
 		distinct[a] = true
 	}
-	return ChunkManifestSummary{RawLen: rawLen, Chunks: len(addrs), Distinct: len(distinct), Framed: framed}, nil
+	sum := ChunkManifestSummary{
+		RawLen: info.rawLen, Chunks: len(info.addrs), Distinct: len(distinct), Framed: info.framed,
+	}
+	if info.cdc {
+		sum.Chunker = info.chunker
+		sum.MinSize, sum.AvgSize, sum.MaxSize = info.params.minSize, info.params.normSize, info.params.maxSize
+	}
+	return sum, nil
 }
 
 // chunkReferences collects every chunk address referenced by the snapshot
@@ -304,11 +410,11 @@ func chunkReferences(b storage.Backend) (map[string]bool, error) {
 		if err != nil {
 			continue
 		}
-		_, addrs, _, err := decodeChunkManifest(body)
+		info, err := decodeChunkManifest(body)
 		if err != nil {
 			continue
 		}
-		for _, a := range addrs {
+		for _, a := range info.addrs {
 			keep[a] = true
 		}
 	}

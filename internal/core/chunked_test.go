@@ -14,7 +14,7 @@ import (
 // a small chunk size so even test states span many chunks, and a worker
 // pool (the acceptance bar is workers ≥ 2).
 func chunkedOpts(o Options) Options {
-	o.ChunkBytes = 1 << 10
+	o.ChunkBytes = MinChunkBytes
 	o.Workers = 4
 	return o
 }
@@ -155,10 +155,11 @@ func TestManagerChunkedCrashFallback(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, addrs, _, err := decodeChunkManifest(manifest)
+		minfo, err := decodeChunkManifest(manifest)
 		if err != nil {
 			t.Fatal(err)
 		}
+		addrs := minfo.addrs
 		victim := addrs[len(addrs)-1]
 		if err := os.Remove(filepath.Join(dir, ChunkPrefix, victim[:2], victim)); err != nil {
 			t.Fatal(err)
@@ -189,10 +190,11 @@ func TestManagerChunkedCrashFallback(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, addrs, _, err := decodeChunkManifest(manifest)
+		minfo, err := decodeChunkManifest(manifest)
 		if err != nil {
 			t.Fatal(err)
 		}
+		addrs := minfo.addrs
 		victim := filepath.Join(dir, ChunkPrefix, addrs[0][:2], addrs[0])
 		raw, _ := os.ReadFile(victim)
 		raw[len(raw)/2] ^= 0xFF
@@ -378,25 +380,49 @@ func TestChunkManifestRoundTrip(t *testing.T) {
 		strings.Repeat("cd", 32),
 	}
 	m := encodeChunkManifest(12345, addrs)
-	rawLen, got, framed, err := decodeChunkManifest(m)
+	info, err := decodeChunkManifest(m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rawLen != 12345 || len(got) != 2 || got[0] != addrs[0] || got[1] != addrs[1] {
-		t.Errorf("round trip: %d %v", rawLen, got)
+	if info.rawLen != 12345 || len(info.addrs) != 2 || info.addrs[0] != addrs[0] || info.addrs[1] != addrs[1] {
+		t.Errorf("round trip: %d %v", info.rawLen, info.addrs)
 	}
-	if !framed {
+	if !info.framed {
 		t.Errorf("current-version manifest decoded as unframed")
+	}
+	if info.cdc {
+		t.Errorf("fixed-boundary manifest decoded as content-defined")
 	}
 	// Legacy v1 manifests decode with framed=false so their bare-flate
 	// chunks are inflated without frame parsing.
 	v1 := []byte("QCKPT-CHUNKS1\n77\n" + addrs[0] + "\n")
-	rawLen, got, framed, err = decodeChunkManifest(v1)
-	if err != nil || rawLen != 77 || len(got) != 1 || framed {
-		t.Errorf("v1 manifest: %d %v framed=%v err=%v", rawLen, got, framed, err)
+	info, err = decodeChunkManifest(v1)
+	if err != nil || info.rawLen != 77 || len(info.addrs) != 1 || info.framed {
+		t.Errorf("v1 manifest: %+v err=%v", info, err)
 	}
-	for _, bad := range [][]byte{nil, []byte("garbage"), []byte("QCKPT-CHUNKS1\n-1\n"), []byte("QCKPT-CHUNKS1\n10\nshortaddr\n")} {
-		if _, _, _, err := decodeChunkManifest(bad); err == nil {
+	// Version 3 manifests carry the chunker parameter line.
+	p := cdcParamsFor(8 << 10)
+	v3 := appendChunkManifestCDC(nil, 999, p, addrs)
+	info, err = decodeChunkManifest(v3)
+	if err != nil || info.rawLen != 999 || len(info.addrs) != 2 || !info.framed || !info.cdc {
+		t.Fatalf("v3 manifest: %+v err=%v", info, err)
+	}
+	if info.chunker != cdcGearID || info.params.minSize != p.minSize ||
+		info.params.normSize != p.normSize || info.params.maxSize != p.maxSize {
+		t.Errorf("v3 chunker params: %+v, want %v", info, p)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("garbage"),
+		[]byte("QCKPT-CHUNKS1\n-1\n"),
+		[]byte("QCKPT-CHUNKS1\n10\nshortaddr\n"),
+		[]byte("QCKPT-CHUNKS3\n10\n"), // missing chunker line
+		[]byte("QCKPT-CHUNKS3\n10\ngear1 2048 8192\n"),       // short chunker line
+		[]byte("QCKPT-CHUNKS3\n10\ngear1 8192 2048 32768\n"), // min > avg
+		[]byte("QCKPT-CHUNKS3\n10\ngear1 0 8192 32768\n"),    // non-positive bound
+		[]byte("QCKPT-CHUNKS3\n10\ngear1 a b c\n"),           // non-numeric bounds
+	} {
+		if _, err := decodeChunkManifest(bad); err == nil {
 			t.Errorf("decodeChunkManifest(%q) accepted", bad)
 		}
 	}

@@ -58,7 +58,7 @@ func ExampleManager_chunked() {
 		Backend:    mem,
 		Strategy:   core.StrategyDelta,
 		Workers:    4,
-		ChunkBytes: 1 << 10,
+		ChunkBytes: core.MinChunkBytes,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -16,7 +16,7 @@ import (
 func TestIncrementalResaveWritesNoChunkBytes(t *testing.T) {
 	mem := storage.NewMem()
 	mgr, err := NewManager(Options{
-		Backend: mem, Strategy: StrategyFull, ChunkBytes: 1 << 10, Workers: 2,
+		Backend: mem, Strategy: StrategyFull, ChunkBytes: MinChunkBytes, Workers: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestIncrementalMatchesFullIngest(t *testing.T) {
 		mem := storage.NewMem()
 		mgr, err := NewManager(Options{
 			Backend: mem, Strategy: StrategyDelta, AnchorEvery: 3,
-			ChunkBytes: 1 << 10, Workers: 2, FullIngest: fullIngest,
+			ChunkBytes: MinChunkBytes, Workers: 2, FullIngest: fullIngest,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -120,11 +120,11 @@ func loadChainRefs(b storage.Backend, chains []chainGroup) {
 			if err != nil {
 				continue
 			}
-			_, addrs, _, err := decodeChunkManifest(body)
+			info, err := decodeChunkManifest(body)
 			if err != nil {
 				continue
 			}
-			for _, a := range addrs {
+			for _, a := range info.addrs {
 				c.chunks[a] = true
 			}
 		}

@@ -44,7 +44,7 @@ func TestLifecycleDemotesColdChains(t *testing.T) {
 		Lifecycle:   LifecyclePolicy{KeepHotChains: 1},
 		Strategy:    StrategyDelta,
 		AnchorEvery: 2,
-		ChunkBytes:  256,
+		ChunkBytes:  MinChunkBytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -117,7 +117,7 @@ func TestLifecycleAgeRule(t *testing.T) {
 		Backend:     tb,
 		Strategy:    StrategyDelta,
 		AnchorEvery: 2,
-		ChunkBytes:  256,
+		ChunkBytes:  MinChunkBytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +164,7 @@ func TestLifecycleCrashBetweenCopyAndDelete(t *testing.T) {
 		Backend:     tb,
 		Strategy:    StrategyDelta,
 		AnchorEvery: 2,
-		ChunkBytes:  256,
+		ChunkBytes:  MinChunkBytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -258,7 +258,7 @@ func TestCompactBackendTiered(t *testing.T) {
 		Lifecycle:   LifecyclePolicy{KeepHotChains: 1},
 		Strategy:    StrategyDelta,
 		AnchorEvery: 2,
-		ChunkBytes:  256,
+		ChunkBytes:  MinChunkBytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -311,7 +311,7 @@ func TestArchiveBackendTiered(t *testing.T) {
 		Lifecycle:   LifecyclePolicy{KeepHotChains: 1},
 		Strategy:    StrategyDelta,
 		AnchorEvery: 2,
-		ChunkBytes:  256,
+		ChunkBytes:  MinChunkBytes,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -67,8 +67,15 @@ type Options struct {
 	// split into ChunkBytes-size pieces stored content-addressed (and
 	// deduplicated) in the backend's chunk store, and the snapshot file
 	// becomes a small manifest committed atomically after every chunk is
-	// durable. Zero keeps monolithic snapshot files.
+	// durable. Zero keeps monolithic snapshot files. Positive values must
+	// fall in [MinChunkBytes, MaxChunkBytes]. With ChunkerCDC the value is
+	// the target average chunk size rather than an exact boundary pitch.
 	ChunkBytes int
+	// Chunker selects how chunk boundaries are cut: ChunkerFixed (default)
+	// splits at exact ChunkBytes offsets, ChunkerCDC derives boundaries
+	// from content so dedup survives insertions and shifts. Ignored for
+	// monolithic snapshots (ChunkBytes == 0).
+	Chunker Chunker
 	// Retain keeps the newest Retain anchor chains and garbage-collects
 	// older files (and, for chunked snapshots, unreferenced chunks); 0
 	// keeps everything.
@@ -108,6 +115,58 @@ func (o Options) withDefaults() Options {
 		o.Workers = 1
 	}
 	return o
+}
+
+// Chunker selects how chunked snapshot bodies are cut into pieces.
+type Chunker int
+
+// Chunkers.
+const (
+	// ChunkerFixed cuts at fixed ChunkBytes boundaries — the default, and
+	// the cheapest: boundary arithmetic is free and the incremental
+	// dirty-chunk compare is a straight offset-indexed memcmp.
+	ChunkerFixed Chunker = iota
+	// ChunkerCDC derives boundaries from the bytes themselves (FastCDC
+	// gear hash, see cdc.go) with ChunkBytes as the target average size.
+	// Insertions and deletions perturb only the chunks overlapping the
+	// edit instead of re-addressing everything downstream, so dedup
+	// survives shifts. Snapshots are committed under CHUNKS3 manifests
+	// recording the chunker parameters.
+	ChunkerCDC
+)
+
+// String names the chunker the way the CLI flags spell it.
+func (c Chunker) String() string {
+	switch c {
+	case ChunkerFixed:
+		return "fixed"
+	case ChunkerCDC:
+		return "cdc"
+	}
+	return fmt.Sprintf("chunker(%d)", int(c))
+}
+
+// validateChunking checks the chunked-pipeline knobs shared by NewManager
+// and Service.OpenJob: a ChunkBytes outside [MinChunkBytes, MaxChunkBytes]
+// silently degenerates (see the bounds' comment in chunked.go), and a
+// content-defined chunker without a chunk size has no target to aim at.
+func validateChunking(opt Options) error {
+	if opt.ChunkBytes < 0 {
+		return fmt.Errorf("core: negative chunk size %d", opt.ChunkBytes)
+	}
+	if opt.ChunkBytes > 0 && (opt.ChunkBytes < MinChunkBytes || opt.ChunkBytes > MaxChunkBytes) {
+		return fmt.Errorf("core: chunk size %d outside [%d, %d]", opt.ChunkBytes, MinChunkBytes, MaxChunkBytes)
+	}
+	switch opt.Chunker {
+	case ChunkerFixed:
+	case ChunkerCDC:
+		if opt.ChunkBytes == 0 {
+			return errors.New("core: ChunkerCDC requires ChunkBytes (the target average chunk size)")
+		}
+	default:
+		return fmt.Errorf("core: unknown chunker %d", int(opt.Chunker))
+	}
+	return nil
 }
 
 // SaveResult reports what one Save produced.
@@ -191,6 +250,13 @@ type Manager struct {
 	prevAddrs  []string
 	addrsSpare []string
 	pinScratch []string
+	// Content-defined chunking retains the previous body's cut offsets
+	// alongside its addresses (boundaries are no longer derivable from an
+	// index), double-buffered like the address slice. reuseSpare is the
+	// per-save clean/dirty plan scratch.
+	prevCuts   []int
+	cutsSpare  []int
+	reuseSpare []string
 
 	// qos, when non-nil, is the per-tenant QoS handle a Service wired in:
 	// saves are charged against the tenant's byte quota and paced by its
@@ -262,8 +328,8 @@ func NewManager(opt Options) (*Manager, error) {
 	if opt.Retain < 0 {
 		return nil, fmt.Errorf("core: negative retention %d", opt.Retain)
 	}
-	if opt.ChunkBytes < 0 {
-		return nil, fmt.Errorf("core: negative chunk size %d", opt.ChunkBytes)
+	if err := validateChunking(opt); err != nil {
+		return nil, err
 	}
 	backend := opt.Backend
 	if len(opt.Tiers) > 0 {
@@ -449,8 +515,21 @@ var chunkKeySeed = maphash.MakeSeed()
 // alone.
 func (m *Manager) persistChunked(job writeJob) (int, error) {
 	body := job.body.b
-	pieces := splitChunks(body, m.opt.ChunkBytes)
 	incremental := !m.opt.FullIngest
+	cdc := m.opt.Chunker == ChunkerCDC
+	var (
+		pieces [][]byte
+		reuse  []string // CDC clean/dirty plan: reuse[i] != "" names a reused address
+		cuts   []int    // CDC chunk end offsets, retained as the next save's base
+		params cdcParams
+	)
+	if cdc {
+		params = cdcParamsFor(m.opt.ChunkBytes)
+		pieces, reuse, cuts = m.cdcPlan(body, params, incremental)
+		defer func() { m.reuseSpare = reuse[:0] }()
+	} else {
+		pieces = splitChunks(body, m.opt.ChunkBytes)
+	}
 	// The write class rides every chunk of this snapshot down to the
 	// placement policy: anchor chunks are the base every restore replays
 	// from, delta chunks are tail segments only an exact-step restore
@@ -462,9 +541,10 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	// prevChunk returns the previous body's chunk i without materializing a
 	// [][]byte per save: the compare below runs inside the stall window, so
 	// it indexes the retained body by offset (ok=false when the previous
-	// body has no complete counterpart chunk there).
+	// body has no complete counterpart chunk there). CDC saves plan their
+	// reuse up front in cdcPlan — boundaries are not index-derivable there.
 	var prevB []byte
-	if incremental && m.prevBody != nil {
+	if incremental && !cdc && m.prevBody != nil {
 		prevB = m.prevBody.b
 	}
 	prevChunk := func(i int) ([]byte, bool) {
@@ -506,14 +586,22 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	cleanPins := m.pinScratch[:0]
 	var wg sync.WaitGroup
 	for i, piece := range pieces {
-		if prev, ok := prevChunk(i); ok && bytes.Equal(piece, prev) {
-			// Unchanged since the previous committed manifest (bytes.Equal
-			// covers length, so a shorter tail chunk never matches a longer
-			// predecessor): reuse its address, pinned like any other chunk
-			// until our commit.
-			addrs[i] = m.prevAddrs[i]
-			m.shared.pins.pin(addrs[i])
-			cleanPins = append(cleanPins, addrs[i])
+		// Clean-chunk detection: the CDC plan proved reuse[i] byte-identical
+		// during boundary resynchronization; the fixed path proves it here
+		// with an offset-indexed compare (bytes.Equal covers length, so a
+		// shorter tail chunk never matches a longer predecessor). Either
+		// way the reused address is pinned like any other chunk until our
+		// commit.
+		var reused string
+		if cdc {
+			reused = reuse[i]
+		} else if prev, ok := prevChunk(i); ok && bytes.Equal(piece, prev) {
+			reused = m.prevAddrs[i]
+		}
+		if reused != "" {
+			addrs[i] = reused
+			m.shared.pins.pin(reused)
+			cleanPins = append(cleanPins, reused)
 			clean++
 			continue
 		}
@@ -617,7 +705,12 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	// the chunk workers above.
 	h.PayloadHash = job.hash.get()
 	msp := getScratch()
-	manifest := appendChunkManifest((*msp)[:0], len(body), addrs)
+	var manifest []byte
+	if cdc {
+		manifest = appendChunkManifestCDC((*msp)[:0], len(body), params, addrs)
+	} else {
+		manifest = appendChunkManifest((*msp)[:0], len(body), addrs)
+	}
 	fsp := getScratch()
 	data, err := appendSnapshotFile((*fsp)[:0], h, manifest)
 	fileBytes := len(data)
@@ -635,6 +728,9 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 		// retained previous body stays valid — its manifest is still the
 		// newest committed one.
 		m.addrsSpare = addrs[:0]
+		if cdc {
+			m.cutsSpare = cuts[:0]
+		}
 		return 0, err
 	}
 	// Chunk ownership for quota accounting: the caller is about to charge
@@ -667,9 +763,16 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 		m.prevBody = job.body
 		m.addrsSpare = m.prevAddrs[:0]
 		m.prevAddrs = addrs
+		if cdc {
+			m.cutsSpare = m.prevCuts[:0]
+			m.prevCuts = cuts
+		}
 		old.release()
 	} else {
 		m.addrsSpare = addrs[:0]
+		if cdc {
+			m.cutsSpare = cuts[:0]
+		}
 	}
 	m.mu.Lock()
 	m.stats.Chunks += len(pieces)
@@ -679,6 +782,143 @@ func (m *Manager) persistChunked(job writeJob) (int, error) {
 	m.stats.ChunkBytes += int64(total)
 	m.mu.Unlock()
 	return total + fileBytes, nil
+}
+
+// cdcPlan computes the chunk layout of body under the content-defined
+// chunker: the piece slices, a parallel reuse list naming the previous
+// manifest's address for every chunk proven byte-identical ("" = dirty,
+// to be framed and ingested), and the cut offsets retained as the next
+// save's base.
+//
+// The incremental path keeps steady-state saves O(dirty bytes) of hashing
+// and compression without re-running the gear hash over the whole body,
+// and — the invariant TestCDCIncrementalMatchesFullIngest enforces — must
+// reproduce exactly the cut sequence a full re-chunk would compute, so
+// reused and freshly ingested histories are byte-identical. Two cases:
+//
+//   - Equal lengths (δ = 0, the steady-state drift of a training loop):
+//     walk the previous cut list in lockstep with chunking. Whenever the
+//     scan position sits on an old chunk's start and that chunk's bytes
+//     are unchanged in place (one word-wise compare — the same cost the
+//     fixed engine pays), the old cut is provably the next cut: the
+//     rolling hash restarts at every cutpoint and the decision for the
+//     old cut read exactly those bytes. Adopt it — address, no hashing.
+//     Otherwise take one content-defined cut and re-align. Interior
+//     islands of unchanged bytes between dirty spans resynchronize this
+//     way, not just the prefix.
+//   - Shifted lengths (δ ≠ 0, insert/append/truncate): previous chunks
+//     wholly inside the common prefix are reproduced verbatim (same
+//     restart argument; the final previous chunk is excluded since its
+//     end may be a forced end-of-data cut a longer body would chunk
+//     past). Re-chunking runs from there; once a fresh cut lands δ bytes
+//     away from an old cutpoint inside the common suffix, the remaining
+//     bytes are the old bytes shifted, and every remaining old chunk is
+//     adopted outright: same address, cut + δ.
+//
+// Dirty chunks that merely moved still dedup at the store (their framed
+// bytes hash to resident addresses), so shifts cost re-hashing but not
+// re-writing. With no usable base (first save, FullIngest) the whole body
+// is chunked and marked dirty.
+func (m *Manager) cdcPlan(body []byte, p cdcParams, incremental bool) (pieces [][]byte, reuse []string, cuts []int) {
+	cuts = m.cutsSpare[:0]
+	reuse = m.reuseSpare[:0]
+	var prevB []byte
+	if incremental && m.prevBody != nil && len(m.prevCuts) > 0 && len(m.prevCuts) == len(m.prevAddrs) {
+		prevB = m.prevBody.b
+	}
+	switch {
+	case prevB == nil:
+		cuts = appendCutpoints(cuts, body, p)
+		for range cuts {
+			reuse = append(reuse, "")
+		}
+
+	case len(body) == len(prevB):
+		// Aligned walk: j indexes the old chunk that would start at pos.
+		pos, j := 0, 0
+		for pos < len(body) {
+			start := 0
+			if j > 0 {
+				start = m.prevCuts[j-1]
+			}
+			if j < len(m.prevCuts) && start == pos && bytes.Equal(body[pos:m.prevCuts[j]], prevB[pos:m.prevCuts[j]]) {
+				// The old cut at prevCuts[j] was decided by exactly these
+				// bytes (the hash restarted at pos), so it is the next cut
+				// here too — including a forced end-of-data cut, since the
+				// bodies end at the same offset.
+				pos = m.prevCuts[j]
+				cuts = append(cuts, pos)
+				reuse = append(reuse, m.prevAddrs[j])
+				j++
+				continue
+			}
+			pos += p.nextCut(body[pos:])
+			cuts = append(cuts, pos)
+			reuse = append(reuse, "")
+			// Re-align: the old chunk starting at pos, if any, is the one
+			// after the old cut equal to pos.
+			j = sort.SearchInts(m.prevCuts, pos)
+			if j < len(m.prevCuts) && m.prevCuts[j] == pos {
+				j++
+			}
+		}
+
+	default:
+		pre := commonPrefixWords(body, prevB)
+		suf := commonSuffixWords(body, prevB)
+		if n := min(len(body), len(prevB)); pre+suf > n {
+			// Prefix and suffix may overlap (pure append/truncate); cap the
+			// suffix so the two regions partition the shorter body.
+			suf = n - pre
+		}
+		delta := len(body) - len(prevB)
+
+		// Front reuse.
+		j := 0
+		for j < len(m.prevCuts)-1 && m.prevCuts[j] <= pre {
+			cuts = append(cuts, m.prevCuts[j])
+			reuse = append(reuse, m.prevAddrs[j])
+			j++
+		}
+		pos := 0
+		if j > 0 {
+			pos = m.prevCuts[j-1]
+		}
+
+		// Re-chunk the dirty window, watching for resynchronization: a new
+		// cut at pos maps to old offset pos−δ; when that offset is an old
+		// cutpoint and pos is inside the common suffix (so body[pos:] ==
+		// prevB[pos−δ:]), adopt every remaining old chunk shifted by δ.
+		resyncFloor := len(body) - suf
+		for pos < len(body) {
+			pos += p.nextCut(body[pos:])
+			cuts = append(cuts, pos)
+			reuse = append(reuse, "")
+			if pos >= resyncFloor && pos < len(body) {
+				old := pos - delta
+				if k := sort.SearchInts(m.prevCuts, old); k < len(m.prevCuts) && m.prevCuts[k] == old {
+					for t := k + 1; t < len(m.prevCuts); t++ {
+						cuts = append(cuts, m.prevCuts[t]+delta)
+						reuse = append(reuse, m.prevAddrs[t])
+					}
+					break
+				}
+			}
+		}
+	}
+	return cdcPieces(body, cuts), reuse, cuts
+}
+
+// cdcPieces materializes the piece slices for a cut list (chunk end
+// offsets); each piece aliases body.
+func cdcPieces(body []byte, cuts []int) [][]byte {
+	pieces := make([][]byte, len(cuts))
+	start := 0
+	for i, c := range cuts {
+		pieces[i] = body[start:c]
+		start = c
+	}
+	return pieces
 }
 
 // pinnedChunks snapshots the in-flight chunk addresses for GC exclusion.
@@ -943,6 +1183,7 @@ func (m *Manager) Close() error {
 	m.prevBody.release()
 	m.prevBody = nil
 	m.prevAddrs = nil
+	m.prevCuts = nil
 	return err
 }
 

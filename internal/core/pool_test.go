@@ -197,7 +197,7 @@ func TestConcurrentSavesNoCrossAliasing(t *testing.T) {
 			defer wg.Done()
 			mgr, err := NewManager(Options{
 				Backend: backends[g], Strategy: StrategyDelta, AnchorEvery: 3,
-				ChunkBytes: 1 << 10, Workers: 2, Async: g%2 == 0,
+				ChunkBytes: MinChunkBytes, Workers: 2, Async: g%2 == 0,
 			})
 			if err != nil {
 				errCh <- err

@@ -65,14 +65,14 @@ func (o RestoreOptions) window() int {
 // manifest under opt: serially for the zero value, through the parallel
 // engine otherwise. Both paths return bitwise-identical bodies.
 func assembleChunksOptions(cs *storage.ChunkStore, manifest []byte, opt RestoreOptions) ([]byte, error) {
-	rawLen, addrs, framed, err := decodeChunkManifest(manifest)
+	info, err := decodeChunkManifest(manifest)
 	if err != nil {
 		return nil, err
 	}
-	if !opt.parallel() || len(addrs) < 2 {
-		return assembleAddrs(cs, rawLen, addrs, framed)
+	if !opt.parallel() || len(info.addrs) < 2 {
+		return assembleAddrs(cs, info.rawLen, info.addrs, info.framed)
 	}
-	return assembleAddrsParallel(cs, rawLen, addrs, framed, opt)
+	return assembleAddrsParallel(cs, info.rawLen, info.addrs, info.framed, opt)
 }
 
 // fetchChunk is the unit of restore work: one content-verified chunk read
@@ -259,10 +259,11 @@ func (v *snapshotView) warm(key string) {
 	if err != nil || !h.Kind.Chunked() {
 		return
 	}
-	_, addrs, _, err := decodeChunkManifest(body)
+	info, err := decodeChunkManifest(body)
 	if err != nil {
 		return
 	}
+	addrs := info.addrs
 	seen := make(map[string]bool, len(addrs))
 	distinct := addrs[:0]
 	for _, a := range addrs {

@@ -97,10 +97,11 @@ func TestParallelRestoreCorruptChunk(t *testing.T) {
 	cs := storage.NewChunkStore(mem)
 	body := restoreTestBody(64 << 10)
 	manifest := buildChunkedBody(t, cs, body, 1<<10)
-	_, addrs, _, err := decodeChunkManifest(manifest)
+	minfo, err := decodeChunkManifest(manifest)
 	if err != nil {
 		t.Fatal(err)
 	}
+	addrs := minfo.addrs
 
 	// Pick a distinct (non-repeated) victim in the middle of the manifest.
 	counts := map[string]int{}
@@ -247,7 +248,7 @@ func TestGCDoesNotCollectInFlightChunks(t *testing.T) {
 	gated := &gatedBackend{Backend: mem, arrived: make(chan string, 1), release: make(chan struct{})}
 	m, err := NewManager(Options{
 		Backend: gated, Strategy: StrategyFull,
-		ChunkBytes: 1 << 10, Workers: 2, Async: true,
+		ChunkBytes: MinChunkBytes, Workers: 2, Async: true,
 	})
 	if err != nil {
 		t.Fatal(err)

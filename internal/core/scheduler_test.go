@@ -24,7 +24,7 @@ func TestBackgroundMigrationRunsBeforeClose(t *testing.T) {
 		Lifecycle:   LifecyclePolicy{KeepHotChains: 1},
 		Strategy:    StrategyDelta,
 		AnchorEvery: 2,
-		ChunkBytes:  256,
+		ChunkBytes:  MinChunkBytes,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -137,8 +137,8 @@ func (s *Service) OpenJob(jobID string, opt Options) (*Manager, error) {
 	if opt.Retain < 0 {
 		return nil, fmt.Errorf("core: negative retention %d", opt.Retain)
 	}
-	if opt.ChunkBytes < 0 {
-		return nil, fmt.Errorf("core: negative chunk size %d", opt.ChunkBytes)
+	if err := validateChunking(opt); err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

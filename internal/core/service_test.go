@@ -258,7 +258,7 @@ func TestServiceCrossJobGCSaveRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	frozen, err := svc.OpenJob("frozen", Options{
-		Strategy: StrategyFull, ChunkBytes: 1 << 10, Workers: 2, Async: true,
+		Strategy: StrategyFull, ChunkBytes: MinChunkBytes, Workers: 2, Async: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -419,7 +419,7 @@ func TestServiceConcurrentJobsStress(t *testing.T) {
 	for j := 0; j < jobs; j++ {
 		m, err := svc.OpenJob(fmt.Sprintf("job%02d", j), Options{
 			Strategy: StrategyDelta, AnchorEvery: 3, Retain: 2,
-			ChunkBytes: 1 << 10, Workers: 2, Async: j%2 == 0,
+			ChunkBytes: MinChunkBytes, Workers: 2, Async: j%2 == 0,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -587,7 +587,7 @@ func TestOpenJobRefusedWhileCloseDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	m, err := svc.OpenJob("slow", Options{
-		Strategy: StrategyFull, ChunkBytes: 1 << 10, Workers: 2, Async: true,
+		Strategy: StrategyFull, ChunkBytes: MinChunkBytes, Workers: 2, Async: true,
 	})
 	if err != nil {
 		t.Fatal(err)

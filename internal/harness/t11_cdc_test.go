@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestT11CDC runs the fixed-vs-CDC comparison end to end and pins the
+// headline claim: under shift-heavy edits at equal target chunk size,
+// content-defined chunking writes at most half the bytes per save that
+// fixed chunking does — locally and over the wire — while every
+// configuration still restores bitwise.
+func TestT11CDC(t *testing.T) {
+	rows, err := RunT11CDC(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(t11Workloads) {
+		t.Fatalf("rows = %d, want %d", len(rows), 2*len(t11Workloads))
+	}
+	byKey := map[string]T11Row{}
+	for _, r := range rows {
+		if !r.Bitwise {
+			t.Errorf("%s/%s: restore not bitwise", r.Workload, r.Chunker)
+		}
+		if r.BytesPerSave <= 0 {
+			t.Errorf("%s/%s: BytesPerSave = %d", r.Workload, r.Chunker, r.BytesPerSave)
+		}
+		byKey[r.Workload+"/"+r.Chunker] = r
+	}
+	for _, w := range []string{"insert", "shift"} {
+		fixed, cdc := byKey[w+"/fixed"], byKey[w+"/cdc"]
+		if cdc.BytesPerSave*2 > fixed.BytesPerSave {
+			t.Errorf("%s: cdc bytes/save %d not ≤ half of fixed %d",
+				w, cdc.BytesPerSave, fixed.BytesPerSave)
+		}
+		if cdc.WirePerSave*2 > fixed.WirePerSave {
+			t.Errorf("%s: cdc wire/save %d not ≤ half of fixed %d",
+				w, cdc.WirePerSave, fixed.WirePerSave)
+		}
+		if cdc.DedupRatio <= fixed.DedupRatio {
+			t.Errorf("%s: cdc dedup ratio %.2f not above fixed %.2f",
+				w, cdc.DedupRatio, fixed.DedupRatio)
+		}
+	}
+	// Equal footing: the realized CDC chunk size must be within 2× of
+	// the fixed 8 KiB target in both directions.
+	for _, r := range rows {
+		if r.Chunker != "cdc" {
+			continue
+		}
+		if r.AvgChunkKB < float64(t11ChunkKB)/2 || r.AvgChunkKB > float64(t11ChunkKB)*2 {
+			t.Errorf("%s/cdc: avg chunk %.1f KB, want within 2x of %d KB",
+				r.Workload, r.AvgChunkKB, t11ChunkKB)
+		}
+	}
+	// The rendering path stays panic-free and mentions every workload.
+	out := T11Table(rows).String()
+	for _, w := range t11Workloads {
+		if !strings.Contains(out, w) {
+			t.Errorf("table missing workload %q:\n%s", w, out)
+		}
+	}
+}

@@ -25,7 +25,7 @@ func TestConcurrentJobsShareChunksOverTheWire(t *testing.T) {
 		jobs      = 4
 		params    = 8192
 		perJob    = 512 // params unique to each job; the rest are shared
-		chunkSize = 1 << 10
+		chunkSize = core.MinChunkBytes
 	)
 	base := make([]float64, params)
 	rng := rand.New(rand.NewSource(7))
@@ -84,6 +84,37 @@ func TestConcurrentJobsShareChunksOverTheWire(t *testing.T) {
 		}
 	}
 
+	// A straggler joins after the storm: its shared chunks are already
+	// resident, so its address-first has-round must hit them — the
+	// deterministic cross-tenant dedup check (the concurrent saves above
+	// may race their has-rounds past each other's uploads).
+	late := core.NewTrainingState()
+	late.Params = append([]float64(nil), base...)
+	late.Meta = core.Meta{FormatVersion: core.FormatVersion, CircuitFP: "late", ProblemFP: "shared", OptimizerName: "adam"}
+	{
+		client, err := remote.Dial(url, remote.Options{Tenant: "tenant-late", RetryBase: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, err := core.JobBackend(client, "job-late")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.NewManager(core.Options{
+			Backend: view, Strategy: core.StrategyFull, ChunkBytes: chunkSize, Workers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Save(late); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		client.Close()
+	}
+
 	// Every job restores bitwise through a fresh client.
 	client, err := remote.Dial(url, remote.Options{})
 	if err != nil {
@@ -124,7 +155,7 @@ func TestConcurrentJobsShareChunksOverTheWire(t *testing.T) {
 		t.Errorf("chunk bytes written %d, want far below raw %d", st.ChunkBytesWritten, rawBytes)
 	}
 	jobList, err := client.Jobs()
-	if err != nil || len(jobList) != jobs {
+	if err != nil || len(jobList) != jobs+1 {
 		t.Errorf("Jobs() = %v, %v", jobList, err)
 	}
 }

@@ -179,7 +179,7 @@ func TestSaveRestoreSurvivesFlakyNetwork(t *testing.T) {
 	}
 	defer client.Close()
 
-	m, err := core.NewManager(core.Options{Backend: client, Strategy: core.StrategyFull, ChunkBytes: 1 << 10, Workers: 4})
+	m, err := core.NewManager(core.Options{Backend: client, Strategy: core.StrategyFull, ChunkBytes: core.MinChunkBytes, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
