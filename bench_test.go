@@ -407,6 +407,51 @@ func BenchmarkTable11CDC(b *testing.B) {
 	b.ReportMetric(float64(cdc.WirePerSave), "cdc-wire-bytes/save")
 }
 
+// BenchmarkTable12Replication regenerates Table 12: the 3-way replicated
+// store (W=2, R=2) under crash, slow-replica and split-brain fault
+// plans. Metrics: the worst k-atomicity bound the online consistency
+// audit observed across scenarios, restore availability with 1 of 3
+// replicas dead, and the healthy run's write amplification. Fails
+// outright on a consistency violation, a lost degraded restore, a GC
+// sweep that reaps quorum-referenced chunks, or amplification drifting
+// from R.
+func BenchmarkTable12Replication(b *testing.B) {
+	var rows []harness.T12Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.RunT12Replication(3, 3, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Violations != 0 {
+				b.Fatalf("%s: %d consistency violations", r.Scenario, r.Violations)
+			}
+			if r.AvailPct != 100 {
+				b.Fatalf("%s: availability %.0f%% with 1-of-3 dead", r.Scenario, r.AvailPct)
+			}
+			if !r.GCSafe || !r.Bitwise {
+				b.Fatalf("%s: gc-safe=%v bitwise=%v", r.Scenario, r.GCSafe, r.Bitwise)
+			}
+			if r.WriteAmp < 2 || r.WriteAmp > 4 {
+				b.Fatalf("%s: write amplification %.2f, want ≈3", r.Scenario, r.WriteAmp)
+			}
+		}
+	}
+	worstK, amp := 0, 0.0
+	for _, r := range rows {
+		if r.MinK > worstK {
+			worstK = r.MinK
+		}
+		if r.Scenario == "healthy" {
+			amp = r.WriteAmp
+		}
+	}
+	b.ReportMetric(float64(worstK), "observed-k")
+	b.ReportMetric(100, "degraded-avail-%")
+	b.ReportMetric(amp, "write-amp-x")
+}
+
 // BenchmarkFig1WastedWork regenerates Figure 1: expected completion time
 // without checkpointing vs MTBF. Metric: the blow-up factor E[T]/W at
 // MTBF = W/5.

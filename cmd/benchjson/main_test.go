@@ -311,6 +311,43 @@ func TestCompareToleratesCDCColumns(t *testing.T) {
 	}
 }
 
+func TestCompareToleratesReplicationColumns(t *testing.T) {
+	// The T12 replication benchmark adds metric columns no baseline has
+	// (observed-k, degraded-avail-%, write-amp-x). They must parse into
+	// the document and never trip the gate, whether the baseline predates
+	// the benchmark or carries different values — the benchmark itself
+	// b.Fatals when they leave their acceptance windows, so the gate has
+	// no business second-guessing them as costs.
+	line := "BenchmarkTable12Replication-8 \t 1 \t 2204000000 ns/op\t 1 observed-k\t 100 degraded-avail-%\t 3.03 write-amp-x\t 4096 B/op\t 64 allocs/op"
+	cur, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("replication benchmark line not parsed")
+	}
+	for _, unit := range []string{"observed-k", "degraded-avail-%", "write-amp-x"} {
+		if _, ok := cur.Metrics[unit]; !ok {
+			t.Errorf("metric %s lost in parsing: %v", unit, cur.Metrics)
+		}
+	}
+	// Baseline predates T12: the new benchmark and its columns are
+	// additions, not violations.
+	old := gateDoc(bench("BenchmarkSave-8", 1000, 50))
+	report, missing, failures := compareDocs(old, gateDoc(bench("BenchmarkSave-8", 1000, 50), cur), 20, false)
+	if failures != 0 || len(missing) != 0 {
+		t.Fatalf("new replication columns tripped the gate: %v", report)
+	}
+	// Baseline that HAS the columns with very different values (write
+	// amplification moves with R, observed k with read-repair timing):
+	// only ns/op and allocs/op are cost-gated.
+	older := cur
+	older.Metrics = map[string]float64{
+		"ns/op": cur.NsPerOp, "allocs/op": cur.AllocsPerOp,
+		"observed-k": 0.001, "write-amp-x": 0.001, "degraded-avail-%": 0.001,
+	}
+	if _, _, failures = compareDocs(gateDoc(older), gateDoc(cur), 20, false); failures != 0 {
+		t.Error("replication column drift tripped the ns/allocs gate")
+	}
+}
+
 func TestCompareSkipsZeroBaselines(t *testing.T) {
 	// A baseline without -benchmem columns (allocs 0) must not divide by
 	// zero or flag every new allocs value as a regression.

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments                 # run everything at default scale
-//	experiments -run F4         # run one experiment (T1..T11, F1..F6, A1, A2)
+//	experiments -run F4         # run one experiment (T1..T12, F1..F6, A1, A2)
 //	experiments -run T6,T9,T10  # run a comma-separated subset
 //	experiments -quick          # reduced scale for smoke runs
 package main
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "experiments to run, comma-separated: all, T1..T11, F1..F6, A1, A2 (e.g. -run T6,T9,T10)")
+	runFlag := flag.String("run", "all", "experiments to run, comma-separated: all, T1..T12, F1..F6, A1, A2 (e.g. -run T6,T9,T10)")
 	quick := flag.Bool("quick", false, "reduced scale (CI-friendly)")
 	flag.Parse()
 
@@ -186,6 +186,19 @@ func main() {
 		fmt.Println(harness.T11Table(rows))
 	}
 
+	if run("T12") {
+		ranAny = true
+		writers, readers, steps := 4, 4, 6
+		if *quick {
+			writers, readers, steps = 2, 2, 3
+		}
+		rows, err := harness.RunT12Replication(writers, readers, steps)
+		if err != nil {
+			fail("T12", err)
+		}
+		fmt.Println(harness.T12Table(rows))
+	}
+
 	if run("F1") {
 		ranAny = true
 		job := 12 * time.Hour
@@ -299,7 +312,7 @@ func main() {
 	}
 
 	if !ranAny {
-		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q (want a comma-separated subset of: all, T1..T11, F1..F6, A1, A2)\n", *runFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q (want a comma-separated subset of: all, T1..T12, F1..F6, A1, A2)\n", *runFlag)
 		os.Exit(2)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))

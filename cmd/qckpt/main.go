@@ -26,6 +26,8 @@
 //	                               gang-restores at ~1× cold reads
 //	qckpt -levels ... tiers <dir>  per-level occupancy and modeled placement cost
 //	qckpt -levels ... migrate <dir> demote anchor chains that left the hot set
+//	qckpt -replicas N replicas <dir> replica health table of an R-way replicated
+//	                               store (add -repair for an anti-entropy pass)
 //	qckpt diff <fileA> <fileB>     compare two full snapshots' states
 //
 // Flags:
@@ -44,6 +46,14 @@
 //	                               workers (0 = one per CPU, 1 = serial)
 //	-prefetch N                    restore: chunks fetched ahead of the ordered
 //	                               reassembly frontier (0 = 2×workers)
+//	-replicas N                    open <dir> as an N-way replicated store with
+//	                               one Local replica per <dir>/.replica-*; saves
+//	                               commit at the write quorum and restores stay
+//	                               available with up to N-W replicas down
+//	-quorum W                      write quorum for -replicas (0 = majority);
+//	                               the read quorum is chosen to overlap it
+//	-repair                        replicas: push winning copies onto lagging
+//	                               replicas (anti-entropy)
 package main
 
 import (
@@ -87,6 +97,12 @@ var (
 	rateMiB   int
 	qosSpec   string
 	placeSpec string
+	// replicaCount and writeQuorum open the directory as an R-way
+	// replicated store (dir/.replica-*); doRepair makes the replicas
+	// subcommand run an anti-entropy pass.
+	replicaCount int
+	writeQuorum  int
+	doRepair     bool
 )
 
 func main() {
@@ -104,6 +120,9 @@ func main() {
 	flag.IntVar(&rateMiB, "rate", 0, "serve: per-tenant write rate limit in MiB/s (0 = unlimited)")
 	flag.StringVar(&qosSpec, "qos", "", "serve: per-tenant QoS overrides, comma-separated tenant=quotaMiB:rateMiBs (e.g. noisy=256:4)")
 	flag.StringVar(&placeSpec, "place", "", "serve: class placement policy over -levels, comma-separated class=level for manifest, anchor, delta, archive (e.g. delta=object,archive=object)")
+	flag.IntVar(&replicaCount, "replicas", 0, "open the directory as an R-way replicated store (replicas under <dir>/.replica-*)")
+	flag.IntVar(&writeQuorum, "quorum", 0, "write quorum for -replicas (0 = majority); reads use the overlapping quorum")
+	flag.BoolVar(&doRepair, "repair", false, "replicas: run an anti-entropy pass pushing winning copies to lagging replicas")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		usage()
@@ -142,6 +161,8 @@ func main() {
 		err = cmdTiers(arg)
 	case "migrate":
 		err = cmdMigrate(arg)
+	case "replicas":
+		err = cmdReplicas(arg)
 	case "diff":
 		if flag.NArg() < 3 {
 			usage()
@@ -157,7 +178,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt [-addr a] [-inflight n] [-lease d] [-cache mib] [-quota mib] [-rate mibs] [-qos spec] [-place spec] serve <dir> | qckpt show <file> | qckpt diff <a> <b>")
+	fmt.Fprintln(os.Stderr, "usage: qckpt [-job id] [-tier dev] [-levels devs] [-replicas n] [-quorum w] [-workers n] {ls|verify|latest|restore|gc|compact|jobs|tiers|migrate} <dir> | qckpt -replicas n [-quorum w] [-repair] replicas <dir> | qckpt [-addr a] [-replicas n] [-quorum w] [-inflight n] [-lease d] [-cache mib] [-quota mib] [-rate mibs] [-qos spec] [-place spec] serve <dir> | qckpt show <file> | qckpt diff <a> <b>")
 	os.Exit(2)
 }
 
@@ -182,6 +203,23 @@ func openDir(dir string) (storage.Backend, func(), error) {
 	}
 	if tierName != "" && levelsFlag != "" {
 		return nil, nil, errors.New("-tier and -levels are mutually exclusive")
+	}
+	if writeQuorum != 0 && replicaCount == 0 {
+		return nil, nil, errors.New("-quorum requires -replicas")
+	}
+	if replicaCount > 0 {
+		if tierName != "" || levelsFlag != "" {
+			return nil, nil, errors.New("-replicas is mutually exclusive with -tier and -levels")
+		}
+		rb, err := storage.NewReplicatedDir(dir, replicaCount, writeQuorum)
+		if err != nil {
+			return nil, nil, err
+		}
+		scoped, err := scopeJob(rb)
+		if err != nil {
+			return nil, nil, err
+		}
+		return scoped, func() { rb.Close() }, nil
 	}
 	if levelsFlag != "" {
 		tb, err := storage.NewTieredDir(dir, strings.Split(levelsFlag, ","))
@@ -545,6 +583,49 @@ func cmdMigrate(dir string) error {
 		rep.Chains, rep.Level, rep.Manifests, rep.Chunks, rep.Bytes)
 	reportLevels(tb)
 	return nil
+}
+
+// cmdReplicas prints the replicated store's quorum geometry and a
+// per-replica health table; -repair additionally runs an anti-entropy
+// pass and reports what it pushed.
+func cmdReplicas(dir string) error {
+	if replicaCount < 1 {
+		return errors.New("requires -replicas (e.g. -replicas 3)")
+	}
+	if jobID != "" {
+		return errors.New("replicas is store-wide; drop -job")
+	}
+	rb, err := storage.NewReplicatedDir(dir, replicaCount, writeQuorum)
+	if err != nil {
+		return err
+	}
+	defer rb.Close()
+	info := rb.ReplicationInfo()
+	fmt.Printf("%s: %d replicas, write quorum %d, read quorum %d\n",
+		rb.Name(), info.Replicas, info.WriteQuorum, info.ReadQuorum)
+	fmt.Printf("%-8s %-12s %-24s %-6s %-10s %-13s %s\n",
+		"REPLICA", "DOMAIN", "BACKEND", "UP", "FAILURES", "NEEDS-REPAIR", "LAST-ERROR")
+	for _, st := range rb.Health() {
+		fmt.Printf("%-8d %-12s %-24s %-6v %-10d %-13v %s\n",
+			st.Index, st.Domain, st.Name, st.Up, st.Failures, st.NeedsRepair, st.LastError)
+	}
+	if doRepair {
+		st, err := rb.Repair()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repair: %d key(s) scanned, %d cop%s pushed (%d bytes), %d error(s)\n",
+			st.Keys, st.Pushed, plural(st.Pushed, "y", "ies"), st.PushedBytes, st.Errors)
+	}
+	return nil
+}
+
+// plural picks the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // loadStateFromFile resolves a snapshot file to its TrainingState. Delta

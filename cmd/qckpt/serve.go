@@ -30,18 +30,32 @@ func cmdServe(dir string) error {
 		return err
 	}
 	var backend storage.Backend
-	if levelsFlag != "" {
+	switch {
+	case replicaCount > 0:
+		if levelsFlag != "" {
+			return fmt.Errorf("-replicas and -levels are mutually exclusive; replicate the cold level behind its own serve instead")
+		}
+		rb, err := storage.NewReplicatedDir(dir, replicaCount, writeQuorum)
+		if err != nil {
+			return err
+		}
+		defer rb.Close()
+		backend = rb
+	case levelsFlag != "":
 		tb, err := storage.NewTieredDir(dir, strings.Split(levelsFlag, ","))
 		if err != nil {
 			return err
 		}
 		backend = tb
-	} else {
+	default:
 		b, err := storage.NewLocal(dir)
 		if err != nil {
 			return err
 		}
 		backend = b
+	}
+	if writeQuorum != 0 && replicaCount == 0 {
+		return fmt.Errorf("-quorum requires -replicas")
 	}
 	placement, err := parsePlacement(placeSpec)
 	if err != nil {

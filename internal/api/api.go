@@ -16,14 +16,15 @@
 package api
 
 import (
-	"strings"
 	"time"
 
 	"repro/internal/storage"
 )
 
 // Caps describes the service's backing store to clients: the remote
-// backend proxies these as its own storage.Capabilities.
+// backend proxies these as its own storage.Capabilities, and maps the
+// capability booleans onto its storage.CapSet so callers above a remote
+// store switch on the same probe they use locally.
 type Caps struct {
 	// Name of the backing store ("local", "mem", "tiered", …).
 	Name string `json:"name"`
@@ -31,6 +32,23 @@ type Caps struct {
 	Atomic     bool `json:"atomic"`
 	Persistent bool `json:"persistent"`
 	Modeled    bool `json:"modeled"`
+	// The capability set of the store behind the service — what
+	// storage.Caps reports for it. Batch and Range are read fast paths;
+	// ClassedWrites means write classes reach the store's placement;
+	// AddressedIngest and OrphanCollect describe the chunk plane (always
+	// true for a real service, which fronts a chunk store, but reported
+	// from the store so a degraded deployment is visible).
+	Batch           bool `json:"batch,omitempty"`
+	Range           bool `json:"range,omitempty"`
+	ClassedWrites   bool `json:"classed_writes,omitempty"`
+	AddressedIngest bool `json:"addressed_ingest,omitempty"`
+	OrphanCollect   bool `json:"orphan_collect,omitempty"`
+	// Replication geometry of the backing store; zero Replicas means the
+	// store is not replicated.
+	Replicas    int      `json:"replicas,omitempty"`
+	WriteQuorum int      `json:"write_quorum,omitempty"`
+	ReadQuorum  int      `json:"read_quorum,omitempty"`
+	Domains     []string `json:"domains,omitempty"`
 }
 
 // Stats are the service-side counters the T8 harness and operators read:
@@ -182,25 +200,5 @@ type QoSService interface {
 // this shape ride the idempotent chunk plane, everything else is an
 // object commit.
 func ChunkKeyAddr(key string) (addr string, ok bool) {
-	i := strings.LastIndexByte(key, '/')
-	if i < 0 {
-		return "", false
-	}
-	last := key[i+1:]
-	if len(last) != 64 {
-		return "", false
-	}
-	for j := 0; j < len(last); j++ {
-		c := last[j]
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return "", false
-		}
-	}
-	rest := key[:i]
-	j := strings.LastIndexByte(rest, '/')
-	fan := rest[j+1:]
-	if fan != last[:2] {
-		return "", false
-	}
-	return last, true
+	return storage.ChunkKeyAddr(key)
 }

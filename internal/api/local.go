@@ -82,15 +82,31 @@ func NewLocalOptions(svc *core.Service, leases *Leases, opts LocalOptions) *Loca
 // Leases exposes the lease table (tests drive its clock).
 func (l *Local) Leases() *Leases { return l.leases }
 
-// Caps implements Service.
+// Caps implements Service: the backend's guarantees plus its actual
+// capability set as one storage.Caps probe, so /v1/caps reports what the
+// store really supports (and, for a replicated store, its quorum
+// geometry) rather than a hardcoded protocol claim.
 func (l *Local) Caps() Caps {
 	c := l.backend.Capabilities()
-	return Caps{
-		Name:       l.backend.Name(),
-		Atomic:     c.Atomic,
-		Persistent: c.Persistent,
-		Modeled:    c.Modeled,
+	set := storage.Caps(l.backend)
+	caps := Caps{
+		Name:            l.backend.Name(),
+		Atomic:          c.Atomic,
+		Persistent:      c.Persistent,
+		Modeled:         c.Modeled,
+		Batch:           set.Batch != nil,
+		Range:           set.Range != nil,
+		ClassedWrites:   set.ClassWrite != nil,
+		AddressedIngest: set.Ingest != nil,
+		OrphanCollect:   set.Orphans != nil,
 	}
+	if rep := set.Replication; rep.Replicas > 0 {
+		caps.Replicas = rep.Replicas
+		caps.WriteQuorum = rep.WriteQuorum
+		caps.ReadQuorum = rep.ReadQuorum
+		caps.Domains = append([]string(nil), rep.Domains...)
+	}
+	return caps
 }
 
 // CommitManifest implements Service.
@@ -328,8 +344,8 @@ func (l *Local) Stats() Stats {
 		}
 	}
 	var levels []LevelStats
-	if tb, ok := l.svc.Backend().(*storage.Tiered); ok {
-		if occ, err := tb.Occupancy(); err == nil {
+	if occap := storage.Caps(l.svc.Backend()).Occupancy; occap != nil {
+		if occ, err := occap.Occupancy(); err == nil {
 			for _, lv := range occ {
 				ls := LevelStats{Name: lv.Name, Objects: lv.Objects, Bytes: lv.Bytes}
 				for _, c := range lv.ByClass {

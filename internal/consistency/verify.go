@@ -1,0 +1,222 @@
+package consistency
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The verifier decides how atomic a recorded history actually was. It
+// implements the polynomial-time necessary conditions from the
+// k-atomicity-verification literature:
+//
+//   - Rule B (safety): a read must return a value that some write could
+//     have produced before the read ended. A value that was never
+//     written, or whose only write began after the read returned, cannot
+//     be serialized at any k.
+//
+//   - Rule A/C (staleness): for a read r returning write w, count the
+//     distinct writes v ≠ w that (a) began strictly after w completed
+//     (w.End < v.Start, so v follows w in every legal serialization) and
+//     (b) must precede r — either v completed before r began
+//     (v.End < r.Start, rule A) or some other read returned v and
+//     completed before r began (rule C's dirty-read chaining). Every
+//     such v sits between w and r in any serialization, so r is at
+//     least (count+1)-stale.
+//
+// MinK is exact on histories whose write values are distinct (the
+// Recorder hashes payloads, and the harness writers embed unique
+// sequence numbers, so this holds in practice); with duplicated values
+// it is a sound lower bound, which the fuzz target cross-checks against
+// an exact brute-force search on small histories.
+
+// A Violation is a read that cannot be serialized at any k.
+type Violation struct {
+	Key    string
+	Read   int // index into the analyzed History
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("key %q, op %d: %s", v.Key, v.Read, v.Reason)
+}
+
+// Report is the verifier's summary of one history.
+type Report struct {
+	// MinK is the smallest k for which every read is within k writes of
+	// the freshest value it could have returned; 1 means the history is
+	// atomic (linearizable). 0 when the history has no reads.
+	MinK int
+	// Violations lists reads that no serialization can explain (unwritten
+	// values, reads from the future). Non-empty means the history is not
+	// k-atomic for ANY k; MinK then covers only the explicable reads.
+	Violations []Violation
+	Reads      int
+	Writes     int
+}
+
+// Ok reports whether the history is k-atomic for the given k.
+func (r Report) Ok(k int) bool { return len(r.Violations) == 0 && r.MinK <= k }
+
+const (
+	// botValue is the synthetic initial write ⊥: a NotFound read returns
+	// the pre-history state, modeled as a write that completed before
+	// every recorded operation.
+	botValue = ""
+	negInf   = math.MinInt64
+	posInf   = math.MaxInt64
+)
+
+type interval struct {
+	start, end int64
+	value      string
+	op         int // index into the source History
+}
+
+// Analyze verifies a recorded history and returns the smallest k it
+// admits, per key. It rejects histories containing Delete ops on an
+// audited key: a delete is a write of "absent" racing reads of older
+// values, and conflating it with ⊥ would let a genuinely stale read
+// masquerade as a fresh read of the tombstone. (The harness never
+// deletes the audited manifest key.)
+func Analyze(h History) (Report, error) {
+	byKey := map[string][]Op{}
+	order := []string{}
+	for _, op := range h {
+		if _, seen := byKey[op.Key]; !seen {
+			order = append(order, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	sort.Strings(order)
+	var rep Report
+	for _, key := range order {
+		kr, err := analyzeKey(key, byKey[key])
+		if err != nil {
+			return Report{}, err
+		}
+		if kr.MinK > rep.MinK {
+			rep.MinK = kr.MinK
+		}
+		rep.Violations = append(rep.Violations, kr.Violations...)
+		rep.Reads += kr.Reads
+		rep.Writes += kr.Writes
+	}
+	return rep, nil
+}
+
+// CheckKAtomic is the assertion form of Analyze: it returns an error
+// unless the history is k-atomic.
+func CheckKAtomic(h History, k int) error {
+	rep, err := Analyze(h)
+	if err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("consistency: %d unserializable read(s), first: %s",
+			len(rep.Violations), rep.Violations[0])
+	}
+	if rep.MinK > k {
+		return fmt.Errorf("consistency: history is %d-atomic at best, want k <= %d", rep.MinK, k)
+	}
+	return nil
+}
+
+func analyzeKey(key string, ops []Op) (Report, error) {
+	var writes, reads []interval
+	// The synthetic initial write precedes everything.
+	writes = append(writes, interval{start: negInf, end: negInf, value: botValue, op: -1})
+	for i, op := range ops {
+		switch op.Kind {
+		case OpDelete:
+			return Report{}, fmt.Errorf("consistency: history for %q contains a delete; the verifier audits write/read histories only", key)
+		case OpPut:
+			w := interval{start: op.Start, end: op.End, value: op.Value, op: i}
+			if op.Err {
+				// A failed put may have landed on a subset of replicas:
+				// it is allowed to be observed, but never *required* to
+				// precede anything — keep it open-ended.
+				w.end = posInf
+			}
+			writes = append(writes, w)
+		case OpGet:
+			if op.Err {
+				continue // nothing observable
+			}
+			val := op.Value
+			if op.NotFound {
+				val = botValue
+			}
+			reads = append(reads, interval{start: op.Start, end: op.End, value: val, op: i})
+		}
+	}
+
+	byValue := map[string][]interval{}
+	for _, w := range writes {
+		byValue[w.value] = append(byValue[w.value], w)
+	}
+	// earliestReadEnd[v] supports rule C: the earliest completion of a
+	// read that returned v. If that read finished before r started, v
+	// was externally visible before r — so v precedes r in any
+	// serialization even if the write of v is still in flight.
+	earliestReadEnd := map[string]int64{}
+	for _, r := range reads {
+		if cur, ok := earliestReadEnd[r.value]; !ok || r.end < cur {
+			earliestReadEnd[r.value] = r.end
+		}
+	}
+
+	rep := Report{Reads: len(reads), Writes: len(writes) - 1}
+	for _, r := range reads {
+		cands := byValue[r.value]
+		if len(cands) == 0 {
+			rep.Violations = append(rep.Violations, Violation{
+				Key: key, Read: r.op,
+				Reason: fmt.Sprintf("returned value %.12q that was never written", r.value),
+			})
+			continue
+		}
+		// Charitable matching: serialize r against the latest-starting
+		// write of its value that did not begin after r returned.
+		w := interval{start: negInf}
+		found := false
+		for _, c := range cands {
+			if c.start <= r.end && (!found || c.start > w.start) {
+				w, found = c, true
+			}
+		}
+		if !found {
+			rep.Violations = append(rep.Violations, Violation{
+				Key: key, Read: r.op,
+				Reason: fmt.Sprintf("returned value %.12q whose write began after the read ended", r.value),
+			})
+			continue
+		}
+		// Rule A/C: distinct values strictly after w that must precede r.
+		counted := map[string]bool{}
+		for _, v := range writes {
+			if v.value == w.value || counted[v.value] {
+				continue
+			}
+			if w.end >= v.start {
+				continue // not ordered after w
+			}
+			mustPrecede := v.end < r.start
+			if !mustPrecede {
+				if e, ok := earliestReadEnd[v.value]; ok && e < r.start {
+					mustPrecede = true
+				}
+			}
+			if mustPrecede {
+				counted[v.value] = true
+			}
+		}
+		if k := len(counted) + 1; k > rep.MinK {
+			rep.MinK = k
+		}
+	}
+	if rep.MinK == 0 && rep.Reads > 0 {
+		rep.MinK = 1
+	}
+	return rep, nil
+}

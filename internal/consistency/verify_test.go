@@ -1,0 +1,462 @@
+package consistency
+
+import (
+	"math"
+	"testing"
+)
+
+func put(v string, s, e int64) Op {
+	return Op{Kind: OpPut, Key: "m", Value: v, Start: s, End: e}
+}
+
+func get(v string, s, e int64) Op {
+	return Op{Kind: OpGet, Key: "m", Value: v, Start: s, End: e}
+}
+
+func notFound(s, e int64) Op {
+	return Op{Kind: OpGet, Key: "m", Start: s, End: e, NotFound: true}
+}
+
+func mustAnalyze(t *testing.T, h History) Report {
+	t.Helper()
+	rep, err := Analyze(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestAnalyzeAtomic(t *testing.T) {
+	h := History{
+		put("v1", 0, 1),
+		put("v2", 2, 3),
+		get("v2", 4, 5),
+		get("v2", 6, 7),
+	}
+	rep := mustAnalyze(t, h)
+	if len(rep.Violations) != 0 || rep.MinK != 1 {
+		t.Fatalf("want atomic, got %+v", rep)
+	}
+	if rep.Reads != 2 || rep.Writes != 2 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if err := CheckKAtomic(h, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeConcurrentReadIsAtomic(t *testing.T) {
+	// The read overlaps the second write: returning either value is a
+	// legal linearization.
+	h := History{
+		put("v1", 0, 1),
+		put("v2", 2, 10),
+		get("v1", 3, 4),
+	}
+	rep := mustAnalyze(t, h)
+	if len(rep.Violations) != 0 || rep.MinK != 1 {
+		t.Fatalf("want atomic, got %+v", rep)
+	}
+}
+
+func TestAnalyzeStaleReadIs2Atomic(t *testing.T) {
+	// Rule A: v2 completed before the read began, yet the read returned v1.
+	h := History{
+		put("v1", 0, 1),
+		put("v2", 2, 3),
+		get("v1", 4, 5),
+	}
+	rep := mustAnalyze(t, h)
+	if len(rep.Violations) != 0 || rep.MinK != 2 {
+		t.Fatalf("want 2-atomic, got %+v", rep)
+	}
+	if err := CheckKAtomic(h, 1); err == nil {
+		t.Fatal("CheckKAtomic(1) accepted a 2-atomic history")
+	}
+	if err := CheckKAtomic(h, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeRuleCInversion(t *testing.T) {
+	// The known new/old inversion: r1 observes v2 and completes, then r2
+	// observes v1. The write of v2 is still in flight when r2 runs, so
+	// rule A alone would call this atomic — rule C's dirty-read chaining
+	// makes v2 precede r2 and exposes the staleness.
+	h := History{
+		put("v1", 0, 1),
+		put("v2", 10, 20),
+		get("v2", 11, 12),
+		get("v1", 13, 14),
+	}
+	rep := mustAnalyze(t, h)
+	if len(rep.Violations) != 0 || rep.MinK != 2 {
+		t.Fatalf("want 2-atomic via rule C, got %+v", rep)
+	}
+}
+
+func TestAnalyzeDeepStaleness(t *testing.T) {
+	// Three completed overwrites, then a read of the first value: 4-atomic.
+	h := History{
+		put("v1", 0, 1),
+		put("v2", 2, 3),
+		put("v3", 4, 5),
+		put("v4", 6, 7),
+		get("v1", 8, 9),
+	}
+	if rep := mustAnalyze(t, h); rep.MinK != 4 {
+		t.Fatalf("want MinK=4, got %+v", rep)
+	}
+}
+
+func TestAnalyzeUnwrittenValueViolation(t *testing.T) {
+	h := History{
+		put("v1", 0, 1),
+		get("vX", 2, 3),
+	}
+	rep := mustAnalyze(t, h)
+	if len(rep.Violations) != 1 {
+		t.Fatalf("want 1 violation, got %+v", rep)
+	}
+	if err := CheckKAtomic(h, 100); err == nil {
+		t.Fatal("violating history accepted at k=100")
+	}
+}
+
+func TestAnalyzeFutureReadViolation(t *testing.T) {
+	// The only write of v2 began after the read returned.
+	h := History{
+		put("v1", 0, 1),
+		get("v2", 2, 3),
+		put("v2", 4, 5),
+	}
+	rep := mustAnalyze(t, h)
+	if len(rep.Violations) != 1 {
+		t.Fatalf("want 1 violation, got %+v", rep)
+	}
+}
+
+func TestAnalyzeNotFoundSemantics(t *testing.T) {
+	// NotFound before any write: atomic.
+	h := History{
+		notFound(0, 1),
+		put("v1", 2, 3),
+		get("v1", 4, 5),
+	}
+	if rep := mustAnalyze(t, h); rep.MinK != 1 || len(rep.Violations) != 0 {
+		t.Fatalf("want atomic, got %+v", rep)
+	}
+	// NotFound after a completed write: the read missed it — 2-atomic.
+	h = History{
+		put("v1", 0, 1),
+		notFound(2, 3),
+	}
+	if rep := mustAnalyze(t, h); rep.MinK != 2 {
+		t.Fatalf("want 2-atomic, got %+v", rep)
+	}
+}
+
+func TestAnalyzeErroredOpsAreCharitable(t *testing.T) {
+	// A failed put may have landed anywhere between zero and all
+	// replicas: reading it is legal, and missing it forever is too.
+	errPut := put("v2", 2, 3)
+	errPut.Err = true
+	h := History{
+		put("v1", 0, 1),
+		errPut,
+		get("v2", 4, 5), // observed the partial write: fine
+		get("v1", 6, 7), // never required to see it... but rule C: v2 was observed
+	}
+	rep := mustAnalyze(t, h)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %+v", rep)
+	}
+	if rep.MinK != 2 {
+		t.Fatalf("dirty read of a partial write then regression: want 2, got %+v", rep)
+	}
+	// Without the dirty read, the partial write never has to be seen.
+	h = History{put("v1", 0, 1), errPut, get("v1", 6, 7)}
+	if rep := mustAnalyze(t, h); rep.MinK != 1 {
+		t.Fatalf("want atomic, got %+v", rep)
+	}
+	// Errored reads observe nothing.
+	errGet := get("", 8, 9)
+	errGet.Err = true
+	h = History{put("v1", 0, 1), errGet}
+	if rep := mustAnalyze(t, h); rep.Reads != 0 || rep.MinK != 0 {
+		t.Fatalf("errored read counted: %+v", rep)
+	}
+}
+
+func TestAnalyzeRejectsDeletes(t *testing.T) {
+	h := History{put("v1", 0, 1), {Kind: OpDelete, Key: "m", Start: 2, End: 3}}
+	if _, err := Analyze(h); err == nil {
+		t.Fatal("history with delete accepted")
+	}
+}
+
+func TestAnalyzePerKeyIsolation(t *testing.T) {
+	h := History{
+		put("v1", 0, 1),
+		put("v2", 2, 3),
+		{Kind: OpPut, Key: "other", Value: "o1", Start: 4, End: 5},
+		get("v1", 6, 7), // 2-atomic on "m"
+		{Kind: OpGet, Key: "other", Value: "o1", Start: 8, End: 9}, // atomic on "other"
+	}
+	rep := mustAnalyze(t, h)
+	if rep.MinK != 2 || rep.Reads != 2 || rep.Writes != 3 {
+		t.Fatalf("got %+v", rep)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force cross-check: exact minimal k by searching every
+// precedence-respecting serialization. Exponential — test-only, n <= 9.
+
+type bruteOp struct {
+	isWrite    bool
+	start, end int64
+	value      string
+}
+
+func bruteOps(h History) []bruteOp {
+	var ops []bruteOp
+	for _, op := range h {
+		switch op.Kind {
+		case OpPut:
+			b := bruteOp{isWrite: true, start: op.Start, end: op.End, value: op.Value}
+			if op.Err {
+				b.end = math.MaxInt64
+			}
+			ops = append(ops, b)
+		case OpGet:
+			if op.Err {
+				continue
+			}
+			v := op.Value
+			if op.NotFound {
+				v = botValue
+			}
+			ops = append(ops, bruteOp{start: op.Start, end: op.End, value: v})
+		}
+	}
+	return ops
+}
+
+// bruteMinK returns the smallest achievable max-staleness over all valid
+// serializations, and whether any valid serialization exists. A
+// serialization is valid when it respects real-time precedence
+// (a.end < b.start forces a before b) and every read is placed after
+// some write of its value (the initial ⊥ is implicitly placed first).
+func bruteMinK(h History) (int, bool) {
+	ops := bruteOps(h)
+	n := len(ops)
+	pred := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && ops[j].end < ops[i].start {
+				pred[i] = append(pred[i], j)
+			}
+		}
+	}
+	placed := make([]bool, n)
+	lastSeq := map[string]int{botValue: 0}
+	best := math.MaxInt
+	var dfs func(count, writeSeq, curMax int)
+	dfs = func(count, writeSeq, curMax int) {
+		if curMax >= best {
+			return
+		}
+		if count == n {
+			best = curMax
+			return
+		}
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			ready := true
+			for _, p := range pred[i] {
+				if !placed[p] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			op := ops[i]
+			if op.isWrite {
+				prev, had := lastSeq[op.value]
+				if !had || writeSeq+1 > prev {
+					lastSeq[op.value] = writeSeq + 1
+				}
+				placed[i] = true
+				dfs(count+1, writeSeq+1, curMax)
+				placed[i] = false
+				if had {
+					lastSeq[op.value] = prev
+				} else {
+					delete(lastSeq, op.value)
+				}
+			} else {
+				seq, ok := lastSeq[op.value]
+				if !ok {
+					continue // read before its write: invalid placement
+				}
+				stale := writeSeq - seq + 1
+				m := curMax
+				if stale > m {
+					m = stale
+				}
+				placed[i] = true
+				dfs(count+1, writeSeq, m)
+				placed[i] = false
+			}
+		}
+	}
+	dfs(0, 0, 0)
+	if best == math.MaxInt {
+		return 0, false
+	}
+	return best, true
+}
+
+func TestBruteAgreesOnHandBuilt(t *testing.T) {
+	cases := []struct {
+		name string
+		h    History
+	}{
+		{"atomic", History{put("v1", 0, 1), put("v2", 2, 3), get("v2", 4, 5)}},
+		{"stale", History{put("v1", 0, 1), put("v2", 2, 3), get("v1", 4, 5)}},
+		{"ruleC", History{put("v1", 0, 1), put("v2", 10, 20), get("v2", 11, 12), get("v1", 13, 14)}},
+		{"deep", History{put("v1", 0, 1), put("v2", 2, 3), put("v3", 4, 5), get("v1", 6, 7)}},
+		{"future", History{put("v1", 0, 1), get("v2", 2, 3), put("v2", 4, 5)}},
+		{"notfound", History{put("v1", 0, 1), notFound(2, 3)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkAgainstBrute(t, tc.h)
+		})
+	}
+}
+
+// checkAgainstBrute asserts the soundness contract between the
+// polynomial verifier and the exact search:
+//   - the fast path flags a violation iff no valid serialization exists;
+//   - otherwise fast MinK is a lower bound on the exact answer;
+//   - on sequential (non-overlapping) histories the bound is tight.
+func checkAgainstBrute(t *testing.T, h History) {
+	t.Helper()
+	rep, err := Analyze(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, ok := bruteMinK(h)
+	if (len(rep.Violations) == 0) != ok {
+		t.Fatalf("fast violations=%v but brute valid=%v\nhistory: %+v", rep.Violations, ok, h)
+	}
+	if !ok || rep.Reads == 0 {
+		return
+	}
+	if bk < 1 {
+		bk = 1 // a read concurrent with all writes can serialize fresh
+	}
+	if rep.MinK > bk {
+		t.Fatalf("fast MinK=%d exceeds exact %d\nhistory: %+v", rep.MinK, bk, h)
+	}
+	if sequential(h) && rep.MinK != bk {
+		t.Fatalf("sequential history: fast MinK=%d, exact %d\nhistory: %+v", rep.MinK, bk, h)
+	}
+}
+
+func sequential(h History) bool {
+	for i, a := range h {
+		if a.Kind == OpGet && a.Err {
+			continue
+		}
+		for j, b := range h {
+			if i == j || (b.Kind == OpGet && b.Err) {
+				continue
+			}
+			if !(a.End < b.Start || b.End < a.Start) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzKAtomicity generates small concurrent histories and cross-checks
+// the polynomial verifier against the exact brute-force search.
+func FuzzKAtomicity(f *testing.F) {
+	f.Add([]byte{0, 2, 0, 2, 1, 2})
+	f.Add([]byte{0, 0, 1, 2, 2, 2})
+	f.Add([]byte{1, 2, 0, 2, 1, 2, 0, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := genHistory(data)
+		if len(h) == 0 {
+			return
+		}
+		checkAgainstBrute(t, h)
+	})
+}
+
+// genHistory interprets fuzz bytes as a schedule of op starts and
+// completions on one key, with distinct write values (matching what the
+// Recorder produces for harness writers).
+func genHistory(data []byte) History {
+	var (
+		h       History
+		pending []int // indices into h awaiting End
+		clock   int64
+		values  []string
+		names   = []string{"v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9"}
+	)
+	finish := func(idx int, sel byte) {
+		opi := pending[idx]
+		pending = append(pending[:idx], pending[idx+1:]...)
+		clock++
+		h[opi].End = clock
+		if h[opi].Kind == OpGet {
+			// Choose the returned value at completion: ⊥, any started
+			// write, or (rarely) garbage to exercise the violation path.
+			n := len(values) + 2
+			switch k := int(sel) % n; {
+			case k == 0:
+				h[opi].NotFound = true
+			case k <= len(values):
+				h[opi].Value = values[k-1]
+			default:
+				h[opi].Value = "vX"
+			}
+		}
+	}
+	for i := 0; i+1 < len(data) && len(h) < 9; i += 2 {
+		cmd, sel := data[i], data[i+1]
+		switch cmd % 3 {
+		case 0: // start a write
+			if len(values) >= len(names) {
+				continue
+			}
+			v := names[len(values)]
+			values = append(values, v)
+			clock++
+			h = append(h, Op{Kind: OpPut, Key: "m", Value: v, Start: clock})
+			pending = append(pending, len(h)-1)
+		case 1: // start a read
+			clock++
+			h = append(h, Op{Kind: OpGet, Key: "m", Start: clock})
+			pending = append(pending, len(h)-1)
+		case 2: // finish a pending op chosen by sel
+			if len(pending) == 0 {
+				continue
+			}
+			finish(int(sel)%len(pending), sel)
+		}
+	}
+	for len(pending) > 0 {
+		finish(0, byte(clock))
+	}
+	return h
+}

@@ -330,6 +330,35 @@ func (v *jobView) route(key string) storage.Backend {
 func (v *jobView) Name() string                       { return v.base.Name() }
 func (v *jobView) Capabilities() storage.Capabilities { return v.base.Capabilities() }
 
+// Caps implements storage.CapsReporter: the view natively routes ranged,
+// batch, classed and ingest traffic (all handles point at the view so
+// routing is never bypassed), masked by what the base store actually
+// supports; orphan collection forwards only when the base owns it, and
+// the base's replication geometry shows through untouched.
+func (v *jobView) Caps() storage.CapSet {
+	base := storage.Caps(v.base)
+	out := storage.CapSet{Replication: base.Replication}
+	if base.Range != nil {
+		out.Range = v
+	}
+	if base.Batch != nil {
+		out.Batch = v
+	}
+	if base.Ingest != nil {
+		out.Ingest = v
+	}
+	if base.ClassIngest != nil || base.Ingest != nil {
+		out.ClassIngest = v
+	}
+	if base.ClassWrite != nil {
+		out.ClassWrite = v
+	}
+	if base.Orphans != nil {
+		out.Orphans = v
+	}
+	return out
+}
+
 func (v *jobView) Put(key string, data []byte) error { return v.route(key).Put(key, data) }
 
 // PutClass forwards classed writes so placement survives the view: a

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestT12Replication runs the replication table end to end and pins the
+// headline claims: the consistency audit stays within k ≤ 2 with zero
+// violations under every fault plan, restore availability with 1 of 3
+// replicas dead is 100%, the orphan sweep never reaps chunks a
+// quorum-visible manifest references, and write amplification sits
+// near R = 3.
+func TestT12Replication(t *testing.T) {
+	rows, err := RunT12Replication(3, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(t12Scenarios()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(t12Scenarios()))
+	}
+	for _, r := range rows {
+		if r.Violations != 0 {
+			t.Errorf("%s: %d consistency violations", r.Scenario, r.Violations)
+		}
+		if r.MinK < 1 || r.MinK > 2 {
+			t.Errorf("%s: observed MinK = %d, want 1..2", r.Scenario, r.MinK)
+		}
+		if r.Ops <= r.Writers*t12OpsPerWriter {
+			t.Errorf("%s: only %d audit ops recorded, want puts plus reads", r.Scenario, r.Ops)
+		}
+		if r.AvailPct != 100 {
+			t.Errorf("%s: availability %.0f%% with 1-of-3 dead, want 100%%", r.Scenario, r.AvailPct)
+		}
+		if !r.GCSafe {
+			t.Errorf("%s: orphan sweep reaped referenced chunks", r.Scenario)
+		}
+		if !r.Bitwise {
+			t.Errorf("%s: a restore was not bitwise", r.Scenario)
+		}
+		// Every accepted logical byte lands on all three replicas;
+		// envelope framing adds a little on top.
+		if r.WriteAmp < 2.5 || r.WriteAmp > 3.5 {
+			t.Errorf("%s: write amplification %.2f, want ≈3 (2.5..3.5)", r.Scenario, r.WriteAmp)
+		}
+	}
+	out := T12Table(rows).String()
+	for _, sc := range t12Scenarios() {
+		if !strings.Contains(out, sc.name) {
+			t.Errorf("table missing scenario %q:\n%s", sc.name, out)
+		}
+	}
+}

@@ -186,6 +186,37 @@ func (c *Client) Capabilities() storage.Capabilities {
 	}
 }
 
+// ServerCaps returns the capability document fetched at Dial — the
+// server store's identity, capability set, and replication geometry.
+func (c *Client) ServerCaps() api.Caps { return c.caps }
+
+// Caps implements storage.CapsReporter. Every handle points at this
+// client: ranged reads, batch windows, the dedup handshake, classed
+// writes and delegated GC are protocol endpoints that exist on every
+// qckpt server, whatever its store (a store without the matching fast
+// path serves them all the same, just without the shortcut). The
+// replication geometry is the server's own, surfaced so callers above a
+// remote store see the same ReplicationInfo they would see locally.
+func (c *Client) Caps() storage.CapSet {
+	set := storage.CapSet{
+		Range:       c,
+		Batch:       c,
+		Ingest:      c,
+		ClassWrite:  c,
+		ClassIngest: c,
+		Orphans:     c,
+	}
+	if c.caps.Replicas > 0 {
+		set.Replication = storage.ReplicationInfo{
+			Replicas:    c.caps.Replicas,
+			WriteQuorum: c.caps.WriteQuorum,
+			ReadQuorum:  c.caps.ReadQuorum,
+			Domains:     append([]string(nil), c.caps.Domains...),
+		}
+	}
+	return set
+}
+
 // --- single attempt and retry machinery ---
 
 // roundTrip performs one request and returns the status, headers, and the

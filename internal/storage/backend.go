@@ -77,12 +77,13 @@ func validRange(off, n int64) error {
 }
 
 // GetRange reads [off, off+n) of key, using the backend's RangeReader fast
-// path when available and falling back to a full Get otherwise.
+// path when its capability set declares one and falling back to a full
+// Get otherwise.
 func GetRange(b Backend, key string, off, n int64) ([]byte, error) {
 	if err := validRange(off, n); err != nil {
 		return nil, err
 	}
-	if rr, ok := b.(RangeReader); ok {
+	if rr := Caps(b).Range; rr != nil {
 		return rr.GetRange(key, off, n)
 	}
 	data, err := b.Get(key)
@@ -385,6 +386,33 @@ func WithPrefix(base Backend, prefix string) Backend {
 
 func (p *prefixed) Name() string               { return p.base.Name() }
 func (p *prefixed) Capabilities() Capabilities { return p.base.Capabilities() }
+
+// Caps implements CapsReporter: the view forwards exactly the optional
+// capabilities its base has (each handle pointing at the view itself so
+// the prefix still applies). Orphan collection and occupancy are not
+// forwarded — both are whole-store concepts a namespaced view must not
+// trigger or report as its own.
+func (p *prefixed) Caps() CapSet {
+	base := Caps(p.base)
+	var c CapSet
+	if base.Range != nil {
+		c.Range = p
+	}
+	if base.Batch != nil {
+		c.Batch = p
+	}
+	if base.Ingest != nil {
+		c.Ingest = p
+	}
+	if base.ClassWrite != nil {
+		c.ClassWrite = p
+	}
+	if base.ClassIngest != nil {
+		c.ClassIngest = p
+	}
+	c.Replication = base.Replication
+	return c
+}
 
 func (p *prefixed) Put(key string, data []byte) error {
 	if err := ValidateKey(key); err != nil {

@@ -18,7 +18,7 @@ type BatchReader interface {
 // path when available and sequential Gets otherwise. Results and errors
 // are positional and the slices always have len(keys).
 func GetBatch(b Backend, keys []string) ([][]byte, []error) {
-	if br, ok := b.(BatchReader); ok {
+	if br := Caps(b).Batch; br != nil {
 		return br.GetBatch(keys)
 	}
 	out := make([][]byte, len(keys))

@@ -141,27 +141,39 @@ func (c *Cache) Name() string { return "cache+" + c.base.Name() }
 // base.
 func (c *Cache) Capabilities() Capabilities { return c.base.Capabilities() }
 
+// Caps implements CapsReporter. Ranged and batch reads are native — both
+// are served from cached objects before touching the base — and classed
+// writes must route through the cache for invalidation. Addressed ingest
+// is deliberately absent: the cache cannot see a server-side dedup
+// decision, so the ingest protocol must bypass it (this was previously
+// encoded only by the missing method).
+func (c *Cache) Caps() CapSet {
+	base := Caps(c.base)
+	return CapSet{Range: c, Batch: c, ClassWrite: c, Replication: base.Replication}
+}
+
 // Put implements Backend: write-through, invalidating any cached copy.
 // Updating the cached entry in place instead would race a concurrent Put
 // of the same key — base writes and cache updates could interleave in
 // opposite orders, pinning stale data until eviction. Dropping the entry
 // (and bumping the generation, which fences in-flight miss fills) makes
 // the next Get re-read whatever the base settled on.
+// The drop happens even when the base write fails: a failed quorum
+// write on a replicated base may still have landed on a minority of
+// replicas and surface at a later read, so the cached copy is stale
+// either way.
 func (c *Cache) Put(key string, data []byte) error {
-	if err := c.base.Put(key, data); err != nil {
-		return err
-	}
+	err := c.base.Put(key, data)
 	c.drop(key)
-	return nil
+	return err
 }
 
-// PutClass forwards a classed write to the base, invalidating like Put.
+// PutClass forwards a classed write to the base, invalidating like Put
+// (on failure too).
 func (c *Cache) PutClass(key string, data []byte, class WriteClass) error {
-	if err := PutClass(c.base, key, data, class); err != nil {
-		return err
-	}
+	err := PutClass(c.base, key, data, class)
 	c.drop(key)
-	return nil
+	return err
 }
 
 // Get implements Backend, filling the cache on miss.

@@ -200,7 +200,7 @@ type AddressedIngester interface {
 // use it to forward toward their base without having to know whether the
 // base participates.
 func TryIngestKeyed(b Backend, key, addr string, data []byte) (written int, ok bool, err error) {
-	if ai, is := b.(AddressedIngester); is {
+	if ai := Caps(b).Ingest; ai != nil {
 		return ai.IngestKeyed(key, addr, data)
 	}
 	return 0, false, nil
@@ -421,7 +421,7 @@ type OrphanCollector interface {
 // TryCollectOrphans delegates orphan collection to b when it implements
 // OrphanCollector, and reports ok=false otherwise.
 func TryCollectOrphans(b Backend) (removed int, reclaimed int64, ok bool, err error) {
-	if oc, is := b.(OrphanCollector); is {
+	if oc := Caps(b).Orphans; oc != nil {
 		return oc.CollectOrphans()
 	}
 	return 0, 0, false, nil

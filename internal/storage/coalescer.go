@@ -249,6 +249,27 @@ func (c *Coalescer) Name() string { return "coalesce+" + c.base.Name() }
 // base.
 func (c *Coalescer) Capabilities() Capabilities { return c.base.Capabilities() }
 
+// Caps implements CapsReporter. The read-side capabilities (ranged,
+// batch) are native — every read must enter the single-flight machinery
+// or it would bypass coalescing — and so are the write-side ones, which
+// must invalidate. Ingest and orphan collection forward only when the
+// base participates: the methods exist either way, but a declared
+// capability means the base actually owns the decision.
+func (c *Coalescer) Caps() CapSet {
+	base := Caps(c.base)
+	out := CapSet{Range: c, Batch: c, ClassWrite: c, Replication: base.Replication}
+	if base.Ingest != nil {
+		out.Ingest = c
+	}
+	if base.ClassIngest != nil || base.Ingest != nil {
+		out.ClassIngest = c
+	}
+	if base.Orphans != nil {
+		out.Orphans = c
+	}
+	return out
+}
+
 // Get implements Backend: cache hit, joined flight, or led base fetch.
 func (c *Coalescer) Get(key string) ([]byte, error) {
 	if err := ValidateKey(key); err != nil {
@@ -373,22 +394,23 @@ func sliceRange(data []byte, off, n int64) []byte {
 
 // Put implements Backend: write-through, invalidating any cached copy
 // and fencing in-flight fills (see Cache.Put for why invalidate, not
-// update-in-place).
+// update-in-place). The invalidation happens even when the base write
+// FAILS: over a replicated base a failed quorum write may still have
+// landed on a minority of replicas and can surface at a later quorum
+// read once repair spreads it, so the cached old bytes are no longer
+// trustworthy either way.
 func (c *Coalescer) Put(key string, data []byte) error {
-	if err := c.base.Put(key, data); err != nil {
-		return err
-	}
+	err := c.base.Put(key, data)
 	c.drop(key)
-	return nil
+	return err
 }
 
-// PutClass forwards a classed write to the base, invalidating like Put.
+// PutClass forwards a classed write to the base, invalidating like Put
+// (on failure too — see Put).
 func (c *Coalescer) PutClass(key string, data []byte, class WriteClass) error {
-	if err := PutClass(c.base, key, data, class); err != nil {
-		return err
-	}
+	err := PutClass(c.base, key, data, class)
 	c.drop(key)
-	return nil
+	return err
 }
 
 // Delete implements Backend, evicting any cached copy first.

@@ -73,6 +73,39 @@ func backendImpls() map[string]storagetest.Maker {
 			}
 			return storage.NewCoalescer(tb, 1<<20)
 		},
+		"replicated-mem": func(t *testing.T) storage.Backend {
+			rb, err := storage.NewReplicated(storage.ReplicatedOptions{},
+				storage.Replica{Backend: storage.NewMem(), Domain: "zone-a"},
+				storage.Replica{Backend: storage.NewMem(), Domain: "zone-b"},
+				storage.Replica{Backend: storage.NewMem(), Domain: "zone-c"},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { rb.Close() })
+			return rb
+		},
+		"replicated-under-tiered": func(t *testing.T) storage.Backend {
+			// A replicated set as the cold level of a tiered store: the
+			// composition behind "the fleet tier survives a disk".
+			rb, err := storage.NewReplicated(storage.ReplicatedOptions{},
+				storage.Replica{Backend: storage.NewMem(), Domain: "zone-a"},
+				storage.Replica{Backend: storage.NewMem(), Domain: "zone-b"},
+				storage.Replica{Backend: storage.NewMem(), Domain: "zone-c"},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { rb.Close() })
+			tb, err := storage.NewTiered(
+				storage.Level{Name: "hot", Backend: storage.NewMem()},
+				storage.Level{Name: "cold", Backend: rb},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tb
+		},
 		"cache-tiered": func(t *testing.T) storage.Backend {
 			tb, err := storage.NewTiered(
 				storage.Level{Name: "hot", Backend: storage.NewMem()},

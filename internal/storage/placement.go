@@ -71,11 +71,12 @@ type ClassWriter interface {
 	PutClass(key string, data []byte, class WriteClass) error
 }
 
-// PutClass writes through b's ClassWriter when it has one and falls back
-// to Put otherwise. The type assertion is allocation-free, keeping the
-// tagged save path eligible for the zero-alloc encode guarantee.
+// PutClass writes through b's ClassWriter when its capability set
+// declares one and falls back to Put otherwise. The capability probe is
+// allocation-free, keeping the tagged save path eligible for the
+// zero-alloc encode guarantee.
 func PutClass(b Backend, key string, data []byte, class WriteClass) error {
-	if cw, ok := b.(ClassWriter); ok {
+	if cw := Caps(b).ClassWrite; cw != nil {
 		return cw.PutClass(key, data, class)
 	}
 	return b.Put(key, data)
@@ -92,10 +93,14 @@ type KeyedClassIngester interface {
 // then to its plain AddressedIngester (class dropped — the backend has
 // no placement to apply), else reports ok=false like TryIngestKeyed.
 func TryIngestKeyedClass(b Backend, key, addr string, data []byte, class WriteClass) (int, bool, error) {
-	if ki, ok := b.(KeyedClassIngester); ok {
-		return ki.IngestKeyedClass(key, addr, data, class)
+	c := Caps(b)
+	if c.ClassIngest != nil {
+		return c.ClassIngest.IngestKeyedClass(key, addr, data, class)
 	}
-	return TryIngestKeyed(b, key, addr, data)
+	if c.Ingest != nil {
+		return c.Ingest.IngestKeyed(key, addr, data)
+	}
+	return 0, false, nil
 }
 
 // PlacementPolicy maps write classes to tier level names. The zero value

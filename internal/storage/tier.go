@@ -83,6 +83,17 @@ func (t *Tier) Capabilities() Capabilities {
 	return c
 }
 
+// Caps implements CapsReporter. Ranged reads and classed writes are
+// native here regardless of the base — the device model charges for the
+// bytes a ranged read actually returns, and a classed write still needs
+// its write cost charged — so both handles always point at the tier.
+// Everything else is whatever the base offers, which for a plain Tier
+// over Local/Mem is nothing.
+func (t *Tier) Caps() CapSet {
+	base := Caps(t.base)
+	return CapSet{Range: t, ClassWrite: t, Replication: base.Replication}
+}
+
 // Put implements Backend, charging the modeled write cost on success.
 func (t *Tier) Put(key string, data []byte) error {
 	if err := t.base.Put(key, data); err != nil {

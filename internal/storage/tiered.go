@@ -138,6 +138,15 @@ func (t *Tiered) Capabilities() Capabilities {
 	return c
 }
 
+// Caps implements CapsReporter. Read-through ranged reads, per-level
+// batch planning, class-routed writes, and occupancy accounting are all
+// native to the composite; addressed ingest and orphan collection are
+// not forwarded — the chunk-store protocol runs above a tiered store,
+// never inside one level of it.
+func (t *Tiered) Caps() CapSet {
+	return CapSet{Range: t, Batch: t, ClassWrite: t, Occupancy: t}
+}
+
 // SetPlacement installs a placement policy, resolving each class's level
 // name against this store's levels. A zero policy restores the default
 // write-to-hot rule. Safe to call on a live store; only subsequent writes
